@@ -1,0 +1,73 @@
+// E10 — structural theorems on the DP output.
+//
+// Theorem 3 (nice solutions): the DP's solution has zero (v,j)-bad sets.
+// Definition 4: the collections partition the leaves at every level,
+// refine laminarly, and respect the scaled capacities with NO violation
+// (the relaxation is capacity-exact; violation enters only at conversion).
+// Lemma 4/5 consequences are exercised through the validators.
+#include <cstdio>
+
+#include "core/rhgpt.hpp"
+#include "core/tree_dp.hpp"
+#include "exp/report.hpp"
+#include "exp/workloads.hpp"
+#include "util/table.hpp"
+
+namespace hgp {
+namespace {
+
+int run() {
+  exp::print_header("E10", "nice-solution structure (Theorem 3, Defs 4-7)",
+                    "the DP output is a nice solution: BS(s) = 0, laminar "
+                    "partitions, capacity-exact collections");
+  bool all_ok = true;
+  Table table({"h", "n(tree)", "seed", "sets/level", "bad sets BS(s)",
+               "laminar+capacity", "dp == definition cost"});
+  for (const int height : {1, 2, 3}) {
+    std::vector<double> cm;
+    for (int j = height; j >= 0; --j) cm.push_back(2.0 * j);
+    const Hierarchy h = Hierarchy::uniform(height, 2, cm);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const Tree t = exp::make_tree_workload(
+          40, h, seed * 271 + static_cast<std::uint64_t>(height), 0.6);
+      TreeDpOptions opt;
+      opt.units_override = exp::auto_units(t, h, 2.0);
+      const TreeDpResult r = solve_rhgpt(t, h, opt);
+      const std::int64_t bad = count_bad_sets(t, r.solution);
+      bool valid = true;
+      try {
+        validate_rhgpt(t, h, r.scaled, r.solution, 1.0);
+      } catch (const CheckError&) {
+        valid = false;
+      }
+      const double definition = rhgpt_cost(t, h, r.solution);
+      const bool cost_match = std::abs(definition - r.cost) < 1e-9;
+      std::string sets;
+      for (int j = 1; j <= height; ++j) {
+        if (j > 1) sets += "/";
+        sets += std::to_string(
+            r.solution.sets[static_cast<std::size_t>(j)].size());
+      }
+      table.row()
+          .add(height)
+          .add(static_cast<std::int64_t>(t.leaf_count()))
+          .add(static_cast<std::int64_t>(seed))
+          .add(sets)
+          .add(bad)
+          .add(valid ? "yes" : "NO")
+          .add(cost_match ? "yes" : "NO");
+      all_ok &= bad == 0 && valid && cost_match;
+    }
+  }
+  table.print();
+  std::printf("\n");
+  const bool ok = exp::check(
+      "BS(s)=0, Definition-4 validation and exact cost accounting on every "
+      "instance", all_ok);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hgp
+
+int main() { return hgp::run(); }

@@ -1,0 +1,79 @@
+// E3 — Lemma 2: Eq. (1) ≡ Eq. (3).
+//
+// For normalized multipliers the direct LCA cost and the mirror-function
+// cost agree on every placement; the table reports the maximum deviation
+// per workload family over random placements plus the evaluation
+// throughput of both formulations.
+#include <cmath>
+#include <cstdio>
+
+#include "exp/report.hpp"
+#include "exp/workloads.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/mirror.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace hgp {
+namespace {
+
+Placement random_placement_of(const Graph& g, const Hierarchy& h, Rng& rng) {
+  Placement p;
+  p.leaf_of.resize(static_cast<std::size_t>(g.vertex_count()));
+  for (auto& leaf : p.leaf_of) {
+    leaf = narrow<LeafId>(
+        rng.next_below(static_cast<std::uint64_t>(h.leaf_count())));
+  }
+  return p;
+}
+
+int run() {
+  exp::print_header("E3", "cost identity Eq.(1) == Eq.(3) (Lemma 2)",
+                    "direct LCA cost equals the mirror/cut telescoping cost "
+                    "for every placement when cm(h) = 0");
+  const Hierarchy h = exp::hierarchy_socket_core_ht();
+  bool all_ok = true;
+  Table table({"family", "n", "m", "placements", "max |Eq1-Eq3|",
+               "max |Eq1-literal|", "Eq1 us/eval", "Eq3 us/eval"});
+  Rng rng(3);
+  for (const auto family : exp::all_families()) {
+    const Graph g = exp::make_workload(family, 80, h, 5);
+    double max_dev = 0, max_dev_lit = 0;
+    const int rounds = 40;
+    double t1 = 0, t3 = 0;
+    for (int i = 0; i < rounds; ++i) {
+      const Placement p = random_placement_of(g, h, rng);
+      Timer a;
+      const double direct = placement_cost(g, h, p);
+      t1 += a.seconds();
+      Timer b;
+      const double mirror = placement_cost_mirror(g, h, p);
+      t3 += b.seconds();
+      max_dev = std::max(max_dev, std::abs(direct - mirror));
+      if (i < 5) {  // the literal set-by-set evaluation is slow
+        const MirrorFunction m = build_mirror(g, h, p);
+        max_dev_lit =
+            std::max(max_dev_lit, std::abs(direct - mirror_cost_literal(g, h, m)));
+      }
+    }
+    table.row()
+        .add(exp::family_name(family))
+        .add(g.vertex_count())
+        .add(g.edge_count())
+        .add(rounds)
+        .add(max_dev, 12)
+        .add(max_dev_lit, 12)
+        .add(1e6 * t1 / rounds, 2)
+        .add(1e6 * t3 / rounds, 2);
+    all_ok &= max_dev < 1e-9 && max_dev_lit < 1e-9;
+  }
+  table.print();
+  std::printf("\n");
+  const bool ok = exp::check("Eq.(1) == Eq.(3) to 1e-9 on all families", all_ok);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hgp
+
+int main() { return hgp::run(); }

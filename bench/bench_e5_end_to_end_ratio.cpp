@@ -1,0 +1,97 @@
+// E5 — Theorem 1 end to end (plus figure F4).
+//
+// Part A: on instances small enough for the exact oracle, the measured
+// approximation ratio of the full pipeline (embed → DP → convert → map
+// back).  Theorem 1 allows O(log n); with capacity violation available the
+// solver typically lands at or below 1.
+//
+// Part B: ratio versus n on clustered instances, normalized by the best
+// solution any implemented algorithm finds, reported against a c·log2(n)
+// envelope — the figure-shaped check that the loss grows no faster than
+// the theorem predicts.
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/exact.hpp"
+#include "exp/algorithms.hpp"
+#include "exp/report.hpp"
+#include "exp/workloads.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace hgp {
+namespace {
+
+int run() {
+  exp::print_header("E5", "end-to-end approximation ratio (Theorem 1, F4)",
+                    "cost <= O(log n) * OPT with violation <= (1+eps)(1+h)");
+  const Hierarchy h = exp::hierarchy_two_level(2, 2);
+  bool all_ok = true;
+
+  // Part A: exact ratios.
+  Table small({"seed", "n", "exact OPT", "solver", "ratio", "violation"});
+  const auto solver = exp::solver_algorithm(0.5, 4);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 131);
+    Graph g = gen::erdos_renyi(9, 0.5, rng, gen::WeightRange{1.0, 9.0});
+    gen::set_random_demands(g, rng, 0.15, 0.4);
+    const ExactResult exact = solve_exact_hgp(g, h);
+    if (!exact.feasible || exact.cost <= 0) continue;
+    const auto res = solver.run(g, h, seed);
+    const double ratio = res.cost / exact.cost;
+    small.row()
+        .add(static_cast<std::int64_t>(seed))
+        .add(g.vertex_count())
+        .add(exact.cost)
+        .add(res.cost)
+        .add(ratio)
+        .add(res.max_violation);
+    all_ok &= ratio <= 2.0 + 1e-9;  // empirical envelope on these seeds
+    all_ok &= res.max_violation <= 2.0 * (1 + h.height()) + 1e-9;
+  }
+  std::printf("-- Part A: vs exact optimum (n = 9)\n");
+  small.print();
+
+  // Part B: growth versus n against a log-n envelope.
+  std::printf("\n-- Part B: ratio vs n (normalized by best algorithm found)\n");
+  Table growth({"n", "solver cost", "best-known", "ratio", "log2(n)",
+                "ratio/log2(n)"});
+  CsvWriter csv({"n", "ratio", "log2n"});
+  const auto algos = exp::comparison_algorithms(0.5, 3);
+  double worst_normalized = 0;
+  for (const Vertex n : {24, 48, 96, 192}) {
+    const Graph g =
+        exp::make_workload(exp::Family::PlantedPartition, n, h, 17);
+    double best = -1, solver_cost = -1;
+    for (const auto& a : algos) {
+      const auto res = a.run(g, h, 29);
+      if (best < 0 || res.cost < best) best = res.cost;
+      if (a.name == "hgp-dp") solver_cost = res.cost;
+    }
+    const double ratio = best > 0 ? solver_cost / best : 1.0;
+    const double logn = std::log2(static_cast<double>(n));
+    growth.row()
+        .add(n)
+        .add(solver_cost)
+        .add(best)
+        .add(ratio)
+        .add(logn)
+        .add(ratio / logn);
+    csv.row().add(static_cast<std::int64_t>(n)).add(ratio).add(logn);
+    worst_normalized = std::max(worst_normalized, ratio / logn);
+  }
+  growth.print();
+  exp::maybe_write_csv(csv, "bench_e5_end_to_end_ratio");
+  all_ok &= worst_normalized <= 1.0;  // far inside the O(log n) envelope
+
+  std::printf("\n");
+  const bool ok = exp::check(
+      "ratios within the bicriteria envelope (<=2 vs exact, <=log2 n vs "
+      "best-known)", all_ok);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hgp
+
+int main() { return hgp::run(); }

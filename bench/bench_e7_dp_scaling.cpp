@@ -1,0 +1,126 @@
+// E7 — §3's running-time analysis (and figure F3).
+//
+// The paper bounds the DP by O(n · D^(3h+2)): polynomial in the tree size
+// and the demand resolution (D grows with 1/ε), exponential in the
+// hierarchy height.  Three sweeps make those dependencies visible:
+//   (a) n with everything else fixed — near-linear growth,
+//   (b) demand units U (our 1/ε dial) — polynomial growth, exponent
+//       increasing with h,
+//   (c) height h — the super-polynomial wall that motivates "h constant".
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/tree_dp.hpp"
+#include "exp/report.hpp"
+#include "exp/workloads.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace hgp {
+namespace {
+
+Hierarchy hier_of(int height) {
+  std::vector<double> cm;
+  for (int j = height; j >= 0; --j) cm.push_back(2.0 * j);
+  return Hierarchy::uniform(height, 2, cm);
+}
+
+int run() {
+  exp::print_header("E7", "DP running time (analysis in §3, figure F3)",
+                    "time polynomial in n and demand resolution, "
+                    "exponential in hierarchy height h");
+  CsvWriter csv({"sweep", "x", "ms", "signatures", "merges"});
+
+  std::printf("-- (a) n sweep (h = 2, ~2 units per job)\n");
+  Table ta({"n(tree)", "jobs", "ms", "signatures", "feasible states",
+            "merge ops"});
+  const Hierarchy h2 = hier_of(2);
+  double last_ms = 0, last_n = 0;
+  double worst_n_exponent = 0;
+  for (const Vertex n : {40, 80, 160, 320}) {
+    const Tree t = exp::make_tree_workload(n, h2, n, 0.6);
+    TreeDpOptions opt;
+    opt.units_override = exp::auto_units(t, h2, 2.0);
+    Timer timer;
+    const TreeDpResult r = solve_rhgpt(t, h2, opt);
+    const double ms = timer.millis();
+    ta.row()
+        .add(n)
+        .add(static_cast<std::int64_t>(t.leaf_count()))
+        .add(ms, 1)
+        .add(static_cast<std::int64_t>(r.stats.signature_count))
+        .add(static_cast<std::int64_t>(r.stats.feasible_states))
+        .add(static_cast<std::int64_t>(r.stats.merge_operations));
+    csv.row().add(std::string("n")).add(static_cast<std::int64_t>(n)).add(ms);
+    if (last_ms > 0) {
+      worst_n_exponent = std::max(
+          worst_n_exponent, std::log(ms / last_ms) / std::log(n / last_n));
+    }
+    last_ms = ms;
+    last_n = n;
+  }
+  ta.print();
+
+  std::printf("\n-- (b) demand-unit sweep (h = 2, n = 160)\n");
+  Table tb({"units U", "~epsilon", "ms", "signatures", "merge ops"});
+  const Tree tsweep = exp::make_tree_workload(160, h2, 77, 0.6);
+  const DemandUnits base_u = exp::auto_units(tsweep, h2, 1.0);
+  for (const DemandUnits u :
+       {base_u, 2 * base_u, 3 * base_u, 4 * base_u, 6 * base_u}) {
+    TreeDpOptions opt;
+    opt.units_override = u;
+    Timer timer;
+    const TreeDpResult r = solve_rhgpt(tsweep, h2, opt);
+    const double ms = timer.millis();
+    tb.row()
+        .add(static_cast<std::int64_t>(u))
+        .add(static_cast<double>(tsweep.leaf_count()) / static_cast<double>(u),
+             2)
+        .add(ms, 1)
+        .add(static_cast<std::int64_t>(r.stats.signature_count))
+        .add(static_cast<std::int64_t>(r.stats.merge_operations));
+    csv.row().add(std::string("U")).add(static_cast<std::int64_t>(u)).add(ms);
+  }
+  tb.print();
+
+  std::printf("\n-- (c) height sweep (n = 120, ~1.5 units per job)\n");
+  Table tc({"h", "leaves(H)", "ms", "signatures", "merge ops"});
+  double prev_ms = 0;
+  double growth_factor = 0;
+  for (const int height : {1, 2, 3}) {
+    const Hierarchy hh = hier_of(height);
+    const Tree theight = exp::make_tree_workload(120, hh, 99, 0.6);
+    TreeDpOptions opt;
+    opt.units_override = exp::auto_units(theight, hh, 1.5);
+    Timer timer;
+    const TreeDpResult r = solve_rhgpt(theight, hh, opt);
+    const double ms = timer.millis();
+    tc.row()
+        .add(height)
+        .add(static_cast<std::int64_t>(hh.leaf_count()))
+        .add(ms, 1)
+        .add(static_cast<std::int64_t>(r.stats.signature_count))
+        .add(static_cast<std::int64_t>(r.stats.merge_operations));
+    csv.row().add(std::string("h")).add(static_cast<std::int64_t>(height)).add(ms);
+    if (prev_ms > 0.5) growth_factor = std::max(growth_factor, ms / prev_ms);
+    prev_ms = ms;
+  }
+  tc.print();
+  exp::maybe_write_csv(csv, "bench_e7_dp_scaling");
+
+  std::printf("\n");
+  bool ok = exp::check(
+      "n-sweep growth polynomial, well below the paper's D^(3h+2) "
+      "(empirical exponent <= 3.2)",
+      worst_n_exponent <= 3.2);
+  ok &= exp::check("height sweep shows super-linear state growth",
+                   growth_factor > 1.0);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hgp
+
+int main() { return hgp::run(); }

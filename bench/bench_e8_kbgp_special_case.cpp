@@ -1,0 +1,100 @@
+// E8 — the k-BGP / Minimum Bisection special case (§1).
+//
+// With h = 1 and cm = {1, 0} the HGP objective is exactly the k-way cut
+// weight.  Part A: the full pipeline against the exhaustive minimum
+// bisection on small graphs.  Part B: k-BGP comparison of all algorithms
+// on planted bipartitions, where the true cut is known by construction.
+#include <cstdio>
+
+#include "baseline/exact.hpp"
+#include "exp/algorithms.hpp"
+#include "exp/report.hpp"
+#include "exp/workloads.hpp"
+#include "hierarchy/cost.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+namespace hgp {
+namespace {
+
+Weight exact_bisection(const Graph& g) {
+  const Vertex n = g.vertex_count();
+  Weight best = std::numeric_limits<Weight>::infinity();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    if (__builtin_popcountll(mask) != n / 2) continue;
+    std::vector<char> side(static_cast<std::size_t>(n), 0);
+    for (Vertex v = 0; v < n; ++v) side[v] = (mask >> v) & 1;
+    best = std::min(best, g.cut_weight(side));
+  }
+  return best;
+}
+
+int run() {
+  exp::print_header("E8", "k-BGP / Minimum Bisection special case (§1)",
+                    "HGP with h=1, cm={1,0} solves balanced partitioning "
+                    "within the bicriteria bounds");
+  bool all_ok = true;
+
+  std::printf("-- Part A: minimum bisection, n = 14 (exhaustive reference)\n");
+  Table ta({"seed", "exact bisection", "solver cut", "ratio", "violation"});
+  const Hierarchy h2 = Hierarchy::kbgp(2);
+  const auto solver = exp::solver_algorithm(0.5, 4);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 53);
+    Graph g = gen::planted_partition(14, 2, 0.75, 0.12, rng,
+                                     gen::WeightRange{1.0, 4.0},
+                                     gen::WeightRange{1.0, 2.0});
+    gen::set_kbgp_demands(g, 7);
+    const Weight opt_cut = exact_bisection(g);
+    const auto res = solver.run(g, h2, seed);
+    const double ratio = opt_cut > 0 ? res.cost / opt_cut : 1.0;
+    ta.row()
+        .add(static_cast<std::int64_t>(seed))
+        .add(opt_cut)
+        .add(res.cost)
+        .add(ratio)
+        .add(res.max_violation);
+    all_ok &= ratio <= 2.0 + 1e-9;           // empirical envelope
+    all_ok &= res.max_violation <= 4.0 + 1e-9;  // 2(1+h), unit-floor bound
+  }
+  ta.print();
+
+  std::printf("\n-- Part B: k-BGP with k = 8 on planted 8-partitions\n");
+  Table tb({"algorithm", "mean cut", "vs planted cut", "violation"});
+  const Hierarchy h8 = Hierarchy::kbgp(8);
+  const Vertex n = 64;
+  Rng rng(9);
+  Graph g = gen::planted_partition(n, 8, 0.8, 0.04, rng,
+                                   gen::WeightRange{2.0, 4.0},
+                                   gen::WeightRange{1.0, 1.0});
+  gen::set_kbgp_demands(g, n / 8);
+  // The planted partition's own cut weight (8 blocks of 8 vertices).
+  Placement planted;
+  planted.leaf_of.resize(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) {
+    planted.leaf_of[static_cast<std::size_t>(v)] = v * 8 / n;
+  }
+  const double planted_cut = placement_cost(g, h8, planted);
+  double solver_cut = -1;
+  for (const auto& a : exp::comparison_algorithms(0.5, 3)) {
+    const auto res = a.run(g, h8, 3);
+    tb.row()
+        .add(a.name)
+        .add(res.cost)
+        .add(planted_cut > 0 ? res.cost / planted_cut : 1.0)
+        .add(res.max_violation, 2);
+    if (a.name == "hgp-dp") solver_cut = res.cost;
+  }
+  tb.print();
+  all_ok &= solver_cut <= 2.5 * planted_cut;
+
+  std::printf("\n");
+  const bool ok = exp::check(
+      "bisection within 2x exact; k-BGP within 2.5x the planted cut", all_ok);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hgp
+
+int main() { return hgp::run(); }

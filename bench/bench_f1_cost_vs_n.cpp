@@ -1,0 +1,55 @@
+// F1 — figure: communication cost vs task count, all algorithms.
+//
+// The series the paper's evaluation would have plotted: on clustered
+// workloads over a socket/core hierarchy, cost grows with n for every
+// algorithm, with the expected ordering random > greedy > partitioners >
+// hgp-dp.
+#include <cstdio>
+
+#include "exp/algorithms.hpp"
+#include "exp/report.hpp"
+#include "exp/workloads.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace hgp {
+namespace {
+
+int run() {
+  exp::print_header("F1", "cost vs n (figure)",
+                    "hierarchy-aware algorithms dominate oblivious ones at "
+                    "every size; hgp-dp tracks the best");
+  const Hierarchy h = exp::hierarchy_two_level(2, 4);
+  const auto algos = exp::comparison_algorithms(0.5, 3);
+  std::vector<std::string> headers{"n"};
+  for (const auto& a : algos) headers.push_back(a.name);
+  Table table(headers);
+  CsvWriter csv(headers);
+  bool ordering_ok = true;
+  for (const Vertex n : {32, 64, 128, 256}) {
+    const Graph g =
+        exp::make_workload(exp::Family::PlantedPartition, n, h, 23);
+    table.row().add(n);
+    csv.row().add(static_cast<std::int64_t>(n));
+    double random_cost = -1, dp_cost = -1;
+    for (const auto& a : algos) {
+      const auto res = a.run(g, h, 41);
+      table.add(res.cost);
+      csv.add(res.cost);
+      if (a.name == "random") random_cost = res.cost;
+      if (a.name == "hgp-dp") dp_cost = res.cost;
+    }
+    ordering_ok &= dp_cost < random_cost;
+  }
+  table.print();
+  exp::maybe_write_csv(csv, "bench_f1_cost_vs_n");
+  std::printf("\n");
+  const bool ok =
+      exp::check("hgp-dp below random placement at every n", ordering_ok);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hgp
+
+int main() { return hgp::run(); }

@@ -1,0 +1,73 @@
+// NUMA pinning with a custom cost model and a what-if sweep.
+//
+// A 4-node NUMA box (h = 1 within each node is collapsed: hierarchy is
+// NUMA-node → core, h = 2).  The example shows how the cost-multiplier
+// vector expresses different interconnect technologies, and how placement
+// decisions shift as remote-access cost grows — the "crossover" knob.
+//
+//   $ ./numa_pinning [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/solver.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/cost.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hgp;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  // Workload: a 2-D stencil (halo-exchange) plus a hub service touching
+  // everything — the awkward mix NUMA placement has to arbitrate.
+  Rng rng(seed);
+  Graph g = [&] {
+    GraphBuilder b(26);
+    // 5×5 stencil grid...
+    const Graph grid = gen::grid2d(5, 5, gen::WeightRange{2.0, 4.0}, &rng);
+    for (const Edge& e : grid.edges()) b.add_edge(e.u, e.v, e.weight);
+    // ...and vertex 25 as a telemetry hub with light edges to every task.
+    for (Vertex v = 0; v < 25; ++v) b.add_edge(25, v, 0.5);
+    for (Vertex v = 0; v < 26; ++v) b.set_demand(v, 0.55);
+    return b.build();
+  }();
+  std::printf("workload: %d tasks, %d edges (stencil + telemetry hub)\n\n",
+              g.vertex_count(), g.edge_count());
+
+  // Sweep the remote-access penalty: same-core 0, same NUMA node 1,
+  // remote node r for r in {1, 2, 4, 8} (r = 1 means NUMA-oblivious).
+  Table table({"remote penalty r", "cost", "cross-node edges",
+               "node loads", "violation"});
+  for (const double r : {1.0, 2.0, 4.0, 8.0}) {
+    const Hierarchy numa({4, 4}, {r, 1.0, 0.0});
+    SolverOptions opt;
+    opt.epsilon = 0.5;
+    opt.num_trees = 3;
+    opt.units_override = 8;
+    opt.seed = seed;
+    const HgpResult res = solve_hgp(g, numa, opt);
+    int cross = 0;
+    for (const Edge& e : g.edges()) {
+      if (numa.lca_level(res.placement[e.u], res.placement[e.v]) == 0) ++cross;
+    }
+    std::string loads;
+    for (double x : res.loads.load[1]) {
+      if (!loads.empty()) loads += "/";
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%.1f", x);
+      loads += buf;
+    }
+    table.row()
+        .add(r, 1)
+        .add(res.cost)
+        .add(cross)
+        .add(loads)
+        .add(res.loads.max_violation(), 2);
+  }
+  table.print();
+  std::printf(
+      "\nAs r grows the solver trades intra-node balance for fewer\n"
+      "cross-node edges: the stencil tiles onto nodes and only the hub's\n"
+      "light telemetry edges cross the interconnect.\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs the full experiment suite and fails if any experiment reports FAIL.
+# Usage: scripts/run_benches.sh [build-dir]
+set -u
+BUILD="${1:-build}"
+status=0
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] || continue
+  echo "### $(basename "$b")"
+  if ! "$b"; then
+    echo "### $(basename "$b") FAILED"
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,173 @@
+#include "baseline/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hgp {
+
+namespace {
+
+/// Shared search state for both exact solvers: tracks per-H-node occupancy
+/// so the sibling-symmetry rule can be evaluated in O(h) per candidate
+/// leaf.
+class SymmetryTracker {
+ public:
+  SymmetryTracker(const Hierarchy& h) : h_(&h) {
+    occupancy_.resize(static_cast<std::size_t>(h.height()) + 1);
+    for (int j = 0; j <= h.height(); ++j) {
+      occupancy_[static_cast<std::size_t>(j)].assign(
+          static_cast<std::size_t>(h.nodes_at(j)), 0);
+    }
+  }
+
+  /// Canonical-form rule: a leaf may be used only if, at every level, its
+  /// ancestor is either already occupied or is the first unoccupied child
+  /// of its parent (elder siblings occupied).  Every placement has a
+  /// representative satisfying this (permute sibling subtrees into
+  /// first-use order), so pruning the rest is safe.
+  bool allowed(LeafId leaf) const {
+    for (int j = 1; j <= h_->height(); ++j) {
+      const std::int64_t node = h_->leaf_ancestor(leaf, j);
+      if (occupancy_[static_cast<std::size_t>(j)]
+                    [static_cast<std::size_t>(node)] > 0) {
+        continue;  // already opened
+      }
+      const int sibling = static_cast<int>(node % h_->deg(j - 1));
+      if (sibling > 0 &&
+          occupancy_[static_cast<std::size_t>(j)]
+                    [static_cast<std::size_t>(node - 1)] == 0) {
+        return false;  // an elder sibling subtree is still untouched
+      }
+    }
+    return true;
+  }
+
+  void place(LeafId leaf) { bump(leaf, +1); }
+  void remove(LeafId leaf) { bump(leaf, -1); }
+
+ private:
+  void bump(LeafId leaf, int delta) {
+    for (int j = 0; j <= h_->height(); ++j) {
+      occupancy_[static_cast<std::size_t>(j)]
+                [static_cast<std::size_t>(h_->leaf_ancestor(leaf, j))] +=
+          delta;
+    }
+  }
+
+  const Hierarchy* h_;
+  std::vector<std::vector<int>> occupancy_;
+};
+
+}  // namespace
+
+ExactResult solve_exact_hgp(const Graph& g, const Hierarchy& h,
+                            const ExactOptions& opt) {
+  HGP_CHECK_MSG(g.has_demands(), "exact solver needs vertex demands");
+  const Vertex n = g.vertex_count();
+  const auto k = static_cast<std::size_t>(h.leaf_count());
+  const double cap = opt.capacity_factor;
+
+  // Assign heavy communicators first: descending weighted degree.
+  std::vector<Vertex> order(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    return g.weighted_degree(a) > g.weighted_degree(b);
+  });
+
+  ExactResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  std::vector<LeafId> assign(static_cast<std::size_t>(n), -1);
+  std::vector<double> load(k, 0.0);
+  SymmetryTracker sym(h);
+  std::uint64_t nodes = 0;
+  const double floor_cm = h.cm(h.height());
+
+  auto rec = [&](auto&& self, std::size_t idx, double cost) -> void {
+    HGP_CHECK_MSG(++nodes <= opt.max_nodes,
+                  "exact HGP search exceeded its node budget");
+    if (cost >= best.cost) return;
+    if (idx == order.size()) {
+      best.feasible = true;
+      best.cost = cost;
+      best.placement.leaf_of = assign;
+      return;
+    }
+    const Vertex v = order[idx];
+    for (LeafId leaf = 0; leaf < h.leaf_count(); ++leaf) {
+      if (load[static_cast<std::size_t>(leaf)] + g.demand(v) > cap + 1e-9) {
+        continue;
+      }
+      if (!sym.allowed(leaf)) continue;
+      double delta = 0;
+      for (const HalfEdge& e : g.neighbors(v)) {
+        const LeafId other = assign[static_cast<std::size_t>(e.to)];
+        if (other >= 0) {
+          delta += h.cm(h.lca_level(leaf, other)) * e.weight;
+        } else {
+          // Admissible bound: the unassigned endpoint pays at least the
+          // leaf-level multiplier later; charge it once at assignment time
+          // of the second endpoint, so add nothing here.
+          (void)floor_cm;
+        }
+      }
+      assign[static_cast<std::size_t>(v)] = leaf;
+      load[static_cast<std::size_t>(leaf)] += g.demand(v);
+      sym.place(leaf);
+      self(self, idx + 1, cost + delta);
+      sym.remove(leaf);
+      load[static_cast<std::size_t>(leaf)] -= g.demand(v);
+      assign[static_cast<std::size_t>(v)] = -1;
+    }
+  };
+  rec(rec, 0, 0.0);
+  best.nodes_explored = nodes;
+  return best;
+}
+
+ExactTreeResult solve_exact_hgpt(const Tree& t, const Hierarchy& h,
+                                 const ExactOptions& opt) {
+  HGP_CHECK_MSG(t.has_demands(), "exact solver needs leaf demands");
+  const auto& leaves = t.leaves();
+  const auto k = static_cast<std::size_t>(h.leaf_count());
+  const double cap = opt.capacity_factor;
+
+  ExactTreeResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  TreeAssignment current;
+  current.leaf_of.assign(static_cast<std::size_t>(t.node_count()), -1);
+  std::vector<double> load(k, 0.0);
+  SymmetryTracker sym(h);
+  std::uint64_t nodes = 0;
+
+  auto rec = [&](auto&& self, std::size_t idx) -> void {
+    HGP_CHECK_MSG(++nodes <= opt.max_nodes,
+                  "exact HGPT search exceeded its node budget");
+    if (idx == leaves.size()) {
+      const double cost = assignment_cost(t, h, current);
+      if (cost < best.cost) {
+        best.feasible = true;
+        best.cost = cost;
+        best.assignment = current;
+      }
+      return;
+    }
+    const Vertex leaf_node = leaves[idx];
+    const double d = t.demand(leaf_node);
+    for (LeafId leaf = 0; leaf < h.leaf_count(); ++leaf) {
+      if (load[static_cast<std::size_t>(leaf)] + d > cap + 1e-9) continue;
+      if (!sym.allowed(leaf)) continue;
+      current.leaf_of[static_cast<std::size_t>(leaf_node)] = leaf;
+      load[static_cast<std::size_t>(leaf)] += d;
+      sym.place(leaf);
+      self(self, idx + 1);
+      sym.remove(leaf);
+      load[static_cast<std::size_t>(leaf)] -= d;
+      current.leaf_of[static_cast<std::size_t>(leaf_node)] = -1;
+    }
+  };
+  rec(rec, 0);
+  best.nodes_explored = nodes;
+  return best;
+}
+
+}  // namespace hgp

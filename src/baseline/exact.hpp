@@ -1,0 +1,50 @@
+// Exact HGP solvers (branch and bound) — the reference oracles for
+// approximation-ratio and violation measurements (experiments E1, E5, E8).
+//
+// Feasible up to n ≈ 12-14 tasks thanks to hierarchy-symmetry pruning:
+// sibling subtrees of H are interchangeable, so the search only opens a
+// fresh subtree when all its elder siblings are already in use.
+#pragma once
+
+#include <cstdint>
+
+#include "core/convert.hpp"
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "hierarchy/placement.hpp"
+
+namespace hgp {
+
+struct ExactOptions {
+  /// Leaves may be filled to capacity_factor × 1 (use > 1 to compare
+  /// against bicriteria solutions on equal footing).
+  double capacity_factor = 1.0;
+  /// Search-node budget; the solver throws CheckError when exceeded.
+  std::uint64_t max_nodes = 200'000'000;
+};
+
+struct ExactResult {
+  bool feasible = false;
+  double cost = 0;
+  Placement placement;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Exact minimum of Eq. (1) over all placements respecting leaf capacities.
+ExactResult solve_exact_hgp(const Graph& g, const Hierarchy& h,
+                            const ExactOptions& opt = {});
+
+struct ExactTreeResult {
+  bool feasible = false;
+  double cost = 0;
+  TreeAssignment assignment;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Exact minimum of the HGPT objective (Definition 2/3, with true minimum
+/// leaf separators) over all leaf assignments respecting capacities.
+ExactTreeResult solve_exact_hgpt(const Tree& t, const Hierarchy& h,
+                                 const ExactOptions& opt = {});
+
+}  // namespace hgp

@@ -1,0 +1,123 @@
+#include "baseline/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/union_find.hpp"
+
+namespace hgp {
+
+Placement greedy_placement(const Graph& g, const Hierarchy& h,
+                           double capacity_factor) {
+  HGP_CHECK_MSG(g.has_demands(), "greedy_placement needs vertex demands");
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+
+  // Phase 1: agglomerate along heavy edges while a leaf can still host the
+  // merged cluster.
+  std::vector<EdgeId> edge_order(static_cast<std::size_t>(g.edge_count()));
+  std::iota(edge_order.begin(), edge_order.end(), EdgeId{0});
+  std::sort(edge_order.begin(), edge_order.end(), [&](EdgeId a, EdgeId b) {
+    return g.edge(a).weight > g.edge(b).weight;
+  });
+  UnionFind uf(n);
+  std::vector<double> cluster_demand(n);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    cluster_demand[static_cast<std::size_t>(v)] = g.demand(v);
+  }
+  for (const EdgeId e : edge_order) {
+    const std::size_t a = uf.find(static_cast<std::size_t>(g.edge(e).u));
+    const std::size_t b = uf.find(static_cast<std::size_t>(g.edge(e).v));
+    if (a == b) continue;
+    if (cluster_demand[a] + cluster_demand[b] <= capacity_factor + 1e-9) {
+      uf.unite(a, b);
+      const std::size_t root = uf.find(a);
+      cluster_demand[root] = cluster_demand[a] + cluster_demand[b];
+    }
+  }
+
+  // Phase 2: collect clusters and their pairwise communication volumes.
+  std::vector<int> cluster_of(n, -1);
+  std::vector<double> demand;
+  std::vector<std::vector<Vertex>> members;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    const std::size_t root = uf.find(static_cast<std::size_t>(v));
+    if (cluster_of[root] == -1) {
+      cluster_of[root] = narrow<int>(members.size());
+      members.emplace_back();
+      demand.push_back(cluster_demand[root]);
+    }
+    cluster_of[static_cast<std::size_t>(v)] = cluster_of[root];
+    members[static_cast<std::size_t>(cluster_of[root])].push_back(v);
+  }
+  const std::size_t c = members.size();
+  std::vector<std::vector<Weight>> volume(c, std::vector<Weight>(c, 0));
+  std::vector<Weight> connectivity(c, 0);
+  for (const Edge& e : g.edges()) {
+    const auto a = static_cast<std::size_t>(
+        cluster_of[static_cast<std::size_t>(e.u)]);
+    const auto b = static_cast<std::size_t>(
+        cluster_of[static_cast<std::size_t>(e.v)]);
+    if (a == b) continue;
+    volume[a][b] += e.weight;
+    volume[b][a] += e.weight;
+    connectivity[a] += e.weight;
+    connectivity[b] += e.weight;
+  }
+
+  // Phase 3: place clusters one by one, heaviest communicators first, each
+  // onto the leaf minimizing the incremental Eq.-1 cost against the
+  // already-placed clusters (capacity permitting; least-loaded fallback).
+  std::vector<std::size_t> order(c);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (connectivity[a] != connectivity[b]) {
+      return connectivity[a] > connectivity[b];
+    }
+    return demand[a] > demand[b];
+  });
+  const auto k = static_cast<std::size_t>(h.leaf_count());
+  std::vector<double> load(k, 0.0);
+  std::vector<LeafId> cluster_leaf(c, -1);
+  for (const std::size_t ci : order) {
+    LeafId best_leaf = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_load = std::numeric_limits<double>::infinity();
+    for (LeafId leaf = 0; leaf < h.leaf_count(); ++leaf) {
+      if (load[static_cast<std::size_t>(leaf)] + demand[ci] >
+          capacity_factor + 1e-9) {
+        continue;
+      }
+      double inc = 0;
+      for (std::size_t cj = 0; cj < c; ++cj) {
+        if (cluster_leaf[cj] >= 0 && volume[ci][cj] > 0) {
+          inc += h.cm(h.lca_level(leaf, cluster_leaf[cj])) * volume[ci][cj];
+        }
+      }
+      if (inc < best_cost - 1e-12 ||
+          (inc < best_cost + 1e-12 &&
+           load[static_cast<std::size_t>(leaf)] < best_load)) {
+        best_cost = inc;
+        best_leaf = leaf;
+        best_load = load[static_cast<std::size_t>(leaf)];
+      }
+    }
+    if (best_leaf < 0) {
+      best_leaf = narrow<LeafId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    cluster_leaf[ci] = best_leaf;
+    load[static_cast<std::size_t>(best_leaf)] += demand[ci];
+  }
+
+  Placement p;
+  p.leaf_of.assign(n, 0);
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    for (Vertex v : members[ci]) {
+      p.leaf_of[static_cast<std::size_t>(v)] = cluster_leaf[ci];
+    }
+  }
+  return p;
+}
+
+}  // namespace hgp

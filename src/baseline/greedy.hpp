@@ -1,0 +1,19 @@
+// Greedy communication-first clustering (Kernighan-style agglomeration).
+//
+// Processes edges by decreasing weight, merging the endpoints' task
+// clusters whenever the merged demand still fits one leaf; the resulting
+// clusters are then packed onto leaves best-fit-decreasing in an order that
+// keeps heavily-communicating clusters on nearby leaves.  A strong, cheap,
+// hierarchy-*aware-at-packing-only* baseline.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hierarchy/placement.hpp"
+#include "util/prng.hpp"
+
+namespace hgp {
+
+Placement greedy_placement(const Graph& g, const Hierarchy& h,
+                           double capacity_factor = 1.0);
+
+}  // namespace hgp

@@ -1,0 +1,99 @@
+#include "baseline/local_search.hpp"
+
+#include <algorithm>
+
+namespace hgp {
+
+namespace {
+
+/// Cost of v's incident edges when v sits on `leaf` and everyone else stays.
+double incident_cost(const Graph& g, const Hierarchy& h, const Placement& p,
+                     Vertex v, LeafId leaf) {
+  double c = 0;
+  for (const HalfEdge& e : g.neighbors(v)) {
+    c += h.cm(h.lca_level(leaf, p[e.to])) * e.weight;
+  }
+  return c;
+}
+
+}  // namespace
+
+LocalSearchStats local_search(const Graph& g, const Hierarchy& h,
+                              Placement& p, const LocalSearchOptions& opt) {
+  validate_placement(g, h, p);
+  LocalSearchStats stats;
+  stats.initial_cost = placement_cost(g, h, p);
+
+  std::vector<double> load(static_cast<std::size_t>(h.leaf_count()), 0.0);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    load[static_cast<std::size_t>(p[v])] += g.demand(v);
+  }
+  const double cap = opt.capacity_factor;
+
+  for (int pass = 0; pass < opt.max_passes; ++pass) {
+    bool improved = false;
+    // Single-task moves.
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      const LeafId from = p[v];
+      const double here = incident_cost(g, h, p, v, from);
+      LeafId best = from;
+      double best_cost = here;
+      for (LeafId to = 0; to < h.leaf_count(); ++to) {
+        if (to == from) continue;
+        if (load[static_cast<std::size_t>(to)] + g.demand(v) > cap + 1e-9) {
+          continue;
+        }
+        const double there = incident_cost(g, h, p, v, to);
+        if (there < best_cost - 1e-12) {
+          best_cost = there;
+          best = to;
+        }
+      }
+      if (best != from) {
+        load[static_cast<std::size_t>(from)] -= g.demand(v);
+        load[static_cast<std::size_t>(best)] += g.demand(v);
+        p.leaf_of[static_cast<std::size_t>(v)] = best;
+        ++stats.moves;
+        improved = true;
+      }
+    }
+    // Pairwise swaps (catch moves blocked by capacity in both directions).
+    if (opt.enable_swaps) {
+      for (Vertex a = 0; a < g.vertex_count(); ++a) {
+        for (Vertex b = a + 1; b < g.vertex_count(); ++b) {
+          const LeafId la = p[a], lb = p[b];
+          if (la == lb) continue;
+          if (load[static_cast<std::size_t>(la)] - g.demand(a) + g.demand(b) >
+                  cap + 1e-9 ||
+              load[static_cast<std::size_t>(lb)] - g.demand(b) + g.demand(a) >
+                  cap + 1e-9) {
+            continue;
+          }
+          const double before = incident_cost(g, h, p, a, la) +
+                                incident_cost(g, h, p, b, lb);
+          // Evaluate after-swap costs with the placement temporarily
+          // updated so the (a,b) edge, if any, is priced consistently.
+          p.leaf_of[static_cast<std::size_t>(a)] = lb;
+          p.leaf_of[static_cast<std::size_t>(b)] = la;
+          const double after = incident_cost(g, h, p, a, lb) +
+                               incident_cost(g, h, p, b, la);
+          if (after < before - 1e-12) {
+            load[static_cast<std::size_t>(la)] += g.demand(b) - g.demand(a);
+            load[static_cast<std::size_t>(lb)] += g.demand(a) - g.demand(b);
+            ++stats.swaps;
+            improved = true;
+          } else {
+            p.leaf_of[static_cast<std::size_t>(a)] = la;
+            p.leaf_of[static_cast<std::size_t>(b)] = lb;
+          }
+        }
+      }
+    }
+    ++stats.passes;
+    if (!improved) break;
+  }
+  stats.final_cost = placement_cost(g, h, p);
+  return stats;
+}
+
+}  // namespace hgp

@@ -1,0 +1,37 @@
+// Hierarchy-aware local search (Moulitsas–Karypis-style refinement [20]).
+//
+// Improves an existing placement by single-task moves (and optional task
+// swaps) that reduce the Eq.-1 cost while respecting leaf capacities up to
+// a factor.  Used standalone on heuristic seeds and as the refinement
+// stage of the multilevel baseline.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/placement.hpp"
+
+namespace hgp {
+
+struct LocalSearchOptions {
+  int max_passes = 8;
+  bool enable_swaps = true;
+  double capacity_factor = 1.0;
+};
+
+struct LocalSearchStats {
+  int passes = 0;
+  std::int64_t moves = 0;
+  std::int64_t swaps = 0;
+  double initial_cost = 0;
+  double final_cost = 0;
+};
+
+/// Refines `p` in place; returns statistics.  Never worsens the cost and
+/// never raises a leaf's load above capacity_factor unless the input
+/// already violated it (then it may not repair it, only avoid making the
+/// *violating* leaf worse).
+LocalSearchStats local_search(const Graph& g, const Hierarchy& h,
+                              Placement& p,
+                              const LocalSearchOptions& opt = {});
+
+}  // namespace hgp

@@ -1,0 +1,122 @@
+#include "baseline/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baseline/local_search.hpp"
+#include "baseline/recursive_bisection.hpp"
+
+namespace hgp {
+
+namespace {
+
+struct CoarseLevel {
+  Graph graph;
+  /// fine vertex → coarse vertex of the NEXT (coarser) level.
+  std::vector<Vertex> map;
+};
+
+/// One round of heavy-edge matching; returns false when no pair matched
+/// (coarsening has converged).
+bool coarsen_once(const Graph& g, double capacity, Rng& rng,
+                  CoarseLevel& out) {
+  const Vertex n = g.vertex_count();
+  std::vector<Vertex> match(static_cast<std::size_t>(n), kInvalidVertex);
+  std::vector<Vertex> visit(static_cast<std::size_t>(n));
+  std::iota(visit.begin(), visit.end(), Vertex{0});
+  rng.shuffle(visit);
+  std::size_t matched = 0;
+  for (const Vertex v : visit) {
+    if (match[static_cast<std::size_t>(v)] != kInvalidVertex) continue;
+    Vertex best = kInvalidVertex;
+    Weight best_w = 0;
+    for (const HalfEdge& e : g.neighbors(v)) {
+      if (match[static_cast<std::size_t>(e.to)] != kInvalidVertex) continue;
+      if (g.demand(v) + g.demand(e.to) > capacity + 1e-9) continue;
+      if (e.weight > best_w) {
+        best_w = e.weight;
+        best = e.to;
+      }
+    }
+    if (best != kInvalidVertex) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+      ++matched;
+    }
+  }
+  if (matched == 0) return false;
+
+  out.map.assign(static_cast<std::size_t>(n), kInvalidVertex);
+  Vertex next = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (out.map[static_cast<std::size_t>(v)] != kInvalidVertex) continue;
+    out.map[static_cast<std::size_t>(v)] = next;
+    const Vertex m = match[static_cast<std::size_t>(v)];
+    if (m != kInvalidVertex) out.map[static_cast<std::size_t>(m)] = next;
+    ++next;
+  }
+  GraphBuilder b(next);
+  std::vector<double> demand(static_cast<std::size_t>(next), 0.0);
+  for (Vertex v = 0; v < n; ++v) {
+    demand[static_cast<std::size_t>(out.map[static_cast<std::size_t>(v)])] +=
+        g.demand(v);
+  }
+  for (Vertex c = 0; c < next; ++c) {
+    b.set_demand(c, std::min(1.0, demand[static_cast<std::size_t>(c)]));
+  }
+  for (const Edge& e : g.edges()) {
+    const Vertex cu = out.map[static_cast<std::size_t>(e.u)];
+    const Vertex cv = out.map[static_cast<std::size_t>(e.v)];
+    if (cu != cv) b.add_edge(cu, cv, e.weight);
+  }
+  out.graph = b.build();
+  return true;
+}
+
+}  // namespace
+
+Placement multilevel_placement(const Graph& g, const Hierarchy& h, Rng& rng,
+                               const MultilevelOptions& opt) {
+  HGP_CHECK_MSG(g.has_demands(), "multilevel_placement needs vertex demands");
+
+  // Coarsening phase.
+  std::vector<CoarseLevel> levels;
+  const Graph* current = &g;
+  while (current->vertex_count() > opt.coarsen_target) {
+    CoarseLevel next;
+    if (!coarsen_once(*current, opt.capacity_factor, rng, next)) break;
+    levels.push_back(std::move(next));
+    current = &levels.back().graph;
+  }
+
+  // Initial placement on the coarsest graph.
+  RecursiveBisectionOptions rb;
+  rb.fm_passes = opt.refine_passes;
+  Placement p = recursive_bisection_placement(*current, h, rng, rb);
+
+  LocalSearchOptions ls;
+  ls.max_passes = opt.refine_passes;
+  ls.capacity_factor = opt.capacity_factor;
+  // Swaps are quadratic; keep them for small graphs only.
+  ls.enable_swaps = current->vertex_count() <= 256;
+  local_search(*current, h, p, ls);
+
+  // Uncoarsening: project and refine at every level.
+  for (std::size_t li = levels.size(); li-- > 0;) {
+    const Graph& fine = li == 0 ? g : levels[li - 1].graph;
+    Placement projected;
+    projected.leaf_of.assign(
+        static_cast<std::size_t>(fine.vertex_count()), 0);
+    for (Vertex v = 0; v < fine.vertex_count(); ++v) {
+      projected.leaf_of[static_cast<std::size_t>(v)] =
+          p.leaf_of[static_cast<std::size_t>(
+              levels[li].map[static_cast<std::size_t>(v)])];
+    }
+    p = std::move(projected);
+    ls.enable_swaps = fine.vertex_count() <= 256;
+    local_search(fine, h, p, ls);
+  }
+  return p;
+}
+
+}  // namespace hgp

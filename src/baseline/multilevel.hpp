@@ -1,0 +1,26 @@
+// Multilevel architecture-aware placement (METIS-lineage [20, 29]).
+//
+// Coarsens the task graph by heavy-edge matching (capacity-capped so a
+// coarse task always fits one leaf), places the coarse graph with dual
+// recursive bipartitioning, then projects back and refines with the
+// hierarchy-aware local search at every uncoarsening step.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hierarchy/placement.hpp"
+#include "util/prng.hpp"
+
+namespace hgp {
+
+struct MultilevelOptions {
+  /// Stop coarsening when the graph has at most this many vertices (at
+  /// least 2 × hierarchy leaves is sensible).
+  Vertex coarsen_target = 64;
+  int refine_passes = 4;
+  double capacity_factor = 1.0;
+};
+
+Placement multilevel_placement(const Graph& g, const Hierarchy& h, Rng& rng,
+                               const MultilevelOptions& opt = {});
+
+}  // namespace hgp

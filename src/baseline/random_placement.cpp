@@ -1,0 +1,46 @@
+#include "baseline/random_placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hgp {
+
+Placement random_placement(const Graph& g, const Hierarchy& h, Rng& rng,
+                           double capacity_factor) {
+  HGP_CHECK_MSG(g.has_demands(), "random_placement needs vertex demands");
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  const auto k = static_cast<std::size_t>(h.leaf_count());
+
+  std::vector<std::size_t> task_order(n);
+  std::iota(task_order.begin(), task_order.end(), std::size_t{0});
+  rng.shuffle(task_order);
+
+  std::vector<double> load(k, 0.0);
+  Placement p;
+  p.leaf_of.assign(n, 0);
+  std::vector<std::size_t> leaf_order(k);
+  std::iota(leaf_order.begin(), leaf_order.end(), std::size_t{0});
+
+  for (const std::size_t vi : task_order) {
+    const Vertex v = narrow<Vertex>(vi);
+    rng.shuffle(leaf_order);
+    bool placed = false;
+    for (const std::size_t leaf : leaf_order) {
+      if (load[leaf] + g.demand(v) <= capacity_factor + 1e-9) {
+        p.leaf_of[vi] = narrow<LeafId>(leaf);
+        load[leaf] += g.demand(v);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      const std::size_t leaf = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      p.leaf_of[vi] = narrow<LeafId>(leaf);
+      load[leaf] += g.demand(v);
+    }
+  }
+  return p;
+}
+
+}  // namespace hgp

@@ -1,0 +1,17 @@
+// Random feasible placement — the hierarchy-oblivious floor every other
+// algorithm is compared against.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hierarchy/placement.hpp"
+#include "util/prng.hpp"
+
+namespace hgp {
+
+/// Shuffles the tasks and first-fits each onto a random-order leaf scan,
+/// falling back to the least-loaded leaf when nothing fits within
+/// capacity_factor.  Always returns a complete placement.
+Placement random_placement(const Graph& g, const Hierarchy& h, Rng& rng,
+                           double capacity_factor = 1.0);
+
+}  // namespace hgp

@@ -1,0 +1,176 @@
+#include "baseline/recursive_bisection.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/spectral.hpp"
+
+namespace hgp {
+
+namespace {
+
+double demand_of(const Graph& g, Vertex v) {
+  return g.has_demands() ? g.demand(v) : 1.0;
+}
+
+/// FM refinement toward a target demand fraction on side 1, with a slack
+/// window.  Same move/lock/best-prefix scheme as fm_refine but with an
+/// asymmetric balance constraint.
+void fm_refine_target(const Graph& g, std::vector<char>& side, double target,
+                      double slack, int passes) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  double total = 0, load1 = 0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    total += demand_of(g, v);
+    if (side[static_cast<std::size_t>(v)]) load1 += demand_of(g, v);
+  }
+  const double lo = std::max(0.0, target - slack) * total;
+  const double hi = std::min(1.0, target + slack) * total;
+
+  auto gain_of = [&](Vertex v) {
+    Weight same = 0, other = 0;
+    for (const HalfEdge& e : g.neighbors(v)) {
+      (side[static_cast<std::size_t>(e.to)] ==
+               side[static_cast<std::size_t>(v)]
+           ? same
+           : other) += e.weight;
+    }
+    return other - same;
+  };
+
+  Weight cut = g.cut_weight(side);
+  for (int pass = 0; pass < passes; ++pass) {
+    std::vector<char> locked(n, 0);
+    std::vector<char> best_side = side;
+    Weight best_cut = cut;
+    Weight running = cut;
+    double running_load1 = load1;
+    bool improved = false;
+    for (std::size_t step = 0; step < n; ++step) {
+      Vertex pick = kInvalidVertex;
+      Weight pick_gain = -std::numeric_limits<Weight>::infinity();
+      for (Vertex v = 0; v < g.vertex_count(); ++v) {
+        if (locked[static_cast<std::size_t>(v)]) continue;
+        const double d = demand_of(g, v);
+        const double nl =
+            side[static_cast<std::size_t>(v)] ? running_load1 - d
+                                              : running_load1 + d;
+        if (nl < lo - 1e-12 || nl > hi + 1e-12) continue;
+        const Weight gain = gain_of(v);
+        if (gain > pick_gain) {
+          pick_gain = gain;
+          pick = v;
+        }
+      }
+      if (pick == kInvalidVertex) break;
+      running_load1 +=
+          side[static_cast<std::size_t>(pick)] ? -demand_of(g, pick)
+                                               : demand_of(g, pick);
+      side[static_cast<std::size_t>(pick)] ^= 1;
+      locked[static_cast<std::size_t>(pick)] = 1;
+      running -= pick_gain;
+      if (running < best_cut - 1e-12) {
+        best_cut = running;
+        best_side = side;
+        improved = true;
+      }
+    }
+    side = best_side;
+    cut = best_cut;
+    load1 = 0;
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (side[static_cast<std::size_t>(v)]) load1 += demand_of(g, v);
+    }
+    if (!improved) break;
+  }
+}
+
+/// Splits `vertices` (global ids) into side1 holding ≈ `fraction` of the
+/// demand, seeded by Fiedler order and FM-refined.
+std::pair<std::vector<Vertex>, std::vector<Vertex>> bisect_fraction(
+    const Graph& g, const std::vector<Vertex>& vertices, double fraction,
+    Rng& rng, const RecursiveBisectionOptions& opt) {
+  const Graph sub = g.induced_subgraph(vertices);
+  const auto n = static_cast<std::size_t>(sub.vertex_count());
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (sub.edge_count() > 0 && n >= 2) {
+    const auto f = fiedler_vector(sub, rng);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return f[a] < f[b]; });
+  } else {
+    rng.shuffle(order);
+  }
+  double total = 0;
+  for (Vertex v = 0; v < sub.vertex_count(); ++v) total += demand_of(sub, v);
+  std::vector<char> side(n, 0);
+  double acc = 0;
+  for (const std::size_t i : order) {
+    if (acc >= fraction * total) break;
+    side[i] = 1;
+    acc += demand_of(sub, narrow<Vertex>(i));
+  }
+  if (n >= 2) {
+    fm_refine_target(sub, side, fraction, opt.imbalance, opt.fm_passes);
+  }
+  std::pair<std::vector<Vertex>, std::vector<Vertex>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    (side[i] ? out.first : out.second).push_back(vertices[i]);
+  }
+  return out;
+}
+
+/// Splits `vertices` into `parts` demand-balanced pieces by recursive
+/// halving of the part count.
+void split_into(const Graph& g, std::vector<Vertex> vertices, int parts,
+                Rng& rng, const RecursiveBisectionOptions& opt,
+                std::vector<std::vector<Vertex>>& out) {
+  if (parts == 1 || vertices.empty()) {
+    out.push_back(std::move(vertices));
+    for (int i = 1; i < parts; ++i) out.emplace_back();
+    return;
+  }
+  const int p1 = parts / 2;
+  const int p2 = parts - p1;
+  auto [a, b] = bisect_fraction(g, vertices,
+                                static_cast<double>(p1) / parts, rng, opt);
+  split_into(g, std::move(a), p1, rng, opt, out);
+  split_into(g, std::move(b), p2, rng, opt, out);
+}
+
+}  // namespace
+
+Placement recursive_bisection_placement(const Graph& g, const Hierarchy& h,
+                                        Rng& rng,
+                                        const RecursiveBisectionOptions& opt) {
+  HGP_CHECK_MSG(g.has_demands(),
+                "recursive_bisection_placement needs vertex demands");
+  Placement p;
+  p.leaf_of.assign(static_cast<std::size_t>(g.vertex_count()), 0);
+
+  auto rec = [&](auto&& self, std::vector<Vertex> vertices, int level,
+                 std::int64_t h_node) -> void {
+    if (level == h.height()) {
+      for (Vertex v : vertices) {
+        p.leaf_of[static_cast<std::size_t>(v)] = h_node;
+      }
+      return;
+    }
+    const int fanout = h.deg(level);
+    std::vector<std::vector<Vertex>> parts;
+    split_into(g, std::move(vertices), fanout, rng, opt, parts);
+    HGP_ASSERT(narrow<int>(parts.size()) == fanout);
+    for (int i = 0; i < fanout; ++i) {
+      self(self, std::move(parts[static_cast<std::size_t>(i)]), level + 1,
+           h_node * fanout + i);
+    }
+  };
+
+  std::vector<Vertex> all(static_cast<std::size_t>(g.vertex_count()));
+  std::iota(all.begin(), all.end(), Vertex{0});
+  rec(rec, std::move(all), 0, 0);
+  return p;
+}
+
+}  // namespace hgp

@@ -1,0 +1,63 @@
+#include "core/binarize.hpp"
+
+namespace hgp {
+
+BinarizedTree binarize(const Tree& t) {
+  std::vector<Vertex> parent;
+  std::vector<Weight> weight;
+  std::vector<char> infinite;
+  std::vector<Vertex> original_of;
+
+  auto new_node = [&](Vertex par, Weight w, char inf, Vertex orig) {
+    parent.push_back(par);
+    weight.push_back(w);
+    infinite.push_back(inf);
+    original_of.push_back(orig);
+    return narrow<Vertex>(parent.size() - 1);
+  };
+
+  // Map original node → binarized node, built in preorder so parents exist
+  // before their children are attached.
+  std::vector<Vertex> image(static_cast<std::size_t>(t.node_count()),
+                            kInvalidVertex);
+  image[static_cast<std::size_t>(t.root())] =
+      new_node(kInvalidVertex, 0, 0, t.root());
+
+  for (const Vertex v : t.preorder()) {
+    const auto kids = t.children(v);
+    // `attach` is the binarized node receiving the next child; it starts at
+    // v's image and descends through dummies as the comb grows.
+    Vertex attach = image[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      const bool need_dummy = kids.size() > 2 && i >= 1 && i + 1 < kids.size();
+      if (need_dummy) {
+        // Chain one dummy under `attach` via an uncuttable edge, then hang
+        // the child off the dummy.
+        attach = new_node(attach, 0, 1, kInvalidVertex);
+      }
+      const Vertex c = kids[i];
+      image[static_cast<std::size_t>(c)] =
+          new_node(attach, t.parent_weight(c),
+                   t.parent_edge_infinite(c) ? 1 : 0, c);
+    }
+  }
+
+  BinarizedTree out;
+  out.tree = Tree::from_parents(std::move(parent), std::move(weight),
+                                std::move(infinite));
+  out.original_of = std::move(original_of);
+  if (t.has_demands()) {
+    std::vector<double> demand(
+        static_cast<std::size_t>(out.tree.node_count()), 0.0);
+    for (Vertex b = 0; b < out.tree.node_count(); ++b) {
+      const Vertex orig = out.original_of[static_cast<std::size_t>(b)];
+      if (orig != kInvalidVertex && t.is_leaf(orig)) {
+        demand[static_cast<std::size_t>(b)] = t.demand(orig);
+      }
+    }
+    out.tree.set_demands(std::move(demand));
+  }
+  return out;
+}
+
+}  // namespace hgp

@@ -1,0 +1,27 @@
+// Tree binarization (§3, before the DP).
+//
+// The merge step of the dynamic program handles at most two children, so
+// nodes with fan-out f > 2 are expanded into a left-leaning comb of f-2
+// dummy internal nodes joined by *uncuttable* edges (the paper's
+// weight-infinity edges); every original child keeps its original edge
+// weight.  Any solution of the binarized tree maps back to the original
+// tree with identical cost because uncuttable edges never enter a
+// separator.
+#pragma once
+
+#include <vector>
+
+#include "graph/tree.hpp"
+
+namespace hgp {
+
+struct BinarizedTree {
+  Tree tree;
+  /// original node of each binarized node; kInvalidVertex for dummies.
+  std::vector<Vertex> original_of;
+};
+
+/// Expands every node to fan-out ≤ 2; preserves leaf demands.
+BinarizedTree binarize(const Tree& t);
+
+}  // namespace hgp

@@ -1,0 +1,209 @@
+#include "core/convert.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hgp {
+
+namespace {
+
+/// Index of each leaf's set within a level collection (-1 when absent).
+std::vector<int> set_index_of_leaf(const Tree& t,
+                                   const std::vector<std::vector<Vertex>>& lvl) {
+  std::vector<int> idx(static_cast<std::size_t>(t.node_count()), -1);
+  for (std::size_t i = 0; i < lvl.size(); ++i) {
+    for (Vertex leaf : lvl[i]) {
+      idx[static_cast<std::size_t>(leaf)] = narrow<int>(i);
+    }
+  }
+  return idx;
+}
+
+}  // namespace
+
+TreeAssignment convert_to_assignment(const Tree& t, const Hierarchy& h,
+                                     const RhgptSolution& s,
+                                     const std::vector<DemandUnits>& units) {
+  const int height = h.height();
+  HGP_CHECK(s.height() == height);
+  HGP_CHECK(units.size() == static_cast<std::size_t>(t.node_count()));
+
+  // leaf → set index maps per level, and per-set demand sums.
+  std::vector<std::vector<int>> set_of(static_cast<std::size_t>(height) + 1);
+  std::vector<std::vector<DemandUnits>> set_units(
+      static_cast<std::size_t>(height) + 1);
+  for (int j = 0; j <= height; ++j) {
+    const auto& lvl = s.sets[static_cast<std::size_t>(j)];
+    set_of[static_cast<std::size_t>(j)] = set_index_of_leaf(t, lvl);
+    auto& su = set_units[static_cast<std::size_t>(j)];
+    su.assign(lvl.size(), 0);
+    for (std::size_t i = 0; i < lvl.size(); ++i) {
+      for (Vertex leaf : lvl[i]) {
+        su[i] += units[static_cast<std::size_t>(leaf)];
+      }
+    }
+  }
+
+  TreeAssignment out;
+  out.leaf_of.assign(static_cast<std::size_t>(t.node_count()), -1);
+
+  // Recursive regrouping.  A "region" at level j is a group of level-j
+  // RHGPT set indices assigned to one level-j H-node; its level-(j+1)
+  // children are all level-(j+1) sets whose leaves lie in the region.
+  auto rec = [&](auto&& self, int j, std::int64_t h_node,
+                 const std::vector<int>& region_sets) -> void {
+    if (j == height) {
+      // Everything in the region lands on this single H-leaf.
+      for (const int si : region_sets) {
+        for (Vertex leaf :
+             s.sets[static_cast<std::size_t>(j)][static_cast<std::size_t>(si)]) {
+          out.leaf_of[static_cast<std::size_t>(leaf)] = h_node;
+        }
+      }
+      return;
+    }
+    // Collect the level-(j+1) subsets refining this region.
+    std::vector<int> child_sets;
+    {
+      std::vector<char> in_region(
+          s.sets[static_cast<std::size_t>(j)].size(), 0);
+      for (const int si : region_sets) {
+        in_region[static_cast<std::size_t>(si)] = 1;
+      }
+      const auto& lvl = s.sets[static_cast<std::size_t>(j) + 1];
+      for (std::size_t ci = 0; ci < lvl.size(); ++ci) {
+        const int parent = set_of[static_cast<std::size_t>(j)]
+                                 [static_cast<std::size_t>(lvl[ci][0])];
+        HGP_CHECK_MSG(parent >= 0, "leaf missing from level-" << j);
+        if (in_region[static_cast<std::size_t>(parent)]) {
+          child_sets.push_back(narrow<int>(ci));
+        }
+      }
+    }
+    // Least-loaded-first packing over non-increasing subset demand into the
+    // DEG[j] child H-nodes (Theorem 5's grouping).
+    std::sort(child_sets.begin(), child_sets.end(), [&](int a, int b) {
+      const DemandUnits ua =
+          set_units[static_cast<std::size_t>(j) + 1][static_cast<std::size_t>(a)];
+      const DemandUnits ub =
+          set_units[static_cast<std::size_t>(j) + 1][static_cast<std::size_t>(b)];
+      return ua != ub ? ua > ub : a < b;
+    });
+    const int fanout = h.deg(j);
+    std::vector<std::vector<int>> groups(static_cast<std::size_t>(fanout));
+    std::vector<DemandUnits> load(static_cast<std::size_t>(fanout), 0);
+    for (const int ci : child_sets) {
+      const std::size_t target = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      groups[target].push_back(ci);
+      load[target] +=
+          set_units[static_cast<std::size_t>(j) + 1][static_cast<std::size_t>(ci)];
+    }
+    for (int c = 0; c < fanout; ++c) {
+      self(self, j + 1, h_node * fanout + c, groups[static_cast<std::size_t>(c)]);
+    }
+  };
+
+  rec(rec, 0, 0, std::vector<int>{0});
+
+  for (Vertex leaf : t.leaves()) {
+    HGP_CHECK_MSG(out.leaf_of[static_cast<std::size_t>(leaf)] >= 0,
+                  "conversion left leaf " << leaf << " unassigned");
+  }
+  return out;
+}
+
+double assignment_cost(const Tree& t, const Hierarchy& h,
+                       const TreeAssignment& a) {
+  double cost = 0;
+  std::vector<char> in_set(static_cast<std::size_t>(t.node_count()), 0);
+  for (int j = 1; j <= h.height(); ++j) {
+    const double delta = (h.cm(j - 1) - h.cm(j)) / 2.0;
+    for (std::int64_t node = 0; node < h.nodes_at(j); ++node) {
+      bool any = false;
+      for (Vertex leaf : t.leaves()) {
+        const bool inside = h.leaf_ancestor(a.of(leaf), j) == node;
+        in_set[static_cast<std::size_t>(leaf)] = inside ? 1 : 0;
+        any |= inside;
+      }
+      if (!any) continue;
+      const auto sep = t.leaf_separator(in_set);
+      HGP_CHECK(sep.feasible);
+      cost += sep.weight * delta;
+    }
+  }
+  return cost;
+}
+
+void validate_hgpt_assignment(const Tree& t, const Hierarchy& h,
+                              const TreeAssignment& a,
+                              double capacity_factor) {
+  HGP_CHECK_MSG(t.has_demands(), "validate_hgpt_assignment needs demands");
+  HGP_CHECK_MSG(a.leaf_of.size() == static_cast<std::size_t>(t.node_count()),
+                "assignment indexed by tree nodes");
+  for (Vertex leaf : t.leaves()) {
+    const LeafId l = a.leaf_of[static_cast<std::size_t>(leaf)];
+    HGP_CHECK_MSG(l >= 0 && l < h.leaf_count(),
+                  "leaf " << leaf << " mapped to invalid H-leaf " << l);
+  }
+  // Per-level sets: jobs under each level-j H-node.  Partition is
+  // automatic (each job has one ancestor per level); check capacities and
+  // the Definition-3 fan-out literally.
+  for (int j = 0; j <= h.height(); ++j) {
+    std::vector<double> load(static_cast<std::size_t>(h.nodes_at(j)), 0.0);
+    for (Vertex leaf : t.leaves()) {
+      load[static_cast<std::size_t>(h.leaf_ancestor(a.of(leaf), j))] +=
+          t.demand(leaf);
+    }
+    const double cap =
+        capacity_factor * static_cast<double>(h.capacity(j));
+    for (std::size_t i = 0; i < load.size(); ++i) {
+      HGP_CHECK_MSG(load[i] <= cap + 1e-9,
+                    "level-" << j << " node " << i << " load " << load[i]
+                             << " exceeds " << cap);
+    }
+    if (j < h.height()) {
+      // Children used per node must not exceed DEG(j).
+      std::vector<std::vector<char>> used(
+          static_cast<std::size_t>(h.nodes_at(j)));
+      for (auto& u : used) u.assign(static_cast<std::size_t>(h.deg(j)), 0);
+      for (Vertex leaf : t.leaves()) {
+        const std::int64_t child = h.leaf_ancestor(a.of(leaf), j + 1);
+        used[static_cast<std::size_t>(child / h.deg(j))]
+            [static_cast<std::size_t>(child % h.deg(j))] = 1;
+      }
+      for (std::size_t i = 0; i < used.size(); ++i) {
+        int count = 0;
+        for (char c : used[i]) count += c;
+        HGP_CHECK_MSG(count <= h.deg(j),
+                      "level-" << j << " node " << i << " refines into "
+                               << count << " > DEG " << h.deg(j) << " sets");
+      }
+    }
+  }
+}
+
+std::vector<double> assignment_violation(const Tree& t, const Hierarchy& h,
+                                         const TreeAssignment& a) {
+  HGP_CHECK_MSG(t.has_demands(), "assignment_violation needs leaf demands");
+  std::vector<double> leaf_load(static_cast<std::size_t>(h.leaf_count()), 0);
+  for (Vertex leaf : t.leaves()) {
+    leaf_load[static_cast<std::size_t>(a.of(leaf))] += t.demand(leaf);
+  }
+  std::vector<double> violation(static_cast<std::size_t>(h.height()) + 1, 0);
+  for (int j = 0; j <= h.height(); ++j) {
+    std::vector<double> load(static_cast<std::size_t>(h.nodes_at(j)), 0);
+    for (LeafId l = 0; l < h.leaf_count(); ++l) {
+      load[static_cast<std::size_t>(h.leaf_ancestor(l, j))] +=
+          leaf_load[static_cast<std::size_t>(l)];
+    }
+    const double cap = static_cast<double>(h.capacity(j));
+    for (double x : load) {
+      violation[static_cast<std::size_t>(j)] =
+          std::max(violation[static_cast<std::size_t>(j)], x / cap);
+    }
+  }
+  return violation;
+}
+
+}  // namespace hgp

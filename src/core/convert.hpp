@@ -1,0 +1,61 @@
+// RHGPT → HGPT conversion (Theorem 5) and leaf assignment.
+//
+// A relaxed solution may refine a level-j set into arbitrarily many
+// level-(j+1) subsets; a real hierarchy node only has DEG[j] children.  The
+// conversion walks top-down, packing each set's child subsets into DEG[j]
+// groups (least-loaded-first over non-increasing subset demand).  A group's
+// demand is at most (input demand)/DEG[j] + max subset ≤ (1+(j+1))·CP[j+1]
+// by induction — the paper's (1+j) level-j violation.  Grouping only unions
+// sets, and w(CUT(A∪B)) ≤ w(CUT(A)) + w(CUT(B)), so cost never increases.
+#pragma once
+
+#include <vector>
+
+#include "core/rhgpt.hpp"
+#include "graph/tree.hpp"
+#include "hierarchy/hierarchy.hpp"
+
+namespace hgp {
+
+/// An HGPT solution: each T-leaf assigned to an H-leaf.
+struct TreeAssignment {
+  /// leaf_of[node] = H-leaf for every T-leaf node; -1 for internal nodes.
+  std::vector<LeafId> leaf_of;
+
+  LeafId of(Vertex t_leaf) const {
+    HGP_ASSERT(leaf_of[static_cast<std::size_t>(t_leaf)] >= 0);
+    return leaf_of[static_cast<std::size_t>(t_leaf)];
+  }
+};
+
+/// Converts a (validated) RHGPT solution into a leaf assignment.
+/// `demand_units` gives each leaf's rounded demand (for the least-loaded
+/// packing); typically ScaledDemands::units.
+TreeAssignment convert_to_assignment(const Tree& t, const Hierarchy& h,
+                                     const RhgptSolution& s,
+                                     const std::vector<DemandUnits>& units);
+
+/// Definition 2/3 cost of a leaf assignment: Σ_{j,a} w(CUT_T(leaves under
+/// a)) · (cm(j-1)-cm(j))/2 with true minimum separators.  This is the HGPT
+/// objective the assignment is judged by.
+double assignment_cost(const Tree& t, const Hierarchy& h,
+                       const TreeAssignment& a);
+
+/// Per-level capacity violation of an assignment, measured with *real*
+/// (unrounded) leaf demands: violation[j] = max over level-j H-nodes of
+/// (assigned demand) / CP[j].  Theorem 2 bounds the maximum by
+/// (1+ε)(1+h).
+std::vector<double> assignment_violation(const Tree& t, const Hierarchy& h,
+                                         const TreeAssignment& a);
+
+/// Validates the full (unrelaxed) Definition-3 structure of an assignment:
+/// every leaf mapped to a valid H-leaf; the induced level-j sets partition
+/// the jobs; each level-j set splits into at most DEG(j) level-(j+1) sets
+/// (automatic for assignments — H only *has* DEG(j) children — but checked
+/// literally); per-level demand within capacity_factor × CP[j].
+/// Throws CheckError on violation.
+void validate_hgpt_assignment(const Tree& t, const Hierarchy& h,
+                              const TreeAssignment& a,
+                              double capacity_factor);
+
+}  // namespace hgp

@@ -1,0 +1,58 @@
+#include "core/demand.hpp"
+
+#include <cmath>
+
+namespace hgp {
+
+ScaledDemands scale_demands(const Tree& t, const Hierarchy& h, double epsilon,
+                            DemandUnits units_override) {
+  HGP_CHECK_MSG(t.has_demands(), "tree has no leaf demands");
+  HGP_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+  ScaledDemands s;
+  if (units_override > 0) {
+    s.units_per_capacity = units_override;
+  } else {
+    const double n = static_cast<double>(t.leaf_count());
+    s.units_per_capacity =
+        static_cast<DemandUnits>(std::ceil(std::max(1.0, n) / epsilon));
+  }
+  for (Vertex leaf : t.leaves()) {
+    const double d = t.demand(leaf);
+    HGP_CHECK_MSG(d > 0.0 && d <= 1.0,
+                  "leaf demand out of (0,1]: " << d << " at node " << leaf);
+  }
+  // The one-unit floor means at most U jobs fit one leaf; if the requested
+  // resolution cannot represent a feasible instance (many tiny jobs),
+  // double U until the rounded total fits the hierarchy.  Truly infeasible
+  // instances (total demand > capacity) stop doubling once rounding error
+  // is no longer the cause and are rejected by the solver's later check.
+  for (;;) {
+    s.units.assign(static_cast<std::size_t>(t.node_count()), 0);
+    s.total = 0;
+    for (Vertex leaf : t.leaves()) {
+      const auto floored = static_cast<DemandUnits>(
+          std::floor(t.demand(leaf) *
+                     static_cast<double>(s.units_per_capacity)));
+      const DemandUnits rounded = std::max<DemandUnits>(1, floored);
+      s.units[static_cast<std::size_t>(leaf)] = rounded;
+      s.total += rounded;
+    }
+    const DemandUnits capacity = h.capacity(0) * s.units_per_capacity;
+    const bool fits = s.total <= capacity;
+    const bool rounding_caused =
+        t.total_demand() <= static_cast<double>(h.capacity(0));
+    if (fits || !rounding_caused ||
+        s.units_per_capacity > (DemandUnits{1} << 24)) {
+      break;
+    }
+    s.units_per_capacity *= 2;
+  }
+  s.capacity.resize(static_cast<std::size_t>(h.height()) + 1);
+  for (int j = 0; j <= h.height(); ++j) {
+    s.capacity[static_cast<std::size_t>(j)] =
+        h.capacity(j) * s.units_per_capacity;
+  }
+  return s;
+}
+
+}  // namespace hgp

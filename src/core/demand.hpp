@@ -1,0 +1,47 @@
+// Demand rounding (§3, "Dynamic Programming" preamble).
+//
+// The paper scales demands by ε/n and floors:  d'(v) = ⌊d(v) · n/ε⌋, i.e.
+// U = ⌈n/ε⌉ integer demand units per unit of leaf capacity.  The flooring
+// under-counts each job by < 1 unit, and since at most n jobs land on one
+// H-node the real load exceeds the unit-counted load by at most ε·CP —
+// the (1+ε) factor of Theorem 2.
+//
+// One refinement over the paper's description: jobs are rounded to at least
+// one unit (d' = max(1, ⌊d·U⌋)).  The signature DP cannot distinguish "no
+// active set" from "an active set of zero-demand jobs", so zero-unit jobs
+// would make cut accounting ambiguous; a one-unit floor keeps every job
+// visible.  Rounding *up* can only tighten capacities, never loosen them,
+// so the (1+ε) violation guarantee is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "hierarchy/hierarchy.hpp"
+
+namespace hgp {
+
+using DemandUnits = std::int64_t;
+
+struct ScaledDemands {
+  /// Units per unit of leaf capacity (U above).
+  DemandUnits units_per_capacity = 0;
+  /// Rounded demand per tree node (internal nodes 0), in units.
+  std::vector<DemandUnits> units;
+  /// Σ units — the paper's D.
+  DemandUnits total = 0;
+  /// Scaled capacity per hierarchy level: CPs[j] = CP[j] · U, j in [0, h].
+  std::vector<DemandUnits> capacity;
+
+  DemandUnits capacity_at(int level) const {
+    return capacity[static_cast<std::size_t>(level)];
+  }
+};
+
+/// Chooses U from ε (U = ⌈n/ε⌉ with n = leaf count) unless units_override
+/// > 0, then rounds every leaf demand of `t`.
+ScaledDemands scale_demands(const Tree& t, const Hierarchy& h, double epsilon,
+                            DemandUnits units_override = 0);
+
+}  // namespace hgp

@@ -1,0 +1,126 @@
+#include "core/rhgpt.hpp"
+
+#include <algorithm>
+
+namespace hgp {
+
+namespace {
+
+std::vector<char> membership(const Tree& t, const std::vector<Vertex>& set) {
+  std::vector<char> in(static_cast<std::size_t>(t.node_count()), 0);
+  for (Vertex leaf : set) {
+    HGP_CHECK_MSG(leaf >= 0 && leaf < t.node_count() && t.is_leaf(leaf),
+                  "RHGPT set member " << leaf << " is not a leaf");
+    in[static_cast<std::size_t>(leaf)] = 1;
+  }
+  return in;
+}
+
+}  // namespace
+
+double rhgpt_cost(const Tree& t, const Hierarchy& h, const RhgptSolution& s) {
+  HGP_CHECK(s.height() == h.height());
+  double cost = 0;
+  for (int j = 1; j <= h.height(); ++j) {
+    const double delta = (h.cm(j - 1) - h.cm(j)) / 2.0;
+    for (const auto& set : s.sets[static_cast<std::size_t>(j)]) {
+      const auto sep = t.leaf_separator(membership(t, set));
+      HGP_CHECK_MSG(sep.feasible,
+                    "level-" << j << " set cannot be separated (uncuttable "
+                             << "edges cross it)");
+      cost += sep.weight * delta;
+    }
+  }
+  return cost;
+}
+
+void validate_rhgpt(const Tree& t, const Hierarchy& h, const ScaledDemands& sd,
+                    const RhgptSolution& s, double capacity_factor) {
+  HGP_CHECK_MSG(s.height() == h.height(),
+                "solution height mismatches hierarchy");
+  const auto leaf_total = static_cast<std::size_t>(t.leaf_count());
+
+  // Item 1: exactly one level-0 set holding every leaf.
+  HGP_CHECK_MSG(s.sets[0].size() == 1, "level-0 collection must be a single set");
+  HGP_CHECK_MSG(s.sets[0][0].size() == leaf_total,
+                "level-0 set must contain every leaf");
+
+  std::vector<int> set_of_prev;  // leaf → index of its level-(j-1) set
+  for (int j = 0; j <= h.height(); ++j) {
+    const auto& level = s.sets[static_cast<std::size_t>(j)];
+    // Item 2: partition.
+    std::vector<int> set_of(static_cast<std::size_t>(t.node_count()), -1);
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      HGP_CHECK_MSG(!level[i].empty(),
+                    "empty set in level-" << j << " collection");
+      DemandUnits units = 0;
+      for (Vertex leaf : level[i]) {
+        HGP_CHECK_MSG(leaf >= 0 && leaf < t.node_count() && t.is_leaf(leaf),
+                      "set member " << leaf << " is not a leaf");
+        HGP_CHECK_MSG(set_of[static_cast<std::size_t>(leaf)] == -1,
+                      "leaf " << leaf << " in two level-" << j << " sets");
+        set_of[static_cast<std::size_t>(leaf)] = narrow<int>(i);
+        units += sd.units[static_cast<std::size_t>(leaf)];
+        ++covered;
+      }
+      // Item 3: capacity (in units, with the allowed violation factor).
+      const double cap =
+          capacity_factor *
+          static_cast<double>(sd.capacity_at(j));
+      HGP_CHECK_MSG(static_cast<double>(units) <= cap + 1e-9,
+                    "level-" << j << " set " << i << " holds " << units
+                             << " units > allowed " << cap);
+    }
+    HGP_CHECK_MSG(covered == leaf_total,
+                  "level-" << j << " collection misses leaves");
+    // Item 4 (relaxed): refinement — every level-j set's leaves must share
+    // one level-(j-1) set.
+    if (j > 0) {
+      for (const auto& set : level) {
+        const int parent = set_of_prev[static_cast<std::size_t>(set[0])];
+        for (Vertex leaf : set) {
+          HGP_CHECK_MSG(set_of_prev[static_cast<std::size_t>(leaf)] == parent,
+                        "level-" << j << " set crosses two level-" << j - 1
+                                 << " sets");
+        }
+      }
+    }
+    set_of_prev = std::move(set_of);
+  }
+}
+
+std::int64_t count_bad_sets(const Tree& t, const RhgptSolution& s) {
+  const auto n = static_cast<std::size_t>(t.node_count());
+  std::int64_t bad = 0;
+  for (int j = 1; j <= s.height(); ++j) {
+    for (const auto& set : s.sets[static_cast<std::size_t>(j)]) {
+      const auto sep = t.leaf_separator(membership(t, set));
+      HGP_CHECK(sep.feasible);
+      // Count labelled nodes inside each subtree (reverse preorder = children
+      // before parents).
+      std::vector<std::int64_t> inside(n, 0);
+      std::int64_t total = 0;
+      for (auto it = t.preorder().rbegin(); it != t.preorder().rend(); ++it) {
+        const Vertex v = *it;
+        inside[static_cast<std::size_t>(v)] =
+            sep.s_side[static_cast<std::size_t>(v)] ? 1 : 0;
+        for (Vertex c : t.children(v)) {
+          inside[static_cast<std::size_t>(v)] +=
+              inside[static_cast<std::size_t>(c)];
+        }
+      }
+      total = inside[static_cast<std::size_t>(t.root())];
+      for (Vertex v = 0; v < t.node_count(); ++v) {
+        const bool active = sep.s_side[static_cast<std::size_t>(v)] != 0;
+        const bool intersects = inside[static_cast<std::size_t>(v)] > 0;
+        const bool contained =
+            inside[static_cast<std::size_t>(v)] == total;
+        if (!active && intersects && !contained) ++bad;
+      }
+    }
+  }
+  return bad;
+}
+
+}  // namespace hgp

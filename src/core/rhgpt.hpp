@@ -1,0 +1,45 @@
+// The RHGPT solution object (Definition 4) with literal validators.
+//
+// A solution is a family of collections S^(0), …, S^(h); each level-j set is
+// a subset of LEAVES(T).  The DP emits these, the Theorem-5 conversion
+// consumes them, and tests validate them against the paper's definitions:
+// partition per level, laminar refinement, capacity, nice structure
+// (Definition 6) and the bad-set count BS(s) (Definition 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/demand.hpp"
+#include "graph/tree.hpp"
+#include "hierarchy/hierarchy.hpp"
+
+namespace hgp {
+
+struct RhgptSolution {
+  /// sets[j] = the level-j collection; each set is a sorted list of T-leaf
+  /// node ids.  sets[0] has exactly one set (all leaves).
+  std::vector<std::vector<std::vector<Vertex>>> sets;
+  /// Cost reported by the DP (Definition 4 objective, in cm units).
+  double dp_cost = 0;
+
+  int height() const { return narrow<int>(sets.size()) - 1; }
+};
+
+/// Definition-4 objective evaluated from scratch: Σ_j Σ_S w(CUT_T(S)) ·
+/// (cm(j-1)-cm(j))/2 with real minimum leaf separators.  Cross-checks the
+/// DP's internal cost accounting.
+double rhgpt_cost(const Tree& t, const Hierarchy& h, const RhgptSolution& s);
+
+/// Validates Definition 4 items 1-4 (with the relaxed item 4: any number of
+/// refining subsets).  Capacity (item 3) is checked in demand units against
+/// capacity_factor · CPs[j].  Throws CheckError on violation.
+void validate_rhgpt(const Tree& t, const Hierarchy& h, const ScaledDemands& sd,
+                    const RhgptSolution& s, double capacity_factor = 1.0);
+
+/// BS(s) of Definition 7: total number of (v,j)-bad sets, with mirror
+/// regions N(S) computed by minimum leaf separators.  Theorem 3: the DP's
+/// output must have BS = 0 (it is a nice solution).
+std::int64_t count_bad_sets(const Tree& t, const RhgptSolution& s);
+
+}  // namespace hgp

@@ -1,0 +1,129 @@
+#include "core/signature.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hgp {
+
+SignatureSpace::SignatureSpace(const ScaledDemands& scaled, int height)
+    : height_(height) {
+  HGP_CHECK(height >= 1);
+  HGP_CHECK(narrow<int>(scaled.capacity.size()) == height + 1);
+  bound_.resize(static_cast<std::size_t>(height));
+  for (int j = 1; j <= height; ++j) {
+    bound_[static_cast<std::size_t>(j - 1)] =
+        std::min(scaled.capacity[static_cast<std::size_t>(j)], scaled.total);
+    HGP_CHECK(bound_[static_cast<std::size_t>(j - 1)] >= 0);
+  }
+  // Mixed-radix packing of the demand tuple: key = Σ_j D^(j) · stride[j].
+  stride_.resize(static_cast<std::size_t>(height));
+  std::size_t span = 1;
+  for (int j = height; j >= 1; --j) {
+    stride_[static_cast<std::size_t>(j - 1)] =
+        static_cast<DemandUnits>(span);
+    span *=
+        static_cast<std::size_t>(bound_[static_cast<std::size_t>(j - 1)]) + 1;
+    HGP_CHECK_MSG(span < (std::size_t{1} << 36),
+                  "signature space too large; lower the demand resolution "
+                  "(larger epsilon or explicit units_override)");
+  }
+  pack_to_tuple_.assign(span, npos);
+
+  // Enumerate all non-increasing tuples within the bounds (depth-first).
+  Signature cur(static_cast<std::size_t>(height), 0);
+  auto emit = [&](const Signature& d) {
+    const std::size_t key = pack(d);
+    pack_to_tuple_[key] = support_.size();
+    int support = 0;
+    for (int k = 1; k <= height; ++k) {
+      if (d[static_cast<std::size_t>(k - 1)] > 0) support = k;
+    }
+    support_.push_back(support);
+    demands_.insert(demands_.end(), d.begin(), d.end());
+  };
+  auto rec = [&](auto&& self, int level, DemandUnits upper) -> void {
+    if (level > height) {
+      emit(cur);
+      return;
+    }
+    const DemandUnits cap =
+        std::min(upper, bound_[static_cast<std::size_t>(level - 1)]);
+    for (DemandUnits d = 0; d <= cap; ++d) {
+      cur[static_cast<std::size_t>(level - 1)] = d;
+      self(self, level + 1, d);
+    }
+  };
+  rec(rec, 1, std::numeric_limits<DemandUnits>::max());
+  count_ = support_.size() * static_cast<std::size_t>(height + 1);
+  zero_id_ = id_of(Signature(static_cast<std::size_t>(height), 0), 0);
+  HGP_CHECK(zero_id_ != npos);
+}
+
+std::size_t SignatureSpace::pack(const Signature& d) const {
+  std::size_t key = 0;
+  for (int j = 1; j <= height_; ++j) {
+    key += static_cast<std::size_t>(d[static_cast<std::size_t>(j - 1)]) *
+           static_cast<std::size_t>(stride_[static_cast<std::size_t>(j - 1)]);
+  }
+  return key;
+}
+
+std::size_t SignatureSpace::id_of(const Signature& d, int present) const {
+  if (narrow<int>(d.size()) != height_) return npos;
+  if (present < 0 || present > height_) return npos;
+  DemandUnits prev = std::numeric_limits<DemandUnits>::max();
+  int support = 0;
+  for (int j = 1; j <= height_; ++j) {
+    const DemandUnits x = d[static_cast<std::size_t>(j - 1)];
+    if (x < 0 || x > bound_[static_cast<std::size_t>(j - 1)] || x > prev) {
+      return npos;
+    }
+    if (x > 0) support = j;
+    prev = x;
+  }
+  if (present < support) return npos;
+  const std::size_t tuple = pack_to_tuple_[pack(d)];
+  HGP_ASSERT(tuple != npos);
+  return compose(tuple, present);
+}
+
+std::size_t SignatureSpace::uniform_id(DemandUnits units) const {
+  return id_of(Signature(static_cast<std::size_t>(height_), units), height_);
+}
+
+std::size_t SignatureSpace::merge(std::size_t a, int j1, std::size_t b,
+                                  int j2, int present) const {
+  HGP_ASSERT(a < count_ && b < count_);
+  const int kept1 = std::min(j1, this->present(a));
+  const int kept2 = std::min(j2, this->present(b));
+  const int base = std::max(kept1, kept2);
+  if (present < base || present > height_) return npos;
+  Signature out(static_cast<std::size_t>(height_), 0);
+  for (int k = 1; k <= height_; ++k) {
+    const DemandUnits da = k <= kept1 ? level(a, k) : 0;
+    const DemandUnits db = k <= kept2 ? level(b, k) : 0;
+    const DemandUnits d = da + db;
+    if (d > bound_[static_cast<std::size_t>(k - 1)]) return npos;
+    out[static_cast<std::size_t>(k - 1)] = d;
+  }
+  // Masked child tuples are non-increasing, so the sum is too; presence ≥
+  // base ≥ support by construction.
+  const std::size_t tuple = pack_to_tuple_[pack(out)];
+  HGP_ASSERT(tuple != npos);
+  return compose(tuple, present);
+}
+
+std::size_t SignatureSpace::lift(std::size_t a, int j1, int present) const {
+  HGP_ASSERT(a < count_);
+  const int kept = std::min(j1, this->present(a));
+  if (present < kept || present > height_) return npos;
+  Signature out(static_cast<std::size_t>(height_), 0);
+  for (int k = 1; k <= kept; ++k) {
+    out[static_cast<std::size_t>(k - 1)] = level(a, k);
+  }
+  const std::size_t tuple = pack_to_tuple_[pack(out)];
+  HGP_ASSERT(tuple != npos);
+  return compose(tuple, present);
+}
+
+}  // namespace hgp

@@ -1,0 +1,107 @@
+// Signatures of DP subproblems (Definition 8) and their consistency
+// algebra (Definition 9).
+//
+// A signature of node v describes the (v,j)-active sets — the sets whose
+// mirror regions contain v:
+//   * D^(j) = demand (in units) of the (v,j)-active set *inside* SUB(v),
+//     for j in [1,h].  Corollary 1 forces D^(1) ≥ … ≥ D^(h) ≥ 0 and
+//     capacity requires D^(j) ≤ CPs[j].
+//   * p ∈ [0,h] = the *presence depth*: levels 1..p have an active region
+//     at v.  Levels with D > 0 are necessarily present (so p ≥ support(D)),
+//     but a region may pass through v carrying no demand from SUB(v) at
+//     all (D = 0 yet present) — the paper's mirror sets N(S) routinely
+//     extend through demand-free internal nodes, and Definition 8's
+//     induced solutions make exactly this distinction.  Without it the DP
+//     cannot price region boundaries correctly.
+//
+// SignatureSpace enumerates every (D, p) pair once per (hierarchy, demand
+// scale) and interns them to dense ids; the merge derives the parent id
+// arithmetically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/demand.hpp"
+#include "util/check.hpp"
+
+namespace hgp {
+
+/// D^(1..h) in demand units.
+using Signature = std::vector<DemandUnits>;
+
+class SignatureSpace {
+ public:
+  /// `scaled`: capacities from scale_demands (only capacity[] and total are
+  /// read); `height`: h of the hierarchy.
+  SignatureSpace(const ScaledDemands& scaled, int height);
+
+  int height() const { return height_; }
+  std::size_t size() const { return count_; }
+
+  /// Demand of the level-j active set under signature `id` (j in [1, h]).
+  DemandUnits level(std::size_t id, int j) const {
+    HGP_ASSERT(id < count_);
+    return demands_[(id / static_cast<std::size_t>(height_ + 1)) *
+                        static_cast<std::size_t>(height_) +
+                    static_cast<std::size_t>(j - 1)];
+  }
+
+  /// Presence depth p: active regions exist at levels 1..p.
+  int present(std::size_t id) const {
+    HGP_ASSERT(id < count_);
+    return static_cast<int>(id % static_cast<std::size_t>(height_ + 1));
+  }
+
+  /// Deepest level with positive demand (0 for the all-zero tuple).
+  int support(std::size_t id) const {
+    HGP_ASSERT(id < count_);
+    return support_[id / static_cast<std::size_t>(height_ + 1)];
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Dense id of (D, p); npos if invalid (monotonicity, capacity, or
+  /// p < support).
+  std::size_t id_of(const Signature& d, int present) const;
+
+  /// Absent everywhere: D = 0, p = 0.
+  std::size_t zero_id() const { return zero_id_; }
+
+  /// Leaf base case: D = (units,…,units), present at every level.
+  std::size_t uniform_id(DemandUnits units) const;
+
+  /// Definition 9 merge: children a (cut above level j1) and b (cut above
+  /// j2) under a parent whose presence depth is `present` (levels above the
+  /// kept prefixes may be phantom regions entering from the parent side).
+  /// Requires present ≥ max(min(j1, p_a), min(j2, p_b)); returns npos if
+  /// that fails or a capacity overflows.
+  std::size_t merge(std::size_t a, int j1, std::size_t b, int j2,
+                    int present) const;
+
+  /// Single-child variant.
+  std::size_t lift(std::size_t a, int j1, int present) const;
+
+  /// Maximum level demand: bound[j] = min(CPs[j], total), j in [1,h].
+  DemandUnits level_bound(int j) const {
+    return bound_[static_cast<std::size_t>(j - 1)];
+  }
+
+ private:
+  std::size_t pack(const Signature& d) const;
+  std::size_t compose(std::size_t tuple_index, int present) const {
+    return tuple_index * static_cast<std::size_t>(height_ + 1) +
+           static_cast<std::size_t>(present);
+  }
+
+  int height_;
+  std::size_t count_ = 0;                // tuples × (h+1)
+  std::vector<DemandUnits> bound_;       // per level 1..h
+  std::vector<DemandUnits> stride_;      // mixed-radix packing strides
+  std::vector<DemandUnits> demands_;     // tuple_index → D^(1..h), flattened
+  std::vector<int> support_;             // per tuple_index
+  std::vector<std::size_t> pack_to_tuple_;  // packed key → tuple_index
+  std::size_t zero_id_ = npos;
+};
+
+}  // namespace hgp

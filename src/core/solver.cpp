@@ -1,0 +1,80 @@
+#include "core/solver.hpp"
+
+#include <limits>
+
+#include "parallel/parallel_for.hpp"
+
+namespace hgp {
+
+namespace {
+
+struct TreeOutcome {
+  Placement placement;
+  double cost = std::numeric_limits<double>::infinity();
+  TreeDpStats stats;
+};
+
+TreeOutcome solve_one_tree(const Graph& g, const Hierarchy& h,
+                           const DecompTree& dt,
+                           const TreeSolverOptions& tree_opt) {
+  const TreeHgpSolution sol = solve_hgpt(dt.tree(), h, tree_opt);
+  TreeOutcome out;
+  out.placement.leaf_of.assign(static_cast<std::size_t>(g.vertex_count()), 0);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    out.placement.leaf_of[static_cast<std::size_t>(v)] =
+        sol.assignment.of(dt.leaf_of_vertex(v));
+  }
+  // Judge every candidate by the true objective on G, not the tree cost
+  // (the tree cost over-estimates by the embedding stretch).
+  out.cost = placement_cost(g, h, out.placement);
+  out.stats = sol.stats;
+  return out;
+}
+
+}  // namespace
+
+HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
+                    const SolverOptions& opt) {
+  HGP_CHECK_MSG(g.has_demands(), "HGP instances require vertex demands");
+  HGP_CHECK(opt.num_trees >= 1);
+
+  const FmCutter default_cutter;
+  const Cutter& cutter =
+      opt.cutter != nullptr ? *opt.cutter : default_cutter;
+
+  const std::vector<DecompTree> forest = build_decomposition_forest(
+      g, opt.num_trees, opt.seed, cutter, opt.pool);
+
+  TreeSolverOptions tree_opt;
+  tree_opt.epsilon = opt.epsilon;
+  tree_opt.units_override = opt.units_override;
+
+  std::vector<TreeOutcome> outcomes(forest.size());
+  auto run = [&](std::size_t i) {
+    outcomes[i] = solve_one_tree(g, h, forest[i], tree_opt);
+  };
+  if (opt.pool != nullptr) {
+    parallel_for(*opt.pool, 0, forest.size(), run);
+  } else {
+    for (std::size_t i = 0; i < forest.size(); ++i) run(i);
+  }
+
+  HgpResult result;
+  result.tree_costs.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    result.tree_costs.push_back(outcomes[i].cost);
+    if (result.best_tree < 0 ||
+        outcomes[i].cost <
+            outcomes[static_cast<std::size_t>(result.best_tree)].cost) {
+      result.best_tree = narrow<int>(i);
+    }
+  }
+  TreeOutcome& best = outcomes[static_cast<std::size_t>(result.best_tree)];
+  result.placement = std::move(best.placement);
+  result.cost = best.cost;
+  result.stats = best.stats;
+  result.loads = load_report(g, h, result.placement);
+  return result;
+}
+
+}  // namespace hgp

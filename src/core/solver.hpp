@@ -1,0 +1,55 @@
+// End-to-end HGP solver for general graphs (Theorem 1).
+//
+// Pipeline: sample a forest of decomposition trees (§4 stand-in for the
+// Räcke distribution), solve HGPT on every tree with the signature DP +
+// Theorem-5 conversion, map each tree solution back to G through the
+// leaf↔vertex bijection, evaluate the true Eq.-1 cost on G, and keep the
+// best (Theorem 7's arg-min over the tree family).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/tree_solver.hpp"
+#include "decomp/builder.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/placement.hpp"
+
+namespace hgp {
+
+struct SolverOptions {
+  /// Number of decomposition trees sampled (more trees = better expected
+  /// embedding, linearly more work).
+  int num_trees = 4;
+  /// Demand rounding accuracy (Theorem 2's ε).
+  double epsilon = 0.25;
+  /// Direct demand-unit override (0 = derive from ε).
+  DemandUnits units_override = 0;
+  std::uint64_t seed = 1;
+  /// Cut heuristic for tree building; nullptr = spectral + FM refinement.
+  const Cutter* cutter = nullptr;
+  /// Pool for solving trees concurrently; nullptr = sequential.
+  ThreadPool* pool = nullptr;
+};
+
+struct HgpResult {
+  /// Task → H-leaf assignment for G.
+  Placement placement;
+  /// Eq.-1 cost of `placement` on G (under the original cost multipliers).
+  double cost = 0;
+  /// Load / violation report at every hierarchy level.
+  LoadReport loads;
+  /// Which sampled tree produced the winner, and each tree's mapped cost.
+  int best_tree = -1;
+  std::vector<double> tree_costs;
+  /// DP diagnostics of the winning tree.
+  TreeDpStats stats;
+};
+
+/// Requires vertex demands on `g`.  Throws CheckError if the instance
+/// cannot fit the hierarchy even after rounding.
+HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
+                    const SolverOptions& opt = {});
+
+}  // namespace hgp

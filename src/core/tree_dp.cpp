@@ -1,0 +1,348 @@
+#include "core/tree_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hgp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kNoSig = 0xffffffffu;
+
+struct Back {
+  std::uint32_t sig1 = kNoSig;
+  std::uint32_t sig2 = kNoSig;
+  std::int8_t j1 = -1;
+  std::int8_t j2 = -1;
+};
+
+/// Per-node DP table.  `cost` is scratch read by the parent's merge and
+/// freed afterwards; the dense back array is compacted to the feasible
+/// entries right after the node is built (reconstruction only queries
+/// feasible signatures, and dense back-pointers for every node would
+/// dominate memory).
+struct NodeTable {
+  std::vector<double> cost;
+  std::vector<Back> back_dense;
+  std::vector<std::uint32_t> feasible;  // sorted after compaction
+  std::vector<Back> back_compact;       // parallel to `feasible`
+
+  /// Pareto dominance pruning.  An entry (D, p, cost) is dominated by
+  /// (D', p, cost') with D' ≤ D componentwise and cost' ≤ cost: every
+  /// parent combination accepting the former accepts the latter with the
+  /// same cut/presence choices and charges (those read only j and p),
+  /// passes the same capacity checks (smaller demands), and produces a
+  /// dominating parent entry — so dropping dominated states preserves the
+  /// optimum.  This is what keeps deep hierarchies tractable in practice.
+  void prune_dominated(const SignatureSpace& space) {
+    const int height = space.height();
+    std::vector<std::uint32_t> order = feasible;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return cost[a] != cost[b] ? cost[a] < cost[b] : a < b;
+              });
+    // kept[p] = surviving entries of presence class p, in cost order; a
+    // candidate is dominated iff some earlier (cheaper) kept entry has
+    // componentwise-smaller demand.
+    std::vector<std::vector<std::uint32_t>> kept(
+        static_cast<std::size_t>(height) + 1);
+    std::vector<std::uint32_t> survivors;
+    survivors.reserve(order.size());
+    for (const std::uint32_t s : order) {
+      const auto p = static_cast<std::size_t>(space.present(s));
+      bool dominated = false;
+      for (const std::uint32_t k : kept[p]) {
+        bool leq = true;
+        for (int j = 1; j <= height && leq; ++j) {
+          leq = space.level(k, j) <= space.level(s, j);
+        }
+        if (leq) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        kept[p].push_back(s);
+        survivors.push_back(s);
+      }
+    }
+    feasible = std::move(survivors);
+  }
+
+  void compact() {
+    std::sort(feasible.begin(), feasible.end());
+    back_compact.resize(feasible.size());
+    for (std::size_t i = 0; i < feasible.size(); ++i) {
+      back_compact[i] = back_dense[feasible[i]];
+    }
+    back_dense = {};
+  }
+
+  const Back& lookup(std::uint32_t sig) const {
+    const auto it = std::lower_bound(feasible.begin(), feasible.end(), sig);
+    HGP_CHECK_MSG(it != feasible.end() && *it == sig,
+                  "backtracking hit an infeasible signature");
+    return back_compact[static_cast<std::size_t>(it - feasible.begin())];
+  }
+
+  void release_cost() { cost = {}; }
+};
+
+void relax(NodeTable& table, std::size_t sig, double cost, const Back& back) {
+  if (cost < table.cost[sig]) {
+    if (table.cost[sig] == kInf) {
+      table.feasible.push_back(narrow<std::uint32_t>(sig));
+    }
+    table.cost[sig] = cost;
+    table.back_dense[sig] = back;
+  }
+}
+
+}  // namespace
+
+// Cost accounting.  The solution's mirror regions partition (a subset of)
+// the tree nodes into disjoint connected regions per level, nested across
+// levels; the objective Σ_S w(δ(N(S))) · Δ_k/2 charges every edge Δ_k/2
+// once per level-k region it borders.  For the edge above child c (cut
+// level j_c, presence p_c) under a parent with presence depth p_v:
+//   * closing charge: the child-side regions at levels (j_c, p_c] close
+//     here, each putting the edge on its boundary → PS[p_c] − PS[j_c];
+//   * surviving charge: the parent-side regions at levels (kept_c, p_v]
+//     (kept_c = min(j_c, p_c)) do not continue into c → PS[p_v] − PS[kept_c];
+// with PS[j] = Σ_{k≤j} Δ_k/2.  Uncuttable (dummy) edges must never border a
+// region — a dummy *is* its original node — which forces j_c = p_c = p_v.
+//
+// With presence depths the DP's region space is exactly "disjoint connected
+// node sets per level, covering all leaves, nested, demand ≤ CPs" — the
+// canonical mirror regions of any RHGPT solution (components of
+// T ∖ CUT_T(S), Definition 5) are of this form, so the DP optimum equals
+// the Definition-4 objective (Σ of independent minimum separators) over the
+// rounded demands, as Theorem 4 requires.
+TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
+                         const TreeDpOptions& opt) {
+  const int height = h.height();
+  TreeDpResult result;
+
+  // 1. Binarize and round demands (leaf demands are identical after
+  //    binarization, only node ids differ).
+  const BinarizedTree bin = binarize(t);
+  const Tree& bt = bin.tree;
+  const ScaledDemands sd =
+      scale_demands(bt, h, opt.epsilon, opt.units_override);
+  HGP_CHECK_MSG(sd.total <= sd.capacity_at(0),
+                "instance infeasible: total rounded demand "
+                    << sd.total << " units exceeds hierarchy capacity "
+                    << sd.capacity_at(0) << " units");
+
+  // 2. Signature space and the Δ/2 prefix sums.
+  const SignatureSpace space(sd, height);
+  result.stats.signature_count = space.size();
+  std::vector<double> ps(static_cast<std::size_t>(height) + 1, 0.0);
+  for (int k = 1; k <= height; ++k) {
+    ps[static_cast<std::size_t>(k)] =
+        ps[static_cast<std::size_t>(k - 1)] + (h.cm(k - 1) - h.cm(k)) / 2.0;
+  }
+
+  // 3. Bottom-up DP (reverse preorder visits children before parents).
+  std::vector<NodeTable> tables(static_cast<std::size_t>(bt.node_count()));
+  for (auto it = bt.preorder().rbegin(); it != bt.preorder().rend(); ++it) {
+    const Vertex v = *it;
+    NodeTable& table = tables[static_cast<std::size_t>(v)];
+    table.cost.assign(space.size(), kInf);
+    table.back_dense.assign(space.size(), Back{});
+
+    const auto kids = bt.children(v);
+    if (kids.empty()) {
+      const std::size_t sig =
+          space.uniform_id(sd.units[static_cast<std::size_t>(v)]);
+      HGP_CHECK_MSG(sig != SignatureSpace::npos,
+                    "leaf demand exceeds a level capacity");
+      relax(table, sig, 0.0, Back{});
+    } else if (kids.size() == 1) {
+      const Vertex c = kids[0];
+      NodeTable& ct = tables[static_cast<std::size_t>(c)];
+      const bool uncut = bt.parent_edge_infinite(c);
+      const Weight w = uncut ? 0 : bt.parent_weight(c);
+      for (const std::uint32_t s1 : ct.feasible) {
+        const int p1 = space.present(s1);
+        for (int j1 = uncut ? p1 : 0; j1 <= p1; ++j1) {
+          const double closing =
+              w * (ps[static_cast<std::size_t>(p1)] -
+                   ps[static_cast<std::size_t>(j1)]);
+          const int pv_lo = uncut ? p1 : j1;
+          const int pv_hi = uncut ? p1 : height;
+          for (int pv = pv_lo; pv <= pv_hi; ++pv) {
+            const std::size_t up = space.lift(s1, j1, pv);
+            HGP_ASSERT(up != SignatureSpace::npos);
+            const double surviving =
+                w * (ps[static_cast<std::size_t>(pv)] -
+                     ps[static_cast<std::size_t>(j1)]);
+            relax(table, up, ct.cost[s1] + closing + surviving,
+                  Back{s1, kNoSig, narrow<std::int8_t>(j1), -1});
+            ++result.stats.merge_operations;
+          }
+        }
+      }
+      ct.release_cost();
+    } else {
+      HGP_CHECK_MSG(kids.size() == 2, "tree must be binarized");
+      NodeTable& t1 = tables[static_cast<std::size_t>(kids[0])];
+      NodeTable& t2 = tables[static_cast<std::size_t>(kids[1])];
+      const bool inf1 = bt.parent_edge_infinite(kids[0]);
+      const bool inf2 = bt.parent_edge_infinite(kids[1]);
+      const Weight w1 = inf1 ? 0 : bt.parent_weight(kids[0]);
+      const Weight w2 = inf2 ? 0 : bt.parent_weight(kids[1]);
+      for (const std::uint32_t s1 : t1.feasible) {
+        const int p1 = space.present(s1);
+        const double base1 = t1.cost[s1];
+        for (const std::uint32_t s2 : t2.feasible) {
+          const int p2 = space.present(s2);
+          const double base12 = base1 + t2.cost[s2];
+          for (int j1 = inf1 ? p1 : 0; j1 <= p1; ++j1) {
+            const double closing1 =
+                w1 * (ps[static_cast<std::size_t>(p1)] -
+                      ps[static_cast<std::size_t>(j1)]);
+            for (int j2 = inf2 ? p2 : 0; j2 <= p2; ++j2) {
+              const double closing2 =
+                  w2 * (ps[static_cast<std::size_t>(p2)] -
+                        ps[static_cast<std::size_t>(j2)]);
+              // Parent presence: at least the kept prefixes, optionally
+              // extended by phantom regions entering from above; dummy
+              // edges pin it to the child's presence.
+              int pv_lo = std::max(j1, j2);
+              int pv_hi = height;
+              if (inf1) pv_lo = pv_hi = p1;
+              if (inf2) {
+                pv_lo = std::max(pv_lo, p2);
+                pv_hi = std::min(pv_hi, p2);
+              }
+              for (int pv = pv_lo; pv <= pv_hi; ++pv) {
+                const std::size_t up = space.merge(s1, j1, s2, j2, pv);
+                ++result.stats.merge_operations;
+                if (up == SignatureSpace::npos) continue;
+                const double surviving =
+                    w1 * (ps[static_cast<std::size_t>(pv)] -
+                          ps[static_cast<std::size_t>(j1)]) +
+                    w2 * (ps[static_cast<std::size_t>(pv)] -
+                          ps[static_cast<std::size_t>(j2)]);
+                relax(table, up, base12 + closing1 + closing2 + surviving,
+                      Back{s1, s2, narrow<std::int8_t>(j1),
+                           narrow<std::int8_t>(j2)});
+              }
+            }
+          }
+        }
+      }
+      t1.release_cost();
+      t2.release_cost();
+    }
+    if (opt.prune_dominated) table.prune_dominated(space);
+    table.compact();
+    result.stats.feasible_states += table.feasible.size();
+  }
+
+  // 4. Pick the best root signature.
+  const NodeTable& root_table = tables[static_cast<std::size_t>(bt.root())];
+  std::size_t best_sig = SignatureSpace::npos;
+  double best_cost = kInf;
+  for (const std::uint32_t s : root_table.feasible) {
+    if (root_table.cost[s] < best_cost) {
+      best_cost = root_table.cost[s];
+      best_sig = s;
+    }
+  }
+  HGP_CHECK_MSG(best_sig != SignatureSpace::npos,
+                "no feasible RHGPT solution (capacities too tight for the "
+                "rounded demands)");
+  result.cost = best_cost;
+
+  // 5. Reconstruct the family of collections by replaying back-pointers
+  //    top-down.  active[k-1] = index of the (v,k)-active set within
+  //    sets[k] (allocated for every present level; phantom regions that
+  //    never absorb a leaf are filtered at the end), or -1 when absent.
+  RhgptSolution& sol = result.solution;
+  sol.sets.assign(static_cast<std::size_t>(height) + 1, {});
+  sol.dp_cost = best_cost;
+  sol.sets[0].emplace_back();  // the single level-0 set
+
+  auto new_set = [&](int level) {
+    sol.sets[static_cast<std::size_t>(level)].emplace_back();
+    return narrow<int>(sol.sets[static_cast<std::size_t>(level)].size() - 1);
+  };
+
+  std::vector<int> root_active(static_cast<std::size_t>(height), -1);
+  for (int j = 1; j <= space.present(best_sig); ++j) {
+    root_active[static_cast<std::size_t>(j - 1)] = new_set(j);
+  }
+
+  // Kept child regions join the parent's region; regions above the kept
+  // prefix close into fresh sets (the merge() semantics of Claim 1).
+  auto child_active = [&](std::size_t child_sig, int cut_level,
+                          const std::vector<int>& parent_active) {
+    std::vector<int> active(static_cast<std::size_t>(height), -1);
+    const int pc = space.present(child_sig);
+    const int kept = std::min(cut_level, pc);
+    for (int k = 1; k <= pc; ++k) {
+      if (k <= kept) {
+        HGP_ASSERT(parent_active[static_cast<std::size_t>(k - 1)] >= 0);
+        active[static_cast<std::size_t>(k - 1)] =
+            parent_active[static_cast<std::size_t>(k - 1)];
+      } else {
+        active[static_cast<std::size_t>(k - 1)] = new_set(k);
+      }
+    }
+    return active;
+  };
+
+  auto rec = [&](auto&& self, Vertex v, std::uint32_t sig,
+                 const std::vector<int>& active) -> void {
+    const auto kids = bt.children(v);
+    if (kids.empty()) {
+      const Vertex orig = bin.original_of[static_cast<std::size_t>(v)];
+      HGP_ASSERT(orig != kInvalidVertex && t.is_leaf(orig));
+      sol.sets[0][0].push_back(orig);
+      for (int j = 1; j <= height; ++j) {
+        const int id = active[static_cast<std::size_t>(j - 1)];
+        HGP_ASSERT(id >= 0);  // leaves are present at every level
+        sol.sets[static_cast<std::size_t>(j)][static_cast<std::size_t>(id)]
+            .push_back(orig);
+      }
+      return;
+    }
+    const Back& back = tables[static_cast<std::size_t>(v)].lookup(sig);
+    self(self, kids[0], back.sig1,
+         child_active(back.sig1, back.j1, active));
+    if (kids.size() == 2) {
+      self(self, kids[1], back.sig2,
+           child_active(back.sig2, back.j2, active));
+    }
+  };
+  rec(rec, bt.root(), narrow<std::uint32_t>(best_sig), root_active);
+
+  // Drop phantom sets (regions that never absorbed a leaf) and sort.
+  for (auto& level : sol.sets) {
+    level.erase(std::remove_if(level.begin(), level.end(),
+                               [](const std::vector<Vertex>& s) {
+                                 return s.empty();
+                               }),
+                level.end());
+    for (auto& set : level) std::sort(set.begin(), set.end());
+  }
+
+  // Demand scaling re-indexed by original tree nodes for the caller.
+  result.scaled.units_per_capacity = sd.units_per_capacity;
+  result.scaled.total = sd.total;
+  result.scaled.capacity = sd.capacity;
+  result.scaled.units.assign(static_cast<std::size_t>(t.node_count()), 0);
+  for (Vertex b = 0; b < bt.node_count(); ++b) {
+    const Vertex orig = bin.original_of[static_cast<std::size_t>(b)];
+    if (orig != kInvalidVertex && bt.is_leaf(b)) {
+      result.scaled.units[static_cast<std::size_t>(orig)] =
+          sd.units[static_cast<std::size_t>(b)];
+    }
+  }
+  return result;
+}
+
+}  // namespace hgp

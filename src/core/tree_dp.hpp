@@ -1,0 +1,70 @@
+// The RHGPT dynamic program (§3: Definition 8, Claim 1, Theorem 4).
+//
+// Solves the relaxed hierarchical partitioning problem on a tree exactly
+// (over rounded demands): for every tree node v and every signature
+// (D_v^(1) ≥ … ≥ D_v^(h)) it computes the cheapest partial solution whose
+// (v,j)-active sets have exactly those demands; parents combine children
+// through the (j1,j2)-consistent merge of Definition 9, paying
+// w(edge) · (cm(k-1)-cm(k))/2 for every level k at which a non-empty child
+// active set is closed.  Theorem 3 guarantees an optimal *nice* solution
+// has this shape, so the DP optimum equals the RHGPT optimum.
+//
+// Implementation notes (beyond the paper):
+//  * the input tree is binarized first (uncuttable dummy edges), so the
+//    merge never sees more than two children;
+//  * signatures are interned to dense ids; the merge derives the parent id
+//    arithmetically instead of enumerating parent signatures, which brings
+//    the per-node cost to O(|feasible1| · |feasible2| · h²) — polynomially
+//    far below the paper's crude O(D^(2h+2)) bound, with the same result;
+//  * cut levels are enumerated only up to each signature's support (levels
+//    with D > 0); cutting above the support is a no-op.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/binarize.hpp"
+#include "core/demand.hpp"
+#include "core/rhgpt.hpp"
+#include "core/signature.hpp"
+#include "graph/tree.hpp"
+#include "hierarchy/hierarchy.hpp"
+
+namespace hgp {
+
+struct TreeDpOptions {
+  /// Demand rounding accuracy; U = ⌈n/ε⌉ units per leaf capacity.
+  double epsilon = 0.25;
+  /// Overrides U directly when > 0 (used by scaling experiments; coarser
+  /// units = faster + larger rounding violation).
+  DemandUnits units_override = 0;
+  /// Pareto dominance pruning of DP states (same presence, componentwise
+  /// ≥ demand, ≥ cost ⇒ dropped).  Provably lossless; off only for the
+  /// pruning ablation benchmark.
+  bool prune_dominated = true;
+};
+
+struct TreeDpStats {
+  std::size_t signature_count = 0;   ///< |Sig| for this instance
+  std::size_t feasible_states = 0;   ///< Σ_v |feasible signatures at v|
+  std::size_t merge_operations = 0;  ///< relaxation steps performed
+};
+
+struct TreeDpResult {
+  /// Optimal RHGPT solution over rounded demands, on the ORIGINAL tree's
+  /// leaf ids.
+  RhgptSolution solution;
+  /// DP optimum (equals rhgpt_cost(solution) up to fp rounding).
+  double cost = 0;
+  /// The demand rounding used (indexed by original tree nodes).
+  ScaledDemands scaled;
+  TreeDpStats stats;
+};
+
+/// Solves RHGPT on tree `t` against hierarchy `h`.
+/// Requires leaf demands on `t`; throws CheckError if the instance cannot
+/// fit (total rounded demand exceeds total hierarchy capacity).
+TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
+                         const TreeDpOptions& opt = {});
+
+}  // namespace hgp

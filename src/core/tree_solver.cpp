@@ -1,0 +1,24 @@
+#include "core/tree_solver.hpp"
+
+namespace hgp {
+
+TreeHgpSolution solve_hgpt(const Tree& t, const Hierarchy& h,
+                           const TreeSolverOptions& opt) {
+  TreeDpOptions dp_opt;
+  dp_opt.epsilon = opt.epsilon;
+  dp_opt.units_override = opt.units_override;
+  TreeDpResult dp = solve_rhgpt(t, h, dp_opt);
+
+  TreeHgpSolution out;
+  out.assignment =
+      convert_to_assignment(t, h, dp.solution, dp.scaled.units);
+  out.relaxed = std::move(dp.solution);
+  out.relaxed_cost = dp.cost;
+  out.cost = assignment_cost(t, h, out.assignment);
+  out.violation = assignment_violation(t, h, out.assignment);
+  out.scaled = std::move(dp.scaled);
+  out.stats = dp.stats;
+  return out;
+}
+
+}  // namespace hgp

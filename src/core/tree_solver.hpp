@@ -1,0 +1,46 @@
+// HGPT solver (Theorem 2): DP + conversion, for tree instances.
+//
+// This is the public entry point for partitioning the leaves of a tree
+// against a hierarchy: it runs the RHGPT signature DP (optimal over rounded
+// demands) and the Theorem-5 regrouping, returning the leaf assignment, the
+// relaxed solution, both costs and the measured per-level violations.
+#pragma once
+
+#include "core/convert.hpp"
+#include "core/tree_dp.hpp"
+
+namespace hgp {
+
+struct TreeSolverOptions {
+  double epsilon = 0.25;
+  DemandUnits units_override = 0;
+};
+
+struct TreeHgpSolution {
+  /// Final HGPT solution: T-leaf → H-leaf.
+  TreeAssignment assignment;
+  /// The optimal relaxed solution it was derived from.
+  RhgptSolution relaxed;
+  /// RHGPT optimum (≤ the HGPT optimum: fewer constraints — the natural
+  /// lower bound for approximation measurements).
+  double relaxed_cost = 0;
+  /// Definition-2/3 cost of `assignment` (≤ relaxed_cost by Theorem 5).
+  double cost = 0;
+  /// Per-level capacity violations with real demands; Theorem 2 bounds
+  /// violation[j] by (1+ε)(1+j).
+  std::vector<double> violation;
+  ScaledDemands scaled;
+  TreeDpStats stats;
+
+  double max_violation() const {
+    double worst = 0;
+    for (double v : violation) worst = std::max(worst, v);
+    return worst;
+  }
+};
+
+/// Requires leaf demands on `t`.
+TreeHgpSolution solve_hgpt(const Tree& t, const Hierarchy& h,
+                           const TreeSolverOptions& opt = {});
+
+}  // namespace hgp

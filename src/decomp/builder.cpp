@@ -1,0 +1,130 @@
+#include "decomp/builder.hpp"
+
+#include <utility>
+
+#include "parallel/parallel_for.hpp"
+
+namespace hgp {
+
+namespace {
+
+/// One recursion frame: a vertex set awaiting expansion, and the id of the
+/// tree node that represents it.
+struct Frame {
+  std::vector<Vertex> vertices;
+  Vertex node;
+};
+
+/// δ_G(S) for S given as a vertex list.
+Weight boundary_of(const Graph& g, const std::vector<Vertex>& set,
+                   std::vector<char>& scratch) {
+  for (Vertex v : set) scratch[static_cast<std::size_t>(v)] = 1;
+  const Weight w = g.boundary_weight(scratch);
+  for (Vertex v : set) scratch[static_cast<std::size_t>(v)] = 0;
+  return w;
+}
+
+}  // namespace
+
+DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter) {
+  const Vertex n = g.vertex_count();
+  HGP_CHECK_MSG(n >= 1, "cannot decompose the empty graph");
+
+  std::vector<Vertex> parent;
+  std::vector<Weight> parent_weight;
+  std::vector<Vertex> leaf_vertex;
+  std::vector<char> scratch(static_cast<std::size_t>(n), 0);
+
+  auto new_node = [&](Vertex par, Weight w) {
+    parent.push_back(par);
+    parent_weight.push_back(w);
+    leaf_vertex.push_back(kInvalidVertex);
+    return narrow<Vertex>(parent.size() - 1);
+  };
+
+  std::vector<Frame> stack;
+  {
+    std::vector<Vertex> all(static_cast<std::size_t>(n));
+    for (Vertex v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+    stack.push_back(Frame{std::move(all), new_node(kInvalidVertex, 0)});
+  }
+
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (frame.vertices.size() == 1) {
+      leaf_vertex[static_cast<std::size_t>(frame.node)] = frame.vertices[0];
+      continue;
+    }
+    const Graph sub = g.induced_subgraph(frame.vertices);
+    std::vector<std::vector<Vertex>> parts;
+    Vertex comp_count = 0;
+    const auto comp = sub.components(&comp_count);
+    if (comp_count > 1) {
+      // Free split along connected components.
+      parts.assign(static_cast<std::size_t>(comp_count), {});
+      for (std::size_t i = 0; i < frame.vertices.size(); ++i) {
+        parts[static_cast<std::size_t>(comp[i])].push_back(frame.vertices[i]);
+      }
+    } else {
+      const std::vector<char> side = cutter.cut(sub, rng);
+      HGP_CHECK_MSG(side.size() == frame.vertices.size(),
+                    "cutter returned wrong-size bipartition");
+      parts.assign(2, {});
+      for (std::size_t i = 0; i < frame.vertices.size(); ++i) {
+        parts[side[i] ? 1 : 0].push_back(frame.vertices[i]);
+      }
+      HGP_CHECK_MSG(!parts[0].empty() && !parts[1].empty(),
+                    "cutter '" << cutter.name()
+                               << "' returned an empty side");
+    }
+    for (auto& part : parts) {
+      const Weight w = boundary_of(g, part, scratch);
+      const Vertex child = new_node(frame.node, w);
+      stack.push_back(Frame{std::move(part), child});
+    }
+  }
+
+  Tree tree = Tree::from_parents(std::move(parent), std::move(parent_weight));
+  if (g.has_demands()) {
+    std::vector<double> demand(static_cast<std::size_t>(tree.node_count()),
+                               0.0);
+    for (Vertex t : tree.leaves()) {
+      demand[static_cast<std::size_t>(t)] =
+          g.demand(leaf_vertex[static_cast<std::size_t>(t)]);
+    }
+    tree.set_demands(std::move(demand));
+  }
+  return DecompTree(std::move(tree), std::move(leaf_vertex), g);
+}
+
+std::vector<DecompTree> build_decomposition_forest(const Graph& g, int count,
+                                                   std::uint64_t seed,
+                                                   const Cutter& cutter,
+                                                   ThreadPool* pool) {
+  HGP_CHECK(count >= 1);
+  std::vector<DecompTree> forest;
+  forest.reserve(static_cast<std::size_t>(count));
+  if (pool == nullptr) {
+    Rng rng(seed);
+    for (int i = 0; i < count; ++i) {
+      Rng child = rng.fork(static_cast<std::uint64_t>(i));
+      forest.push_back(build_decomp_tree(g, child, cutter));
+    }
+    return forest;
+  }
+  Rng rng(seed);
+  std::vector<Rng> rngs;
+  for (int i = 0; i < count; ++i) {
+    rngs.push_back(rng.fork(static_cast<std::uint64_t>(i)));
+  }
+  auto built = parallel_map(*pool, static_cast<std::size_t>(count),
+                            [&](std::size_t i) {
+                              Rng local = rngs[i];
+                              return build_decomp_tree(g, local, cutter);
+                            });
+  for (auto& t : built) forest.push_back(std::move(t));
+  return forest;
+}
+
+}  // namespace hgp

@@ -1,0 +1,33 @@
+// Recursive-cut decomposition-tree builder.
+//
+// build_decomp_tree() recursively bipartitions V(G) with a Cutter; each
+// recursion node becomes a tree node whose parent-edge weight is the exact
+// G-boundary of its vertex set (the paper's w_T definition).  Disconnected
+// regions split along component lines first (their mutual cut is free).
+//
+// build_decomposition_forest() samples several independent randomized trees
+// — the practical stand-in for Räcke's tree distribution (Theorem 6); the
+// end-to-end solver solves HGP on each and keeps the best mapped-back
+// solution (Theorem 7's arg-min).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decomp/cutter.hpp"
+#include "decomp/decomp_tree.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace hgp {
+
+/// Builds one decomposition tree of g.  Requires ≥ 1 vertex.
+DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter);
+
+/// Builds `count` independent trees (seeds forked from `seed`), in parallel
+/// when a pool is supplied.
+std::vector<DecompTree> build_decomposition_forest(const Graph& g, int count,
+                                                   std::uint64_t seed,
+                                                   const Cutter& cutter,
+                                                   ThreadPool* pool = nullptr);
+
+}  // namespace hgp

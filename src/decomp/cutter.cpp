@@ -1,0 +1,139 @@
+#include "decomp/cutter.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/mincut.hpp"
+#include "graph/spectral.hpp"
+
+namespace hgp {
+
+namespace {
+
+double demand_or_unit(const Graph& g, Vertex v) {
+  return g.has_demands() ? g.demand(v) : 1.0;
+}
+
+}  // namespace
+
+std::vector<char> SpectralCutter::cut(const Graph& g, Rng& rng) const {
+  return spectral_bisect(g, rng);
+}
+
+std::vector<char> RandomCutter::cut(const Graph& g, Rng& rng) const {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  HGP_CHECK(n >= 2);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  std::vector<char> side(n, 0);
+  for (std::size_t i = 0; i < n / 2; ++i) side[order[i]] = 1;
+  return side;
+}
+
+Weight fm_refine(const Graph& g, std::vector<char>& side, int passes,
+                 double balance_floor) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  HGP_CHECK(side.size() == n);
+  HGP_CHECK(balance_floor >= 0.0 && balance_floor < 0.5);
+
+  double total = 0;
+  double load1 = 0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    total += demand_or_unit(g, v);
+    if (side[static_cast<std::size_t>(v)]) load1 += demand_or_unit(g, v);
+  }
+  const double floor_load = balance_floor * total;
+
+  auto gain_of = [&](Vertex v) {
+    Weight same = 0, other = 0;
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (side[static_cast<std::size_t>(h.to)] ==
+          side[static_cast<std::size_t>(v)]) {
+        same += h.weight;
+      } else {
+        other += h.weight;
+      }
+    }
+    return other - same;
+  };
+
+  Weight cut = g.cut_weight(side);
+  for (int pass = 0; pass < passes; ++pass) {
+    std::vector<char> locked(n, 0);
+    std::vector<char> best_side = side;
+    Weight best_cut = cut;
+    Weight running = cut;
+    double running_load1 = load1;
+    bool improved_this_pass = false;
+    for (std::size_t step = 0; step < n; ++step) {
+      // Pick the unlocked vertex with maximum gain whose move keeps balance.
+      Vertex pick = kInvalidVertex;
+      Weight pick_gain = -std::numeric_limits<Weight>::infinity();
+      for (Vertex v = 0; v < g.vertex_count(); ++v) {
+        if (locked[static_cast<std::size_t>(v)]) continue;
+        const double d = demand_or_unit(g, v);
+        const double new_load1 =
+            side[static_cast<std::size_t>(v)] ? running_load1 - d
+                                              : running_load1 + d;
+        if (new_load1 < floor_load || total - new_load1 < floor_load) continue;
+        const Weight gain = gain_of(v);
+        if (gain > pick_gain) {
+          pick_gain = gain;
+          pick = v;
+        }
+      }
+      if (pick == kInvalidVertex) break;
+      const double d = demand_or_unit(g, pick);
+      running_load1 += side[static_cast<std::size_t>(pick)] ? -d : d;
+      side[static_cast<std::size_t>(pick)] ^= 1;
+      locked[static_cast<std::size_t>(pick)] = 1;
+      running -= pick_gain;
+      if (running < best_cut - 1e-12) {
+        best_cut = running;
+        best_side = side;
+        load1 = running_load1;
+        improved_this_pass = true;
+      }
+    }
+    side = best_side;
+    cut = best_cut;
+    // Recompute load1 from the accepted prefix (it tracked the best state
+    // only when improving; refresh to stay exact).
+    load1 = 0;
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (side[static_cast<std::size_t>(v)]) load1 += demand_or_unit(g, v);
+    }
+    if (!improved_this_pass) break;
+  }
+  return cut;
+}
+
+std::vector<char> MinCutCutter::cut(const Graph& g, Rng& rng) const {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  HGP_CHECK(n >= 2);
+  if (g.edge_count() == 0) {
+    // Min cut is 0 anywhere; fall back to an arbitrary balanced split.
+    std::vector<char> side(n, 0);
+    side[rng.next_below(n)] = 1;
+    return side;
+  }
+  return global_min_cut(g).side;
+}
+
+std::vector<char> FmCutter::cut(const Graph& g, Rng& rng) const {
+  std::vector<char> side = spectral_bisect(g, rng);
+  fm_refine(g, side, passes_, balance_floor_);
+  // FM never empties a side thanks to the balance floor, but guard the
+  // degenerate two-vertex case anyway.
+  bool any0 = false, any1 = false;
+  for (char c : side) (c ? any1 : any0) = true;
+  if (!any0 || !any1) {
+    side.assign(side.size(), 0);
+    side[0] = 1;
+  }
+  return side;
+}
+
+}  // namespace hgp

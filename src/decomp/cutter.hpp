@@ -1,0 +1,70 @@
+// Bipartition heuristics ("cutters") used by the recursive decomposition
+// builder.  A cutter splits a (connected or not) graph into two non-empty
+// sides; the builder recurses on both.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+
+namespace hgp {
+
+/// Strategy interface.  Implementations must return both sides non-empty
+/// for graphs with ≥ 2 vertices and be deterministic in `rng`.
+class Cutter {
+ public:
+  virtual ~Cutter() = default;
+  virtual std::vector<char> cut(const Graph& g, Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Fiedler-vector bisection balanced by demand (the default).
+class SpectralCutter final : public Cutter {
+ public:
+  std::vector<char> cut(const Graph& g, Rng& rng) const override;
+  std::string name() const override { return "spectral"; }
+};
+
+/// Random balanced split — the ablation baseline: structure-oblivious
+/// trees show how much solution quality depends on tree cut quality.
+class RandomCutter final : public Cutter {
+ public:
+  std::vector<char> cut(const Graph& g, Rng& rng) const override;
+  std::string name() const override { return "random"; }
+};
+
+/// Spectral seed + Fiduccia–Mattheyses-style refinement passes: moves the
+/// best-gain vertex between sides while keeping each side within
+/// [balance_floor, 1-balance_floor] of the total demand.
+class FmCutter final : public Cutter {
+ public:
+  explicit FmCutter(int passes = 4, double balance_floor = 0.25)
+      : passes_(passes), balance_floor_(balance_floor) {}
+  std::vector<char> cut(const Graph& g, Rng& rng) const override;
+  std::string name() const override { return "spectral+fm"; }
+
+ private:
+  int passes_;
+  double balance_floor_;
+};
+
+/// Recursive global-minimum-cut splitting (Stoer–Wagner).  Produces the
+/// best-possible cut weight at every split but possibly extreme imbalance;
+/// an instructive corner of the cutter ablation (E9): great cut quality on
+/// subtree sets, deep skinny trees elsewhere.
+class MinCutCutter final : public Cutter {
+ public:
+  std::vector<char> cut(const Graph& g, Rng& rng) const override;
+  std::string name() const override { return "min-cut"; }
+};
+
+/// Applies FM refinement to an existing bipartition in place; returns the
+/// resulting cut weight.  Exposed for baselines (recursive bisection).
+Weight fm_refine(const Graph& g, std::vector<char>& side, int passes,
+                 double balance_floor);
+
+}  // namespace hgp

@@ -1,0 +1,26 @@
+// FRT-style metric decomposition trees (Fakcharoenphol–Rao–Talwar).
+//
+// The paper's embedding step samples from Räcke's *cut-based* tree
+// distribution; the metric-embedding lineage it cites (§1.1) instead
+// embeds the shortest-path metric into hierarchically separated trees.
+// This builder implements the FRT partition scheme — random permutation +
+// random radius scale, geometrically shrinking ball radii — over the
+// "communication closeness" metric (edge length 1/w), then re-weights the
+// resulting laminar hierarchy with exact G-boundary weights so the
+// DecompTree contract (Proposition 1) still holds.
+//
+// Purpose: an ablation family for experiment E9 — distance-based trees
+// group heavy communicators like cut-based trees do, but their split
+// boundaries ignore cut structure, which the stretch measurements expose.
+#pragma once
+
+#include "decomp/decomp_tree.hpp"
+#include "util/prng.hpp"
+
+namespace hgp {
+
+/// Builds one FRT-partition decomposition tree.  Requires ≥ 1 vertex;
+/// infinite metric distances (disconnected pairs) separate at the top.
+DecompTree build_frt_tree(const Graph& g, Rng& rng);
+
+}  // namespace hgp

@@ -1,0 +1,73 @@
+#include "decomp/quality.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hgp {
+
+double cut_ratio(const Graph& g, const DecompTree& dt,
+                 const std::vector<char>& leaf_in_set) {
+  const Tree& t = dt.tree();
+  HGP_CHECK(leaf_in_set.size() == static_cast<std::size_t>(t.node_count()));
+  const auto sep = t.leaf_separator(leaf_in_set);
+  HGP_CHECK_MSG(sep.feasible, "decomposition trees have no uncuttable edges");
+  std::vector<char> g_side(static_cast<std::size_t>(g.vertex_count()), 0);
+  for (Vertex leaf : t.leaves()) {
+    if (leaf_in_set[static_cast<std::size_t>(leaf)]) {
+      g_side[static_cast<std::size_t>(dt.vertex_of_leaf(leaf))] = 1;
+    }
+  }
+  const Weight graph_cut = g.boundary_weight(g_side);
+  if (graph_cut <= 0) return 0.0;
+  return sep.weight / graph_cut;
+}
+
+CutQuality measure_cut_quality(const Graph& g, const DecompTree& dt,
+                               int samples, Rng& rng) {
+  HGP_CHECK(samples >= 1);
+  const Tree& t = dt.tree();
+  CutQuality q;
+  q.min_ratio = std::numeric_limits<double>::infinity();
+  double sum = 0;
+  int done = 0;
+  for (int i = 0; i < samples; ++i) {
+    std::vector<char> in_set(static_cast<std::size_t>(t.node_count()), 0);
+    if (i % 2 == 0) {
+      // Uniform random subset of leaves (skip trivial all/none draws).
+      bool any = false, all = true;
+      for (Vertex leaf : t.leaves()) {
+        const bool pick = rng.next_bool(0.5);
+        in_set[static_cast<std::size_t>(leaf)] = pick;
+        any |= pick;
+        all &= pick;
+      }
+      if (!any || all) continue;
+    } else {
+      // Leaves of a random internal subtree.
+      const Vertex node =
+          narrow<Vertex>(rng.next_below(
+              static_cast<std::uint64_t>(t.node_count())));
+      // Mark all leaves under `node`.
+      std::vector<Vertex> stack{node};
+      while (!stack.empty()) {
+        const Vertex v = stack.back();
+        stack.pop_back();
+        if (t.is_leaf(v)) in_set[static_cast<std::size_t>(v)] = 1;
+        for (Vertex c : t.children(v)) stack.push_back(c);
+      }
+      if (node == t.root()) continue;  // trivial full set
+    }
+    const double ratio = cut_ratio(g, dt, in_set);
+    if (ratio <= 0) continue;  // subset with empty G-boundary
+    sum += ratio;
+    q.max_ratio = std::max(q.max_ratio, ratio);
+    q.min_ratio = std::min(q.min_ratio, ratio);
+    ++done;
+  }
+  q.samples = static_cast<std::size_t>(done);
+  q.mean_ratio = done > 0 ? sum / done : 0.0;
+  if (done == 0) q.min_ratio = 0.0;
+  return q;
+}
+
+}  // namespace hgp

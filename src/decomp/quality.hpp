@@ -1,0 +1,32 @@
+// Embedding-quality measurement (Proposition 1 / Theorem 6 empirics).
+//
+// For random leaf subsets P_T, compares the tree cut w_T(CUT_T(P_T)) with
+// the true G-boundary w(δ_G(m(P_T))).  Proposition 1 guarantees ratio ≥ 1;
+// the average ratio ("stretch") quantifies how much the O(log n) embedding
+// loss costs on a given instance — experiment E9.
+#pragma once
+
+#include <vector>
+
+#include "decomp/decomp_tree.hpp"
+#include "util/prng.hpp"
+
+namespace hgp {
+
+struct CutQuality {
+  std::size_t samples = 0;
+  double mean_ratio = 0;   ///< average of tree-cut / graph-cut
+  double max_ratio = 0;
+  double min_ratio = 0;    ///< Proposition 1 predicts ≥ 1
+};
+
+/// Sampling strategy: half the samples are uniform random leaf subsets,
+/// half are subtree leaf sets (where the tree is exact by construction).
+CutQuality measure_cut_quality(const Graph& g, const DecompTree& dt,
+                               int samples, Rng& rng);
+
+/// Single-subset ratio; returns 0 when the G-cut is 0 (uncut subset).
+double cut_ratio(const Graph& g, const DecompTree& dt,
+                 const std::vector<char>& leaf_in_set);
+
+}  // namespace hgp

@@ -1,0 +1,89 @@
+#include "exp/algorithms.hpp"
+
+#include "baseline/greedy.hpp"
+#include "baseline/local_search.hpp"
+#include "baseline/multilevel.hpp"
+#include "baseline/random_placement.hpp"
+#include "baseline/recursive_bisection.hpp"
+#include "core/solver.hpp"
+#include "hierarchy/cost.hpp"
+#include "util/timer.hpp"
+
+namespace hgp::exp {
+
+namespace {
+
+AlgoResult finish(const Graph& g, const Hierarchy& h, Placement p,
+                  const Timer& timer) {
+  AlgoResult r;
+  r.seconds = timer.seconds();
+  r.cost = placement_cost(g, h, p);
+  r.max_violation = load_report(g, h, p).max_violation();
+  r.placement = std::move(p);
+  return r;
+}
+
+}  // namespace
+
+Algorithm solver_algorithm(double epsilon, int num_trees,
+                           std::int64_t units, const std::string& label) {
+  return Algorithm{
+      label,
+      [epsilon, num_trees, units](const Graph& g, const Hierarchy& h,
+                                  std::uint64_t seed) {
+        Timer timer;
+        SolverOptions opt;
+        opt.epsilon = epsilon;
+        opt.num_trees = num_trees;
+        opt.units_override = units;
+        opt.seed = seed;
+        const HgpResult res = solve_hgp(g, h, opt);
+        return finish(g, h, res.placement, timer);
+      }};
+}
+
+std::vector<Algorithm> comparison_algorithms(double epsilon, int num_trees,
+                                             std::int64_t units) {
+  std::vector<Algorithm> algos;
+  algos.push_back(Algorithm{
+      "random",
+      [](const Graph& g, const Hierarchy& h, std::uint64_t seed) {
+        Timer timer;
+        Rng rng(seed);
+        return finish(g, h, random_placement(g, h, rng), timer);
+      }});
+  algos.push_back(Algorithm{
+      "greedy",
+      [](const Graph& g, const Hierarchy& h, std::uint64_t) {
+        Timer timer;
+        return finish(g, h, greedy_placement(g, h), timer);
+      }});
+  algos.push_back(Algorithm{
+      "recursive-bisect",
+      [](const Graph& g, const Hierarchy& h, std::uint64_t seed) {
+        Timer timer;
+        Rng rng(seed);
+        return finish(g, h, recursive_bisection_placement(g, h, rng), timer);
+      }});
+  algos.push_back(Algorithm{
+      "multilevel",
+      [](const Graph& g, const Hierarchy& h, std::uint64_t seed) {
+        Timer timer;
+        Rng rng(seed);
+        return finish(g, h, multilevel_placement(g, h, rng), timer);
+      }});
+  algos.push_back(Algorithm{
+      "greedy+ls",
+      [](const Graph& g, const Hierarchy& h, std::uint64_t) {
+        Timer timer;
+        Placement p = greedy_placement(g, h);
+        LocalSearchOptions ls;
+        ls.enable_swaps = g.vertex_count() <= 256;
+        local_search(g, h, p, ls);
+        return finish(g, h, std::move(p), timer);
+      }});
+  algos.push_back(solver_algorithm(epsilon, num_trees, units));
+  return algos;
+}
+
+}  // namespace hgp::exp

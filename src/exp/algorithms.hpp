@@ -1,0 +1,39 @@
+// A uniform interface over every placement algorithm in the repository,
+// used by benches to produce like-for-like comparison tables.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hierarchy/placement.hpp"
+
+namespace hgp::exp {
+
+struct AlgoResult {
+  Placement placement;
+  double cost = 0;           ///< Eq. 1 on G
+  double max_violation = 0;  ///< worst level violation factor
+  double seconds = 0;        ///< wall-clock solve time
+};
+
+struct Algorithm {
+  std::string name;
+  /// Deterministic in (g, h, seed).
+  std::function<AlgoResult(const Graph&, const Hierarchy&, std::uint64_t)> run;
+};
+
+/// All comparison algorithms: random, greedy, recursive bisection,
+/// multilevel, multilevel+local-search, and the paper's solver ("hgp-dp").
+/// `epsilon`/`num_trees` configure the solver entry.
+std::vector<Algorithm> comparison_algorithms(double epsilon = 0.5,
+                                             int num_trees = 3,
+                                             std::int64_t units = 8);
+
+/// Just the paper's solver, with the given configuration.
+Algorithm solver_algorithm(double epsilon, int num_trees,
+                           std::int64_t units = 8,
+                           const std::string& label = "hgp-dp");
+
+}  // namespace hgp::exp

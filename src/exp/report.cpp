@@ -1,0 +1,26 @@
+#include "exp/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hgp::exp {
+
+void print_header(const std::string& id, const std::string& title,
+                  const std::string& claim) {
+  std::printf("\n== %s: %s\n", id.c_str(), title.c_str());
+  std::printf("   claim: %s\n\n", claim.c_str());
+}
+
+bool check(const std::string& what, bool ok) {
+  std::printf("   [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  return ok;
+}
+
+void maybe_write_csv(const CsvWriter& csv, const std::string& name) {
+  if (std::getenv("HGP_BENCH_CSV") == nullptr) return;
+  const std::string path = name + ".csv";
+  csv.write_file(path);
+  std::printf("   wrote %s\n", path.c_str());
+}
+
+}  // namespace hgp::exp

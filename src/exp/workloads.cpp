@@ -1,0 +1,135 @@
+#include "exp/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hgp::exp {
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::StreamDag: return "stream-dag";
+    case Family::PlantedPartition: return "planted";
+    case Family::Grid: return "grid";
+    case Family::ScaleFree: return "scale-free";
+    case Family::Random: return "random";
+    case Family::RandomTree: return "tree";
+  }
+  return "?";
+}
+
+std::vector<Family> all_families() {
+  return {Family::StreamDag, Family::PlantedPartition, Family::Grid,
+          Family::ScaleFree, Family::Random, Family::RandomTree};
+}
+
+namespace {
+
+/// Rescales demands so total load = load_factor × leaf count, clamped into
+/// the legal (0, 1] per-task range.
+void scale_load(Graph& g, const Hierarchy& h, double load_factor, Rng& rng) {
+  const double target =
+      load_factor * static_cast<double>(h.leaf_count());
+  std::vector<double> d(static_cast<std::size_t>(g.vertex_count()));
+  double total = 0;
+  for (auto& x : d) {
+    x = rng.next_double(0.5, 1.5);
+    total += x;
+  }
+  const double scale = target / total;
+  for (auto& x : d) x = std::clamp(x * scale, 1e-4, 1.0);
+  g.set_demands(std::move(d));
+}
+
+}  // namespace
+
+Graph make_workload(Family family, Vertex n, const Hierarchy& h,
+                    std::uint64_t seed, double load_factor) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(family));
+  Graph g;
+  switch (family) {
+    case Family::StreamDag: {
+      gen::StreamDagOptions opt;
+      opt.sources = std::max(2, n / 12);
+      opt.sinks = std::max(1, n / 16);
+      opt.stages = 3;
+      opt.stage_width = std::max(2, (n - opt.sources - opt.sinks) / 3);
+      g = gen::stream_dag(opt, rng);
+      break;
+    }
+    case Family::PlantedPartition: {
+      const int clusters = narrow<int>(std::max<std::int64_t>(
+          2, std::min<std::int64_t>(h.nodes_at(1), n / 4)));
+      g = gen::planted_partition(n, clusters, std::min(1.0, 12.0 / n), 0.02,
+                                 rng, gen::WeightRange{2.0, 6.0},
+                                 gen::WeightRange{1.0, 2.0});
+      break;
+    }
+    case Family::Grid: {
+      const int side = std::max(2, static_cast<int>(std::lround(
+                                       std::sqrt(static_cast<double>(n)))));
+      g = gen::grid2d(side, side, gen::WeightRange{1.0, 4.0}, &rng);
+      break;
+    }
+    case Family::ScaleFree:
+      g = gen::barabasi_albert(n, 2, rng, gen::WeightRange{1.0, 4.0});
+      break;
+    case Family::Random:
+      g = gen::erdos_renyi(n, std::min(1.0, 6.0 / n), rng,
+                           gen::WeightRange{1.0, 4.0});
+      break;
+    case Family::RandomTree:
+      g = gen::random_tree(n, rng, gen::WeightRange{1.0, 8.0});
+      break;
+  }
+  scale_load(g, h, load_factor, rng);
+  return g;
+}
+
+Tree make_tree_workload(Vertex n, const Hierarchy& h, std::uint64_t seed,
+                        double load_factor) {
+  Rng rng(seed * 0x2545f4914f6cdd1dULL + 17);
+  const Graph g = gen::random_tree(n, rng, gen::WeightRange{1.0, 9.0});
+  Tree t = Tree::from_graph(g, 0);
+  std::vector<double> d(t.leaves().size());
+  double total = 0;
+  for (auto& x : d) {
+    x = rng.next_double(0.5, 1.5);
+    total += x;
+  }
+  const double target = load_factor * static_cast<double>(h.leaf_count());
+  for (auto& x : d) x = std::clamp(x * target / total, 1e-4, 1.0);
+  t.set_leaf_demands(d);
+  return t;
+}
+
+DemandUnits auto_units(const Tree& t, const Hierarchy& h,
+                       double units_per_job) {
+  const double jobs = static_cast<double>(t.leaf_count());
+  const double per_leaf_capacity =
+      t.total_demand() / static_cast<double>(h.leaf_count());
+  // units so that the average job (total/jobs of demand) gets
+  // `units_per_job` units: U = units_per_job · jobs / total.
+  const double u = units_per_job * jobs / std::max(1e-9, t.total_demand());
+  (void)per_leaf_capacity;
+  return std::max<DemandUnits>(4, static_cast<DemandUnits>(std::ceil(u)));
+}
+
+Hierarchy hierarchy_socket_core_ht() {
+  return Hierarchy({2, 4, 2}, {10.0, 4.0, 1.0, 0.0});
+}
+
+Hierarchy hierarchy_two_level(int sockets, int cores) {
+  return Hierarchy({sockets, cores}, {4.0, 1.0, 0.0});
+}
+
+Hierarchy hierarchy_flat(int k) { return Hierarchy::kbgp(k); }
+
+Hierarchy hierarchy_of_height(int height) {
+  std::vector<double> cm;
+  for (int j = height; j >= 0; --j) {
+    cm.push_back(std::pow(2.0, j) - 1.0);
+  }
+  return Hierarchy::uniform(height, 2, std::move(cm));
+}
+
+}  // namespace hgp::exp

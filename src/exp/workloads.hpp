@@ -1,0 +1,56 @@
+// Named workload families shared by the benchmark harness and examples.
+//
+// Each family fixes a graph generator + demand model; instances are
+// deterministic in (family, size, seed).  The families cover the paper's
+// motivating workload (stream-processing DAGs) plus the standard
+// partitioning test beds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/demand.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "hierarchy/hierarchy.hpp"
+
+namespace hgp::exp {
+
+enum class Family {
+  StreamDag,        ///< layered operator pipelines (TidalRace-style, §1)
+  PlantedPartition, ///< clustered communication (ground-truth locality)
+  Grid,             ///< 2-D mesh (scientific computing stencil)
+  ScaleFree,        ///< Barabási–Albert hubs
+  Random,           ///< Erdős–Rényi
+  RandomTree,       ///< tree-structured task graphs (the HGPT native case)
+};
+
+const char* family_name(Family f);
+std::vector<Family> all_families();
+
+/// Builds an instance of roughly n tasks with demands scaled so the total
+/// load is about `load_factor` × the hierarchy's total capacity.
+Graph make_workload(Family family, Vertex n, const Hierarchy& h,
+                    std::uint64_t seed, double load_factor = 0.6);
+
+/// Random weighted tree whose leaves are jobs, demands scaled so the total
+/// load is `load_factor` × the hierarchy capacity — the native HGPT
+/// instance shape used by the tree-solver experiments.
+Tree make_tree_workload(Vertex n, const Hierarchy& h, std::uint64_t seed,
+                        double load_factor = 0.6);
+
+/// A demand resolution giving each job roughly `units_per_job` units
+/// (coarser than the paper's n/ε, which is exponential-friendly only for
+/// small instances).  With the library's one-unit floor the violation
+/// guarantee at level j is min(1+ε_eff, 2)·(1+j).
+DemandUnits auto_units(const Tree& t, const Hierarchy& h,
+                       double units_per_job = 2.0);
+
+/// Standard hierarchies used across experiments.
+Hierarchy hierarchy_socket_core_ht();           ///< 2×4×2, cm {10,4,1,0}
+Hierarchy hierarchy_two_level(int sockets, int cores);  ///< cm {4,1,0}
+Hierarchy hierarchy_flat(int k);                ///< k-BGP: {1,0}
+Hierarchy hierarchy_of_height(int height);      ///< uniform deg-2, cm 2^j
+
+}  // namespace hgp::exp

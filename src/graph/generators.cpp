@@ -1,0 +1,244 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+
+namespace hgp::gen {
+
+namespace {
+
+Weight draw_weight(const WeightRange& w, Rng* rng) {
+  if (w.lo == w.hi || rng == nullptr) return w.lo;
+  return rng->next_double(w.lo, w.hi);
+}
+
+}  // namespace
+
+Graph erdos_renyi(Vertex n, double p, Rng& rng, WeightRange w) {
+  HGP_CHECK(n >= 0);
+  HGP_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  if (p >= 1.0) {
+    for (Vertex u = 0; u < n; ++u)
+      for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v, draw_weight(w, &rng));
+    return b.build();
+  }
+  if (p > 0.0) {
+    // Geometric skipping (Batagelj–Brandes): expected O(n + m) time.
+    const double log1mp = std::log1p(-p);
+    std::int64_t v = 1, u = -1;
+    while (v < n) {
+      const double r = rng.next_double();
+      u += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
+      while (u >= v && v < n) {
+        u -= v;
+        ++v;
+      }
+      if (v < n) {
+        b.add_edge(narrow<Vertex>(v), narrow<Vertex>(u), draw_weight(w, &rng));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph planted_partition(Vertex n, int clusters, double p_in, double p_out,
+                        Rng& rng, WeightRange w_in, WeightRange w_out) {
+  HGP_CHECK(n >= 0 && clusters >= 1);
+  GraphBuilder b(n);
+  auto cluster_of = [&](Vertex v) {
+    return static_cast<int>(static_cast<std::int64_t>(v) * clusters / n);
+  };
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      const bool same = cluster_of(u) == cluster_of(v);
+      const double p = same ? p_in : p_out;
+      if (rng.next_bool(p)) {
+        b.add_edge(u, v, draw_weight(same ? w_in : w_out, &rng));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph grid2d(int rows, int cols, WeightRange w, Rng* rng) {
+  HGP_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder b(narrow<Vertex>(static_cast<std::int64_t>(rows) * cols));
+  auto id = [cols](int r, int c) { return narrow<Vertex>(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1), draw_weight(w, rng));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c), draw_weight(w, rng));
+    }
+  }
+  return b.build();
+}
+
+Graph grid3d(int nx, int ny, int nz, WeightRange w, Rng* rng) {
+  HGP_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  GraphBuilder b(
+      narrow<Vertex>(static_cast<std::int64_t>(nx) * ny * nz));
+  auto id = [ny, nz](int x, int y, int z) {
+    return narrow<Vertex>((x * ny + y) * nz + z);
+  };
+  for (int x = 0; x < nx; ++x)
+    for (int y = 0; y < ny; ++y)
+      for (int z = 0; z < nz; ++z) {
+        if (x + 1 < nx)
+          b.add_edge(id(x, y, z), id(x + 1, y, z), draw_weight(w, rng));
+        if (y + 1 < ny)
+          b.add_edge(id(x, y, z), id(x, y + 1, z), draw_weight(w, rng));
+        if (z + 1 < nz)
+          b.add_edge(id(x, y, z), id(x, y, z + 1), draw_weight(w, rng));
+      }
+  return b.build();
+}
+
+Graph barabasi_albert(Vertex n, int attach, Rng& rng, WeightRange w) {
+  HGP_CHECK(n >= 1 && attach >= 1);
+  GraphBuilder b(n);
+  // Repeated-endpoint list: picking a uniform entry is preferential
+  // attachment by degree.
+  std::vector<Vertex> endpoints;
+  const Vertex seed_size = narrow<Vertex>(std::min<std::int64_t>(attach + 1, n));
+  for (Vertex u = 0; u < seed_size; ++u) {
+    for (Vertex v = u + 1; v < seed_size; ++v) {
+      b.add_edge(u, v, draw_weight(w, &rng));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (Vertex v = seed_size; v < n; ++v) {
+    std::vector<Vertex> targets;
+    int guard = 0;
+    while (narrow<int>(targets.size()) < attach && guard++ < 64 * attach) {
+      const Vertex t = endpoints[rng.next_below(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (Vertex t : targets) {
+      b.add_edge(v, t, draw_weight(w, &rng));
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph random_tree(Vertex n, Rng& rng, WeightRange w) {
+  HGP_CHECK(n >= 1);
+  GraphBuilder b(n);
+  if (n >= 2) {
+    // Decode a uniform random Prüfer sequence (min-heap of current leaves).
+    std::vector<Vertex> pruefer(static_cast<std::size_t>(n - 2));
+    for (auto& x : pruefer) x = narrow<Vertex>(rng.next_below(n));
+    std::vector<int> deg(static_cast<std::size_t>(n), 1);
+    for (Vertex x : pruefer) ++deg[static_cast<std::size_t>(x)];
+    std::priority_queue<Vertex, std::vector<Vertex>, std::greater<>> leaves;
+    for (Vertex v = 0; v < n; ++v) {
+      if (deg[static_cast<std::size_t>(v)] == 1) leaves.push(v);
+    }
+    for (Vertex x : pruefer) {
+      const Vertex leaf = leaves.top();
+      leaves.pop();
+      b.add_edge(leaf, x, draw_weight(w, &rng));
+      if (--deg[static_cast<std::size_t>(x)] == 1) leaves.push(x);
+    }
+    const Vertex a = leaves.top();
+    leaves.pop();
+    const Vertex c = leaves.top();
+    b.add_edge(a, c, draw_weight(w, &rng));
+  }
+  return b.build();
+}
+
+Graph ring(Vertex n, WeightRange w, Rng* rng) {
+  HGP_CHECK(n >= 0);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1, draw_weight(w, rng));
+  if (n >= 3) b.add_edge(n - 1, 0, draw_weight(w, rng));
+  return b.build();
+}
+
+Graph complete(Vertex n, WeightRange w, Rng* rng) {
+  HGP_CHECK(n >= 0);
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v, draw_weight(w, rng));
+  return b.build();
+}
+
+Graph stream_dag(const StreamDagOptions& opt, Rng& rng) {
+  HGP_CHECK(opt.sources >= 1 && opt.sinks >= 1);
+  HGP_CHECK(opt.stages >= 0 && opt.stage_width >= 1 && opt.max_fanout >= 1);
+  // Layer layout: [sources][stage 0]…[stage k-1][sinks].
+  std::vector<int> layer_size;
+  layer_size.push_back(opt.sources);
+  for (int s = 0; s < opt.stages; ++s) layer_size.push_back(opt.stage_width);
+  layer_size.push_back(opt.sinks);
+
+  std::vector<Vertex> layer_start;
+  Vertex n = 0;
+  for (int sz : layer_size) {
+    layer_start.push_back(n);
+    n = narrow<Vertex>(n + sz);
+  }
+  GraphBuilder b(n);
+  auto channel_weight = [&] {
+    return rng.next_bool(opt.heavy_fraction)
+               ? rng.next_double(opt.heavy_lo, opt.heavy_hi)
+               : rng.next_double(opt.light_lo, opt.light_hi);
+  };
+  for (std::size_t layer = 0; layer + 1 < layer_size.size(); ++layer) {
+    const Vertex from0 = layer_start[layer];
+    const Vertex to0 = layer_start[layer + 1];
+    const int to_n = layer_size[layer + 1];
+    for (int i = 0; i < layer_size[layer]; ++i) {
+      const Vertex u = narrow<Vertex>(from0 + i);
+      const int fanout =
+          1 + narrow<int>(rng.next_below(static_cast<std::uint64_t>(
+                  std::min(opt.max_fanout, to_n))));
+      for (int f = 0; f < fanout; ++f) {
+        const Vertex v = narrow<Vertex>(
+            to0 + narrow<Vertex>(rng.next_below(
+                      static_cast<std::uint64_t>(to_n))));
+        b.add_edge(u, v, channel_weight());
+      }
+    }
+    // Ensure every downstream task has at least one producer.
+    for (int j = 0; j < to_n; ++j) {
+      const Vertex v = narrow<Vertex>(to0 + j);
+      const Vertex u = narrow<Vertex>(
+          from0 + narrow<Vertex>(rng.next_below(
+                      static_cast<std::uint64_t>(layer_size[layer]))));
+      b.add_edge(u, v, channel_weight());
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    b.set_demand(v, rng.next_double(opt.demand_lo, opt.demand_hi));
+  }
+  return b.build();
+}
+
+void set_uniform_demands(Graph& g, double d) {
+  HGP_CHECK(d > 0.0 && d <= 1.0);
+  g.set_demands(
+      std::vector<double>(static_cast<std::size_t>(g.vertex_count()), d));
+}
+
+void set_random_demands(Graph& g, Rng& rng, double lo, double hi) {
+  HGP_CHECK(lo > 0.0 && hi <= 1.0 && lo <= hi);
+  std::vector<double> d(static_cast<std::size_t>(g.vertex_count()));
+  for (auto& x : d) x = rng.next_double(lo, hi);
+  g.set_demands(std::move(d));
+}
+
+void set_kbgp_demands(Graph& g, int vertices_per_leaf) {
+  HGP_CHECK(vertices_per_leaf >= 1);
+  set_uniform_demands(g, 1.0 / vertices_per_leaf);
+}
+
+}  // namespace hgp::gen

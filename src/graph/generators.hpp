@@ -1,0 +1,81 @@
+// Synthetic workload generators.
+//
+// These reproduce the structural families the paper motivates (streaming
+// operator DAGs pinned to core hierarchies) and the standard partitioning
+// test families (random, clustered, mesh, scale-free, trees).  All
+// generators are deterministic in their seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+
+namespace hgp::gen {
+
+/// Closed range for random edge weights; lo == hi gives constant weights.
+struct WeightRange {
+  Weight lo = 1.0;
+  Weight hi = 1.0;
+};
+
+/// Erdős–Rényi G(n, p).  Guaranteed simple; may be disconnected.
+Graph erdos_renyi(Vertex n, double p, Rng& rng, WeightRange w = {});
+
+/// Planted-partition (stochastic block model): `clusters` equal groups,
+/// intra-group edge probability p_in, inter-group p_out.  With
+/// p_in >> p_out the optimal hierarchical placement is the planted one,
+/// which makes approximation quality visible in experiments.
+Graph planted_partition(Vertex n, int clusters, double p_in, double p_out,
+                        Rng& rng, WeightRange w_in = {}, WeightRange w_out = {});
+
+/// 2-D grid graph (rows × cols, 4-neighbour).
+Graph grid2d(int rows, int cols, WeightRange w = {}, Rng* rng = nullptr);
+
+/// 3-D grid graph (6-neighbour).
+Graph grid3d(int nx, int ny, int nz, WeightRange w = {}, Rng* rng = nullptr);
+
+/// Barabási–Albert preferential attachment; each new vertex attaches
+/// `attach` edges.  Scale-free degree distribution.
+Graph barabasi_albert(Vertex n, int attach, Rng& rng, WeightRange w = {});
+
+/// Uniform random labelled tree on n vertices (via random Prüfer sequence).
+Graph random_tree(Vertex n, Rng& rng, WeightRange w = {});
+
+/// Cycle on n vertices.
+Graph ring(Vertex n, WeightRange w = {}, Rng* rng = nullptr);
+
+/// Complete graph on n vertices.
+Graph complete(Vertex n, WeightRange w = {}, Rng* rng = nullptr);
+
+/// Parameters of the layered stream-processing DAG generator (the
+/// TidalRace-style workload from the paper's introduction: sources →
+/// operator stages → sinks, with a few high-volume channels).
+struct StreamDagOptions {
+  int sources = 4;
+  int sinks = 2;
+  int stages = 3;            ///< operator layers between sources and sinks
+  int stage_width = 8;       ///< operators per stage
+  int max_fanout = 3;        ///< outgoing channels per task (≥ 1)
+  double heavy_fraction = 0.2;  ///< fraction of channels with heavy volume
+  Weight light_lo = 1.0, light_hi = 4.0;
+  Weight heavy_lo = 20.0, heavy_hi = 50.0;
+  double demand_lo = 0.05, demand_hi = 0.35;  ///< CPU-fraction demands
+};
+
+/// Layered communicating-task DAG (undirected communication volumes).
+/// Vertex order: sources, stage 0, …, stage k-1, sinks.
+Graph stream_dag(const StreamDagOptions& opt, Rng& rng);
+
+/// Sets every demand to `d` (must be in (0,1]).
+void set_uniform_demands(Graph& g, double d);
+
+/// Draws demands i.i.d. uniform in [lo, hi] ⊆ (0,1].
+void set_random_demands(Graph& g, Rng& rng, double lo, double hi);
+
+/// Demands n/k-style used by the k-BGP reduction: every vertex gets 1/cap
+/// so exactly `cap` vertices fit on a leaf.
+void set_kbgp_demands(Graph& g, int vertices_per_leaf);
+
+}  // namespace hgp::gen

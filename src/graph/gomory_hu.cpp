@@ -1,0 +1,83 @@
+#include "graph/gomory_hu.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/maxflow.hpp"
+
+namespace hgp {
+
+Weight GomoryHuTree::min_cut(Vertex u, Vertex v) const {
+  HGP_CHECK(u >= 0 && static_cast<std::size_t>(u) < parent.size());
+  HGP_CHECK(v >= 0 && static_cast<std::size_t>(v) < parent.size());
+  HGP_CHECK(u != v);
+  // Depths via parent walking (the tree is shallow in practice; this keeps
+  // the structure plain).
+  auto depth = [&](Vertex x) {
+    int d = 0;
+    while (parent[static_cast<std::size_t>(x)] != kInvalidVertex) {
+      x = parent[static_cast<std::size_t>(x)];
+      ++d;
+    }
+    return d;
+  };
+  int du = depth(u), dv = depth(v);
+  Weight best = std::numeric_limits<Weight>::infinity();
+  while (du > dv) {
+    best = std::min(best, weight[static_cast<std::size_t>(u)]);
+    u = parent[static_cast<std::size_t>(u)];
+    --du;
+  }
+  while (dv > du) {
+    best = std::min(best, weight[static_cast<std::size_t>(v)]);
+    v = parent[static_cast<std::size_t>(v)];
+    --dv;
+  }
+  while (u != v) {
+    best = std::min(best, weight[static_cast<std::size_t>(u)]);
+    best = std::min(best, weight[static_cast<std::size_t>(v)]);
+    u = parent[static_cast<std::size_t>(u)];
+    v = parent[static_cast<std::size_t>(v)];
+  }
+  return best;
+}
+
+GomoryHuTree gomory_hu_tree(const Graph& g) {
+  const Vertex n = g.vertex_count();
+  HGP_CHECK_MSG(n >= 2, "gomory_hu_tree needs at least 2 vertices");
+  HGP_CHECK_MSG(g.is_connected(), "gomory_hu_tree needs a connected graph");
+
+  GomoryHuTree tree;
+  tree.parent.assign(static_cast<std::size_t>(n), 0);
+  tree.parent[0] = kInvalidVertex;
+  tree.weight.assign(static_cast<std::size_t>(n), 0);
+
+  // Gusfield's algorithm: for each vertex i, max-flow to its current
+  // parent; vertices on i's side with the same parent are re-parented
+  // under i.
+  for (Vertex i = 1; i < n; ++i) {
+    const Vertex p = tree.parent[static_cast<std::size_t>(i)];
+    const MaxFlowResult flow = Dinic::min_st_cut(g, i, p);
+    tree.weight[static_cast<std::size_t>(i)] = flow.value;
+    for (Vertex j = narrow<Vertex>(i + 1); j < n; ++j) {
+      if (flow.source_side[static_cast<std::size_t>(j)] &&
+          tree.parent[static_cast<std::size_t>(j)] == p) {
+        tree.parent[static_cast<std::size_t>(j)] = i;
+      }
+    }
+    // Gusfield's parent fix-up: if i's grandparent is on i's side, swap the
+    // roles of i and its parent.
+    const Vertex gp = tree.parent[static_cast<std::size_t>(p)];
+    if (gp != kInvalidVertex &&
+        flow.source_side[static_cast<std::size_t>(gp)]) {
+      tree.parent[static_cast<std::size_t>(i)] = gp;
+      tree.parent[static_cast<std::size_t>(p)] = i;
+      tree.weight[static_cast<std::size_t>(i)] =
+          tree.weight[static_cast<std::size_t>(p)];
+      tree.weight[static_cast<std::size_t>(p)] = flow.value;
+    }
+  }
+  return tree;
+}
+
+}  // namespace hgp

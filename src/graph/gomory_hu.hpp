@@ -1,0 +1,31 @@
+// Gomory–Hu cut trees (Gusfield's algorithm).
+//
+// A Gomory–Hu tree encodes every pairwise minimum cut of an undirected
+// weighted graph in n-1 max-flow computations: the min u-v cut equals the
+// lightest edge on the tree path between u and v.  The library uses it as
+// a verification oracle for cut structure and as the basis of the min-cut
+// decomposition cutter (experiment E9's ablation grid).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hgp {
+
+struct GomoryHuTree {
+  /// parent[v] for v ≥ 1 (vertex 0 is the root, parent[0] = -1).
+  std::vector<Vertex> parent;
+  /// weight[v] = min-cut value between v and parent[v].
+  std::vector<Weight> weight;
+
+  /// Minimum u-v cut value: the lightest edge on the tree path.
+  Weight min_cut(Vertex u, Vertex v) const;
+};
+
+/// Builds the tree with n-1 Dinic max-flows; requires a connected graph
+/// with ≥ 2 vertices (disconnected pairs would have cut 0; split by
+/// components first).
+GomoryHuTree gomory_hu_tree(const Graph& g);
+
+}  // namespace hgp

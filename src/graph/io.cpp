@@ -1,0 +1,149 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace hgp::io {
+
+namespace {
+
+bool all_unit_weights(const Graph& g) {
+  for (const Edge& e : g.edges()) {
+    if (e.weight != 1.0) return false;
+  }
+  return true;
+}
+
+/// Reads the next non-comment line ('%' comments per METIS spec).
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_metis(const Graph& g, std::ostream& out, int demand_scale) {
+  HGP_CHECK(demand_scale >= 1);
+  const bool edge_weights = !all_unit_weights(g);
+  const bool vertex_weights = g.has_demands();
+  out << g.vertex_count() << ' ' << g.edge_count();
+  if (edge_weights || vertex_weights) {
+    out << " 0" << (vertex_weights ? '1' : '0') << (edge_weights ? '1' : '0');
+  }
+  out << '\n';
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    bool first = true;
+    if (vertex_weights) {
+      out << static_cast<long long>(
+          std::llround(g.demand(v) * demand_scale));
+      first = false;
+    }
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (!first) out << ' ';
+      first = false;
+      out << (h.to + 1);
+      if (edge_weights) {
+        out << ' ' << static_cast<long long>(std::llround(h.weight));
+      }
+    }
+    out << '\n';
+  }
+}
+
+void write_metis_file(const Graph& g, const std::string& path,
+                      int demand_scale) {
+  std::ofstream out(path);
+  HGP_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+  write_metis(g, out, demand_scale);
+  HGP_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+Graph read_metis(std::istream& in, int demand_scale) {
+  HGP_CHECK(demand_scale >= 1);
+  std::string line;
+  HGP_CHECK_MSG(next_line(in, line), "METIS input: missing header");
+  std::istringstream header(line);
+  long long n = 0, m = 0;
+  std::string fmt = "000";
+  header >> n >> m;
+  if (!(header >> fmt)) fmt = "000";
+  while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
+  const bool vertex_weights = fmt[1] == '1';
+  const bool edge_weights = fmt[2] == '1';
+  HGP_CHECK_MSG(fmt[0] == '0', "METIS vertex sizes are not supported");
+
+  GraphBuilder b(narrow<Vertex>(n));
+  for (long long v = 0; v < n; ++v) {
+    HGP_CHECK_MSG(next_line(in, line),
+                  "METIS input: expected " << n << " vertex lines, got " << v);
+    std::istringstream row(line);
+    if (vertex_weights) {
+      long long wv = 0;
+      HGP_CHECK_MSG(static_cast<bool>(row >> wv),
+                    "METIS input: missing vertex weight on line " << v + 2);
+      b.set_demand(narrow<Vertex>(v),
+                   static_cast<double>(wv) / demand_scale);
+    }
+    long long to = 0;
+    while (row >> to) {
+      HGP_CHECK_MSG(to >= 1 && to <= n, "METIS input: neighbour out of range");
+      double wgt = 1.0;
+      if (edge_weights) {
+        HGP_CHECK_MSG(static_cast<bool>(row >> wgt),
+                      "METIS input: missing edge weight");
+      }
+      if (to - 1 > v) {  // each edge appears twice; keep one copy
+        b.add_edge(narrow<Vertex>(v), narrow<Vertex>(to - 1), wgt);
+      }
+    }
+  }
+  Graph g = b.build();
+  HGP_CHECK_MSG(g.edge_count() == m,
+                "METIS input: header declares " << m << " edges, parsed "
+                                                << g.edge_count());
+  return g;
+}
+
+Graph read_metis_file(const std::string& path, int demand_scale) {
+  std::ifstream in(path);
+  HGP_CHECK_MSG(in.good(), "cannot open: " << path);
+  return read_metis(in, demand_scale);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  // max_digits10 keeps the round trip lossless.
+  out << std::setprecision(17);
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& in, Vertex n) {
+  std::vector<Edge> edges;
+  Vertex max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream row(line);
+    long long u = 0, v = 0;
+    double w = 1.0;
+    HGP_CHECK_MSG(static_cast<bool>(row >> u >> v),
+                  "edge list: malformed line: " << line);
+    row >> w;
+    edges.push_back(Edge{narrow<Vertex>(u), narrow<Vertex>(v), w});
+    max_id = std::max({max_id, narrow<Vertex>(u), narrow<Vertex>(v)});
+  }
+  const Vertex count = n >= 0 ? n : max_id + 1;
+  GraphBuilder b(count);
+  for (const Edge& e : edges) b.add_edge(e.u, e.v, e.weight);
+  return b.build();
+}
+
+}  // namespace hgp::io

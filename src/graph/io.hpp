@@ -1,0 +1,30 @@
+// Graph serialization: METIS graph format and whitespace edge lists.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace hgp::io {
+
+/// Writes the METIS graph format.  Weights are emitted when any edge weight
+/// differs from 1 (fmt code 001) and demands when present (fmt 011 / 010);
+/// vertex weights are scaled to integers with `demand_scale`.
+void write_metis(const Graph& g, std::ostream& out, int demand_scale = 1000);
+void write_metis_file(const Graph& g, const std::string& path,
+                      int demand_scale = 1000);
+
+/// Reads the METIS graph format (1-indexed; fmt ∈ {000,001,010,011}, one
+/// vertex-weight constraint).  Vertex weights become demands after dividing
+/// by `demand_scale`.
+Graph read_metis(std::istream& in, int demand_scale = 1000);
+Graph read_metis_file(const std::string& path, int demand_scale = 1000);
+
+/// Writes "u v w" lines (0-indexed).
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Reads "u v [w]" lines; vertex count is 1 + max id unless `n` is given.
+Graph read_edge_list(std::istream& in, Vertex n = -1);
+
+}  // namespace hgp::io

@@ -1,0 +1,102 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace hgp {
+
+namespace {
+constexpr Weight kFlowEps = 1e-12;
+}
+
+Dinic::Dinic(Vertex n) : n_(n), adj_(static_cast<std::size_t>(n)) {
+  HGP_CHECK(n >= 0);
+}
+
+void Dinic::add_arc(Vertex from, Vertex to, Weight capacity) {
+  HGP_CHECK(from >= 0 && from < n_ && to >= 0 && to < n_);
+  HGP_CHECK(capacity >= 0);
+  auto& fa = adj_[static_cast<std::size_t>(from)];
+  auto& ta = adj_[static_cast<std::size_t>(to)];
+  fa.push_back(Arc{to, capacity, ta.size()});
+  ta.push_back(Arc{from, 0, fa.size() - 1});
+}
+
+void Dinic::add_undirected_edge(Vertex u, Vertex v, Weight capacity) {
+  HGP_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  HGP_CHECK(capacity >= 0);
+  auto& ua = adj_[static_cast<std::size_t>(u)];
+  auto& va = adj_[static_cast<std::size_t>(v)];
+  ua.push_back(Arc{v, capacity, va.size()});
+  va.push_back(Arc{u, capacity, ua.size() - 1});
+}
+
+bool Dinic::bfs(Vertex s, Vertex t) {
+  level_.assign(static_cast<std::size_t>(n_), -1);
+  std::queue<Vertex> q;
+  level_[static_cast<std::size_t>(s)] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    for (const Arc& a : adj_[static_cast<std::size_t>(v)]) {
+      if (a.capacity > kFlowEps && level_[static_cast<std::size_t>(a.to)] < 0) {
+        level_[static_cast<std::size_t>(a.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+Weight Dinic::dfs(Vertex v, Vertex t, Weight limit) {
+  if (v == t) return limit;
+  for (std::size_t& i = iter_[static_cast<std::size_t>(v)];
+       i < adj_[static_cast<std::size_t>(v)].size(); ++i) {
+    Arc& a = adj_[static_cast<std::size_t>(v)][i];
+    if (a.capacity <= kFlowEps ||
+        level_[static_cast<std::size_t>(a.to)] !=
+            level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const Weight pushed = dfs(a.to, t, std::min(limit, a.capacity));
+    if (pushed > kFlowEps) {
+      a.capacity -= pushed;
+      adj_[static_cast<std::size_t>(a.to)][a.rev].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+MaxFlowResult Dinic::solve(Vertex s, Vertex t) {
+  HGP_CHECK(s >= 0 && s < n_ && t >= 0 && t < n_);
+  HGP_CHECK(s != t);
+  MaxFlowResult result;
+  while (bfs(s, t)) {
+    iter_.assign(static_cast<std::size_t>(n_), 0);
+    for (;;) {
+      const Weight pushed =
+          dfs(s, t, std::numeric_limits<Weight>::infinity());
+      if (pushed <= kFlowEps) break;
+      result.value += pushed;
+    }
+  }
+  result.source_side.assign(static_cast<std::size_t>(n_), 0);
+  // level_ holds the last (failed) BFS: exactly the residual-reachable set.
+  for (Vertex v = 0; v < n_; ++v) {
+    result.source_side[static_cast<std::size_t>(v)] =
+        level_[static_cast<std::size_t>(v)] >= 0 ? 1 : 0;
+  }
+  return result;
+}
+
+MaxFlowResult Dinic::min_st_cut(const Graph& g, Vertex s, Vertex t) {
+  Dinic d(g.vertex_count());
+  for (const Edge& e : g.edges()) d.add_undirected_edge(e.u, e.v, e.weight);
+  return d.solve(s, t);
+}
+
+}  // namespace hgp

@@ -1,0 +1,51 @@
+// Dinic maximum flow / minimum s-t cut on weighted undirected graphs.
+//
+// Used as a verification oracle for tree leaf-separators and decomposition
+// cuts (max-flow min-cut duality) in tests and experiments.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hgp {
+
+struct MaxFlowResult {
+  Weight value = 0;
+  /// Vertices reachable from the source in the residual network — a minimum
+  /// s-t cut is the boundary of this set.
+  std::vector<char> source_side;
+};
+
+class Dinic {
+ public:
+  explicit Dinic(Vertex n);
+
+  /// Adds an undirected capacity-w edge (both directions capacity w).
+  void add_undirected_edge(Vertex u, Vertex v, Weight capacity);
+  /// Adds a directed capacity-w arc.
+  void add_arc(Vertex from, Vertex to, Weight capacity);
+
+  /// Computes max flow from s to t.  May be called once per instance.
+  MaxFlowResult solve(Vertex s, Vertex t);
+
+  /// Convenience: min s-t cut of an undirected graph.
+  static MaxFlowResult min_st_cut(const Graph& g, Vertex s, Vertex t);
+
+ private:
+  struct Arc {
+    Vertex to;
+    Weight capacity;
+    std::size_t rev;  ///< index of the reverse arc in adj_[to]
+  };
+
+  bool bfs(Vertex s, Vertex t);
+  Weight dfs(Vertex v, Vertex t, Weight limit);
+
+  Vertex n_;
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace hgp

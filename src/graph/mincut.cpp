@@ -1,0 +1,70 @@
+#include "graph/mincut.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hgp {
+
+MinCutResult global_min_cut(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  HGP_CHECK_MSG(n >= 2, "global_min_cut needs at least 2 vertices");
+  HGP_CHECK_MSG(g.is_connected(), "global_min_cut needs a connected graph");
+
+  // Dense weight matrix; merged "super vertices" track original members.
+  std::vector<std::vector<Weight>> w(n, std::vector<Weight>(n, 0));
+  for (const Edge& e : g.edges()) {
+    w[static_cast<std::size_t>(e.u)][static_cast<std::size_t>(e.v)] += e.weight;
+    w[static_cast<std::size_t>(e.v)][static_cast<std::size_t>(e.u)] += e.weight;
+  }
+  std::vector<std::vector<Vertex>> members(n);
+  for (std::size_t v = 0; v < n; ++v) members[v] = {narrow<Vertex>(v)};
+  std::vector<std::size_t> active(n);
+  for (std::size_t v = 0; v < n; ++v) active[v] = v;
+
+  MinCutResult best;
+  best.weight = std::numeric_limits<Weight>::infinity();
+  best.side.assign(n, 0);
+
+  while (active.size() > 1) {
+    // Maximum-adjacency (minimum-cut-phase) ordering.
+    std::vector<Weight> conn(n, 0);
+    std::vector<char> added(n, 0);
+    std::size_t prev = active[0], last = active[0];
+    added[last] = 1;
+    for (std::size_t u : active) conn[u] = w[last][u];
+    for (std::size_t step = 1; step < active.size(); ++step) {
+      std::size_t pick = n;
+      Weight pick_conn = -1;
+      for (std::size_t u : active) {
+        if (!added[u] && conn[u] > pick_conn) {
+          pick_conn = conn[u];
+          pick = u;
+        }
+      }
+      prev = last;
+      last = pick;
+      added[last] = 1;
+      for (std::size_t u : active) {
+        if (!added[u]) conn[u] += w[last][u];
+      }
+    }
+    // Cut-of-the-phase: `last` alone vs the rest.
+    if (conn[last] < best.weight) {
+      best.weight = conn[last];
+      std::fill(best.side.begin(), best.side.end(), 0);
+      for (Vertex v : members[last]) best.side[static_cast<std::size_t>(v)] = 1;
+    }
+    // Merge `last` into `prev`.
+    for (std::size_t u : active) {
+      if (u == last || u == prev) continue;
+      w[prev][u] += w[last][u];
+      w[u][prev] = w[prev][u];
+    }
+    members[prev].insert(members[prev].end(), members[last].begin(),
+                         members[last].end());
+    active.erase(std::find(active.begin(), active.end(), last));
+  }
+  return best;
+}
+
+}  // namespace hgp

@@ -1,0 +1,23 @@
+// Global minimum cut (Stoer–Wagner).
+//
+// Used to sanity-check decomposition-tree edge weights (Proposition 1) and
+// as a verification oracle in tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hgp {
+
+struct MinCutResult {
+  Weight weight = 0;
+  /// side[v] != 0 for vertices on one shore of the cut.
+  std::vector<char> side;
+};
+
+/// Stoer–Wagner global min cut, O(n³) with adjacency-matrix phases.
+/// Requires a connected graph with ≥ 2 vertices.
+MinCutResult global_min_cut(const Graph& g);
+
+}  // namespace hgp

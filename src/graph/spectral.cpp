@@ -1,0 +1,94 @@
+#include "graph/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hgp {
+
+namespace {
+
+/// Removes the component along the all-ones direction and renormalizes.
+bool deflate_and_normalize(std::vector<double>& x) {
+  const double n = static_cast<double>(x.size());
+  double mean = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  for (double& v : x) v -= mean;
+  double norm = 0;
+  for (double v : x) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm < 1e-14) return false;
+  for (double& v : x) v /= norm;
+  return true;
+}
+
+}  // namespace
+
+std::vector<double> fiedler_vector(const Graph& g, Rng& rng,
+                                   const FiedlerOptions& opt) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  HGP_CHECK(n >= 2);
+  // Shift: (cI - L) has the Fiedler vector as its dominant non-constant
+  // eigenvector when c ≥ λ_max(L); λ_max(L) ≤ 2 · max weighted degree.
+  double max_wdeg = 0;
+  std::vector<double> wdeg(n, 0);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    wdeg[static_cast<std::size_t>(v)] = g.weighted_degree(v);
+    max_wdeg = std::max(max_wdeg, wdeg[static_cast<std::size_t>(v)]);
+  }
+  const double c = 2.0 * max_wdeg + 1.0;
+
+  std::vector<double> x(n), y(n);
+  for (double& v : x) v = rng.next_double() - 0.5;
+  if (!deflate_and_normalize(x)) x[0] = 1.0;
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    // y = (cI - L) x = (c - wdeg(v)) x_v + Σ_u w(u,v) x_u.
+    for (std::size_t v = 0; v < n; ++v) y[v] = (c - wdeg[v]) * x[v];
+    for (const Edge& e : g.edges()) {
+      y[static_cast<std::size_t>(e.u)] +=
+          e.weight * x[static_cast<std::size_t>(e.v)];
+      y[static_cast<std::size_t>(e.v)] +=
+          e.weight * x[static_cast<std::size_t>(e.u)];
+    }
+    if (!deflate_and_normalize(y)) break;
+    double diff = 0;
+    for (std::size_t v = 0; v < n; ++v) diff += std::abs(y[v] - x[v]);
+    x.swap(y);
+    if (diff < opt.tolerance) break;
+  }
+  return x;
+}
+
+std::vector<char> spectral_bisect(const Graph& g, Rng& rng,
+                                  const FiedlerOptions& opt) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  HGP_CHECK(n >= 2);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (g.edge_count() > 0) {
+    const std::vector<double> f = fiedler_vector(g, rng, opt);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return f[a] < f[b]; });
+  } else {
+    rng.shuffle(order);
+  }
+  // Split at the demand-weighted median (unit demand when absent).
+  double total = 0;
+  auto demand_of = [&](std::size_t v) {
+    return g.has_demands() ? g.demand(narrow<Vertex>(v)) : 1.0;
+  };
+  for (std::size_t v = 0; v < n; ++v) total += demand_of(v);
+  std::vector<char> side(n, 0);
+  double acc = 0;
+  std::size_t placed = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t v = order[i];
+    if (placed > 0 && acc + demand_of(v) / 2 > total / 2) break;
+    side[v] = 1;
+    acc += demand_of(v);
+    ++placed;
+  }
+  return side;
+}
+
+}  // namespace hgp

@@ -1,0 +1,34 @@
+// Spectral graph tools: Fiedler vector by deflated power iteration.
+//
+// The decomposition-tree builder uses the Fiedler vector of the weighted
+// Laplacian as its default cut heuristic (spectral bisection), the classical
+// practical stand-in for the sparse-cut subroutines of Räcke-style
+// decompositions.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+
+namespace hgp {
+
+struct FiedlerOptions {
+  int max_iterations = 300;
+  double tolerance = 1e-7;
+};
+
+/// Approximates the Fiedler vector (eigenvector of the second-smallest
+/// Laplacian eigenvalue) by power iteration on (cI - L) with deflation of
+/// the constant vector.  Deterministic in `rng`.  Requires n ≥ 2.
+std::vector<double> fiedler_vector(const Graph& g, Rng& rng,
+                                   const FiedlerOptions& opt = {});
+
+/// Spectral bisection balanced by demand: orders vertices by Fiedler value
+/// and splits at the demand-weighted median.  Falls back to random balanced
+/// split for edgeless graphs.  Returns side flags (0/1), both sides
+/// non-empty for n ≥ 2.
+std::vector<char> spectral_bisect(const Graph& g, Rng& rng,
+                                  const FiedlerOptions& opt = {});
+
+}  // namespace hgp

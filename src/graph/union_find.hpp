@@ -1,0 +1,49 @@
+// Disjoint-set union with path halving and union by size.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hgp {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    HGP_ASSERT(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --sets_;
+    return true;
+  }
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  std::size_t set_size(std::size_t x) { return size_[find(x)]; }
+  std::size_t set_count() const { return sets_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t sets_;
+};
+
+}  // namespace hgp

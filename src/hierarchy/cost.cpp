@@ -1,0 +1,40 @@
+#include "hierarchy/cost.hpp"
+
+namespace hgp {
+
+double placement_cost(const Graph& g, const Hierarchy& h, const Placement& p) {
+  validate_placement(g, h, p);
+  double cost = 0;
+  for (const Edge& e : g.edges()) {
+    cost += h.cm(h.lca_level(p[e.u], p[e.v])) * e.weight;
+  }
+  return cost;
+}
+
+double placement_cost_mirror(const Graph& g, const Hierarchy& h,
+                             const Placement& p) {
+  validate_placement(g, h, p);
+  // For every level j ≥ 1 and every edge, the edge crosses the boundary of
+  // exactly two level-j mirror sets iff its endpoints' level-j ancestors
+  // differ.  Accumulate per level directly (equivalent to materializing
+  // every P(a) and summing boundary weights).
+  double cost = 0;
+  for (int j = 1; j <= h.height(); ++j) {
+    const double delta = (h.cm(j - 1) - h.cm(j)) / 2.0;
+    if (delta == 0.0) continue;
+    double crossing = 0;
+    for (const Edge& e : g.edges()) {
+      if (h.leaf_ancestor(p[e.u], j) != h.leaf_ancestor(p[e.v], j)) {
+        crossing += 2.0 * e.weight;  // the edge lies in two boundaries
+      }
+    }
+    cost += crossing * delta;
+  }
+  return cost;
+}
+
+double trivial_cost_lower_bound(const Graph& g, const Hierarchy& h) {
+  return h.cm(h.height()) * g.total_edge_weight();
+}
+
+}  // namespace hgp

@@ -1,0 +1,28 @@
+// Placement cost: the paper's Equation (1) and its mirror-function
+// rewriting, Equation (3) / Lemma 2.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "hierarchy/placement.hpp"
+
+namespace hgp {
+
+/// Eq. (1): Σ_{e=(u,v)} cm(LCA_H(p(u), p(v))) · w(e).
+/// (The paper sums over ordered pairs and halves implicitly; we sum each
+/// undirected edge once.)
+double placement_cost(const Graph& g, const Hierarchy& h, const Placement& p);
+
+/// Eq. (3): Σ_{j=1..h} Σ_{level-j nodes a} w(δ(P(a))) · (cm(j-1)-cm(j)) / 2,
+/// where P(a) is the set of tasks placed under a and δ is the G-boundary.
+/// Lemma 2: equals Eq. (1) when cm is normalized (cm[h] = 0); in general
+/// placement_cost = placement_cost_mirror + cm[h] · total edge weight.
+double placement_cost_mirror(const Graph& g, const Hierarchy& h,
+                             const Placement& p);
+
+/// A trivial lower bound on any solution's cost: cm[h] · total edge weight
+/// (every edge pays at least the leaf-level multiplier).  Zero for
+/// normalized hierarchies.
+double trivial_cost_lower_bound(const Graph& g, const Hierarchy& h);
+
+}  // namespace hgp

@@ -1,0 +1,66 @@
+#include "hierarchy/diagnostics.hpp"
+
+#include <sstream>
+
+#include "hierarchy/cost.hpp"
+#include "util/table.hpp"
+
+namespace hgp {
+
+TrafficBreakdown traffic_breakdown(const Graph& g, const Hierarchy& h,
+                                   const Placement& p) {
+  validate_placement(g, h, p);
+  TrafficBreakdown b;
+  b.volume.assign(static_cast<std::size_t>(h.height()) + 1, 0.0);
+  b.cost.assign(static_cast<std::size_t>(h.height()) + 1, 0.0);
+  for (const Edge& e : g.edges()) {
+    const int l = h.lca_level(p[e.u], p[e.v]);
+    b.volume[static_cast<std::size_t>(l)] += e.weight;
+    b.cost[static_cast<std::size_t>(l)] += e.weight * h.cm(l);
+    b.total_volume += e.weight;
+    b.total_cost += e.weight * h.cm(l);
+  }
+  return b;
+}
+
+std::string diagnostics_report(const Graph& g, const Hierarchy& h,
+                               const Placement& p) {
+  const TrafficBreakdown b = traffic_breakdown(g, h, p);
+  const LoadReport loads = load_report(g, h, p);
+  std::ostringstream os;
+  Table traffic({"LCA level", "meaning", "volume", "share %", "cm", "cost"});
+  for (int l = 0; l <= h.height(); ++l) {
+    std::string meaning;
+    if (l == 0) meaning = "crosses the root";
+    else if (l == h.height()) meaning = "co-located";
+    else meaning = "meets at level " + std::to_string(l);
+    traffic.row()
+        .add(l)
+        .add(meaning)
+        .add(b.volume[static_cast<std::size_t>(l)])
+        .add(100.0 * b.share_at(l), 1)
+        .add(h.cm(l))
+        .add(b.cost[static_cast<std::size_t>(l)]);
+  }
+  os << "traffic by lowest common ancestor level (total cost "
+     << b.total_cost << "):\n"
+     << traffic.to_string() << '\n';
+
+  Table load({"level", "nodes", "capacity", "max load", "violation"});
+  for (int j = 0; j <= h.height(); ++j) {
+    double max_load = 0;
+    for (double x : loads.load[static_cast<std::size_t>(j)]) {
+      max_load = std::max(max_load, x);
+    }
+    load.row()
+        .add(j)
+        .add(static_cast<std::int64_t>(h.nodes_at(j)))
+        .add(static_cast<std::int64_t>(h.capacity(j)))
+        .add(max_load)
+        .add(loads.violation[static_cast<std::size_t>(j)], 3);
+  }
+  os << "load by hierarchy level:\n" << load.to_string();
+  return os.str();
+}
+
+}  // namespace hgp

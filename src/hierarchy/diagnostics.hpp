@@ -1,0 +1,42 @@
+// Placement diagnostics: where does the communication volume go?
+//
+// Operators reading a placement report care about "how much traffic
+// crosses sockets" more than the scalar objective; this breaks Eq. 1 down
+// by LCA level and summarizes the load distribution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hierarchy/placement.hpp"
+
+namespace hgp {
+
+struct TrafficBreakdown {
+  /// volume[l] = total edge weight whose endpoints' LCA is at level l
+  /// (l = h means co-located on one leaf).
+  std::vector<Weight> volume;
+  /// cost[l] = volume[l] · cm(l); Σ cost == placement_cost.
+  std::vector<double> cost;
+  Weight total_volume = 0;
+  double total_cost = 0;
+
+  /// Fraction of volume crossing level l or higher (e.g. share_above(0) =
+  /// share of traffic crossing the root = cross-socket share for h=1).
+  double share_at(int level) const {
+    return total_volume > 0
+               ? volume[static_cast<std::size_t>(level)] / total_volume
+               : 0.0;
+  }
+};
+
+/// Computes the per-level breakdown of a placement.
+TrafficBreakdown traffic_breakdown(const Graph& g, const Hierarchy& h,
+                                   const Placement& p);
+
+/// Renders the breakdown plus the load report as an aligned table.
+std::string diagnostics_report(const Graph& g, const Hierarchy& h,
+                               const Placement& p);
+
+}  // namespace hgp

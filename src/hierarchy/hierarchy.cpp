@@ -1,0 +1,75 @@
+#include "hierarchy/hierarchy.hpp"
+
+#include <sstream>
+
+namespace hgp {
+
+Hierarchy::Hierarchy(std::vector<int> deg, std::vector<double> cm)
+    : deg_(std::move(deg)), cm_(std::move(cm)) {
+  HGP_CHECK_MSG(!deg_.empty(), "hierarchy height must be at least 1");
+  HGP_CHECK_MSG(cm_.size() == deg_.size() + 1,
+                "cost multiplier vector must have height+1 entries");
+  for (int d : deg_) {
+    HGP_CHECK_MSG(d >= 1, "level fan-out must be at least 1");
+  }
+  for (std::size_t j = 0; j < cm_.size(); ++j) {
+    HGP_CHECK_MSG(cm_[j] >= 0.0, "cost multipliers must be non-negative");
+    if (j > 0) {
+      HGP_CHECK_MSG(cm_[j - 1] >= cm_[j],
+                    "cost multipliers must be non-increasing: cm["
+                        << j - 1 << "]=" << cm_[j - 1] << " < cm[" << j
+                        << "]=" << cm_[j]);
+    }
+  }
+  const std::size_t h = deg_.size();
+  cp_.assign(h + 1, 1);
+  for (std::size_t j = h; j-- > 0;) {
+    cp_[j] = cp_[j + 1] * deg_[j];
+    HGP_CHECK_MSG(cp_[j] > 0 && cp_[j] < (std::int64_t{1} << 40),
+                  "hierarchy too large");
+  }
+  nodes_.assign(h + 1, 1);
+  for (std::size_t j = 1; j <= h; ++j) {
+    nodes_[j] = nodes_[j - 1] * deg_[j - 1];
+  }
+}
+
+Hierarchy Hierarchy::uniform(int height, int deg, std::vector<double> cm) {
+  HGP_CHECK(height >= 1);
+  return Hierarchy(std::vector<int>(static_cast<std::size_t>(height), deg),
+                   std::move(cm));
+}
+
+Hierarchy Hierarchy::kbgp(int k) {
+  return Hierarchy({k}, {1.0, 0.0});
+}
+
+Hierarchy Hierarchy::normalized(double* subtracted) const {
+  const double base = cm_.back();
+  if (subtracted != nullptr) *subtracted = base;
+  std::vector<double> cm(cm_);
+  for (double& c : cm) c -= base;
+  return with_cost_multipliers(std::move(cm));
+}
+
+Hierarchy Hierarchy::with_cost_multipliers(std::vector<double> cm) const {
+  return Hierarchy(deg_, std::move(cm));
+}
+
+std::string Hierarchy::to_string() const {
+  std::ostringstream os;
+  os << "Hierarchy(h=" << height() << ", deg=[";
+  for (std::size_t j = 0; j < deg_.size(); ++j) {
+    if (j) os << ',';
+    os << deg_[j];
+  }
+  os << "], cm=[";
+  for (std::size_t j = 0; j < cm_.size(); ++j) {
+    if (j) os << ',';
+    os << cm_[j];
+  }
+  os << "], leaves=" << leaf_count() << ")";
+  return os.str();
+}
+
+}  // namespace hgp

@@ -1,0 +1,102 @@
+// The hierarchy tree H of the HGP problem.
+//
+// H is regular at each level: a level-j internal node has DEG[j] children
+// (levels 0..h-1); leaves sit at level h and have capacity 1.  Levels carry
+// non-increasing cost multipliers cm[0] ≥ … ≥ cm[h].  Because H is regular
+// it is never materialized as a pointer structure: leaf ancestors, LCA
+// levels and capacities are all arithmetic on mixed-radix leaf indices.
+//
+// Indexing convention (paper §1, §3):
+//   * level 0 is the root, level h are the leaves;
+//   * CP[j] = Π_{j' ≥ j} DEG[j'] = number of leaves (= capacity) of a
+//     level-j node; CP[h] = 1;
+//   * nodes_at(j) = Π_{j' < j} DEG[j'] = number of level-j nodes;
+//   * the level-j ancestor of leaf ℓ has index ℓ / CP[j] among level-j
+//     nodes (leaves are numbered left to right).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hgp {
+
+/// Index of a leaf of H (a machine / CPU core).
+using LeafId = std::int64_t;
+
+class Hierarchy {
+ public:
+  /// deg[j] = children per level-j node (size h ≥ 1, entries ≥ 1);
+  /// cm[j] = cost multiplier of level j (size h+1, non-increasing, ≥ 0).
+  Hierarchy(std::vector<int> deg, std::vector<double> cm);
+
+  /// All levels have the same fan-out.
+  static Hierarchy uniform(int height, int deg, std::vector<double> cm);
+
+  /// The k-BGP special case (§1): height 1, k leaves, cm = {1, 0}.
+  static Hierarchy kbgp(int k);
+
+  int height() const { return narrow<int>(deg_.size()); }
+  int deg(int level) const {
+    HGP_ASSERT(level >= 0 && level < height());
+    return deg_[static_cast<std::size_t>(level)];
+  }
+  double cm(int level) const {
+    HGP_ASSERT(level >= 0 && level <= height());
+    return cm_[static_cast<std::size_t>(level)];
+  }
+
+  LeafId leaf_count() const { return cp_[0]; }
+
+  /// CP[j]: leaves under (= capacity of) one level-j node.
+  std::int64_t capacity(int level) const {
+    HGP_ASSERT(level >= 0 && level <= height());
+    return cp_[static_cast<std::size_t>(level)];
+  }
+
+  /// Number of level-j nodes.
+  std::int64_t nodes_at(int level) const {
+    HGP_ASSERT(level >= 0 && level <= height());
+    return nodes_[static_cast<std::size_t>(level)];
+  }
+
+  /// Index (within its level) of the level-j ancestor of a leaf.
+  std::int64_t leaf_ancestor(LeafId leaf, int level) const {
+    HGP_ASSERT(leaf >= 0 && leaf < leaf_count());
+    return leaf / capacity(level);
+  }
+
+  /// Level of the lowest common ancestor of two leaves (h if equal).
+  int lca_level(LeafId a, LeafId b) const {
+    HGP_ASSERT(a >= 0 && a < leaf_count() && b >= 0 && b < leaf_count());
+    for (int j = height(); j >= 0; --j) {
+      if (a / cp_[static_cast<std::size_t>(j)] ==
+          b / cp_[static_cast<std::size_t>(j)]) {
+        return j;
+      }
+    }
+    return 0;  // unreachable: level 0 always matches
+  }
+
+  bool is_normalized() const { return cm_[deg_.size()] == 0.0; }
+
+  /// Lemma 1 reduction: subtracts cm[h] from every multiplier.  A solution's
+  /// cost under the original multipliers equals its normalized cost plus
+  /// cm[h] · (total edge weight); optimal solutions coincide.
+  Hierarchy normalized(double* subtracted = nullptr) const;
+
+  /// Replaces the multipliers (same monotonicity requirements).
+  Hierarchy with_cost_multipliers(std::vector<double> cm) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<int> deg_;       // size h
+  std::vector<double> cm_;     // size h+1
+  std::vector<std::int64_t> cp_;     // size h+1: CP[j]
+  std::vector<std::int64_t> nodes_;  // size h+1: nodes_at(j)
+};
+
+}  // namespace hgp

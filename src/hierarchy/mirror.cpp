@@ -1,0 +1,90 @@
+#include "hierarchy/mirror.hpp"
+
+#include <algorithm>
+
+namespace hgp {
+
+MirrorFunction build_mirror(const Graph& g, const Hierarchy& h,
+                            const Placement& p) {
+  validate_placement(g, h, p);
+  MirrorFunction m;
+  const int height = h.height();
+  m.sets.resize(static_cast<std::size_t>(height) + 1);
+  for (int j = 0; j <= height; ++j) {
+    m.sets[static_cast<std::size_t>(j)].resize(
+        static_cast<std::size_t>(h.nodes_at(j)));
+  }
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    for (int j = 0; j <= height; ++j) {
+      const auto node = static_cast<std::size_t>(h.leaf_ancestor(p[v], j));
+      m.sets[static_cast<std::size_t>(j)][node].push_back(v);
+    }
+  }
+  for (auto& level : m.sets) {
+    for (auto& set : level) std::sort(set.begin(), set.end());
+  }
+  return m;
+}
+
+double mirror_cost_literal(const Graph& g, const Hierarchy& h,
+                           const MirrorFunction& mirror) {
+  HGP_CHECK(mirror.height() == h.height());
+  double cost = 0;
+  std::vector<char> in_set(static_cast<std::size_t>(g.vertex_count()), 0);
+  for (int j = 1; j <= h.height(); ++j) {
+    const double delta = (h.cm(j - 1) - h.cm(j)) / 2.0;
+    for (const auto& set : mirror.sets[static_cast<std::size_t>(j)]) {
+      if (set.empty()) continue;
+      for (Vertex v : set) in_set[static_cast<std::size_t>(v)] = 1;
+      cost += g.boundary_weight(in_set) * delta;
+      for (Vertex v : set) in_set[static_cast<std::size_t>(v)] = 0;
+    }
+  }
+  return cost;
+}
+
+void validate_mirror_structure(const Graph& g, const Hierarchy& h,
+                               const MirrorFunction& mirror) {
+  HGP_CHECK(mirror.height() == h.height());
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  // 1. Exactly one level-0 set containing all vertices.
+  HGP_CHECK(mirror.sets[0].size() == 1);
+  HGP_CHECK_MSG(mirror.sets[0][0].size() == n,
+                "level-0 mirror set must contain every vertex");
+  for (int j = 0; j <= h.height(); ++j) {
+    // 2. Level j partitions V(G).
+    std::vector<char> seen(n, 0);
+    std::size_t total = 0;
+    for (const auto& set : mirror.sets[static_cast<std::size_t>(j)]) {
+      for (Vertex v : set) {
+        HGP_CHECK_MSG(!seen[static_cast<std::size_t>(v)],
+                      "vertex " << v << " appears in two level-" << j
+                                << " mirror sets");
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++total;
+      }
+    }
+    HGP_CHECK_MSG(total == n, "level-" << j << " mirror sets miss vertices");
+    // 3. Laminar refinement: the level-(j+1) sets of a node's children
+    // union to exactly the node's set.
+    if (j < h.height()) {
+      const int fanout = h.deg(j);
+      const auto& level = mirror.sets[static_cast<std::size_t>(j)];
+      const auto& below = mirror.sets[static_cast<std::size_t>(j) + 1];
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        std::vector<Vertex> merged;
+        for (int c = 0; c < fanout; ++c) {
+          const auto& child = below[i * static_cast<std::size_t>(fanout) +
+                                    static_cast<std::size_t>(c)];
+          merged.insert(merged.end(), child.begin(), child.end());
+        }
+        std::sort(merged.begin(), merged.end());
+        HGP_CHECK_MSG(merged == level[i],
+                      "level-" << j << " set " << i
+                               << " is not the union of its children");
+      }
+    }
+  }
+}
+
+}  // namespace hgp

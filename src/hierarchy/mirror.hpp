@@ -1,0 +1,43 @@
+// Mirror functions (paper Eq. 2): P(a_H) = tasks placed in SUB(a_H).
+//
+// The fast cost path (cost.cpp) never materializes these sets; this module
+// builds them explicitly so tests and experiments can check the paper's
+// structural statements literally (Lemma 2 cost identity, laminar family of
+// Definition 3).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "hierarchy/placement.hpp"
+
+namespace hgp {
+
+/// The materialized mirror function of a placement.
+struct MirrorFunction {
+  /// sets[j][i] = sorted vertices under the i-th level-j node of H.
+  std::vector<std::vector<std::vector<Vertex>>> sets;
+
+  int height() const { return narrow<int>(sets.size()) - 1; }
+};
+
+/// Builds P from a placement (Eq. 2).
+MirrorFunction build_mirror(const Graph& g, const Hierarchy& h,
+                            const Placement& p);
+
+/// Literal Eq. 3 evaluation: Σ_j Σ_a w(δ_G(P(a))) · (cm(j-1)-cm(j))/2,
+/// materializing every boundary.  Used to cross-check the fast versions.
+double mirror_cost_literal(const Graph& g, const Hierarchy& h,
+                           const MirrorFunction& mirror);
+
+/// Checks the Definition-3 structure of a mirror function:
+///  1. level 0 holds exactly one set (all placed vertices);
+///  2. each level partitions V(G);
+///  3. each level-j set is the union of the level-(j+1) sets of its node's
+///     children (the laminar-family property).
+/// Throws CheckError with a description on violation.
+void validate_mirror_structure(const Graph& g, const Hierarchy& h,
+                               const MirrorFunction& mirror);
+
+}  // namespace hgp

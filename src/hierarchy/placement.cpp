@@ -1,0 +1,56 @@
+#include "hierarchy/placement.hpp"
+
+#include <algorithm>
+
+namespace hgp {
+
+double LoadReport::max_violation() const {
+  double worst = 0;
+  for (double v : violation) worst = std::max(worst, v);
+  return worst;
+}
+
+void validate_placement(const Graph& g, const Hierarchy& h,
+                        const Placement& p) {
+  HGP_CHECK_MSG(p.leaf_of.size() == static_cast<std::size_t>(g.vertex_count()),
+                "placement must assign every vertex");
+  HGP_CHECK_MSG(g.has_demands(), "HGP instances require vertex demands");
+  for (LeafId leaf : p.leaf_of) {
+    HGP_CHECK_MSG(leaf >= 0 && leaf < h.leaf_count(),
+                  "placement leaf id out of range: " << leaf);
+  }
+}
+
+LoadReport load_report(const Graph& g, const Hierarchy& h, const Placement& p) {
+  validate_placement(g, h, p);
+  LoadReport report;
+  const int height = h.height();
+  report.load.resize(static_cast<std::size_t>(height) + 1);
+  report.violation.assign(static_cast<std::size_t>(height) + 1, 0.0);
+  // Leaf loads first, then aggregate level by level toward the root.
+  auto& leaf_load = report.load[static_cast<std::size_t>(height)];
+  leaf_load.assign(static_cast<std::size_t>(h.leaf_count()), 0.0);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    leaf_load[static_cast<std::size_t>(p[v])] += g.demand(v);
+  }
+  for (int j = height - 1; j >= 0; --j) {
+    auto& cur = report.load[static_cast<std::size_t>(j)];
+    const auto& below = report.load[static_cast<std::size_t>(j) + 1];
+    cur.assign(static_cast<std::size_t>(h.nodes_at(j)), 0.0);
+    const int fanout = h.deg(j);
+    for (std::size_t i = 0; i < below.size(); ++i) {
+      cur[i / static_cast<std::size_t>(fanout)] += below[i];
+    }
+  }
+  for (int j = 0; j <= height; ++j) {
+    const double cap = static_cast<double>(h.capacity(j));
+    double worst = 0;
+    for (double load : report.load[static_cast<std::size_t>(j)]) {
+      worst = std::max(worst, load / cap);
+    }
+    report.violation[static_cast<std::size_t>(j)] = worst;
+  }
+  return report;
+}
+
+}  // namespace hgp

@@ -1,0 +1,43 @@
+// Placements: the solution object p : V(G) → LEAVES(H).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hierarchy/hierarchy.hpp"
+
+namespace hgp {
+
+/// leaf_of[v] is the H-leaf hosting task v.
+struct Placement {
+  std::vector<LeafId> leaf_of;
+
+  Vertex task_count() const { return narrow<Vertex>(leaf_of.size()); }
+  LeafId operator[](Vertex v) const {
+    return leaf_of[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Per-level load/violation report for a placement.
+struct LoadReport {
+  /// load[j][i] = total demand under the i-th level-j node.
+  std::vector<std::vector<double>> load;
+  /// violation[j] = max_i load[j][i] / CP[j]  (≤ 1 means feasible at level j).
+  std::vector<double> violation;
+
+  /// Worst violation across all levels (leaf level included).
+  double max_violation() const;
+  /// Violation at the leaf level (the paper's capacity constraint).
+  double leaf_violation() const { return violation.back(); }
+  bool feasible(double tolerance = 1e-9) const {
+    return max_violation() <= 1.0 + tolerance;
+  }
+};
+
+/// Checks index ranges; throws CheckError on malformed placements.
+void validate_placement(const Graph& g, const Hierarchy& h, const Placement& p);
+
+/// Demand loads and violations at every level of H.
+LoadReport load_report(const Graph& g, const Hierarchy& h, const Placement& p);
+
+}  // namespace hgp

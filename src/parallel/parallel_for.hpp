@@ -1,0 +1,65 @@
+// Data-parallel loop helpers built on ThreadPool.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+
+namespace hgp {
+
+/// Runs body(i) for i in [begin, end) across the pool, blocking until done.
+/// The range is split into contiguous chunks (one per worker by default).
+/// The first exception thrown by any chunk is rethrown on the caller.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const Body& body, std::size_t min_chunk = 1) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = std::max<std::size_t>(pool.thread_count(), 1);
+  const std::size_t chunk =
+      std::max(min_chunk, (n + workers - 1) / workers);
+  if (pool.thread_count() == 0 || n <= chunk) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve((n + chunk - 1) / chunk);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(lo + chunk, end);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// parallel_for over the shared pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                  std::size_t min_chunk = 1) {
+  parallel_for(ThreadPool::shared(), begin, end, body, min_chunk);
+}
+
+/// Maps fn over [0, n) into a vector of results (fn(i) -> R).
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, const Fn& fn) {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace hgp

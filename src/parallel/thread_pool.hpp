@@ -1,0 +1,70 @@
+// Fixed-size thread pool with futures.
+//
+// Design notes (following C++ Core Guidelines CP.*):
+//  * tasks are type-erased into packaged jobs; exceptions propagate through
+//    the returned std::future;
+//  * the pool joins all workers in the destructor (RAII — no detached
+//    threads);
+//  * a pool of size 0 is valid and runs tasks inline on submit(), which keeps
+//    single-core and debugging configurations simple.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hgp {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers; 0 means "run tasks inline".
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Submits a callable; the result (or exception) arrives via the future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return fut;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Hardware concurrency, never zero.
+  static std::size_t default_thread_count();
+
+  /// Process-wide shared pool (created on first use with
+  /// default_thread_count() workers).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hgp

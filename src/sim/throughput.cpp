@@ -1,0 +1,87 @@
+#include "sim/throughput.hpp"
+
+#include <cmath>
+
+#include "hierarchy/cost.hpp"
+
+namespace hgp::sim {
+
+MachineModel MachineModel::tapered(int height, double leaf_bandwidth,
+                                   double taper) {
+  HGP_CHECK(height >= 1 && leaf_bandwidth > 0 && taper >= 1.0);
+  MachineModel m;
+  m.uplink_bandwidth.assign(static_cast<std::size_t>(height) + 1, 0.0);
+  double bw = leaf_bandwidth;
+  for (int j = height; j >= 1; --j) {
+    m.uplink_bandwidth[static_cast<std::size_t>(j)] = bw;
+    bw /= taper;
+  }
+  return m;
+}
+
+ThroughputReport analyze_throughput(const Graph& g, const Hierarchy& h,
+                                    const Placement& p,
+                                    const MachineModel& model) {
+  validate_placement(g, h, p);
+  HGP_CHECK_MSG(model.uplink_bandwidth.size() ==
+                    static_cast<std::size_t>(h.height()) + 1,
+                "model needs one uplink bandwidth per level 1..h");
+  HGP_CHECK(model.core_rate > 0);
+
+  ThroughputReport r;
+  r.utilization.resize(static_cast<std::size_t>(h.height()) + 1);
+
+  // Crossing volume per level-j node: edges with exactly one endpoint in
+  // its subtree — an edge whose endpoints' LCA is at level l crosses the
+  // uplinks of both endpoints' ancestors at every level > l.
+  for (int j = 1; j <= h.height(); ++j) {
+    r.utilization[static_cast<std::size_t>(j)].assign(
+        static_cast<std::size_t>(h.nodes_at(j)), 0.0);
+  }
+  for (const Edge& e : g.edges()) {
+    const LeafId lu = p[e.u];
+    const LeafId lv = p[e.v];
+    const int lca = h.lca_level(lu, lv);
+    for (int j = lca + 1; j <= h.height(); ++j) {
+      r.utilization[static_cast<std::size_t>(j)]
+                   [static_cast<std::size_t>(h.leaf_ancestor(lu, j))] +=
+          e.weight;
+      r.utilization[static_cast<std::size_t>(j)]
+                   [static_cast<std::size_t>(h.leaf_ancestor(lv, j))] +=
+          e.weight;
+    }
+  }
+  // Convert volumes to utilizations and find the worst link.
+  double worst = 0;
+  for (int j = 1; j <= h.height(); ++j) {
+    const double bw = model.uplink_bandwidth[static_cast<std::size_t>(j)];
+    HGP_CHECK_MSG(bw > 0, "uplink bandwidth must be positive at level " << j);
+    auto& level = r.utilization[static_cast<std::size_t>(j)];
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      level[i] /= bw;
+      if (level[i] > worst) {
+        worst = level[i];
+        r.bottleneck_level = j;
+        r.bottleneck_node = narrow<std::int64_t>(i);
+      }
+    }
+  }
+  // Cores.
+  r.core_utilization.assign(static_cast<std::size_t>(h.leaf_count()), 0.0);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    r.core_utilization[static_cast<std::size_t>(p[v])] +=
+        g.demand(v) / model.core_rate;
+  }
+  for (std::size_t i = 0; i < r.core_utilization.size(); ++i) {
+    if (r.core_utilization[i] > worst) {
+      worst = r.core_utilization[i];
+      r.bottleneck_level = -1;
+      r.bottleneck_node = narrow<std::int64_t>(i);
+    }
+  }
+  r.throughput = worst > 0 ? 1.0 / worst
+                           : std::numeric_limits<double>::infinity();
+  return r;
+}
+
+}  // namespace hgp::sim

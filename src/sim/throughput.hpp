@@ -1,0 +1,57 @@
+// Steady-state throughput model for placed streaming pipelines.
+//
+// The paper's motivation (§1) is *throughput*: pinning communicating
+// operators onto nearby cores raises the maximum sustainable input rate of
+// a stream-processing system.  This module closes that loop with a
+// bottleneck analysis: given a placement, each hierarchy domain's uplink
+// carries the communication volume crossing its boundary and each core
+// executes its assigned CPU demand; the sustainable rate is set by the
+// most-utilized resource.  Experiment E11 uses it to verify that the
+// abstract Eq.-1 objective actually tracks the practical metric.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hierarchy/placement.hpp"
+
+namespace hgp::sim {
+
+/// Machine resource model.  All rates are per unit of workload rate λ = 1:
+/// an edge of weight w moves w·λ volume per second; a task of demand d
+/// needs d·λ core-seconds per second.
+struct MachineModel {
+  /// uplink_bandwidth[j] = volume/second one level-j node can exchange
+  /// with the rest of the machine (j in [1, h]; level 0 has no uplink).
+  /// Deeper levels are faster on real machines (L3 vs QPI vs network).
+  std::vector<double> uplink_bandwidth;
+  /// demand/second one core executes (1.0 = a fully-loaded feasible core
+  /// saturates at λ = 1).
+  double core_rate = 1.0;
+
+  /// A conventional model for a hierarchy of height h: leaf-adjacent
+  /// links are fast and each level up divides the bandwidth by `taper`.
+  static MachineModel tapered(int height, double leaf_bandwidth,
+                              double taper = 4.0);
+};
+
+struct ThroughputReport {
+  /// Maximum sustainable workload rate λ*.
+  double throughput = 0;
+  /// Level of the limiting uplink, or -1 when CPU-bound.
+  int bottleneck_level = -1;
+  /// Index of the limiting node within its level (or the limiting core).
+  std::int64_t bottleneck_node = -1;
+  /// utilization[j][i] = uplink load of node i at level j for λ = 1.
+  std::vector<std::vector<double>> utilization;
+  /// Core utilizations at λ = 1.
+  std::vector<double> core_utilization;
+};
+
+/// Analyzes a placement.  Requires demands on g and a model with one
+/// bandwidth per level 1..h.
+ThroughputReport analyze_throughput(const Graph& g, const Hierarchy& h,
+                                    const Placement& p,
+                                    const MachineModel& model);
+
+}  // namespace hgp::sim

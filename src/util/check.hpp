@@ -1,0 +1,69 @@
+// Lightweight runtime checking utilities.
+//
+// HGP_CHECK is an always-on invariant check (library boundary contracts,
+// input validation).  HGP_ASSERT compiles away in NDEBUG builds and is used
+// for internal invariants on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace hgp {
+
+/// Thrown when an HGP_CHECK fails.  Carries the failing expression text and
+/// an optional user message.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HGP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+
+#define HGP_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::hgp::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HGP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream hgp_check_os_;                                \
+      hgp_check_os_ << msg;                                            \
+      ::hgp::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                  hgp_check_os_.str());                \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define HGP_ASSERT(expr) ((void)0)
+#else
+#define HGP_ASSERT(expr) HGP_CHECK(expr)
+#endif
+
+/// Checked narrowing conversion (C++ Core Guidelines ES.46 / gsl::narrow).
+/// Throws CheckError if the value does not round-trip.
+template <typename To, typename From>
+constexpr To narrow(From value) {
+  const To result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      (std::is_signed_v<From> != std::is_signed_v<To> &&
+       ((value < From{}) != (result < To{})))) {
+    throw CheckError("hgp::narrow: value does not fit target type");
+  }
+  return result;
+}
+
+}  // namespace hgp

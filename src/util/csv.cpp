@@ -1,0 +1,72 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hgp {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HGP_CHECK(!headers_.empty());
+}
+
+CsvWriter& CsvWriter::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(const std::string& value) {
+  HGP_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  rows_.back().push_back(escape(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+CsvWriter& CsvWriter::add(double value) {
+  std::ostringstream os;
+  os << value;
+  return add(os.str());
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  HGP_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+  out << to_string();
+  HGP_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+}  // namespace hgp

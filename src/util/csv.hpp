@@ -1,0 +1,31 @@
+// CSV output for post-processing experiment results (e.g. plotting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hgp {
+
+/// Accumulates rows and writes RFC-4180-style CSV (quoting only when needed).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  CsvWriter& row();
+  CsvWriter& add(const std::string& value);
+  CsvWriter& add(std::int64_t value);
+  CsvWriter& add(double value);
+
+  std::string to_string() const;
+  /// Writes to a file; throws CheckError on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hgp

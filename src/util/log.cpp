@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace hgp {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_emit_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO ";
+    case LogLevel::Warn:  return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[hgp %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace hgp

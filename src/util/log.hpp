@@ -1,0 +1,37 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs nothing by default (level = Warn); benchmarks and
+// examples raise the level for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hgp {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+#define HGP_LOG(level, expr)                                  \
+  do {                                                        \
+    if (static_cast<int>(level) >=                            \
+        static_cast<int>(::hgp::log_level())) {               \
+      std::ostringstream hgp_log_os_;                         \
+      hgp_log_os_ << expr;                                    \
+      ::hgp::detail::log_emit(level, hgp_log_os_.str());      \
+    }                                                         \
+  } while (0)
+
+#define HGP_DEBUG(expr) HGP_LOG(::hgp::LogLevel::Debug, expr)
+#define HGP_INFO(expr) HGP_LOG(::hgp::LogLevel::Info, expr)
+#define HGP_WARN(expr) HGP_LOG(::hgp::LogLevel::Warn, expr)
+#define HGP_ERROR(expr) HGP_LOG(::hgp::LogLevel::Error, expr)
+
+}  // namespace hgp

@@ -1,0 +1,92 @@
+// Streaming summary statistics (Welford) and small-sample percentiles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hgp {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm; numerically
+/// stable, single pass).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; supports exact percentiles.  Intended for experiment
+/// harnesses where sample counts are small.
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+
+  double mean() const {
+    if (values_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+
+  /// Exact percentile by linear interpolation; q in [0,1].
+  double percentile(double q) const {
+    HGP_CHECK(!values_.empty());
+    HGP_CHECK(q >= 0.0 && q <= 1.0);
+    sort();
+    const double pos = q * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double median() const { return percentile(0.5); }
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(1.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace hgp

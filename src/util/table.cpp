@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hgp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HGP_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& value) {
+  HGP_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  rows_.back().push_back(Cell{value, false});
+  return *this;
+}
+
+Table& Table::add(const char* value) { return add(std::string(value)); }
+
+Table& Table::add(std::int64_t value) {
+  HGP_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  rows_.back().push_back(Cell{std::to_string(value), true});
+  return *this;
+}
+
+Table& Table::add(std::uint64_t value) {
+  HGP_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  rows_.back().push_back(Cell{std::to_string(value), true});
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  HGP_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  rows_.back().push_back(Cell{os.str(), true});
+  return *this;
+}
+
+std::string Table::to_string() const {
+  const std::size_t cols = headers_.size();
+  std::vector<std::size_t> width(cols);
+  for (std::size_t c = 0; c < cols; ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < cols; ++c) {
+      width[c] = std::max(width[c], r[c].text.size());
+    }
+  }
+
+  std::ostringstream os;
+  auto pad = [&](const std::string& s, std::size_t w, bool right) {
+    if (right) os << std::string(w - s.size(), ' ') << s;
+    else os << s << std::string(w - s.size(), ' ');
+  };
+
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (c) os << "  ";
+    pad(headers_[c], width[c], false);
+  }
+  os << '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < cols; ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c) os << "  ";
+      const Cell cell = c < r.size() ? r[c] : Cell{};
+      pad(cell.text, width[c], cell.numeric);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+void Table::print() const { print(std::cout); }
+
+}  // namespace hgp

@@ -1,0 +1,49 @@
+// Aligned plain-text table printer for experiment output.
+//
+// Benchmarks print paper-style tables with this; a Table collects rows of
+// heterogeneous cells (string / integer / floating-point) and renders them
+// with right-aligned numeric columns.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hgp {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& value);
+  Table& add(const char* value);
+  Table& add(std::int64_t value);
+  Table& add(std::uint64_t value);
+  Table& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  /// Floating point cell with fixed precision (default 3 digits).
+  Table& add(double value, int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a header rule and aligned columns.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  struct Cell {
+    std::string text;
+    bool numeric = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace hgp

@@ -1,0 +1,29 @@
+// Monotonic wall-clock timers for benchmarks and experiment harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hgp {
+
+/// A started-on-construction stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hgp

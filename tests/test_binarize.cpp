@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/binarize.hpp"
+#include "graph/generators.hpp"
+
+namespace hgp {
+namespace {
+
+TEST(Binarize, BinaryTreeUnchanged) {
+  const Tree t = Tree::from_parents({-1, 0, 0, 1, 1}, {0, 1, 2, 3, 4});
+  const BinarizedTree b = binarize(t);
+  EXPECT_EQ(b.tree.node_count(), t.node_count());
+  for (Vertex v = 0; v < b.tree.node_count(); ++v) {
+    EXPECT_LE(b.tree.children(v).size(), 2u);
+    EXPECT_NE(b.original_of[static_cast<std::size_t>(v)], kInvalidVertex);
+  }
+}
+
+TEST(Binarize, StarBecomesComb) {
+  // Root with 5 children → 3 dummies, all fan-outs ≤ 2.
+  const Tree t =
+      Tree::from_parents({-1, 0, 0, 0, 0, 0}, {0, 1, 2, 3, 4, 5});
+  const BinarizedTree b = binarize(t);
+  EXPECT_EQ(b.tree.node_count(), 6 + 3);
+  int dummies = 0;
+  for (Vertex v = 0; v < b.tree.node_count(); ++v) {
+    EXPECT_LE(b.tree.children(v).size(), 2u);
+    if (b.original_of[static_cast<std::size_t>(v)] == kInvalidVertex) {
+      ++dummies;
+      EXPECT_TRUE(b.tree.parent_edge_infinite(v))
+          << "dummy edges must be uncuttable";
+      EXPECT_FALSE(b.tree.is_leaf(v)) << "dummies are never leaves";
+    }
+  }
+  EXPECT_EQ(dummies, 3);
+}
+
+TEST(Binarize, OriginalEdgeWeightsPreserved) {
+  const Tree t =
+      Tree::from_parents({-1, 0, 0, 0, 0}, {0, 10.0, 20.0, 30.0, 40.0});
+  const BinarizedTree b = binarize(t);
+  for (Vertex v = 0; v < b.tree.node_count(); ++v) {
+    const Vertex orig = b.original_of[static_cast<std::size_t>(v)];
+    if (orig != kInvalidVertex && orig != t.root()) {
+      EXPECT_DOUBLE_EQ(b.tree.parent_weight(v), t.parent_weight(orig));
+      EXPECT_EQ(b.tree.parent_edge_infinite(v),
+                t.parent_edge_infinite(orig));
+    }
+  }
+}
+
+TEST(Binarize, LeafSetPreservedWithDemands) {
+  Rng rng(3);
+  const Graph g = gen::random_tree(40, rng, gen::WeightRange{1.0, 9.0});
+  Tree t = Tree::from_graph(g, 0);
+  std::vector<double> d(t.leaves().size());
+  for (auto& x : d) x = rng.next_double(0.1, 0.9);
+  t.set_leaf_demands(d);
+
+  const BinarizedTree b = binarize(t);
+  EXPECT_EQ(b.tree.leaf_count(), t.leaf_count());
+  for (Vertex leaf : b.tree.leaves()) {
+    const Vertex orig = b.original_of[static_cast<std::size_t>(leaf)];
+    ASSERT_NE(orig, kInvalidVertex);
+    EXPECT_TRUE(t.is_leaf(orig));
+    EXPECT_DOUBLE_EQ(b.tree.demand(leaf), t.demand(orig));
+  }
+}
+
+TEST(Binarize, SeparatorCostsAreIdentical) {
+  // The key invariant: for any leaf subset, the min separator in the
+  // binarized tree equals the min separator in the original (dummy edges
+  // are uncuttable, so they never help or hurt).
+  Rng rng(4);
+  for (int round = 0; round < 10; ++round) {
+    const Graph g = gen::random_tree(25, rng, gen::WeightRange{1.0, 9.0});
+    const Tree t = Tree::from_graph(g, 0);
+    const BinarizedTree b = binarize(t);
+    // Map original leaf membership to binarized leaves.
+    std::vector<char> orig_set(static_cast<std::size_t>(t.node_count()), 0);
+    for (Vertex leaf : t.leaves()) {
+      orig_set[static_cast<std::size_t>(leaf)] = rng.next_bool(0.5) ? 1 : 0;
+    }
+    std::vector<char> bin_set(static_cast<std::size_t>(b.tree.node_count()),
+                              0);
+    for (Vertex leaf : b.tree.leaves()) {
+      bin_set[static_cast<std::size_t>(leaf)] =
+          orig_set[static_cast<std::size_t>(
+              b.original_of[static_cast<std::size_t>(leaf)])];
+    }
+    const auto so = t.leaf_separator(orig_set);
+    const auto sb = b.tree.leaf_separator(bin_set);
+    ASSERT_TRUE(so.feasible);
+    ASSERT_TRUE(sb.feasible);
+    EXPECT_NEAR(so.weight, sb.weight, 1e-9) << "round " << round;
+  }
+}
+
+TEST(Binarize, SingleNodeAndChains) {
+  const Tree single = Tree::from_parents({-1}, {0});
+  EXPECT_EQ(binarize(single).tree.node_count(), 1);
+  const Tree chain = Tree::from_parents({-1, 0, 1, 2}, {0, 1, 1, 1});
+  const BinarizedTree b = binarize(chain);
+  EXPECT_EQ(b.tree.node_count(), 4);  // unary chains stay as-is
+}
+
+}  // namespace
+}  // namespace hgp

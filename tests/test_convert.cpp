@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "core/convert.hpp"
+#include "core/tree_dp.hpp"
+#include "graph/generators.hpp"
+
+namespace hgp {
+namespace {
+
+Tree random_instance(Vertex n, Rng& rng, double lo = 0.2, double hi = 0.6) {
+  const Graph g = gen::random_tree(n, rng, gen::WeightRange{1.0, 9.0});
+  Tree t = Tree::from_graph(g, 0);
+  std::vector<double> d(t.leaves().size());
+  for (auto& x : d) x = rng.next_double(lo, hi);
+  t.set_leaf_demands(d);
+  return t;
+}
+
+struct Converted {
+  Tree t;
+  TreeDpResult dp;
+  TreeAssignment assignment;
+};
+
+Converted run(Vertex n, const Hierarchy& h, std::uint64_t seed,
+              DemandUnits units) {
+  Rng rng(seed);
+  Converted c{random_instance(n, rng), {}, {}};
+  TreeDpOptions opt;
+  opt.units_override = units;
+  c.dp = solve_rhgpt(c.t, h, opt);
+  c.assignment = convert_to_assignment(c.t, h, c.dp.solution,
+                                       c.dp.scaled.units);
+  return c;
+}
+
+TEST(Convert, EveryLeafAssignedToAValidHLeaf) {
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  const Converted c = run(14, h, 1, 6);
+  for (Vertex leaf : c.t.leaves()) {
+    const LeafId l = c.assignment.of(leaf);
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, h.leaf_count());
+  }
+}
+
+TEST(Convert, CostNeverIncreases) {
+  // Theorem 5: grouping only unions sets, and cuts are sub-additive.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+    const Converted c = run(12, h, seed, 6);
+    const double hgpt = assignment_cost(c.t, h, c.assignment);
+    EXPECT_LE(hgpt, c.dp.cost + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Convert, ViolationWithinTheoremTwoBound) {
+  // Violation at level j ≤ (1+ε)(1+j); with the leaf level j = h the
+  // overall bound is (1+ε)(1+h).
+  const double eps = 0.5;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+    Rng rng(seed * 31);
+    const Tree t = random_instance(14, rng);
+    TreeDpOptions opt;
+    opt.epsilon = eps;
+    const TreeDpResult dp = solve_rhgpt(t, h, opt);
+    const TreeAssignment a =
+        convert_to_assignment(t, h, dp.solution, dp.scaled.units);
+    const auto violation = assignment_violation(t, h, a);
+    for (int j = 0; j <= h.height(); ++j) {
+      EXPECT_LE(violation[static_cast<std::size_t>(j)],
+                (1.0 + eps) * (1.0 + j) + 1e-9)
+          << "seed " << seed << " level " << j;
+    }
+  }
+}
+
+TEST(Convert, RespectsHierarchyLaminarity) {
+  // Tasks of one level-(j+1) RHGPT set must land under a single level-j
+  // H-node's subtree... more precisely each RHGPT set is assigned intact:
+  // all its leaves map to H-leaves under one level-j node.
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  const Converted c = run(16, h, 3, 6);
+  for (int j = 1; j <= h.height(); ++j) {
+    for (const auto& set : c.dp.solution.sets[static_cast<std::size_t>(j)]) {
+      const std::int64_t anchor =
+          h.leaf_ancestor(c.assignment.of(set[0]), j);
+      for (Vertex leaf : set) {
+        EXPECT_EQ(h.leaf_ancestor(c.assignment.of(leaf), j), anchor)
+            << "level-" << j << " set split across H-nodes";
+      }
+    }
+  }
+}
+
+TEST(Convert, SingleSetPerLevelLandsOnFirstLeaf) {
+  // A trivial instance (everything fits one leaf) maps everything to leaf 0.
+  Tree t = Tree::from_parents({-1, 0, 0}, {0, 1.0, 1.0});
+  t.set_leaf_demands(std::vector<double>{0.3, 0.3});
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  TreeDpOptions opt;
+  opt.units_override = 10;
+  const TreeDpResult dp = solve_rhgpt(t, h, opt);
+  const TreeAssignment a =
+      convert_to_assignment(t, h, dp.solution, dp.scaled.units);
+  for (Vertex leaf : t.leaves()) {
+    EXPECT_EQ(a.of(leaf), 0);
+  }
+}
+
+TEST(Convert, AssignmentViolationComputesRealLoads) {
+  Tree t = Tree::from_parents({-1, 0, 0}, {0, 1.0, 1.0});
+  t.set_leaf_demands(std::vector<double>{0.8, 0.7});
+  TreeAssignment a;
+  a.leaf_of = {-1, 0, 0};  // both jobs on leaf 0 (node 0 is the root)
+  const Hierarchy h({2}, {1.0, 0.0});
+  const auto v = assignment_violation(t, h, a);
+  EXPECT_NEAR(v[1], 1.5, 1e-12);        // leaf level
+  EXPECT_NEAR(v[0], 1.5 / 2.0, 1e-12);  // root holds 1.5 of capacity 2
+}
+
+TEST(Convert, HeightThreeViolationBound) {
+  const double eps = 0.5;
+  const Hierarchy h({2, 2, 2}, {8.0, 4.0, 1.0, 0.0});
+  Rng rng(11);
+  const Tree t = random_instance(12, rng, 0.2, 0.5);
+  TreeDpOptions opt;
+  opt.epsilon = eps;
+  const TreeDpResult dp = solve_rhgpt(t, h, opt);
+  const TreeAssignment a =
+      convert_to_assignment(t, h, dp.solution, dp.scaled.units);
+  const auto violation = assignment_violation(t, h, a);
+  for (int j = 0; j <= h.height(); ++j) {
+    EXPECT_LE(violation[static_cast<std::size_t>(j)],
+              (1.0 + eps) * (1.0 + j) + 1e-9);
+  }
+  EXPECT_LE(assignment_cost(t, h, a), dp.cost + 1e-9);
+}
+
+TEST(Convert, FullDefinitionThreeValidationPasses) {
+  // The converted assignment satisfies the UNRELAXED Definition 3: fan-out
+  // bounded by DEG(j) and capacities within the Theorem-2 factor.
+  const double eps = 0.5;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Hierarchy h({2, 3}, {4.0, 1.0, 0.0});
+    Rng rng(seed * 17);
+    const Tree t = random_instance(14, rng);
+    TreeDpOptions opt;
+    opt.epsilon = eps;
+    const TreeDpResult dp = solve_rhgpt(t, h, opt);
+    const TreeAssignment a =
+        convert_to_assignment(t, h, dp.solution, dp.scaled.units);
+    EXPECT_NO_THROW(validate_hgpt_assignment(
+        t, h, a, (1 + eps) * (1 + h.height())))
+        << "seed " << seed;
+  }
+}
+
+TEST(Convert, ValidationCatchesBrokenAssignments) {
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  Rng rng(5);
+  const Tree t = random_instance(10, rng);
+  TreeAssignment a;
+  a.leaf_of.assign(static_cast<std::size_t>(t.node_count()), -1);
+  for (Vertex leaf : t.leaves()) {
+    a.leaf_of[static_cast<std::size_t>(leaf)] = 0;  // pile everything up
+  }
+  // Everything on one leaf blows the leaf capacity at factor 1.
+  EXPECT_THROW(validate_hgpt_assignment(t, h, a, 1.0), CheckError);
+  // Out-of-range H-leaf.
+  a.leaf_of[static_cast<std::size_t>(t.leaves()[0])] = 99;
+  EXPECT_THROW(validate_hgpt_assignment(t, h, a, 100.0), CheckError);
+}
+
+}  // namespace
+}  // namespace hgp

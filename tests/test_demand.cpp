@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/demand.hpp"
+#include "graph/generators.hpp"
+
+namespace hgp {
+namespace {
+
+Tree demo_tree(int n, double demand) {
+  Rng rng(1);
+  const Graph g = gen::random_tree(narrow<Vertex>(n), rng);
+  Tree t = Tree::from_graph(g, 0);
+  std::vector<double> d(t.leaves().size(), demand);
+  t.set_leaf_demands(d);
+  return t;
+}
+
+TEST(ScaleDemands, UnitsFromEpsilon) {
+  const Tree t = demo_tree(20, 0.5);
+  const Hierarchy h({4}, {1.0, 0.0});
+  const ScaledDemands sd = scale_demands(t, h, 0.5);
+  // U = ceil(#leaves / ε).
+  const auto leaves = static_cast<double>(t.leaf_count());
+  EXPECT_EQ(sd.units_per_capacity,
+            static_cast<DemandUnits>(std::ceil(leaves / 0.5)));
+}
+
+TEST(ScaleDemands, OverrideWins) {
+  const Tree t = demo_tree(10, 0.5);
+  const Hierarchy h({4}, {1.0, 0.0});
+  const ScaledDemands sd = scale_demands(t, h, 0.5, 16);
+  EXPECT_EQ(sd.units_per_capacity, 16);
+  for (Vertex leaf : t.leaves()) {
+    EXPECT_EQ(sd.units[static_cast<std::size_t>(leaf)], 8);  // 0.5·16
+  }
+}
+
+TEST(ScaleDemands, FlooringUnderCounts) {
+  Tree t = demo_tree(4, 0.5);
+  std::vector<double> d(t.leaves().size(), 0.37);
+  t.set_leaf_demands(d);
+  const Hierarchy h({4}, {1.0, 0.0});
+  const ScaledDemands sd = scale_demands(t, h, 1.0, 10);
+  for (Vertex leaf : t.leaves()) {
+    EXPECT_EQ(sd.units[static_cast<std::size_t>(leaf)], 3);  // ⌊3.7⌋
+  }
+}
+
+TEST(ScaleDemands, TinyDemandsRoundUpToOneUnit) {
+  Tree t = demo_tree(4, 0.5);
+  std::vector<double> d(t.leaves().size(), 1e-6);
+  t.set_leaf_demands(d);
+  const Hierarchy h({4}, {1.0, 0.0});
+  const ScaledDemands sd = scale_demands(t, h, 0.5, 8);
+  for (Vertex leaf : t.leaves()) {
+    EXPECT_EQ(sd.units[static_cast<std::size_t>(leaf)], 1);
+  }
+}
+
+TEST(ScaleDemands, CapacitiesScaleWithLevels) {
+  const Tree t = demo_tree(12, 0.25);
+  const Hierarchy h({2, 3}, {2.0, 1.0, 0.0});
+  const ScaledDemands sd = scale_demands(t, h, 1.0, 10);
+  EXPECT_EQ(sd.capacity_at(0), 60);  // 6 leaves × 10
+  EXPECT_EQ(sd.capacity_at(1), 30);
+  EXPECT_EQ(sd.capacity_at(2), 10);
+}
+
+TEST(ScaleDemands, TotalsAccumulate) {
+  const Tree t = demo_tree(10, 0.5);
+  const Hierarchy h({4}, {1.0, 0.0});
+  const ScaledDemands sd = scale_demands(t, h, 1.0, 4);
+  EXPECT_EQ(sd.total,
+            static_cast<DemandUnits>(2 * t.leaf_count()));  // 0.5·4 each
+}
+
+TEST(ScaleDemands, RejectsMissingDemandsAndBadEpsilon) {
+  Rng rng(2);
+  const Graph g = gen::random_tree(8, rng);
+  const Tree t = Tree::from_graph(g, 0);  // no demands
+  const Hierarchy h({4}, {1.0, 0.0});
+  EXPECT_THROW(scale_demands(t, h, 0.5), CheckError);
+  const Tree t2 = demo_tree(8, 0.5);
+  EXPECT_THROW(scale_demands(t2, h, 0.0), CheckError);
+  EXPECT_THROW(scale_demands(t2, h, -1.0), CheckError);
+}
+
+}  // namespace
+}  // namespace hgp

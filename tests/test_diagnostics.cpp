@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/diagnostics.hpp"
+
+namespace hgp {
+namespace {
+
+TEST(Diagnostics, BreakdownSumsToTheObjective) {
+  Rng rng(1);
+  Graph g = gen::erdos_renyi(20, 0.3, rng, gen::WeightRange{1.0, 6.0});
+  gen::set_uniform_demands(g, 0.2);
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  Placement p;
+  p.leaf_of.resize(20);
+  for (auto& l : p.leaf_of) l = narrow<LeafId>(rng.next_below(4));
+  const TrafficBreakdown b = traffic_breakdown(g, h, p);
+  EXPECT_NEAR(b.total_cost, placement_cost(g, h, p), 1e-9);
+  double vol = 0;
+  for (double x : b.volume) vol += x;
+  EXPECT_NEAR(vol, g.total_edge_weight(), 1e-9);
+  EXPECT_NEAR(b.total_volume, vol, 1e-9);
+}
+
+TEST(Diagnostics, SharesPartitionTheVolume) {
+  Rng rng(2);
+  Graph g = gen::planted_partition(16, 4, 0.8, 0.1, rng);
+  gen::set_uniform_demands(g, 0.2);
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  Placement clustered;
+  clustered.leaf_of.resize(16);
+  for (Vertex v = 0; v < 16; ++v) clustered.leaf_of[v] = v * 4 / 16;
+  const TrafficBreakdown b = traffic_breakdown(g, h, clustered);
+  double total_share = 0;
+  for (int l = 0; l <= 2; ++l) total_share += b.share_at(l);
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+  // Clustered placement keeps the co-located share dominant.
+  EXPECT_GT(b.share_at(2), b.share_at(0));
+}
+
+TEST(Diagnostics, ReportMentionsEveryLevel) {
+  GraphBuilder bg(2);
+  bg.add_edge(0, 1, 3.0);
+  bg.set_demand(0, 0.5);
+  bg.set_demand(1, 0.5);
+  const Graph g = bg.build();
+  const Hierarchy h({2}, {1.0, 0.0});
+  const std::string report = diagnostics_report(g, h, Placement{{0, 1}});
+  EXPECT_NE(report.find("crosses the root"), std::string::npos);
+  EXPECT_NE(report.find("co-located"), std::string::npos);
+  EXPECT_NE(report.find("violation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hgp

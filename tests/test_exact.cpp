@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "baseline/exact.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/cost.hpp"
+
+namespace hgp {
+namespace {
+
+/// Unpruned brute force over all placements (reference for the reference).
+double naive_optimum(const Graph& g, const Hierarchy& h, bool* feasible) {
+  const Vertex n = g.vertex_count();
+  const auto k = static_cast<std::size_t>(h.leaf_count());
+  std::vector<LeafId> assign(static_cast<std::size_t>(n), 0);
+  double best = std::numeric_limits<double>::infinity();
+  for (;;) {
+    std::vector<double> load(k, 0.0);
+    bool ok = true;
+    for (Vertex v = 0; v < n && ok; ++v) {
+      load[static_cast<std::size_t>(assign[static_cast<std::size_t>(v)])] +=
+          g.demand(v);
+      ok = load[static_cast<std::size_t>(
+               assign[static_cast<std::size_t>(v)])] <= 1.0 + 1e-9;
+    }
+    if (ok) {
+      Placement p{assign};
+      best = std::min(best, placement_cost(g, h, p));
+    }
+    // Next assignment in mixed radix.
+    Vertex i = 0;
+    while (i < n) {
+      if (++assign[static_cast<std::size_t>(i)] <
+          narrow<LeafId>(k)) {
+        break;
+      }
+      assign[static_cast<std::size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  *feasible = best < std::numeric_limits<double>::infinity();
+  return best;
+}
+
+TEST(ExactHgp, MatchesNaiveBruteForce) {
+  Rng rng(1);
+  for (int round = 0; round < 6; ++round) {
+    Graph g = gen::erdos_renyi(6, 0.5, rng, gen::WeightRange{1.0, 9.0});
+    gen::set_random_demands(g, rng, 0.2, 0.6);
+    const Hierarchy h({2, 2}, {3.0, 1.0, 0.0});
+    bool feasible = false;
+    const double naive = naive_optimum(g, h, &feasible);
+    const ExactResult exact = solve_exact_hgp(g, h);
+    ASSERT_EQ(exact.feasible, feasible) << "round " << round;
+    if (feasible) {
+      EXPECT_NEAR(exact.cost, naive, 1e-9) << "round " << round;
+      EXPECT_NEAR(placement_cost(g, h, exact.placement), exact.cost, 1e-9);
+    }
+  }
+}
+
+TEST(ExactHgp, SymmetryPruningExploresFarFewerNodes) {
+  Rng rng(2);
+  Graph g = gen::erdos_renyi(8, 0.4, rng, gen::WeightRange{1.0, 5.0});
+  gen::set_uniform_demands(g, 0.4);
+  const Hierarchy h({2, 2, 2}, {4.0, 2.0, 1.0, 0.0});
+  const ExactResult exact = solve_exact_hgp(g, h);
+  ASSERT_TRUE(exact.feasible);
+  // 8 leaves, 8 tasks: unpruned space is 8^8 ≈ 1.6e7; pruned must be far
+  // below.
+  EXPECT_LT(exact.nodes_explored, 2'000'000u);
+}
+
+TEST(ExactHgp, InfeasibleWhenDemandExceedsCapacity) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0);
+  for (Vertex v = 0; v < 3; ++v) b.set_demand(v, 0.9);
+  const Hierarchy h = Hierarchy::kbgp(2);
+  const ExactResult r = solve_exact_hgp(b.build(), h);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(ExactHgp, CapacityFactorUnlocksInfeasibleInstances) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0);
+  for (Vertex v = 0; v < 3; ++v) b.set_demand(v, 0.9);
+  ExactOptions opt;
+  opt.capacity_factor = 2.0;
+  const ExactResult r = solve_exact_hgp(b.build(), Hierarchy::kbgp(2), opt);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(ExactHgp, PrefersColocationOfHeavyEdges) {
+  // Two heavy pairs; capacity 2×0.5 per leaf: optimal keeps pairs together.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 100.0);
+  b.add_edge(2, 3, 100.0);
+  b.add_edge(1, 2, 1.0);
+  for (Vertex v = 0; v < 4; ++v) b.set_demand(v, 0.5);
+  const Graph g = b.build();
+  const ExactResult r = solve_exact_hgp(g, Hierarchy::kbgp(2));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.placement[0], r.placement[1]);
+  EXPECT_EQ(r.placement[2], r.placement[3]);
+  EXPECT_NEAR(r.cost, 1.0, 1e-9);  // only the light edge crosses
+}
+
+TEST(ExactHgp, NodeBudgetEnforced) {
+  Rng rng(3);
+  // Demands of 0.5 force spreading, so the zero-cost shortcut (everything
+  // on one leaf) is unavailable and the search actually branches.
+  Graph g = gen::complete(9, gen::WeightRange{1.0, 2.0}, &rng);
+  gen::set_uniform_demands(g, 0.5);
+  ExactOptions opt;
+  opt.max_nodes = 50;
+  EXPECT_THROW(solve_exact_hgp(g, Hierarchy::kbgp(8), opt), CheckError);
+}
+
+TEST(ExactHgpt, TwoLeafHandExample) {
+  Tree t = Tree::from_parents({-1, 0, 0}, {0, 5.0, 7.0});
+  t.set_leaf_demands(std::vector<double>{0.6, 0.6});
+  const ExactTreeResult r = solve_exact_hgpt(t, Hierarchy::kbgp(2));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.cost, 5.0, 1e-9);  // (5+5)/2, see TreeDp test
+  EXPECT_NE(r.assignment.of(1), r.assignment.of(2));
+}
+
+TEST(ExactHgpt, ColocationWhenFits) {
+  Tree t = Tree::from_parents({-1, 0, 0}, {0, 5.0, 7.0});
+  t.set_leaf_demands(std::vector<double>{0.4, 0.4});
+  const ExactTreeResult r = solve_exact_hgpt(t, Hierarchy::kbgp(2));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.cost, 0.0, 1e-9);
+}
+
+TEST(ExactHgpt, DeterministicAndConsistentWithAssignmentCost) {
+  Rng rng(4);
+  const Graph g = gen::random_tree(7, rng, gen::WeightRange{1.0, 9.0});
+  Tree t = Tree::from_graph(g, 0);
+  std::vector<double> d(t.leaves().size(), 0.5);
+  t.set_leaf_demands(d);
+  const Hierarchy h({2, 2}, {3.0, 1.0, 0.0});
+  const ExactTreeResult a = solve_exact_hgpt(t, h);
+  const ExactTreeResult b = solve_exact_hgpt(t, h);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_NEAR(assignment_cost(t, h, a.assignment), a.cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace hgp

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "exp/algorithms.hpp"
+#include "exp/report.hpp"
+#include "exp/workloads.hpp"
+#include "hierarchy/cost.hpp"
+
+namespace hgp {
+namespace {
+
+TEST(Workloads, EveryFamilyProducesAValidInstance) {
+  const Hierarchy h = exp::hierarchy_two_level(2, 4);
+  for (const auto family : exp::all_families()) {
+    const Graph g = exp::make_workload(family, 48, h, 5);
+    EXPECT_GT(g.vertex_count(), 0) << exp::family_name(family);
+    EXPECT_GT(g.edge_count(), 0) << exp::family_name(family);
+    ASSERT_TRUE(g.has_demands()) << exp::family_name(family);
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_GT(g.demand(v), 0.0);
+      EXPECT_LE(g.demand(v), 1.0);
+    }
+  }
+}
+
+TEST(Workloads, LoadFactorControlsTotalDemand) {
+  const Hierarchy h = exp::hierarchy_two_level(2, 4);
+  const Graph light =
+      exp::make_workload(exp::Family::Random, 60, h, 3, 0.3);
+  const Graph heavy =
+      exp::make_workload(exp::Family::Random, 60, h, 3, 0.9);
+  const double cap = static_cast<double>(h.leaf_count());
+  EXPECT_NEAR(light.total_demand(), 0.3 * cap, 0.1 * cap);
+  EXPECT_NEAR(heavy.total_demand(), 0.9 * cap, 0.15 * cap);
+}
+
+TEST(Workloads, DeterministicInSeed) {
+  const Hierarchy h = exp::hierarchy_two_level(2, 2);
+  const Graph a = exp::make_workload(exp::Family::ScaleFree, 40, h, 9);
+  const Graph b = exp::make_workload(exp::Family::ScaleFree, 40, h, 9);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.demands(), b.demands());
+}
+
+TEST(Workloads, TreeWorkloadScalesToHierarchy) {
+  const Hierarchy h = exp::hierarchy_of_height(3);
+  const Tree t = exp::make_tree_workload(80, h, 11, 0.5);
+  EXPECT_NEAR(t.total_demand(), 0.5 * static_cast<double>(h.leaf_count()),
+              0.1 * static_cast<double>(h.leaf_count()));
+}
+
+TEST(Workloads, AutoUnitsGivesRoughPerJobResolution) {
+  const Hierarchy h = exp::hierarchy_two_level(2, 2);
+  const Tree t = exp::make_tree_workload(60, h, 13, 0.6);
+  const DemandUnits u = exp::auto_units(t, h, 2.0);
+  // Average job should land near 2 units.
+  double avg = 0;
+  for (Vertex leaf : t.leaves()) {
+    avg += t.demand(leaf) * static_cast<double>(u);
+  }
+  avg /= static_cast<double>(t.leaf_count());
+  EXPECT_GT(avg, 1.0);
+  EXPECT_LT(avg, 4.0);
+}
+
+TEST(Workloads, StandardHierarchies) {
+  EXPECT_EQ(exp::hierarchy_socket_core_ht().leaf_count(), 16);
+  EXPECT_EQ(exp::hierarchy_two_level(2, 4).leaf_count(), 8);
+  EXPECT_EQ(exp::hierarchy_flat(5).height(), 1);
+  const Hierarchy deep = exp::hierarchy_of_height(3);
+  EXPECT_EQ(deep.height(), 3);
+  EXPECT_TRUE(deep.is_normalized());
+}
+
+TEST(Algorithms, RegistryRunsEveryEntry) {
+  const Hierarchy h = exp::hierarchy_two_level(2, 2);
+  const Graph g = exp::make_workload(exp::Family::PlantedPartition, 24, h, 3);
+  for (const auto& a : exp::comparison_algorithms(0.5, 2, 8)) {
+    const auto res = a.run(g, h, 7);
+    EXPECT_EQ(res.placement.leaf_of.size(),
+              static_cast<std::size_t>(g.vertex_count()))
+        << a.name;
+    EXPECT_NEAR(res.cost, placement_cost(g, h, res.placement), 1e-9) << a.name;
+    EXPECT_GE(res.max_violation, 0.0) << a.name;
+    EXPECT_GE(res.seconds, 0.0) << a.name;
+  }
+}
+
+TEST(Algorithms, SolverEntryIsDeterministic) {
+  const Hierarchy h = exp::hierarchy_two_level(2, 2);
+  const Graph g = exp::make_workload(exp::Family::Random, 20, h, 5);
+  const auto solver = exp::solver_algorithm(0.5, 2, 8);
+  const auto a = solver.run(g, h, 13);
+  const auto b = solver.run(g, h, 13);
+  EXPECT_EQ(a.placement.leaf_of, b.placement.leaf_of);
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+TEST(Report, CheckReturnsItsVerdict) {
+  EXPECT_TRUE(exp::check("tautology", true));
+  EXPECT_FALSE(exp::check("contradiction", false));
+}
+
+}  // namespace
+}  // namespace hgp

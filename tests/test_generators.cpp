@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace hgp {
+namespace {
+
+using gen::WeightRange;
+
+TEST(ErdosRenyi, EmptyAndFullExtremes) {
+  Rng rng(1);
+  EXPECT_EQ(gen::erdos_renyi(20, 0.0, rng).edge_count(), 0);
+  const Graph full = gen::erdos_renyi(10, 1.0, rng);
+  EXPECT_EQ(full.edge_count(), 45);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  Rng rng(2);
+  const Vertex n = 200;
+  const double p = 0.1;
+  const Graph g = gen::erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(g.edge_count(), expected, 4 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, DeterministicInSeed) {
+  Rng a(7), b(7);
+  const Graph g1 = gen::erdos_renyi(50, 0.2, a);
+  const Graph g2 = gen::erdos_renyi(50, 0.2, b);
+  ASSERT_EQ(g1.edge_count(), g2.edge_count());
+  for (EdgeId e = 0; e < g1.edge_count(); ++e) {
+    EXPECT_EQ(g1.edge(e).u, g2.edge(e).u);
+    EXPECT_EQ(g1.edge(e).v, g2.edge(e).v);
+  }
+}
+
+TEST(PlantedPartition, IntraHeavierThanInter) {
+  Rng rng(3);
+  const Graph g = gen::planted_partition(80, 4, 0.9, 0.05, rng);
+  int intra = 0, inter = 0;
+  auto cluster = [&](Vertex v) { return v * 4 / 80; };
+  for (const Edge& e : g.edges()) {
+    (cluster(e.u) == cluster(e.v) ? intra : inter)++;
+  }
+  EXPECT_GT(intra, inter * 2);
+}
+
+TEST(Grid2d, StructureIsCorrect) {
+  const Graph g = gen::grid2d(3, 4);
+  EXPECT_EQ(g.vertex_count(), 12);
+  // Edges: 3 rows × 3 horizontal + 2 × 4 vertical = 9 + 8.
+  EXPECT_EQ(g.edge_count(), 17);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Grid3d, VertexAndEdgeCounts) {
+  const Graph g = gen::grid3d(2, 3, 4);
+  EXPECT_EQ(g.vertex_count(), 24);
+  // x-edges: 1*3*4, y-edges: 2*2*4, z-edges: 2*3*3.
+  EXPECT_EQ(g.edge_count(), 12 + 16 + 18);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(BarabasiAlbert, ConnectedAndScaleFreeIsh) {
+  Rng rng(5);
+  const Graph g = gen::barabasi_albert(300, 2, rng);
+  EXPECT_EQ(g.vertex_count(), 300);
+  EXPECT_TRUE(g.is_connected());
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  // A hub should exist — far beyond the attachment parameter.
+  EXPECT_GT(max_deg, 10u);
+}
+
+class RandomTreeSizes : public ::testing::TestWithParam<Vertex> {};
+
+TEST_P(RandomTreeSizes, IsATree) {
+  Rng rng(11);
+  const Vertex n = GetParam();
+  const Graph g = gen::random_tree(n, rng);
+  EXPECT_EQ(g.vertex_count(), n);
+  EXPECT_EQ(g.edge_count(), n - 1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomTreeSizes,
+                         ::testing::Values(2, 3, 4, 10, 57, 200));
+
+TEST(Ring, CycleStructure) {
+  const Graph g = gen::ring(6);
+  EXPECT_EQ(g.edge_count(), 6);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Ring, TinyCases) {
+  EXPECT_EQ(gen::ring(1).edge_count(), 0);
+  EXPECT_EQ(gen::ring(2).edge_count(), 1);
+}
+
+TEST(Complete, AllPairs) {
+  const Graph g = gen::complete(7);
+  EXPECT_EQ(g.edge_count(), 21);
+}
+
+TEST(StreamDag, LayeredStructureWithDemands) {
+  Rng rng(13);
+  gen::StreamDagOptions opt;
+  opt.sources = 3;
+  opt.sinks = 2;
+  opt.stages = 2;
+  opt.stage_width = 5;
+  const Graph g = gen::stream_dag(opt, rng);
+  EXPECT_EQ(g.vertex_count(), 3 + 5 + 5 + 2);
+  EXPECT_TRUE(g.has_demands());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_GE(g.demand(v), opt.demand_lo);
+    EXPECT_LE(g.demand(v), opt.demand_hi);
+    EXPECT_GE(g.degree(v), 1u) << "task " << v << " is isolated";
+  }
+}
+
+TEST(StreamDag, EdgesOnlyBetweenAdjacentLayers) {
+  Rng rng(17);
+  gen::StreamDagOptions opt;
+  opt.sources = 4;
+  opt.sinks = 3;
+  opt.stages = 3;
+  opt.stage_width = 6;
+  const Graph g = gen::stream_dag(opt, rng);
+  auto layer_of = [&](Vertex v) {
+    if (v < 4) return 0;
+    if (v < 4 + 6) return 1;
+    if (v < 4 + 12) return 2;
+    if (v < 4 + 18) return 3;
+    return 4;
+  };
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(layer_of(e.v) - layer_of(e.u), 1)
+        << "edge " << e.u << "-" << e.v << " skips layers";
+  }
+}
+
+TEST(StreamDag, HeavyChannelsExist) {
+  Rng rng(19);
+  gen::StreamDagOptions opt;
+  opt.stages = 4;
+  opt.stage_width = 10;
+  opt.heavy_fraction = 0.5;
+  const Graph g = gen::stream_dag(opt, rng);
+  const bool any_heavy = std::any_of(
+      g.edges().begin(), g.edges().end(),
+      [&](const Edge& e) { return e.weight >= opt.heavy_lo; });
+  EXPECT_TRUE(any_heavy);
+}
+
+TEST(Demands, UniformSetter) {
+  Graph g = gen::grid2d(2, 2);
+  gen::set_uniform_demands(g, 0.25);
+  EXPECT_DOUBLE_EQ(g.total_demand(), 1.0);
+}
+
+TEST(Demands, RandomSetterRespectsRange) {
+  Graph g = gen::grid2d(3, 3);
+  Rng rng(23);
+  gen::set_random_demands(g, rng, 0.1, 0.4);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_GE(g.demand(v), 0.1);
+    EXPECT_LE(g.demand(v), 0.4);
+  }
+}
+
+TEST(Demands, KbgpSetter) {
+  Graph g = gen::ring(8);
+  gen::set_kbgp_demands(g, 4);
+  EXPECT_DOUBLE_EQ(g.demand(0), 0.25);
+  EXPECT_DOUBLE_EQ(g.total_demand(), 2.0);  // needs 2 leaves of capacity 4
+}
+
+TEST(WeightRanges, RandomWeightsWithinBounds) {
+  Rng rng(29);
+  const Graph g = gen::erdos_renyi(40, 0.3, rng, WeightRange{2.0, 5.0});
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LE(e.weight, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace hgp

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/gomory_hu.hpp"
+#include "graph/maxflow.hpp"
+
+namespace hgp {
+namespace {
+
+TEST(GomoryHu, PathGraph) {
+  // On a path the GH tree is the path itself: min cut between endpoints is
+  // the lightest internal edge.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 3.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(2, 3, 2.0);
+  const Graph g = b.build();
+  const GomoryHuTree t = gomory_hu_tree(g);
+  EXPECT_DOUBLE_EQ(t.min_cut(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(t.min_cut(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(t.min_cut(2, 3), 2.0);
+}
+
+TEST(GomoryHu, MatchesDirectMaxFlowOnAllPairs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 11);
+    Graph g = gen::erdos_renyi(12, 0.4, rng, gen::WeightRange{1.0, 9.0});
+    if (!g.is_connected()) continue;
+    const GomoryHuTree t = gomory_hu_tree(g);
+    for (Vertex u = 0; u < g.vertex_count(); ++u) {
+      for (Vertex v = narrow<Vertex>(u + 1); v < g.vertex_count(); ++v) {
+        EXPECT_NEAR(t.min_cut(u, v), Dinic::min_st_cut(g, u, v).value, 1e-9)
+            << "pair (" << u << "," << v << ") seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(GomoryHu, TreeStructureIsValid) {
+  Rng rng(3);
+  const Graph g = gen::barabasi_albert(20, 2, rng, gen::WeightRange{1.0, 5.0});
+  const GomoryHuTree t = gomory_hu_tree(g);
+  ASSERT_EQ(t.parent.size(), 20u);
+  EXPECT_EQ(t.parent[0], kInvalidVertex);
+  // Every non-root reaches the root (no cycles).
+  for (Vertex v = 1; v < 20; ++v) {
+    Vertex x = v;
+    int steps = 0;
+    while (t.parent[static_cast<std::size_t>(x)] != kInvalidVertex) {
+      x = t.parent[static_cast<std::size_t>(x)];
+      ASSERT_LT(++steps, 21) << "cycle reaching root from " << v;
+    }
+  }
+}
+
+TEST(GomoryHu, RejectsDegenerateInputs) {
+  GraphBuilder lone(1);
+  EXPECT_THROW(gomory_hu_tree(lone.build()), CheckError);
+  GraphBuilder split(4);
+  split.add_edge(0, 1, 1.0);
+  split.add_edge(2, 3, 1.0);
+  EXPECT_THROW(gomory_hu_tree(split.build()), CheckError);
+}
+
+TEST(GomoryHu, MinCutArgumentValidation) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  const GomoryHuTree t = gomory_hu_tree(b.build());
+  EXPECT_THROW(t.min_cut(0, 0), CheckError);
+  EXPECT_THROW(t.min_cut(0, 5), CheckError);
+}
+
+}  // namespace
+}  // namespace hgp

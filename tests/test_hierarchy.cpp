@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchy.hpp"
+
+namespace hgp {
+namespace {
+
+// The running example: 2 sockets × 4 cores × 2 hyperthreads.
+Hierarchy socket_core_ht() {
+  return Hierarchy({2, 4, 2}, {10.0, 4.0, 1.0, 0.0});
+}
+
+TEST(Hierarchy, BasicShape) {
+  const Hierarchy h = socket_core_ht();
+  EXPECT_EQ(h.height(), 3);
+  EXPECT_EQ(h.leaf_count(), 16);
+  EXPECT_EQ(h.deg(0), 2);
+  EXPECT_EQ(h.deg(2), 2);
+}
+
+TEST(Hierarchy, CapacitiesTelescopeThroughLevels) {
+  const Hierarchy h = socket_core_ht();
+  EXPECT_EQ(h.capacity(0), 16);  // root holds all leaves
+  EXPECT_EQ(h.capacity(1), 8);   // one socket
+  EXPECT_EQ(h.capacity(2), 2);   // one core (2 hyperthreads)
+  EXPECT_EQ(h.capacity(3), 1);   // one hyperthread
+}
+
+TEST(Hierarchy, NodeCountsPerLevel) {
+  const Hierarchy h = socket_core_ht();
+  EXPECT_EQ(h.nodes_at(0), 1);
+  EXPECT_EQ(h.nodes_at(1), 2);
+  EXPECT_EQ(h.nodes_at(2), 8);
+  EXPECT_EQ(h.nodes_at(3), 16);
+}
+
+TEST(Hierarchy, LeafAncestorIndices) {
+  const Hierarchy h = socket_core_ht();
+  EXPECT_EQ(h.leaf_ancestor(0, 1), 0);
+  EXPECT_EQ(h.leaf_ancestor(7, 1), 0);
+  EXPECT_EQ(h.leaf_ancestor(8, 1), 1);
+  EXPECT_EQ(h.leaf_ancestor(5, 2), 2);
+  EXPECT_EQ(h.leaf_ancestor(15, 3), 15);
+}
+
+TEST(Hierarchy, LcaLevels) {
+  const Hierarchy h = socket_core_ht();
+  EXPECT_EQ(h.lca_level(0, 0), 3);    // same leaf
+  EXPECT_EQ(h.lca_level(0, 1), 2);    // same core
+  EXPECT_EQ(h.lca_level(0, 2), 1);    // same socket, different core
+  EXPECT_EQ(h.lca_level(0, 8), 0);    // across sockets
+  EXPECT_EQ(h.lca_level(14, 15), 2);
+}
+
+TEST(Hierarchy, LcaIsSymmetric) {
+  const Hierarchy h = socket_core_ht();
+  for (LeafId a = 0; a < h.leaf_count(); ++a) {
+    for (LeafId b = 0; b < h.leaf_count(); ++b) {
+      EXPECT_EQ(h.lca_level(a, b), h.lca_level(b, a));
+    }
+  }
+}
+
+TEST(Hierarchy, KbgpFactory) {
+  const Hierarchy h = Hierarchy::kbgp(5);
+  EXPECT_EQ(h.height(), 1);
+  EXPECT_EQ(h.leaf_count(), 5);
+  EXPECT_DOUBLE_EQ(h.cm(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.cm(1), 0.0);
+  EXPECT_TRUE(h.is_normalized());
+}
+
+TEST(Hierarchy, UniformFactory) {
+  const Hierarchy h = Hierarchy::uniform(2, 3, {2.0, 1.0, 0.0});
+  EXPECT_EQ(h.leaf_count(), 9);
+  EXPECT_EQ(h.deg(0), 3);
+  EXPECT_EQ(h.deg(1), 3);
+}
+
+TEST(Hierarchy, NormalizationSubtractsLeafMultiplier) {
+  const Hierarchy h({2, 2}, {5.0, 3.0, 2.0});
+  EXPECT_FALSE(h.is_normalized());
+  double offset = 0;
+  const Hierarchy n = h.normalized(&offset);
+  EXPECT_DOUBLE_EQ(offset, 2.0);
+  EXPECT_TRUE(n.is_normalized());
+  EXPECT_DOUBLE_EQ(n.cm(0), 3.0);
+  EXPECT_DOUBLE_EQ(n.cm(1), 1.0);
+  EXPECT_DOUBLE_EQ(n.cm(2), 0.0);
+}
+
+TEST(Hierarchy, NormalizingANormalizedHierarchyIsIdentity) {
+  const Hierarchy h = socket_core_ht();
+  double offset = -1;
+  const Hierarchy n = h.normalized(&offset);
+  EXPECT_DOUBLE_EQ(offset, 0.0);
+  for (int j = 0; j <= h.height(); ++j) {
+    EXPECT_DOUBLE_EQ(n.cm(j), h.cm(j));
+  }
+}
+
+TEST(Hierarchy, IncreasingMultipliersRejected) {
+  EXPECT_THROW(Hierarchy({2}, {1.0, 2.0}), CheckError);
+}
+
+TEST(Hierarchy, NegativeMultipliersRejected) {
+  EXPECT_THROW(Hierarchy({2}, {1.0, -0.5}), CheckError);
+}
+
+TEST(Hierarchy, WrongMultiplierCountRejected) {
+  EXPECT_THROW(Hierarchy({2, 2}, {1.0, 0.0}), CheckError);
+}
+
+TEST(Hierarchy, ZeroFanoutRejected) {
+  EXPECT_THROW(Hierarchy({0}, {1.0, 0.0}), CheckError);
+}
+
+TEST(Hierarchy, EmptyHeightRejected) {
+  EXPECT_THROW(Hierarchy({}, {1.0}), CheckError);
+}
+
+TEST(Hierarchy, ToStringMentionsShape) {
+  const std::string s = socket_core_ht().to_string();
+  EXPECT_NE(s.find("h=3"), std::string::npos);
+  EXPECT_NE(s.find("leaves=16"), std::string::npos);
+}
+
+class LcaLevelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LcaLevelProperty, AncestorsAgreeExactlyUpToLcaLevel) {
+  const Hierarchy h = Hierarchy::uniform(GetParam(), 2,
+                                         [&] {
+                                           std::vector<double> cm;
+                                           for (int j = GetParam(); j >= 0; --j)
+                                             cm.push_back(j);
+                                           return cm;
+                                         }());
+  for (LeafId a = 0; a < h.leaf_count(); ++a) {
+    for (LeafId b = 0; b < h.leaf_count(); ++b) {
+      const int l = h.lca_level(a, b);
+      for (int j = 0; j <= l; ++j) {
+        EXPECT_EQ(h.leaf_ancestor(a, j), h.leaf_ancestor(b, j));
+      }
+      if (l < h.height()) {
+        EXPECT_NE(h.leaf_ancestor(a, l + 1), h.leaf_ancestor(b, l + 1));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, LcaLevelProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hgp

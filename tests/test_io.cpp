@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace hgp {
+namespace {
+
+void expect_same_graph(const Graph& a, const Graph& b, bool check_demands) {
+  ASSERT_EQ(a.vertex_count(), b.vertex_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+    EXPECT_NEAR(a.edge(e).weight, b.edge(e).weight, 1e-9);
+  }
+  if (check_demands) {
+    ASSERT_EQ(a.has_demands(), b.has_demands());
+    for (Vertex v = 0; v < a.vertex_count(); ++v) {
+      EXPECT_NEAR(a.demand(v), b.demand(v), 1e-3);
+    }
+  }
+}
+
+TEST(MetisIo, RoundTripPlainGraph) {
+  const Graph g = gen::grid2d(4, 5);
+  std::stringstream ss;
+  io::write_metis(g, ss);
+  const Graph h = io::read_metis(ss);
+  expect_same_graph(g, h, false);
+}
+
+TEST(MetisIo, RoundTripWeightsAndDemands) {
+  Rng rng(3);
+  Graph g = gen::erdos_renyi(30, 0.2, rng, gen::WeightRange{1.0, 9.0});
+  gen::set_random_demands(g, rng, 0.05, 0.9);
+  // METIS stores integer weights; snap ours first so the round trip is exact.
+  {
+    GraphBuilder b(g.vertex_count());
+    for (const Edge& e : g.edges()) {
+      b.add_edge(e.u, e.v, std::round(e.weight));
+    }
+    for (Vertex v = 0; v < g.vertex_count(); ++v) b.set_demand(v, g.demand(v));
+    g = b.build();
+  }
+  std::stringstream ss;
+  io::write_metis(g, ss);
+  const Graph h = io::read_metis(ss);
+  expect_same_graph(g, h, true);
+}
+
+TEST(MetisIo, ParsesCommentsAndFmtCodes) {
+  std::stringstream ss(
+      "% a comment\n"
+      "3 2 001\n"
+      "2 5\n"
+      "1 5 3 7\n"
+      "2 7\n");
+  const Graph g = io::read_metis(ss);
+  EXPECT_EQ(g.vertex_count(), 3);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 12.0);
+}
+
+TEST(MetisIo, HeaderEdgeMismatchThrows) {
+  std::stringstream ss("2 5\n2\n1\n");
+  EXPECT_THROW(io::read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, MissingHeaderThrows) {
+  std::stringstream ss("");
+  EXPECT_THROW(io::read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, NeighbourOutOfRangeThrows) {
+  std::stringstream ss("2 1\n3\n1\n");
+  EXPECT_THROW(io::read_metis(ss), CheckError);
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  Rng rng(5);
+  const Graph g = gen::barabasi_albert(40, 2, rng, gen::WeightRange{1.0, 4.0});
+  std::stringstream ss;
+  io::write_edge_list(g, ss);
+  const Graph h = io::read_edge_list(ss, g.vertex_count());
+  expect_same_graph(g, h, false);
+}
+
+TEST(EdgeListIo, InfersVertexCountAndSkipsComments) {
+  std::stringstream ss("# header\n0 3 2.0\n1 2\n");
+  const Graph g = io::read_edge_list(ss);
+  EXPECT_EQ(g.vertex_count(), 4);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 3.0);
+}
+
+TEST(EdgeListIo, MalformedLineThrows) {
+  std::stringstream ss("0\n");
+  EXPECT_THROW(io::read_edge_list(ss), CheckError);
+}
+
+}  // namespace
+}  // namespace hgp

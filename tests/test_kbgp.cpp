@@ -1,0 +1,107 @@
+// The k-BGP / Minimum Bisection special case (paper §1: HGP with h = 1,
+// cm = {1, 0}, demands n/k ... here 1/cap per task).  Experiment E8's
+// correctness layer.
+#include <gtest/gtest.h>
+
+#include "baseline/exact.hpp"
+#include "core/solver.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/mirror.hpp"
+
+namespace hgp {
+namespace {
+
+/// Exact minimum bisection cut weight by exhaustive enumeration (n ≤ 20,
+/// n even, equal halves).
+Weight exact_bisection(const Graph& g) {
+  const Vertex n = g.vertex_count();
+  Weight best = std::numeric_limits<Weight>::infinity();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    if (__builtin_popcountll(mask) != n / 2) continue;
+    std::vector<char> side(static_cast<std::size_t>(n), 0);
+    for (Vertex v = 0; v < n; ++v) side[v] = (mask >> v) & 1;
+    best = std::min(best, g.cut_weight(side));
+  }
+  return best;
+}
+
+TEST(Kbgp, CostEqualsCutWeightUnderUnitMultipliers) {
+  // With cm = {1, 0}, Eq. 1 charges exactly the weight of edges crossing
+  // leaf boundaries: HGP cost == k-way cut weight.
+  Rng rng(1);
+  Graph g = gen::erdos_renyi(16, 0.4, rng, gen::WeightRange{1.0, 5.0});
+  gen::set_kbgp_demands(g, 4);
+  const Hierarchy h = Hierarchy::kbgp(4);
+  Placement p;
+  p.leaf_of.resize(16);
+  for (Vertex v = 0; v < 16; ++v) p.leaf_of[v] = v % 4;
+  double crossing = 0;
+  for (const Edge& e : g.edges()) {
+    if (p[e.u] != p[e.v]) crossing += e.weight;
+  }
+  EXPECT_NEAR(placement_cost(g, h, p), crossing, 1e-9);
+}
+
+TEST(Kbgp, ExactHgpRecoversMinimumBisection) {
+  Rng rng(2);
+  for (int round = 0; round < 4; ++round) {
+    Graph g = gen::erdos_renyi(10, 0.5, rng, gen::WeightRange{1.0, 7.0});
+    gen::set_kbgp_demands(g, 5);  // two leaves of 5 tasks each
+    const Hierarchy h = Hierarchy::kbgp(2);
+    const ExactResult r = solve_exact_hgp(g, h);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_NEAR(r.cost, exact_bisection(g), 1e-9) << "round " << round;
+  }
+}
+
+TEST(Kbgp, SolverSolvesBisectionWithinBicriteriaBounds) {
+  Rng rng(3);
+  Graph g = gen::planted_partition(20, 2, 0.8, 0.1, rng,
+                                   gen::WeightRange{1.0, 3.0},
+                                   gen::WeightRange{1.0, 1.0});
+  gen::set_kbgp_demands(g, 10);
+  const Hierarchy h = Hierarchy::kbgp(2);
+  SolverOptions opt;
+  opt.num_trees = 4;
+  opt.epsilon = 0.5;
+  const HgpResult r = solve_hgp(g, h, opt);
+  // h=1 ⇒ violation ≤ (1+ε)(1+1) = 3.
+  EXPECT_LE(r.loads.max_violation(), 3.0 + 1e-9);
+  // Cost within a generous constant of the exact bisection (usually ≤ it,
+  // thanks to the allowed imbalance).
+  const Weight opt_cut = exact_bisection(g);
+  EXPECT_LE(r.cost, 3.0 * opt_cut + 1e-9);
+}
+
+TEST(Kbgp, HgpStrictlyGeneralizesKbgp) {
+  // The same task graph placed on a 2-level hierarchy can exploit locality
+  // a flat k-partition cannot express: check costs differ in the right
+  // direction when cm rewards same-socket placement.
+  Rng rng(4);
+  Graph g = gen::planted_partition(16, 4, 0.9, 0.05, rng);
+  gen::set_kbgp_demands(g, 4);
+  const Hierarchy flat({4}, {1.0, 0.0});
+  const Hierarchy deep({2, 2}, {1.0, 0.2, 0.0});
+  Placement clustered;
+  clustered.leaf_of.resize(16);
+  for (Vertex v = 0; v < 16; ++v) clustered.leaf_of[v] = v * 4 / 16;
+  // Deep hierarchy discounts half the crossings (same level-1 node).
+  EXPECT_LT(placement_cost(g, deep, clustered),
+            placement_cost(g, flat, clustered));
+}
+
+TEST(Kbgp, MirrorIdentityHoldsInTheSpecialCase) {
+  Rng rng(5);
+  Graph g = gen::erdos_renyi(14, 0.4, rng);
+  gen::set_kbgp_demands(g, 7);
+  const Hierarchy h = Hierarchy::kbgp(2);
+  Placement p;
+  p.leaf_of.resize(14);
+  for (Vertex v = 0; v < 14; ++v) p.leaf_of[v] = rng.next_below(2);
+  const MirrorFunction m = build_mirror(g, h, p);
+  EXPECT_NEAR(placement_cost(g, h, p), mirror_cost_literal(g, h, m), 1e-9);
+}
+
+}  // namespace
+}  // namespace hgp

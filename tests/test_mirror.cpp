@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/mirror.hpp"
+
+namespace hgp {
+namespace {
+
+Placement random_placement(const Graph& g, const Hierarchy& h, Rng& rng) {
+  Placement p;
+  p.leaf_of.resize(static_cast<std::size_t>(g.vertex_count()));
+  for (auto& leaf : p.leaf_of) {
+    leaf = narrow<LeafId>(
+        rng.next_below(static_cast<std::uint64_t>(h.leaf_count())));
+  }
+  return p;
+}
+
+TEST(Mirror, SetsContainExactlyTheSubtreeTasks) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  for (Vertex v = 0; v < 4; ++v) b.set_demand(v, 0.4);
+  const Graph g = b.build();
+  const Hierarchy h({2, 2}, {2.0, 1.0, 0.0});
+  const Placement p{{0, 1, 2, 3}};
+  const MirrorFunction m = build_mirror(g, h, p);
+  EXPECT_EQ(m.sets[0][0], (std::vector<Vertex>{0, 1, 2, 3}));
+  EXPECT_EQ(m.sets[1][0], (std::vector<Vertex>{0, 1}));
+  EXPECT_EQ(m.sets[1][1], (std::vector<Vertex>{2, 3}));
+  EXPECT_EQ(m.sets[2][2], (std::vector<Vertex>{2}));
+}
+
+TEST(Mirror, StructureValidatesOnRandomPlacements) {
+  Rng rng(1);
+  const Hierarchy h({3, 2}, {4.0, 1.0, 0.0});
+  for (int round = 0; round < 10; ++round) {
+    Graph g = gen::erdos_renyi(20, 0.3, rng);
+    gen::set_uniform_demands(g, 0.1);
+    const Placement p = random_placement(g, h, rng);
+    const MirrorFunction m = build_mirror(g, h, p);
+    EXPECT_NO_THROW(validate_mirror_structure(g, h, m));
+  }
+}
+
+TEST(Mirror, LiteralCostMatchesFastMirrorCost) {
+  // The literal Eq.(3) evaluation (materializing every boundary) agrees
+  // with the per-level aggregation in cost.cpp.
+  Rng rng(2);
+  const Hierarchy h({2, 2, 2}, {8.0, 4.0, 2.0, 0.0});
+  for (int round = 0; round < 10; ++round) {
+    Graph g = gen::erdos_renyi(24, 0.25, rng, gen::WeightRange{1.0, 6.0});
+    gen::set_uniform_demands(g, 0.1);
+    const Placement p = random_placement(g, h, rng);
+    const MirrorFunction m = build_mirror(g, h, p);
+    EXPECT_NEAR(mirror_cost_literal(g, h, m),
+                placement_cost_mirror(g, h, p), 1e-9);
+  }
+}
+
+TEST(Mirror, Lemma2EndToEnd) {
+  // placement cost (Eq. 1) == literal mirror cost (Eq. 3) for normalized cm.
+  Rng rng(3);
+  const Hierarchy h({2, 3}, {5.0, 2.0, 0.0});
+  for (int round = 0; round < 10; ++round) {
+    Graph g = gen::planted_partition(18, 3, 0.7, 0.1, rng);
+    gen::set_uniform_demands(g, 0.15);
+    const Placement p = random_placement(g, h, rng);
+    const MirrorFunction m = build_mirror(g, h, p);
+    EXPECT_NEAR(placement_cost(g, h, p), mirror_cost_literal(g, h, m), 1e-9);
+  }
+}
+
+TEST(Mirror, ValidationDetectsCorruptedLaminarFamily) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  for (Vertex v = 0; v < 4; ++v) b.set_demand(v, 0.4);
+  const Graph g = b.build();
+  const Hierarchy h({2, 2}, {2.0, 1.0, 0.0});
+  MirrorFunction m = build_mirror(g, h, Placement{{0, 1, 2, 3}});
+  // Move a vertex between sibling level-2 sets without updating level 1.
+  m.sets[2][0] = {0, 2};
+  m.sets[2][2] = {};
+  EXPECT_THROW(validate_mirror_structure(g, h, m), CheckError);
+}
+
+TEST(Mirror, ValidationDetectsDuplicates) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1.0);
+  b.set_demand(0, 0.5);
+  b.set_demand(1, 0.5);
+  const Graph g = b.build();
+  const Hierarchy h({2}, {1.0, 0.0});
+  MirrorFunction m = build_mirror(g, h, Placement{{0, 1}});
+  m.sets[1][0] = {0, 1};  // vertex 1 now appears twice at level 1
+  EXPECT_THROW(validate_mirror_structure(g, h, m), CheckError);
+}
+
+}  // namespace
+}  // namespace hgp

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "hierarchy/placement.hpp"
+#include "hierarchy/placement_io.hpp"
+
+namespace hgp {
+namespace {
+
+Placement random_placement(const Graph& g, const Hierarchy& h, Rng& rng) {
+  Placement p;
+  p.leaf_of.resize(static_cast<std::size_t>(g.vertex_count()));
+  for (auto& leaf : p.leaf_of) {
+    leaf = narrow<LeafId>(rng.next_below(
+        static_cast<std::uint64_t>(h.leaf_count())));
+  }
+  return p;
+}
+
+TEST(PlacementCost, HandComputedExample) {
+  // Path 0-1-2 with weights 2, 3; hierarchy 2×2, cm = {4, 1, 0}.
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(1, 2, 3.0);
+  b.set_demand(0, 0.5);
+  b.set_demand(1, 0.5);
+  b.set_demand(2, 0.5);
+  const Graph g = b.build();
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  // Leaves: 0,1 under node A; 2,3 under node B.
+  Placement p{{0, 1, 2}};
+  // Edge (0,1): same level-1 node, LCA level 1 → cm 1 → cost 2.
+  // Edge (1,2): across sockets, LCA level 0 → cm 4 → cost 12.
+  EXPECT_DOUBLE_EQ(placement_cost(g, h, p), 14.0);
+}
+
+TEST(PlacementCost, ColocationCostsLeafMultiplier) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 5.0);
+  b.set_demand(0, 0.5);
+  b.set_demand(1, 0.5);
+  const Graph g = b.build();
+  const Hierarchy h({2}, {3.0, 1.0});  // NOT normalized
+  Placement same{{0, 0}};
+  Placement split{{0, 1}};
+  EXPECT_DOUBLE_EQ(placement_cost(g, h, same), 5.0);   // cm(1)·w
+  EXPECT_DOUBLE_EQ(placement_cost(g, h, split), 15.0); // cm(0)·w
+}
+
+TEST(PlacementCost, MirrorIdentityOnNormalizedHierarchies) {
+  // Lemma 2: Eq.(1) == Eq.(3) whenever cm(h) = 0.
+  Rng rng(1);
+  const Hierarchy h({2, 3}, {7.0, 2.0, 0.0});
+  for (int round = 0; round < 20; ++round) {
+    Graph g = gen::erdos_renyi(25, 0.25, rng, gen::WeightRange{1.0, 9.0});
+    gen::set_uniform_demands(g, 0.1);
+    const Placement p = random_placement(g, h, rng);
+    EXPECT_NEAR(placement_cost(g, h, p), placement_cost_mirror(g, h, p), 1e-9);
+  }
+}
+
+TEST(PlacementCost, MirrorOffsetOnGeneralHierarchies) {
+  // Lemma 1 accounting: cost = mirror cost + cm(h) · total edge weight.
+  Rng rng(2);
+  const Hierarchy h({2, 2}, {9.0, 4.0, 1.5});
+  for (int round = 0; round < 20; ++round) {
+    Graph g = gen::erdos_renyi(20, 0.3, rng, gen::WeightRange{1.0, 5.0});
+    gen::set_uniform_demands(g, 0.2);
+    const Placement p = random_placement(g, h, rng);
+    EXPECT_NEAR(placement_cost(g, h, p),
+                placement_cost_mirror(g, h, p) +
+                    h.cm(2) * g.total_edge_weight(),
+                1e-9);
+  }
+}
+
+TEST(PlacementCost, NormalizationPreservesRanking) {
+  // Lemma 1: the additive offset is placement-independent, so the order of
+  // any two placements is identical under original and normalized cm.
+  Rng rng(3);
+  const Hierarchy h({2, 2}, {6.0, 3.0, 2.0});
+  const Hierarchy hn = h.normalized();
+  Graph g = gen::erdos_renyi(18, 0.3, rng, gen::WeightRange{1.0, 4.0});
+  gen::set_uniform_demands(g, 0.2);
+  for (int round = 0; round < 15; ++round) {
+    const Placement a = random_placement(g, h, rng);
+    const Placement b = random_placement(g, h, rng);
+    const double diff_general = placement_cost(g, h, a) - placement_cost(g, h, b);
+    const double diff_norm = placement_cost(g, hn, a) - placement_cost(g, hn, b);
+    EXPECT_NEAR(diff_general, diff_norm, 1e-9);
+  }
+}
+
+TEST(PlacementCost, TrivialLowerBoundHolds) {
+  Rng rng(4);
+  const Hierarchy h({2, 2}, {5.0, 2.0, 1.0});
+  Graph g = gen::erdos_renyi(16, 0.4, rng);
+  gen::set_uniform_demands(g, 0.2);
+  const double lb = trivial_cost_lower_bound(g, h);
+  EXPECT_DOUBLE_EQ(lb, g.total_edge_weight());
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_GE(placement_cost(g, h, random_placement(g, h, rng)), lb - 1e-9);
+  }
+}
+
+TEST(LoadReport, LoadsAggregateUpTheHierarchy) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  for (Vertex v = 0; v < 4; ++v) b.set_demand(v, 0.5);
+  const Graph g = b.build();
+  const Hierarchy h({2, 2}, {2.0, 1.0, 0.0});
+  const Placement p{{0, 0, 1, 2}};
+  const LoadReport r = load_report(g, h, p);
+  // Leaf loads: leaf0 = 1.0, leaf1 = 0.5, leaf2 = 0.5.
+  EXPECT_DOUBLE_EQ(r.load[2][0], 1.0);
+  EXPECT_DOUBLE_EQ(r.load[2][1], 0.5);
+  EXPECT_DOUBLE_EQ(r.load[2][2], 0.5);
+  EXPECT_DOUBLE_EQ(r.load[2][3], 0.0);
+  // Level-1: node0 = 1.5, node1 = 0.5.  Root = 2.0.
+  EXPECT_DOUBLE_EQ(r.load[1][0], 1.5);
+  EXPECT_DOUBLE_EQ(r.load[1][1], 0.5);
+  EXPECT_DOUBLE_EQ(r.load[0][0], 2.0);
+}
+
+TEST(LoadReport, ViolationFactors) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0);
+  for (Vertex v = 0; v < 3; ++v) b.set_demand(v, 0.6);
+  const Graph g = b.build();
+  const Hierarchy h({2}, {1.0, 0.0});
+  const Placement crowded{{0, 0, 1}};
+  const LoadReport r = load_report(g, h, crowded);
+  EXPECT_NEAR(r.leaf_violation(), 1.2, 1e-12);  // 1.2 demand on capacity 1
+  EXPECT_FALSE(r.feasible());
+  const Placement spread{{0, 1, 1}};
+  // Still 1.2 on leaf 1.
+  EXPECT_FALSE(load_report(g, h, spread).feasible());
+}
+
+TEST(LoadReport, FeasiblePlacementPasses) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1.0);
+  b.set_demand(0, 1.0);
+  b.set_demand(1, 1.0);
+  const Graph g = b.build();
+  const Hierarchy h({2}, {1.0, 0.0});
+  EXPECT_TRUE(load_report(g, h, Placement{{0, 1}}).feasible());
+}
+
+TEST(Placement, ValidationCatchesErrors) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1.0);
+  b.set_demand(0, 0.5);
+  b.set_demand(1, 0.5);
+  const Graph g = b.build();
+  const Hierarchy h({2}, {1.0, 0.0});
+  EXPECT_THROW(validate_placement(g, h, Placement{{0}}), CheckError);
+  EXPECT_THROW(validate_placement(g, h, Placement{{0, 2}}), CheckError);
+  EXPECT_THROW(validate_placement(g, h, Placement{{0, -1}}), CheckError);
+}
+
+TEST(Placement, DemandlessGraphRejected) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1.0);
+  const Graph g = b.build();
+  const Hierarchy h({2}, {1.0, 0.0});
+  EXPECT_THROW(validate_placement(g, h, Placement{{0, 1}}), CheckError);
+}
+
+TEST(PlacementIo, RoundTrip) {
+  Placement p{{3, 0, 2, 2, 1}};
+  std::stringstream ss;
+  io::write_placement(p, ss);
+  const Placement q = io::read_placement(ss);
+  EXPECT_EQ(p.leaf_of, q.leaf_of);
+}
+
+TEST(PlacementIo, SkipsCommentsAndValidates) {
+  std::stringstream ok("# header\n1 5\n0 2\n");
+  const Placement p = io::read_placement(ok);
+  EXPECT_EQ(p.leaf_of, (std::vector<LeafId>{2, 5}));
+
+  std::stringstream dup("0 1\n0 2\n");
+  EXPECT_THROW(io::read_placement(dup), CheckError);
+  std::stringstream gap("0 1\n2 2\n");
+  EXPECT_THROW(io::read_placement(gap), CheckError);
+  std::stringstream neg("0 -1\n");
+  EXPECT_THROW(io::read_placement(neg), CheckError);
+  std::stringstream malformed("zero one\n");
+  EXPECT_THROW(io::read_placement(malformed), CheckError);
+}
+
+}  // namespace
+}  // namespace hgp

@@ -1,0 +1,147 @@
+// Broad property sweeps: the paper's invariants checked across the full
+// (workload family × hierarchy) grid with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/convert.hpp"
+#include "core/rhgpt.hpp"
+#include "core/tree_dp.hpp"
+#include "exp/workloads.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/mirror.hpp"
+
+namespace hgp {
+namespace {
+
+using exp::Family;
+
+// ---------------------------------------------------------------------------
+// Lemma 2 across the grid.
+
+class CostIdentityGrid
+    : public ::testing::TestWithParam<std::tuple<Family, int>> {};
+
+TEST_P(CostIdentityGrid, Eq1EqualsEq3OnRandomPlacements) {
+  const Family family = std::get<0>(GetParam());
+  const int height = std::get<1>(GetParam());
+  const Hierarchy h = exp::hierarchy_of_height(height);
+  const Graph g = exp::make_workload(family, 40, h, 5);
+  Rng rng(11);
+  for (int round = 0; round < 10; ++round) {
+    Placement p;
+    p.leaf_of.resize(static_cast<std::size_t>(g.vertex_count()));
+    for (auto& leaf : p.leaf_of) {
+      leaf = narrow<LeafId>(
+          rng.next_below(static_cast<std::uint64_t>(h.leaf_count())));
+    }
+    EXPECT_NEAR(placement_cost(g, h, p), placement_cost_mirror(g, h, p),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostIdentityGrid,
+    ::testing::Combine(::testing::Values(Family::StreamDag,
+                                         Family::PlantedPartition,
+                                         Family::Grid, Family::ScaleFree,
+                                         Family::Random, Family::RandomTree),
+                       ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// The DP's three core invariants across sizes and heights.
+
+class DpInvariantGrid
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(DpInvariantGrid, CostAccountingStructureAndConversion) {
+  const int height = std::get<0>(GetParam());
+  const Vertex n = narrow<Vertex>(std::get<1>(GetParam()));
+  const std::uint64_t seed = std::get<2>(GetParam());
+  const Hierarchy h = exp::hierarchy_of_height(height);
+  const Tree t = exp::make_tree_workload(n, h, seed, 0.6);
+  TreeDpOptions opt;
+  opt.units_override = exp::auto_units(t, h, 2.0);
+  const TreeDpResult r = solve_rhgpt(t, h, opt);
+
+  // (1) DP accounting equals the Definition-4 objective of its solution.
+  EXPECT_NEAR(r.cost, rhgpt_cost(t, h, r.solution), 1e-9);
+  // (2) The solution satisfies Definition 4 with exact capacities and is
+  //     nice (Theorem 3).
+  EXPECT_NO_THROW(validate_rhgpt(t, h, r.scaled, r.solution, 1.0));
+  EXPECT_EQ(count_bad_sets(t, r.solution), 0);
+  // (3) Conversion: cost monotone, violation within the unit-floor bound.
+  const TreeAssignment a =
+      convert_to_assignment(t, h, r.solution, r.scaled.units);
+  EXPECT_LE(assignment_cost(t, h, a), r.cost + 1e-9);
+  const auto violation = assignment_violation(t, h, a);
+  for (int j = 0; j <= height; ++j) {
+    EXPECT_LE(violation[static_cast<std::size_t>(j)], 2.0 * (1 + j) + 1e-9)
+        << "level " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DpInvariantGrid,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(30, 70),
+                       ::testing::Values(1ull, 2ull, 3ull)));
+
+// ---------------------------------------------------------------------------
+// Pruning is lossless across the grid.
+
+class PruningGrid
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PruningGrid, DominancePruningPreservesTheOptimum) {
+  const int height = std::get<0>(GetParam());
+  const std::uint64_t seed = std::get<1>(GetParam());
+  const Hierarchy h = exp::hierarchy_of_height(height);
+  const Tree t = exp::make_tree_workload(36, h, seed, 0.6);
+  TreeDpOptions on;
+  on.units_override = exp::auto_units(t, h, 2.0);
+  TreeDpOptions off = on;
+  off.prune_dominated = false;
+  const TreeDpResult a = solve_rhgpt(t, h, on);
+  const TreeDpResult b = solve_rhgpt(t, h, off);
+  EXPECT_NEAR(a.cost, b.cost, 1e-9);
+  EXPECT_LE(a.stats.feasible_states, b.stats.feasible_states);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PruningGrid,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(5ull, 6ull, 7ull)));
+
+// ---------------------------------------------------------------------------
+// Mirror-function structure is preserved by every placement the library
+// produces (here: through the exact assignment path on trees).
+
+class MirrorStructureGrid : public ::testing::TestWithParam<Family> {};
+
+TEST_P(MirrorStructureGrid, RandomPlacementsAlwaysValidate) {
+  const Hierarchy h = exp::hierarchy_two_level(2, 3);
+  const Graph g = exp::make_workload(GetParam(), 30, h, 9);
+  Rng rng(13);
+  for (int round = 0; round < 5; ++round) {
+    Placement p;
+    p.leaf_of.resize(static_cast<std::size_t>(g.vertex_count()));
+    for (auto& leaf : p.leaf_of) {
+      leaf = narrow<LeafId>(
+          rng.next_below(static_cast<std::uint64_t>(h.leaf_count())));
+    }
+    const MirrorFunction m = build_mirror(g, h, p);
+    EXPECT_NO_THROW(validate_mirror_structure(g, h, m));
+    EXPECT_NEAR(mirror_cost_literal(g, h, m), placement_cost_mirror(g, h, p),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MirrorStructureGrid,
+                         ::testing::Values(Family::StreamDag,
+                                           Family::PlantedPartition,
+                                           Family::ScaleFree,
+                                           Family::RandomTree));
+
+}  // namespace
+}  // namespace hgp

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "core/signature.hpp"
+
+namespace hgp {
+namespace {
+
+ScaledDemands make_scaled(std::vector<DemandUnits> capacity,
+                          DemandUnits total) {
+  ScaledDemands sd;
+  sd.capacity = std::move(capacity);
+  sd.total = total;
+  sd.units_per_capacity = sd.capacity.back();
+  return sd;
+}
+
+TEST(SignatureSpace, CountsTuplesTimesPresenceH1) {
+  // h=1, bound 5 → demand tuples (0),(1),…,(5); presence ∈ {0,1}.
+  const ScaledDemands sd = make_scaled({20, 5}, 100);
+  const SignatureSpace space(sd, 1);
+  EXPECT_EQ(space.size(), 6u * 2u);
+}
+
+TEST(SignatureSpace, CountsTuplesTimesPresenceH2) {
+  // h=2, bounds (3, 2): monotone tuples = 9 (see the enumeration in the
+  // merge tests); presence slots = 3.
+  const ScaledDemands sd = make_scaled({12, 3, 2}, 100);
+  const SignatureSpace space(sd, 2);
+  EXPECT_EQ(space.size(), 9u * 3u);
+}
+
+TEST(SignatureSpace, TotalDemandTightensBounds) {
+  const ScaledDemands sd = make_scaled({40, 10}, 4);
+  const SignatureSpace space(sd, 1);
+  EXPECT_EQ(space.level_bound(1), 4);
+}
+
+TEST(SignatureSpace, IdOfRoundTripsThroughAccessors) {
+  const ScaledDemands sd = make_scaled({24, 6, 3}, 100);
+  const SignatureSpace space(sd, 2);
+  const std::size_t id = space.id_of({4, 2}, 2);
+  ASSERT_NE(id, SignatureSpace::npos);
+  EXPECT_EQ(space.level(id, 1), 4);
+  EXPECT_EQ(space.level(id, 2), 2);
+  EXPECT_EQ(space.present(id), 2);
+  EXPECT_EQ(space.support(id), 2);
+}
+
+TEST(SignatureSpace, IdOfRejectsInvalidTuples) {
+  const ScaledDemands sd = make_scaled({24, 6, 3}, 100);
+  const SignatureSpace space(sd, 2);
+  EXPECT_EQ(space.id_of({2, 3}, 2), SignatureSpace::npos);   // increasing
+  EXPECT_EQ(space.id_of({7, 1}, 2), SignatureSpace::npos);   // over capacity
+  EXPECT_EQ(space.id_of({-1, -1}, 2), SignatureSpace::npos); // negative
+  EXPECT_EQ(space.id_of({1}, 1), SignatureSpace::npos);      // wrong arity
+  // Presence below the demand support is inconsistent.
+  EXPECT_EQ(space.id_of({2, 1}, 1), SignatureSpace::npos);
+  EXPECT_EQ(space.id_of({2, 0}, 0), SignatureSpace::npos);
+  EXPECT_EQ(space.id_of({0, 0}, 3), SignatureSpace::npos);   // p > h
+}
+
+TEST(SignatureSpace, PhantomPresenceIsDistinctState) {
+  // D = (0,0) with p ∈ {0,1,2} are three different signatures: absent,
+  // region at level 1 only, regions at both levels.
+  const ScaledDemands sd = make_scaled({24, 6, 3}, 100);
+  const SignatureSpace space(sd, 2);
+  const auto absent = space.id_of({0, 0}, 0);
+  const auto shallow = space.id_of({0, 0}, 1);
+  const auto deep = space.id_of({0, 0}, 2);
+  ASSERT_NE(absent, SignatureSpace::npos);
+  ASSERT_NE(shallow, SignatureSpace::npos);
+  ASSERT_NE(deep, SignatureSpace::npos);
+  EXPECT_NE(absent, shallow);
+  EXPECT_NE(shallow, deep);
+  EXPECT_EQ(space.zero_id(), absent);
+}
+
+TEST(SignatureSpace, UniformIdIsFullyPresent) {
+  const ScaledDemands sd = make_scaled({24, 6, 3}, 100);
+  const SignatureSpace space(sd, 2);
+  const auto u2 = space.uniform_id(2);
+  ASSERT_NE(u2, SignatureSpace::npos);
+  EXPECT_EQ(space.level(u2, 1), 2);
+  EXPECT_EQ(space.level(u2, 2), 2);
+  EXPECT_EQ(space.present(u2), 2);
+  EXPECT_EQ(space.uniform_id(5), SignatureSpace::npos);  // exceeds level-2 cap
+}
+
+TEST(SignatureSpace, MergeAddsKeptLevels) {
+  const ScaledDemands sd = make_scaled({40, 10, 5}, 100);
+  const SignatureSpace space(sd, 2);
+  const auto a = space.id_of({3, 2}, 2);
+  const auto b = space.id_of({4, 1}, 2);
+  ASSERT_NE(a, SignatureSpace::npos);
+  ASSERT_NE(b, SignatureSpace::npos);
+  // Keep both children fully: sums at both levels.
+  const auto full = space.merge(a, 2, b, 2, 2);
+  ASSERT_NE(full, SignatureSpace::npos);
+  EXPECT_EQ(space.level(full, 1), 7);
+  EXPECT_EQ(space.level(full, 2), 3);
+  // Cut child b above level 1: its level-2 region closes.
+  const auto partial = space.merge(a, 2, b, 1, 2);
+  ASSERT_NE(partial, SignatureSpace::npos);
+  EXPECT_EQ(space.level(partial, 1), 7);
+  EXPECT_EQ(space.level(partial, 2), 2);
+  // Cut child b everywhere.
+  const auto solo = space.merge(a, 2, b, 0, 2);
+  ASSERT_NE(solo, SignatureSpace::npos);
+  EXPECT_EQ(space.level(solo, 1), 3);
+  EXPECT_EQ(space.level(solo, 2), 2);
+}
+
+TEST(SignatureSpace, MergePresenceRules) {
+  const ScaledDemands sd = make_scaled({40, 10, 5}, 100);
+  const SignatureSpace space(sd, 2);
+  const auto a = space.id_of({3, 2}, 2);
+  const auto b = space.id_of({4, 0}, 1);
+  // Parent presence below a kept child's presence is invalid.
+  EXPECT_EQ(space.merge(a, 2, b, 1, 1), SignatureSpace::npos);
+  // Kept prefixes: a fully (p=2), b at level 1 → base 2.
+  const auto m = space.merge(a, 2, b, 1, 2);
+  ASSERT_NE(m, SignatureSpace::npos);
+  EXPECT_EQ(space.level(m, 1), 7);
+  EXPECT_EQ(space.level(m, 2), 2);
+  EXPECT_EQ(space.present(m), 2);
+  // Phantom extension: both children cut entirely, parent presence 2.
+  const auto ph = space.merge(a, 0, b, 0, 2);
+  ASSERT_NE(ph, SignatureSpace::npos);
+  EXPECT_EQ(space.level(ph, 1), 0);
+  EXPECT_EQ(space.present(ph), 2);
+}
+
+TEST(SignatureSpace, MergeDetectsCapacityOverflow) {
+  const ScaledDemands sd = make_scaled({8, 4, 2}, 100);
+  const SignatureSpace space(sd, 2);
+  const auto a = space.id_of({3, 1}, 2);
+  const auto b = space.id_of({2, 2}, 2);
+  // level-1 sum 5 > capacity 4 → invalid.
+  EXPECT_EQ(space.merge(a, 2, b, 2, 2), SignatureSpace::npos);
+  // but cutting b at level 0 drops its contribution.
+  EXPECT_NE(space.merge(a, 2, b, 0, 2), SignatureSpace::npos);
+}
+
+TEST(SignatureSpace, LiftMasksAboveCutLevel) {
+  const ScaledDemands sd = make_scaled({40, 10, 5}, 100);
+  const SignatureSpace space(sd, 2);
+  const auto a = space.id_of({4, 3}, 2);
+  const auto lifted = space.lift(a, 1, 1);
+  ASSERT_NE(lifted, SignatureSpace::npos);
+  EXPECT_EQ(space.level(lifted, 1), 4);
+  EXPECT_EQ(space.level(lifted, 2), 0);
+  EXPECT_EQ(space.present(lifted), 1);
+  // Phantom extension above the kept prefix.
+  const auto ghost = space.lift(a, 0, 2);
+  ASSERT_NE(ghost, SignatureSpace::npos);
+  EXPECT_EQ(space.level(ghost, 1), 0);
+  EXPECT_EQ(space.present(ghost), 2);
+  // Presence below the kept prefix is invalid.
+  EXPECT_EQ(space.lift(a, 2, 1), SignatureSpace::npos);
+}
+
+TEST(SignatureSpace, MergeIsCommutative) {
+  const ScaledDemands sd = make_scaled({40, 10, 5}, 100);
+  const SignatureSpace space(sd, 2);
+  for (std::size_t a = 0; a < space.size(); a += 5) {
+    for (std::size_t b = 0; b < space.size(); b += 5) {
+      for (int j1 = 0; j1 <= 2; ++j1) {
+        for (int j2 = 0; j2 <= 2; ++j2) {
+          EXPECT_EQ(space.merge(a, j1, b, j2, 2),
+                    space.merge(b, j2, a, j1, 2));
+        }
+      }
+    }
+  }
+}
+
+TEST(SignatureSpace, OversizedSpaceRejected) {
+  ScaledDemands sd =
+      make_scaled({1 << 20, 1 << 20, 1 << 20, 1 << 20}, 1 << 30);
+  EXPECT_THROW(SignatureSpace(sd, 3), CheckError);
+}
+
+}  // namespace
+}  // namespace hgp

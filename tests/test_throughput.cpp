@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "exp/workloads.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/cost.hpp"
+#include "sim/throughput.hpp"
+
+namespace hgp {
+namespace {
+
+using sim::MachineModel;
+using sim::analyze_throughput;
+
+TEST(Throughput, TaperedModelShape) {
+  const MachineModel m = MachineModel::tapered(3, 16.0, 2.0);
+  ASSERT_EQ(m.uplink_bandwidth.size(), 4u);
+  EXPECT_DOUBLE_EQ(m.uplink_bandwidth[3], 16.0);
+  EXPECT_DOUBLE_EQ(m.uplink_bandwidth[2], 8.0);
+  EXPECT_DOUBLE_EQ(m.uplink_bandwidth[1], 4.0);
+}
+
+TEST(Throughput, HandComputedTwoCoreExample) {
+  // Tasks 0-1 with volume 6 split across the two cores of one socket;
+  // leaf uplink bandwidth 12 → leaf utilization 0.5 at λ=1.
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 6.0);
+  b.set_demand(0, 0.25);
+  b.set_demand(1, 0.25);
+  const Graph g = b.build();
+  const Hierarchy h({2}, {1.0, 0.0});
+  MachineModel m;
+  m.uplink_bandwidth = {0.0, 12.0};
+  const auto r = analyze_throughput(g, h, Placement{{0, 1}}, m);
+  EXPECT_EQ(r.bottleneck_level, 1);
+  EXPECT_NEAR(r.throughput, 2.0, 1e-9);  // worst utilization 0.5
+  EXPECT_NEAR(r.utilization[1][0], 0.5, 1e-9);
+  EXPECT_NEAR(r.utilization[1][1], 0.5, 1e-9);
+}
+
+TEST(Throughput, CpuBoundWhenColocated) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 6.0);
+  b.set_demand(0, 0.5);
+  b.set_demand(1, 0.5);
+  const Graph g = b.build();
+  const Hierarchy h({2}, {1.0, 0.0});
+  MachineModel m;
+  m.uplink_bandwidth = {0.0, 1e9};
+  const auto r = analyze_throughput(g, h, Placement{{0, 0}}, m);
+  EXPECT_EQ(r.bottleneck_level, -1);  // CPU bound: core 0 at load 1.0
+  EXPECT_EQ(r.bottleneck_node, 0);
+  EXPECT_NEAR(r.throughput, 1.0, 1e-9);
+}
+
+TEST(Throughput, CrossingVolumePassesEveryLevelAboveTheLca) {
+  // One edge across sockets on a 2×2 machine: it loads both leaf uplinks
+  // AND both socket uplinks.
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 4.0);
+  b.set_demand(0, 0.1);
+  b.set_demand(1, 0.1);
+  const Graph g = b.build();
+  const Hierarchy h({2, 2}, {2.0, 1.0, 0.0});
+  MachineModel m;
+  m.uplink_bandwidth = {0.0, 8.0, 8.0};
+  const auto r = analyze_throughput(g, h, Placement{{0, 2}}, m);
+  EXPECT_NEAR(r.utilization[1][0], 0.5, 1e-9);  // socket 0 uplink
+  EXPECT_NEAR(r.utilization[1][1], 0.5, 1e-9);  // socket 1 uplink
+  EXPECT_NEAR(r.utilization[2][0], 0.5, 1e-9);  // leaf 0 uplink
+  EXPECT_NEAR(r.utilization[2][2], 0.5, 1e-9);  // leaf 2 uplink
+  EXPECT_NEAR(r.throughput, 2.0, 1e-9);
+}
+
+TEST(Throughput, BetterPlacementsYieldHigherThroughput) {
+  // On a tapered machine the co-locating placement must sustain at least
+  // the rate of the scattering one.
+  const Hierarchy h = exp::hierarchy_two_level(2, 4);
+  const Graph g =
+      exp::make_workload(exp::Family::PlantedPartition, 32, h, 3, 0.5);
+  const MachineModel m =
+      MachineModel::tapered(h.height(), g.total_edge_weight() / 4, 4.0);
+  Placement clustered;
+  clustered.leaf_of.resize(32);
+  for (Vertex v = 0; v < 32; ++v) clustered.leaf_of[v] = v * 8 / 32;
+  Rng rng(5);
+  Placement scattered;
+  scattered.leaf_of.resize(32);
+  for (auto& l : scattered.leaf_of) l = narrow<LeafId>(rng.next_below(8));
+  const double tc = analyze_throughput(g, h, clustered, m).throughput;
+  const double ts = analyze_throughput(g, h, scattered, m).throughput;
+  EXPECT_GE(tc, ts);
+}
+
+TEST(Throughput, ModelValidation) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1.0);
+  b.set_demand(0, 0.5);
+  b.set_demand(1, 0.5);
+  const Graph g = b.build();
+  const Hierarchy h({2}, {1.0, 0.0});
+  MachineModel wrong_size;
+  wrong_size.uplink_bandwidth = {1.0};
+  EXPECT_THROW(analyze_throughput(g, h, Placement{{0, 1}}, wrong_size),
+               CheckError);
+  MachineModel zero_bw;
+  zero_bw.uplink_bandwidth = {0.0, 0.0};
+  EXPECT_THROW(analyze_throughput(g, h, Placement{{0, 1}}, zero_bw),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace hgp

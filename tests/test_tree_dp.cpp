@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "baseline/exact.hpp"
+#include "core/rhgpt.hpp"
+#include "core/tree_dp.hpp"
+#include "graph/generators.hpp"
+
+namespace hgp {
+namespace {
+
+/// Random weighted tree with random leaf demands in [lo, hi].
+Tree random_instance(Vertex n, Rng& rng, double lo = 0.2, double hi = 0.6) {
+  const Graph g = gen::random_tree(n, rng, gen::WeightRange{1.0, 9.0});
+  Tree t = Tree::from_graph(g, 0);
+  std::vector<double> d(t.leaves().size());
+  for (auto& x : d) x = rng.next_double(lo, hi);
+  t.set_leaf_demands(d);
+  return t;
+}
+
+TEST(TreeDp, HandComputedTwoLeafExample) {
+  //      root
+  //     /    \      leaves 1, 2 with demand 0.6 each; edge weights 5 and 7.
+  //    1      2     k = 2 leaves, cm = {1, 0}.
+  Tree t = Tree::from_parents({-1, 0, 0}, {0, 5.0, 7.0});
+  t.set_leaf_demands(std::vector<double>{0.6, 0.6});
+  const Hierarchy h = Hierarchy::kbgp(2);
+  TreeDpOptions opt;
+  opt.units_override = 10;
+  const TreeDpResult r = solve_rhgpt(t, h, opt);
+  // 0.6+0.6 > 1 → the leaves must split into two level-1 sets.  The
+  // minimum separator of {1} is edge (root,1) with weight 5 — and the
+  // minimum separator of {2} is the SAME edge (removing it also isolates
+  // leaf 2 from leaf 1), so both sets pay 5: (5+5)·(1-0)/2 = 5.
+  EXPECT_NEAR(r.cost, 5.0, 1e-9);
+  EXPECT_EQ(r.solution.sets[1].size(), 2u);
+}
+
+TEST(TreeDp, ColocationWhenCapacityAllows) {
+  Tree t = Tree::from_parents({-1, 0, 0}, {0, 5.0, 7.0});
+  t.set_leaf_demands(std::vector<double>{0.4, 0.4});
+  const Hierarchy h = Hierarchy::kbgp(2);
+  TreeDpOptions opt;
+  opt.units_override = 10;
+  const TreeDpResult r = solve_rhgpt(t, h, opt);
+  EXPECT_NEAR(r.cost, 0.0, 1e-9);  // both fit one leaf → nothing separated
+  EXPECT_EQ(r.solution.sets[1].size(), 1u);
+}
+
+TEST(TreeDp, DpCostDominatesDefinitionCost) {
+  // The DP charges each solution set its mirror-region boundary, which is a
+  // valid separator, so the Definition-4 cost (true minimum separators,
+  // which may reroute through other sets' territory) never exceeds the DP
+  // accounting — and matches it unless rerouting pays off.
+  Rng rng(1);
+  int equal = 0;
+  for (int round = 0; round < 8; ++round) {
+    const Tree t = random_instance(14, rng);
+    const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+    TreeDpOptions opt;
+    opt.units_override = 8;
+    const TreeDpResult r = solve_rhgpt(t, h, opt);
+    const double definition = rhgpt_cost(t, h, r.solution);
+    EXPECT_LE(definition, r.cost + 1e-9) << "round " << round;
+    if (definition >= r.cost - 1e-9) ++equal;
+  }
+  // Rerouting gains are rare on random weighted trees.
+  EXPECT_GE(equal, 4);
+}
+
+TEST(TreeDp, SolutionSatisfiesDefinition4) {
+  Rng rng(2);
+  for (int round = 0; round < 8; ++round) {
+    const Tree t = random_instance(12, rng);
+    const Hierarchy h({2, 3}, {4.0, 1.0, 0.0});
+    TreeDpOptions opt;
+    opt.epsilon = 0.5;
+    const TreeDpResult r = solve_rhgpt(t, h, opt);
+    // Sets respect the scaled capacities exactly (factor 1).
+    EXPECT_NO_THROW(validate_rhgpt(t, h, r.scaled, r.solution, 1.0))
+        << "round " << round;
+  }
+}
+
+TEST(TreeDp, OutputIsANiceSolution) {
+  // Theorem 3: an optimal solution with BS(s) = 0 exists; the DP only
+  // explores nice shapes, so its output must have zero bad sets.
+  Rng rng(3);
+  for (int round = 0; round < 6; ++round) {
+    const Tree t = random_instance(12, rng);
+    const Hierarchy h({2, 2}, {5.0, 2.0, 0.0});
+    TreeDpOptions opt;
+    opt.units_override = 6;
+    const TreeDpResult r = solve_rhgpt(t, h, opt);
+    EXPECT_EQ(count_bad_sets(t, r.solution), 0) << "round " << round;
+  }
+}
+
+TEST(TreeDp, LowerBoundsExactHgpt) {
+  // RHGPT relaxes HGPT, so the DP optimum is ≤ the exact HGPT optimum.
+  Rng rng(4);
+  for (int round = 0; round < 6; ++round) {
+    const Tree t = random_instance(8, rng, 0.3, 0.7);
+    const Hierarchy h({2, 2}, {3.0, 1.0, 0.0});
+    TreeDpOptions opt;
+    opt.units_override = 1000;  // fine units: rounding ≈ exact
+    const TreeDpResult r = solve_rhgpt(t, h, opt);
+    const ExactTreeResult exact = solve_exact_hgpt(t, h);
+    if (!exact.feasible) continue;
+    EXPECT_LE(r.cost, exact.cost + 1e-6) << "round " << round;
+  }
+}
+
+TEST(TreeDp, OptimalWhenFanoutUnbounded) {
+  // With DEG[j] ≥ #jobs the refinement bound of Definition 3 is vacuous,
+  // so RHGPT and HGPT coincide: the DP must match the exact optimum
+  // exactly (demands are exact multiples of a unit, so no rounding slack).
+  Rng rng(5);
+  for (int round = 0; round < 5; ++round) {
+    const Graph g = gen::random_tree(9, rng, gen::WeightRange{1.0, 9.0});
+    Tree t = Tree::from_graph(g, 0);
+    std::vector<double> d(t.leaves().size());
+    for (auto& x : d) {
+      x = 0.25 * static_cast<double>(rng.next_int(1, 3));  // {.25,.5,.75}
+    }
+    t.set_leaf_demands(d);
+    const Vertex jobs = t.leaf_count();
+    const Hierarchy h({jobs}, {1.0, 0.0});
+    TreeDpOptions opt;
+    opt.units_override = 4;  // exact demand representation
+    const TreeDpResult r = solve_rhgpt(t, h, opt);
+    const ExactTreeResult exact = solve_exact_hgpt(t, h);
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_NEAR(r.cost, exact.cost, 1e-9) << "round " << round;
+  }
+}
+
+TEST(TreeDp, CostInvariantUnderNormalization) {
+  // The RHGPT objective only reads cm differences, so shifting all
+  // multipliers (Lemma 1) leaves the DP cost unchanged.
+  Rng rng(6);
+  const Tree t = random_instance(12, rng);
+  const Hierarchy ha({2, 2}, {5.0, 2.0, 0.0});
+  const Hierarchy hb({2, 2}, {6.5, 3.5, 1.5});
+  TreeDpOptions opt;
+  opt.units_override = 6;
+  const TreeDpResult ra = solve_rhgpt(t, ha, opt);
+  const TreeDpResult rb = solve_rhgpt(t, hb, opt);
+  EXPECT_NEAR(ra.cost, rb.cost, 1e-9);
+}
+
+TEST(TreeDp, InfeasibleInstanceThrows) {
+  Tree t = Tree::from_parents({-1, 0, 0, 0}, {0, 1, 1, 1});
+  t.set_leaf_demands(std::vector<double>{0.9, 0.9, 0.9});
+  const Hierarchy h = Hierarchy::kbgp(2);  // total capacity 2 < 2.7
+  TreeDpOptions opt;
+  opt.units_override = 10;
+  EXPECT_THROW(solve_rhgpt(t, h, opt), CheckError);
+}
+
+TEST(TreeDp, SingleLeafTree) {
+  Tree t = Tree::from_parents({-1}, {0});
+  t.set_leaf_demands(std::vector<double>{0.5});
+  const Hierarchy h({2, 2}, {3.0, 1.0, 0.0});
+  const TreeDpResult r = solve_rhgpt(t, h, {});
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+  EXPECT_EQ(r.solution.sets[1].size(), 1u);
+  EXPECT_EQ(r.solution.sets[2].size(), 1u);
+}
+
+TEST(TreeDp, DeterministicResults) {
+  Rng rng(7);
+  const Tree t = random_instance(15, rng);
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  TreeDpOptions opt;
+  opt.units_override = 6;
+  const TreeDpResult a = solve_rhgpt(t, h, opt);
+  const TreeDpResult b = solve_rhgpt(t, h, opt);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.solution.sets, b.solution.sets);
+}
+
+TEST(TreeDp, StatsArePopulated) {
+  Rng rng(8);
+  const Tree t = random_instance(10, rng);
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  TreeDpOptions opt;
+  opt.units_override = 4;
+  const TreeDpResult r = solve_rhgpt(t, h, opt);
+  EXPECT_GT(r.stats.signature_count, 0u);
+  EXPECT_GT(r.stats.feasible_states, 0u);
+  EXPECT_GT(r.stats.merge_operations, 0u);
+}
+
+TEST(TreeDp, HeightThreeHierarchy) {
+  Rng rng(9);
+  const Tree t = random_instance(10, rng, 0.3, 0.5);
+  const Hierarchy h({2, 2, 2}, {8.0, 4.0, 1.0, 0.0});
+  TreeDpOptions opt;
+  opt.units_override = 3;
+  const TreeDpResult r = solve_rhgpt(t, h, opt);
+  EXPECT_NEAR(r.cost, rhgpt_cost(t, h, r.solution), 1e-9);
+  EXPECT_NO_THROW(validate_rhgpt(t, h, r.scaled, r.solution, 1.0));
+  EXPECT_EQ(count_bad_sets(t, r.solution), 0);
+}
+
+}  // namespace
+}  // namespace hgp

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace hgp {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) { HGP_CHECK(1 + 1 == 2); }
+
+TEST(Check, FailingCheckThrowsWithExpression) {
+  try {
+    HGP_CHECK(2 + 2 == 5);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("2 + 2 == 5"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckMsgIncludesMessage) {
+  try {
+    HGP_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Narrow, RoundTripValuesPass) {
+  EXPECT_EQ(narrow<std::int32_t>(std::int64_t{12345}), 12345);
+  EXPECT_EQ(narrow<std::uint8_t>(255), 255);
+}
+
+TEST(Narrow, OverflowThrows) {
+  EXPECT_THROW(narrow<std::int8_t>(1000), CheckError);
+  EXPECT_THROW(narrow<std::uint32_t>(std::int64_t{-1}), CheckError);
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(5);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.next_int(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    hit_lo |= x == -2;
+    hit_hi |= x == 2;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanIsRoughlyHalf) {
+  Rng rng(13);
+  double s = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) s += rng.next_double();
+  EXPECT_NEAR(s / n, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng a(21), b(21);
+  Rng fa = a.fork(1), fb = b.fork(1);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fa.next(), fb.next());
+  Rng fa2 = a.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += fa.next() == fa2.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Samples, PercentilesAreExact) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0.9), 90.1, 1e-9);
+}
+
+TEST(Samples, PercentileOnEmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.median(), CheckError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(std::int64_t{1});
+  t.row().add("b").add(std::int64_t{12345});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, DoublePrecisionControl) {
+  Table t({"x"});
+  t.row().add(3.14159, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.add("oops"), CheckError);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter w({"a", "b"});
+  w.row().add(std::string("plain")).add(std::string("has,comma"));
+  w.row().add(std::string("has\"quote")).add(std::int64_t{3});
+  const std::string out = w.to_string();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, HeaderFirstLine) {
+  CsvWriter w({"x", "y"});
+  w.row().add(1.5).add(std::int64_t{2});
+  EXPECT_EQ(w.to_string().substr(0, 4), "x,y\n");
+}
+
+}  // namespace
+}  // namespace hgp

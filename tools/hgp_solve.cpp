@@ -1,0 +1,144 @@
+// hgp_solve — command-line front end.
+//
+//   hgp_solve --graph tasks.metis --deg 2,4,2 --cm 10,4,1,0
+//             [--algo hgp|greedy|multilevel|rb|random] [--trees 4]
+//             [--units 8 | --epsilon 0.5] [--seed 1] [--out placement.txt]
+//
+// Reads a METIS task graph (vertex weights = demands scaled by 1/1000,
+// edge weights = communication volumes), solves the placement against the
+// given hierarchy, prints a per-level load/cost report, and optionally
+// writes the placement in the library's "task leaf" format.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baseline/greedy.hpp"
+#include "baseline/multilevel.hpp"
+#include "baseline/random_placement.hpp"
+#include "baseline/recursive_bisection.hpp"
+#include "core/solver.hpp"
+#include "graph/io.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/placement_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --graph FILE --deg D0,D1,... --cm C0,C1,...,Ch\n"
+      "          [--algo hgp|greedy|multilevel|rb|random] [--trees N]\n"
+      "          [--units U | --epsilon E] [--seed S] [--out FILE]\n",
+      argv0);
+  std::exit(2);
+}
+
+std::vector<double> parse_list(const std::string& s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(std::stod(s.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hgp;
+  std::string graph_path, out_path, algo = "hgp";
+  std::string deg_spec, cm_spec;
+  int trees = 4;
+  double epsilon = 0.5;
+  DemandUnits units = 8;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--graph")) graph_path = need("--graph");
+    else if (!std::strcmp(argv[i], "--deg")) deg_spec = need("--deg");
+    else if (!std::strcmp(argv[i], "--cm")) cm_spec = need("--cm");
+    else if (!std::strcmp(argv[i], "--algo")) algo = need("--algo");
+    else if (!std::strcmp(argv[i], "--trees")) trees = std::atoi(need("--trees").c_str());
+    else if (!std::strcmp(argv[i], "--units")) units = std::atoll(need("--units").c_str());
+    else if (!std::strcmp(argv[i], "--epsilon")) { epsilon = std::stod(need("--epsilon")); units = 0; }
+    else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(need("--seed").c_str(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--out")) out_path = need("--out");
+    else usage(argv[0]);
+  }
+  if (graph_path.empty() || deg_spec.empty() || cm_spec.empty()) usage(argv[0]);
+
+  try {
+    const Graph g = io::read_metis_file(graph_path);
+    std::vector<int> deg;
+    for (double d : parse_list(deg_spec)) deg.push_back(static_cast<int>(d));
+    const Hierarchy h(deg, parse_list(cm_spec));
+    std::printf("graph: %d tasks, %d edges, total demand %.2f\n",
+                g.vertex_count(), g.edge_count(), g.total_demand());
+    std::printf("machine: %s\n", h.to_string().c_str());
+
+    Placement p;
+    if (algo == "hgp") {
+      SolverOptions opt;
+      opt.num_trees = trees;
+      opt.epsilon = epsilon;
+      opt.units_override = units;
+      opt.seed = seed;
+      p = solve_hgp(g, h, opt).placement;
+    } else if (algo == "greedy") {
+      p = greedy_placement(g, h);
+    } else if (algo == "multilevel") {
+      Rng rng(seed);
+      p = multilevel_placement(g, h, rng);
+    } else if (algo == "rb") {
+      Rng rng(seed);
+      p = recursive_bisection_placement(g, h, rng);
+    } else if (algo == "random") {
+      Rng rng(seed);
+      p = random_placement(g, h, rng);
+    } else {
+      std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
+      usage(argv[0]);
+    }
+
+    const double cost = placement_cost(g, h, p);
+    const LoadReport loads = load_report(g, h, p);
+    std::printf("\nalgorithm: %s\ncommunication cost: %.3f\n", algo.c_str(),
+                cost);
+    Table table({"level", "nodes", "capacity", "max load", "violation"});
+    for (int j = 0; j <= h.height(); ++j) {
+      double max_load = 0;
+      for (double x : loads.load[static_cast<std::size_t>(j)]) {
+        max_load = std::max(max_load, x);
+      }
+      table.row()
+          .add(j)
+          .add(static_cast<std::int64_t>(h.nodes_at(j)))
+          .add(static_cast<std::int64_t>(h.capacity(j)))
+          .add(max_load)
+          .add(loads.violation[static_cast<std::size_t>(j)], 3);
+    }
+    table.print();
+
+    if (!out_path.empty()) {
+      io::write_placement_file(p, out_path);
+      std::printf("\nplacement written to %s\n", out_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
