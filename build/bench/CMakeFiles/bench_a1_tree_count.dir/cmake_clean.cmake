@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_tree_count.dir/bench_a1_tree_count.cpp.o"
+  "CMakeFiles/bench_a1_tree_count.dir/bench_a1_tree_count.cpp.o.d"
+  "bench_a1_tree_count"
+  "bench_a1_tree_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_tree_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

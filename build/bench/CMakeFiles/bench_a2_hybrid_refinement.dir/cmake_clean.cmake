@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_hybrid_refinement.dir/bench_a2_hybrid_refinement.cpp.o"
+  "CMakeFiles/bench_a2_hybrid_refinement.dir/bench_a2_hybrid_refinement.cpp.o.d"
+  "bench_a2_hybrid_refinement"
+  "bench_a2_hybrid_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_hybrid_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_pruning.dir/bench_a3_pruning.cpp.o"
+  "CMakeFiles/bench_a3_pruning.dir/bench_a3_pruning.cpp.o.d"
+  "bench_a3_pruning"
+  "bench_a3_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

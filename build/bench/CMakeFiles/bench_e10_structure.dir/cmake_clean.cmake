@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_structure.dir/bench_e10_structure.cpp.o"
+  "CMakeFiles/bench_e10_structure.dir/bench_e10_structure.cpp.o.d"
+  "bench_e10_structure"
+  "bench_e10_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_tree_optimality.dir/bench_e1_tree_optimality.cpp.o"
+  "CMakeFiles/bench_e1_tree_optimality.dir/bench_e1_tree_optimality.cpp.o.d"
+  "bench_e1_tree_optimality"
+  "bench_e1_tree_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_tree_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

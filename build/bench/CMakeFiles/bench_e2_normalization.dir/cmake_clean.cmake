@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_normalization.dir/bench_e2_normalization.cpp.o"
+  "CMakeFiles/bench_e2_normalization.dir/bench_e2_normalization.cpp.o.d"
+  "bench_e2_normalization"
+  "bench_e2_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_cost_identity.dir/bench_e3_cost_identity.cpp.o"
+  "CMakeFiles/bench_e3_cost_identity.dir/bench_e3_cost_identity.cpp.o.d"
+  "bench_e3_cost_identity"
+  "bench_e3_cost_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_cost_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

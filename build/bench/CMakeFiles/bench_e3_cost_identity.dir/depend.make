@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e3_cost_identity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_conversion.dir/bench_e4_conversion.cpp.o"
+  "CMakeFiles/bench_e4_conversion.dir/bench_e4_conversion.cpp.o.d"
+  "bench_e4_conversion"
+  "bench_e4_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_end_to_end_ratio.dir/bench_e5_end_to_end_ratio.cpp.o"
+  "CMakeFiles/bench_e5_end_to_end_ratio.dir/bench_e5_end_to_end_ratio.cpp.o.d"
+  "bench_e5_end_to_end_ratio"
+  "bench_e5_end_to_end_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_end_to_end_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e5_end_to_end_ratio.
+# This may be replaced when dependencies are built.

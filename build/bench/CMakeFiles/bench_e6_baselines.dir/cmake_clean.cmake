@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_baselines.dir/bench_e6_baselines.cpp.o"
+  "CMakeFiles/bench_e6_baselines.dir/bench_e6_baselines.cpp.o.d"
+  "bench_e6_baselines"
+  "bench_e6_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e8_kbgp_special_case.
+# This may be replaced when dependencies are built.

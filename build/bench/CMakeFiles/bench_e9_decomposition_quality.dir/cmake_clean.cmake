@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_decomposition_quality.dir/bench_e9_decomposition_quality.cpp.o"
+  "CMakeFiles/bench_e9_decomposition_quality.dir/bench_e9_decomposition_quality.cpp.o.d"
+  "bench_e9_decomposition_quality"
+  "bench_e9_decomposition_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_decomposition_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f1_cost_vs_n.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_violation_vs_h.dir/bench_f2_violation_vs_h.cpp.o"
+  "CMakeFiles/bench_f2_violation_vs_h.dir/bench_f2_violation_vs_h.cpp.o.d"
+  "bench_f2_violation_vs_h"
+  "bench_f2_violation_vs_h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_violation_vs_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f2_violation_vs_h.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter.dir/datacenter.cpp.o"
+  "CMakeFiles/datacenter.dir/datacenter.cpp.o.d"
+  "datacenter"
+  "datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_pinning.dir/numa_pinning.cpp.o"
+  "CMakeFiles/numa_pinning.dir/numa_pinning.cpp.o.d"
+  "numa_pinning"
+  "numa_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_pipeline.dir/stream_pipeline.cpp.o"
+  "CMakeFiles/stream_pipeline.dir/stream_pipeline.cpp.o.d"
+  "stream_pipeline"
+  "stream_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

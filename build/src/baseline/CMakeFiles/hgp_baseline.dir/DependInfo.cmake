@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/exact.cpp" "src/baseline/CMakeFiles/hgp_baseline.dir/exact.cpp.o" "gcc" "src/baseline/CMakeFiles/hgp_baseline.dir/exact.cpp.o.d"
+  "/root/repo/src/baseline/greedy.cpp" "src/baseline/CMakeFiles/hgp_baseline.dir/greedy.cpp.o" "gcc" "src/baseline/CMakeFiles/hgp_baseline.dir/greedy.cpp.o.d"
+  "/root/repo/src/baseline/local_search.cpp" "src/baseline/CMakeFiles/hgp_baseline.dir/local_search.cpp.o" "gcc" "src/baseline/CMakeFiles/hgp_baseline.dir/local_search.cpp.o.d"
+  "/root/repo/src/baseline/multilevel.cpp" "src/baseline/CMakeFiles/hgp_baseline.dir/multilevel.cpp.o" "gcc" "src/baseline/CMakeFiles/hgp_baseline.dir/multilevel.cpp.o.d"
+  "/root/repo/src/baseline/random_placement.cpp" "src/baseline/CMakeFiles/hgp_baseline.dir/random_placement.cpp.o" "gcc" "src/baseline/CMakeFiles/hgp_baseline.dir/random_placement.cpp.o.d"
+  "/root/repo/src/baseline/recursive_bisection.cpp" "src/baseline/CMakeFiles/hgp_baseline.dir/recursive_bisection.cpp.o" "gcc" "src/baseline/CMakeFiles/hgp_baseline.dir/recursive_bisection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hgp_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/hgp_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hgp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hgp_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

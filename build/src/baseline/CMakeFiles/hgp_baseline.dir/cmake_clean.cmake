@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgp_baseline.dir/exact.cpp.o"
+  "CMakeFiles/hgp_baseline.dir/exact.cpp.o.d"
+  "CMakeFiles/hgp_baseline.dir/greedy.cpp.o"
+  "CMakeFiles/hgp_baseline.dir/greedy.cpp.o.d"
+  "CMakeFiles/hgp_baseline.dir/local_search.cpp.o"
+  "CMakeFiles/hgp_baseline.dir/local_search.cpp.o.d"
+  "CMakeFiles/hgp_baseline.dir/multilevel.cpp.o"
+  "CMakeFiles/hgp_baseline.dir/multilevel.cpp.o.d"
+  "CMakeFiles/hgp_baseline.dir/random_placement.cpp.o"
+  "CMakeFiles/hgp_baseline.dir/random_placement.cpp.o.d"
+  "CMakeFiles/hgp_baseline.dir/recursive_bisection.cpp.o"
+  "CMakeFiles/hgp_baseline.dir/recursive_bisection.cpp.o.d"
+  "libhgp_baseline.a"
+  "libhgp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

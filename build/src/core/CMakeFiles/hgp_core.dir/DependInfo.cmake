@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/all_nodes.cpp" "src/core/CMakeFiles/hgp_core.dir/all_nodes.cpp.o" "gcc" "src/core/CMakeFiles/hgp_core.dir/all_nodes.cpp.o.d"
+  "/root/repo/src/core/binarize.cpp" "src/core/CMakeFiles/hgp_core.dir/binarize.cpp.o" "gcc" "src/core/CMakeFiles/hgp_core.dir/binarize.cpp.o.d"
+  "/root/repo/src/core/convert.cpp" "src/core/CMakeFiles/hgp_core.dir/convert.cpp.o" "gcc" "src/core/CMakeFiles/hgp_core.dir/convert.cpp.o.d"
+  "/root/repo/src/core/demand.cpp" "src/core/CMakeFiles/hgp_core.dir/demand.cpp.o" "gcc" "src/core/CMakeFiles/hgp_core.dir/demand.cpp.o.d"
+  "/root/repo/src/core/rhgpt.cpp" "src/core/CMakeFiles/hgp_core.dir/rhgpt.cpp.o" "gcc" "src/core/CMakeFiles/hgp_core.dir/rhgpt.cpp.o.d"
+  "/root/repo/src/core/signature.cpp" "src/core/CMakeFiles/hgp_core.dir/signature.cpp.o" "gcc" "src/core/CMakeFiles/hgp_core.dir/signature.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/hgp_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/hgp_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/tree_dp.cpp" "src/core/CMakeFiles/hgp_core.dir/tree_dp.cpp.o" "gcc" "src/core/CMakeFiles/hgp_core.dir/tree_dp.cpp.o.d"
+  "/root/repo/src/core/tree_solver.cpp" "src/core/CMakeFiles/hgp_core.dir/tree_solver.cpp.o" "gcc" "src/core/CMakeFiles/hgp_core.dir/tree_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hgp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/hgp_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hgp_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hgp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

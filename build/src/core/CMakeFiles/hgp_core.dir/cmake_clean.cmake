@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgp_core.dir/all_nodes.cpp.o"
+  "CMakeFiles/hgp_core.dir/all_nodes.cpp.o.d"
+  "CMakeFiles/hgp_core.dir/binarize.cpp.o"
+  "CMakeFiles/hgp_core.dir/binarize.cpp.o.d"
+  "CMakeFiles/hgp_core.dir/convert.cpp.o"
+  "CMakeFiles/hgp_core.dir/convert.cpp.o.d"
+  "CMakeFiles/hgp_core.dir/demand.cpp.o"
+  "CMakeFiles/hgp_core.dir/demand.cpp.o.d"
+  "CMakeFiles/hgp_core.dir/rhgpt.cpp.o"
+  "CMakeFiles/hgp_core.dir/rhgpt.cpp.o.d"
+  "CMakeFiles/hgp_core.dir/signature.cpp.o"
+  "CMakeFiles/hgp_core.dir/signature.cpp.o.d"
+  "CMakeFiles/hgp_core.dir/solver.cpp.o"
+  "CMakeFiles/hgp_core.dir/solver.cpp.o.d"
+  "CMakeFiles/hgp_core.dir/tree_dp.cpp.o"
+  "CMakeFiles/hgp_core.dir/tree_dp.cpp.o.d"
+  "CMakeFiles/hgp_core.dir/tree_solver.cpp.o"
+  "CMakeFiles/hgp_core.dir/tree_solver.cpp.o.d"
+  "libhgp_core.a"
+  "libhgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

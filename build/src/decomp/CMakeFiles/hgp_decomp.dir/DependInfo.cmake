@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/builder.cpp" "src/decomp/CMakeFiles/hgp_decomp.dir/builder.cpp.o" "gcc" "src/decomp/CMakeFiles/hgp_decomp.dir/builder.cpp.o.d"
+  "/root/repo/src/decomp/cutter.cpp" "src/decomp/CMakeFiles/hgp_decomp.dir/cutter.cpp.o" "gcc" "src/decomp/CMakeFiles/hgp_decomp.dir/cutter.cpp.o.d"
+  "/root/repo/src/decomp/decomp_tree.cpp" "src/decomp/CMakeFiles/hgp_decomp.dir/decomp_tree.cpp.o" "gcc" "src/decomp/CMakeFiles/hgp_decomp.dir/decomp_tree.cpp.o.d"
+  "/root/repo/src/decomp/frt.cpp" "src/decomp/CMakeFiles/hgp_decomp.dir/frt.cpp.o" "gcc" "src/decomp/CMakeFiles/hgp_decomp.dir/frt.cpp.o.d"
+  "/root/repo/src/decomp/quality.cpp" "src/decomp/CMakeFiles/hgp_decomp.dir/quality.cpp.o" "gcc" "src/decomp/CMakeFiles/hgp_decomp.dir/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hgp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hgp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

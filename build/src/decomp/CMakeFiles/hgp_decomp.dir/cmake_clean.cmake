@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgp_decomp.dir/builder.cpp.o"
+  "CMakeFiles/hgp_decomp.dir/builder.cpp.o.d"
+  "CMakeFiles/hgp_decomp.dir/cutter.cpp.o"
+  "CMakeFiles/hgp_decomp.dir/cutter.cpp.o.d"
+  "CMakeFiles/hgp_decomp.dir/decomp_tree.cpp.o"
+  "CMakeFiles/hgp_decomp.dir/decomp_tree.cpp.o.d"
+  "CMakeFiles/hgp_decomp.dir/frt.cpp.o"
+  "CMakeFiles/hgp_decomp.dir/frt.cpp.o.d"
+  "CMakeFiles/hgp_decomp.dir/quality.cpp.o"
+  "CMakeFiles/hgp_decomp.dir/quality.cpp.o.d"
+  "libhgp_decomp.a"
+  "libhgp_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgp_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

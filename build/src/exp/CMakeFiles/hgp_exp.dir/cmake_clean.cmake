@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgp_exp.dir/algorithms.cpp.o"
+  "CMakeFiles/hgp_exp.dir/algorithms.cpp.o.d"
+  "CMakeFiles/hgp_exp.dir/report.cpp.o"
+  "CMakeFiles/hgp_exp.dir/report.cpp.o.d"
+  "CMakeFiles/hgp_exp.dir/workloads.cpp.o"
+  "CMakeFiles/hgp_exp.dir/workloads.cpp.o.d"
+  "libhgp_exp.a"
+  "libhgp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/hgp_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/hgp_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/gomory_hu.cpp" "src/graph/CMakeFiles/hgp_graph.dir/gomory_hu.cpp.o" "gcc" "src/graph/CMakeFiles/hgp_graph.dir/gomory_hu.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/hgp_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/hgp_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/hgp_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/hgp_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/maxflow.cpp" "src/graph/CMakeFiles/hgp_graph.dir/maxflow.cpp.o" "gcc" "src/graph/CMakeFiles/hgp_graph.dir/maxflow.cpp.o.d"
+  "/root/repo/src/graph/mincut.cpp" "src/graph/CMakeFiles/hgp_graph.dir/mincut.cpp.o" "gcc" "src/graph/CMakeFiles/hgp_graph.dir/mincut.cpp.o.d"
+  "/root/repo/src/graph/spectral.cpp" "src/graph/CMakeFiles/hgp_graph.dir/spectral.cpp.o" "gcc" "src/graph/CMakeFiles/hgp_graph.dir/spectral.cpp.o.d"
+  "/root/repo/src/graph/tree.cpp" "src/graph/CMakeFiles/hgp_graph.dir/tree.cpp.o" "gcc" "src/graph/CMakeFiles/hgp_graph.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgp_graph.dir/generators.cpp.o"
+  "CMakeFiles/hgp_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/hgp_graph.dir/gomory_hu.cpp.o"
+  "CMakeFiles/hgp_graph.dir/gomory_hu.cpp.o.d"
+  "CMakeFiles/hgp_graph.dir/graph.cpp.o"
+  "CMakeFiles/hgp_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/hgp_graph.dir/io.cpp.o"
+  "CMakeFiles/hgp_graph.dir/io.cpp.o.d"
+  "CMakeFiles/hgp_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/hgp_graph.dir/maxflow.cpp.o.d"
+  "CMakeFiles/hgp_graph.dir/mincut.cpp.o"
+  "CMakeFiles/hgp_graph.dir/mincut.cpp.o.d"
+  "CMakeFiles/hgp_graph.dir/spectral.cpp.o"
+  "CMakeFiles/hgp_graph.dir/spectral.cpp.o.d"
+  "CMakeFiles/hgp_graph.dir/tree.cpp.o"
+  "CMakeFiles/hgp_graph.dir/tree.cpp.o.d"
+  "libhgp_graph.a"
+  "libhgp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/cost.cpp" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/cost.cpp.o" "gcc" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/cost.cpp.o.d"
+  "/root/repo/src/hierarchy/diagnostics.cpp" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/diagnostics.cpp.o" "gcc" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/hierarchy/hierarchy.cpp" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/hierarchy.cpp.o" "gcc" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/hierarchy/mirror.cpp" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/mirror.cpp.o" "gcc" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/mirror.cpp.o.d"
+  "/root/repo/src/hierarchy/placement.cpp" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/placement.cpp.o" "gcc" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/placement.cpp.o.d"
+  "/root/repo/src/hierarchy/placement_io.cpp" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/placement_io.cpp.o" "gcc" "src/hierarchy/CMakeFiles/hgp_hierarchy.dir/placement_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hgp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hgp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

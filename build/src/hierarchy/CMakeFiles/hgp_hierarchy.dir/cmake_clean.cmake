@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgp_hierarchy.dir/cost.cpp.o"
+  "CMakeFiles/hgp_hierarchy.dir/cost.cpp.o.d"
+  "CMakeFiles/hgp_hierarchy.dir/diagnostics.cpp.o"
+  "CMakeFiles/hgp_hierarchy.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/hgp_hierarchy.dir/hierarchy.cpp.o"
+  "CMakeFiles/hgp_hierarchy.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/hgp_hierarchy.dir/mirror.cpp.o"
+  "CMakeFiles/hgp_hierarchy.dir/mirror.cpp.o.d"
+  "CMakeFiles/hgp_hierarchy.dir/placement.cpp.o"
+  "CMakeFiles/hgp_hierarchy.dir/placement.cpp.o.d"
+  "CMakeFiles/hgp_hierarchy.dir/placement_io.cpp.o"
+  "CMakeFiles/hgp_hierarchy.dir/placement_io.cpp.o.d"
+  "libhgp_hierarchy.a"
+  "libhgp_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgp_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgp_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/hgp_parallel.dir/thread_pool.cpp.o.d"
+  "libhgp_parallel.a"
+  "libhgp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

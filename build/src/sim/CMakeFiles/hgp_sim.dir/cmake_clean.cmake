@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgp_sim.dir/throughput.cpp.o"
+  "CMakeFiles/hgp_sim.dir/throughput.cpp.o.d"
+  "libhgp_sim.a"
+  "libhgp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

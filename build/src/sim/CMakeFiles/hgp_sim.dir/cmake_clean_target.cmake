@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhgp_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgp_util.dir/csv.cpp.o"
+  "CMakeFiles/hgp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hgp_util.dir/log.cpp.o"
+  "CMakeFiles/hgp_util.dir/log.cpp.o.d"
+  "CMakeFiles/hgp_util.dir/table.cpp.o"
+  "CMakeFiles/hgp_util.dir/table.cpp.o.d"
+  "libhgp_util.a"
+  "libhgp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

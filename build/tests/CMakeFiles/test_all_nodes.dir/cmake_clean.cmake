@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_all_nodes.dir/test_all_nodes.cpp.o"
+  "CMakeFiles/test_all_nodes.dir/test_all_nodes.cpp.o.d"
+  "test_all_nodes"
+  "test_all_nodes.pdb"
+  "test_all_nodes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_all_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binarize.dir/test_binarize.cpp.o"
+  "CMakeFiles/test_binarize.dir/test_binarize.cpp.o.d"
+  "test_binarize"
+  "test_binarize.pdb"
+  "test_binarize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binarize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

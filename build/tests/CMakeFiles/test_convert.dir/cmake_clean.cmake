@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convert.dir/test_convert.cpp.o"
+  "CMakeFiles/test_convert.dir/test_convert.cpp.o.d"
+  "test_convert"
+  "test_convert.pdb"
+  "test_convert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

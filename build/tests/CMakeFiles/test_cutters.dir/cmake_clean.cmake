@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cutters.dir/test_cutters.cpp.o"
+  "CMakeFiles/test_cutters.dir/test_cutters.cpp.o.d"
+  "test_cutters"
+  "test_cutters.pdb"
+  "test_cutters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cutters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_demand.dir/test_demand.cpp.o"
+  "CMakeFiles/test_demand.dir/test_demand.cpp.o.d"
+  "test_demand"
+  "test_demand.pdb"
+  "test_demand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

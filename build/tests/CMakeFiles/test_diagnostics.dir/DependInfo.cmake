@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_diagnostics.cpp" "tests/CMakeFiles/test_diagnostics.dir/test_diagnostics.cpp.o" "gcc" "tests/CMakeFiles/test_diagnostics.dir/test_diagnostics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hgp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hgp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hgp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/hgp_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/hgp_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hgp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/hgp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hgp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

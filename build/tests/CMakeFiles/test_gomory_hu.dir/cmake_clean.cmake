@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gomory_hu.dir/test_gomory_hu.cpp.o"
+  "CMakeFiles/test_gomory_hu.dir/test_gomory_hu.cpp.o.d"
+  "test_gomory_hu"
+  "test_gomory_hu.pdb"
+  "test_gomory_hu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gomory_hu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

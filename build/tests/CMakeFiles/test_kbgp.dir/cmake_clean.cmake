@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kbgp.dir/test_kbgp.cpp.o"
+  "CMakeFiles/test_kbgp.dir/test_kbgp.cpp.o.d"
+  "test_kbgp"
+  "test_kbgp.pdb"
+  "test_kbgp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kbgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mirror.dir/test_mirror.cpp.o"
+  "CMakeFiles/test_mirror.dir/test_mirror.cpp.o.d"
+  "test_mirror"
+  "test_mirror.pdb"
+  "test_mirror[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement_cost.dir/test_placement_cost.cpp.o"
+  "CMakeFiles/test_placement_cost.dir/test_placement_cost.cpp.o.d"
+  "test_placement_cost"
+  "test_placement_cost.pdb"
+  "test_placement_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

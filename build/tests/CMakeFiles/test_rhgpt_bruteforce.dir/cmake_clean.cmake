@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rhgpt_bruteforce.dir/test_rhgpt_bruteforce.cpp.o"
+  "CMakeFiles/test_rhgpt_bruteforce.dir/test_rhgpt_bruteforce.cpp.o.d"
+  "test_rhgpt_bruteforce"
+  "test_rhgpt_bruteforce.pdb"
+  "test_rhgpt_bruteforce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rhgpt_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signature.dir/test_signature.cpp.o"
+  "CMakeFiles/test_signature.dir/test_signature.cpp.o.d"
+  "test_signature"
+  "test_signature.pdb"
+  "test_signature[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

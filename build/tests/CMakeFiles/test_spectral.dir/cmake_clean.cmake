@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectral.dir/test_spectral.cpp.o"
+  "CMakeFiles/test_spectral.dir/test_spectral.cpp.o.d"
+  "test_spectral"
+  "test_spectral.pdb"
+  "test_spectral[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

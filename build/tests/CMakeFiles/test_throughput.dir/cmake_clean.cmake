@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_throughput.dir/test_throughput.cpp.o"
+  "CMakeFiles/test_throughput.dir/test_throughput.cpp.o.d"
+  "test_throughput"
+  "test_throughput.pdb"
+  "test_throughput[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

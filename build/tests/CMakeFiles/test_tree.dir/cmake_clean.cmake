@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree.dir/test_tree.cpp.o"
+  "CMakeFiles/test_tree.dir/test_tree.cpp.o.d"
+  "test_tree"
+  "test_tree.pdb"
+  "test_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

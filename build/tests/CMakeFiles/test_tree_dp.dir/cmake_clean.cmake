@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_dp.dir/test_tree_dp.cpp.o"
+  "CMakeFiles/test_tree_dp.dir/test_tree_dp.cpp.o.d"
+  "test_tree_dp"
+  "test_tree_dp.pdb"
+  "test_tree_dp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

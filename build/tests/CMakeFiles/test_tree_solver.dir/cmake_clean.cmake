@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_solver.dir/test_tree_solver.cpp.o"
+  "CMakeFiles/test_tree_solver.dir/test_tree_solver.cpp.o.d"
+  "test_tree_solver"
+  "test_tree_solver.pdb"
+  "test_tree_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgp_solve.dir/hgp_solve.cpp.o"
+  "CMakeFiles/hgp_solve.dir/hgp_solve.cpp.o.d"
+  "hgp_solve"
+  "hgp_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgp_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

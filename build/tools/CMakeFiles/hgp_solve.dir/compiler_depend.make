@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hgp_solve.
+# This may be replaced when dependencies are built.
