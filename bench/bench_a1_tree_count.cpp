@@ -6,7 +6,7 @@
 // most of the benefit in the first few samples.
 #include <cstdio>
 
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "exp/report.hpp"
 #include "exp/workloads.hpp"
 #include "util/table.hpp"

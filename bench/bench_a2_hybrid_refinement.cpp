@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "baseline/local_search.hpp"
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "exp/report.hpp"
 #include "exp/workloads.hpp"
 #include "util/table.hpp"

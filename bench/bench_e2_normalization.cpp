@@ -6,7 +6,7 @@
 // equals the normalized run plus the constant.
 #include <cstdio>
 
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "exp/report.hpp"
 #include "exp/workloads.hpp"
 #include "hierarchy/cost.hpp"

@@ -9,7 +9,7 @@
 
 #include <functional>
 
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "decomp/builder.hpp"
 #include "decomp/frt.hpp"
 #include "decomp/quality.hpp"

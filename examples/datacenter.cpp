@@ -9,7 +9,7 @@
 #include <cstdlib>
 
 #include "baseline/multilevel.hpp"
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "graph/generators.hpp"
 #include "hierarchy/cost.hpp"
 #include "util/table.hpp"

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "graph/generators.hpp"
 #include "hierarchy/cost.hpp"
 #include "util/table.hpp"

@@ -6,7 +6,7 @@
 // Walks through the whole public API in ~60 lines.
 #include <cstdio>
 
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "hierarchy/cost.hpp"
 
 int main() {

@@ -11,7 +11,7 @@
 
 #include "baseline/greedy.hpp"
 #include "baseline/random_placement.hpp"
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "exp/workloads.hpp"
 #include "graph/generators.hpp"
 #include "hierarchy/cost.hpp"

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Builds the tree with ASan+UBSan (the asan-ubsan preset) and runs the
+# test suite under it.  The resilience layer's unwinding paths —
+# exceptions crossing thread-pool futures, abandoned DP tables — are the
+# main customers.
+# Usage: scripts/check_sanitizers.sh [extra ctest args...]
+set -eu
+cd "$(dirname "$0")/.."
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan -j "$(nproc)" "$@"

@@ -83,6 +83,7 @@ Placement multilevel_placement(const Graph& g, const Hierarchy& h, Rng& rng,
   std::vector<CoarseLevel> levels;
   const Graph* current = &g;
   while (current->vertex_count() > opt.coarsen_target) {
+    if (opt.exec != nullptr) opt.exec->check("multilevel coarsening");
     CoarseLevel next;
     if (!coarsen_once(*current, opt.capacity_factor, rng, next)) break;
     levels.push_back(std::move(next));
@@ -103,6 +104,7 @@ Placement multilevel_placement(const Graph& g, const Hierarchy& h, Rng& rng,
 
   // Uncoarsening: project and refine at every level.
   for (std::size_t li = levels.size(); li-- > 0;) {
+    if (opt.exec != nullptr) opt.exec->check("multilevel uncoarsening");
     const Graph& fine = li == 0 ? g : levels[li - 1].graph;
     Placement projected;
     projected.leaf_of.assign(

@@ -8,6 +8,7 @@
 
 #include "graph/graph.hpp"
 #include "hierarchy/placement.hpp"
+#include "util/deadline.hpp"
 #include "util/prng.hpp"
 
 namespace hgp {
@@ -18,6 +19,12 @@ struct MultilevelOptions {
   Vertex coarsen_target = 64;
   int refine_passes = 4;
   double capacity_factor = 1.0;
+  /// Cooperative deadline/cancellation, polled once per coarsening round
+  /// and per uncoarsening level.  nullptr = unconstrained.  (The solver's
+  /// fallback chain deliberately passes nullptr: by the time multilevel
+  /// runs as a fallback the deadline is already gone, and the caller wants
+  /// a feasible placement more than punctuality.)
+  const ExecContext* exec = nullptr;
 };
 
 Placement multilevel_placement(const Graph& g, const Hierarchy& h, Rng& rng,

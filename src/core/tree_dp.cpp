@@ -123,6 +123,8 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
                          const TreeDpOptions& opt) {
   const int height = h.height();
   TreeDpResult result;
+  if (opt.exec != nullptr) opt.exec->check("tree DP setup");
+  PeriodicCheck guard(opt.exec, "tree DP merge loop", 4096);
 
   // 1. Binarize and round demands (leaf demands are identical after
   //    binarization, only node ids differ).
@@ -130,10 +132,13 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
   const Tree& bt = bin.tree;
   const ScaledDemands sd =
       scale_demands(bt, h, opt.epsilon, opt.units_override);
-  HGP_CHECK_MSG(sd.total <= sd.capacity_at(0),
-                "instance infeasible: total rounded demand "
-                    << sd.total << " units exceeds hierarchy capacity "
-                    << sd.capacity_at(0) << " units");
+  if (sd.total > sd.capacity_at(0)) {
+    std::ostringstream os;
+    os << "instance infeasible: total rounded demand " << sd.total
+       << " units exceeds hierarchy capacity " << sd.capacity_at(0)
+       << " units";
+    throw SolveError(StatusCode::kInfeasible, os.str());
+  }
 
   // 2. Signature space and the Δ/2 prefix sums.
   const SignatureSpace space(sd, height);
@@ -148,6 +153,7 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
   std::vector<NodeTable> tables(static_cast<std::size_t>(bt.node_count()));
   for (auto it = bt.preorder().rbegin(); it != bt.preorder().rend(); ++it) {
     const Vertex v = *it;
+    guard.tick();
     NodeTable& table = tables[static_cast<std::size_t>(v)];
     table.cost.assign(space.size(), kInf);
     table.back_dense.assign(space.size(), Back{});
@@ -156,8 +162,10 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
     if (kids.empty()) {
       const std::size_t sig =
           space.uniform_id(sd.units[static_cast<std::size_t>(v)]);
-      HGP_CHECK_MSG(sig != SignatureSpace::npos,
-                    "leaf demand exceeds a level capacity");
+      if (sig == SignatureSpace::npos) {
+        throw SolveError(StatusCode::kInfeasible,
+                         "leaf demand exceeds a level capacity");
+      }
       relax(table, sig, 0.0, Back{});
     } else if (kids.size() == 1) {
       const Vertex c = kids[0];
@@ -181,6 +189,7 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
             relax(table, up, ct.cost[s1] + closing + surviving,
                   Back{s1, kNoSig, narrow<std::int8_t>(j1), -1});
             ++result.stats.merge_operations;
+            guard.tick();
           }
         }
       }
@@ -220,6 +229,7 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
               for (int pv = pv_lo; pv <= pv_hi; ++pv) {
                 const std::size_t up = space.merge(s1, j1, s2, j2, pv);
                 ++result.stats.merge_operations;
+                guard.tick();
                 if (up == SignatureSpace::npos) continue;
                 const double surviving =
                     w1 * (ps[static_cast<std::size_t>(pv)] -
@@ -252,9 +262,11 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
       best_sig = s;
     }
   }
-  HGP_CHECK_MSG(best_sig != SignatureSpace::npos,
-                "no feasible RHGPT solution (capacities too tight for the "
-                "rounded demands)");
+  if (best_sig == SignatureSpace::npos) {
+    throw SolveError(StatusCode::kInfeasible,
+                     "no feasible RHGPT solution (capacities too tight for "
+                     "the rounded demands)");
+  }
   result.cost = best_cost;
 
   // 5. Reconstruct the family of collections by replaying back-pointers

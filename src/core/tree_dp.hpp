@@ -29,6 +29,7 @@
 #include "core/signature.hpp"
 #include "graph/tree.hpp"
 #include "hierarchy/hierarchy.hpp"
+#include "util/deadline.hpp"
 
 namespace hgp {
 
@@ -42,6 +43,9 @@ struct TreeDpOptions {
   /// ≥ demand, ≥ cost ⇒ dropped).  Provably lossless; off only for the
   /// pruning ablation benchmark.
   bool prune_dominated = true;
+  /// Cooperative deadline/cancellation; checked every few thousand merge
+  /// relaxations.  nullptr = unconstrained.  Must outlive the call.
+  const ExecContext* exec = nullptr;
 };
 
 struct TreeDpStats {
@@ -62,8 +66,10 @@ struct TreeDpResult {
 };
 
 /// Solves RHGPT on tree `t` against hierarchy `h`.
-/// Requires leaf demands on `t`; throws CheckError if the instance cannot
-/// fit (total rounded demand exceeds total hierarchy capacity).
+/// Requires leaf demands on `t`; throws SolveError(kInfeasible) if the
+/// instance cannot fit (total rounded demand exceeds total hierarchy
+/// capacity), SolveError{kDeadlineExceeded|kCancelled} when opt.exec says
+/// the budget is gone.
 TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
                          const TreeDpOptions& opt = {});
 

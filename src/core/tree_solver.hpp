@@ -14,6 +14,8 @@ namespace hgp {
 struct TreeSolverOptions {
   double epsilon = 0.25;
   DemandUnits units_override = 0;
+  /// Cooperative deadline/cancellation, forwarded to the DP.
+  const ExecContext* exec = nullptr;
 };
 
 struct TreeHgpSolution {

@@ -26,7 +26,8 @@ Weight boundary_of(const Graph& g, const std::vector<Vertex>& set,
 
 }  // namespace
 
-DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter) {
+DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter,
+                             const ExecContext* exec) {
   const Vertex n = g.vertex_count();
   HGP_CHECK_MSG(n >= 1, "cannot decompose the empty graph");
 
@@ -50,6 +51,7 @@ DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter) {
   }
 
   while (!stack.empty()) {
+    if (exec != nullptr) exec->check("decomposition tree build");
     Frame frame = std::move(stack.back());
     stack.pop_back();
     if (frame.vertices.size() == 1) {
@@ -101,7 +103,8 @@ DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter) {
 std::vector<DecompTree> build_decomposition_forest(const Graph& g, int count,
                                                    std::uint64_t seed,
                                                    const Cutter& cutter,
-                                                   ThreadPool* pool) {
+                                                   ThreadPool* pool,
+                                                   const ExecContext* exec) {
   HGP_CHECK(count >= 1);
   std::vector<DecompTree> forest;
   forest.reserve(static_cast<std::size_t>(count));
@@ -109,7 +112,7 @@ std::vector<DecompTree> build_decomposition_forest(const Graph& g, int count,
     Rng rng(seed);
     for (int i = 0; i < count; ++i) {
       Rng child = rng.fork(static_cast<std::uint64_t>(i));
-      forest.push_back(build_decomp_tree(g, child, cutter));
+      forest.push_back(build_decomp_tree(g, child, cutter, exec));
     }
     return forest;
   }
@@ -118,11 +121,13 @@ std::vector<DecompTree> build_decomposition_forest(const Graph& g, int count,
   for (int i = 0; i < count; ++i) {
     rngs.push_back(rng.fork(static_cast<std::uint64_t>(i)));
   }
-  auto built = parallel_map(*pool, static_cast<std::size_t>(count),
-                            [&](std::size_t i) {
-                              Rng local = rngs[i];
-                              return build_decomp_tree(g, local, cutter);
-                            });
+  auto built = parallel_map(
+      *pool, static_cast<std::size_t>(count),
+      [&](std::size_t i) {
+        Rng local = rngs[i];
+        return build_decomp_tree(g, local, cutter, exec);
+      },
+      exec);
   for (auto& t : built) forest.push_back(std::move(t));
   return forest;
 }

@@ -17,17 +17,20 @@
 #include "decomp/cutter.hpp"
 #include "decomp/decomp_tree.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/deadline.hpp"
 
 namespace hgp {
 
-/// Builds one decomposition tree of g.  Requires ≥ 1 vertex.
-DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter);
+/// Builds one decomposition tree of g.  Requires ≥ 1 vertex.  A non-null
+/// `exec` is polled once per recursion frame; expiry/cancellation unwinds
+/// with SolveError{kDeadlineExceeded|kCancelled}.
+DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter,
+                             const ExecContext* exec = nullptr);
 
 /// Builds `count` independent trees (seeds forked from `seed`), in parallel
 /// when a pool is supplied.
-std::vector<DecompTree> build_decomposition_forest(const Graph& g, int count,
-                                                   std::uint64_t seed,
-                                                   const Cutter& cutter,
-                                                   ThreadPool* pool = nullptr);
+std::vector<DecompTree> build_decomposition_forest(
+    const Graph& g, int count, std::uint64_t seed, const Cutter& cutter,
+    ThreadPool* pool = nullptr, const ExecContext* exec = nullptr);
 
 }  // namespace hgp

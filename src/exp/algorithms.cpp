@@ -5,7 +5,7 @@
 #include "baseline/multilevel.hpp"
 #include "baseline/random_placement.hpp"
 #include "baseline/recursive_bisection.hpp"
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "hierarchy/cost.hpp"
 #include "util/timer.hpp"
 

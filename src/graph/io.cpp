@@ -18,9 +18,11 @@ bool all_unit_weights(const Graph& g) {
   return true;
 }
 
-/// Reads the next non-comment line ('%' comments per METIS spec).
-bool next_line(std::istream& in, std::string& line) {
+/// Reads the next non-comment line ('%' comments per METIS spec),
+/// tracking the 1-based physical line number for error messages.
+bool next_line(std::istream& in, std::string& line, long long& lineno) {
   while (std::getline(in, line)) {
+    ++lineno;
     if (!line.empty() && line[0] == '%') continue;
     return true;
   }
@@ -68,11 +70,16 @@ void write_metis_file(const Graph& g, const std::string& path,
 Graph read_metis(std::istream& in, int demand_scale) {
   HGP_CHECK(demand_scale >= 1);
   std::string line;
-  HGP_CHECK_MSG(next_line(in, line), "METIS input: missing header");
+  long long lineno = 0;
+  HGP_CHECK_MSG(next_line(in, line, lineno), "METIS input: missing header");
   std::istringstream header(line);
   long long n = 0, m = 0;
   std::string fmt = "000";
-  header >> n >> m;
+  HGP_CHECK_MSG(static_cast<bool>(header >> n >> m),
+                "METIS input: malformed header '" << line << "' on line "
+                                                  << lineno);
+  HGP_CHECK_MSG(n >= 0 && m >= 0,
+                "METIS input: negative counts in header on line " << lineno);
   if (!(header >> fmt)) fmt = "000";
   while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
   const bool vertex_weights = fmt[1] == '1';
@@ -81,28 +88,55 @@ Graph read_metis(std::istream& in, int demand_scale) {
 
   GraphBuilder b(narrow<Vertex>(n));
   for (long long v = 0; v < n; ++v) {
-    HGP_CHECK_MSG(next_line(in, line),
-                  "METIS input: expected " << n << " vertex lines, got " << v);
+    HGP_CHECK_MSG(next_line(in, line, lineno),
+                  "METIS input: header declares " << n
+                                                  << " vertices but the body "
+                                                     "ends after "
+                                                  << v << " vertex lines");
     std::istringstream row(line);
     if (vertex_weights) {
       long long wv = 0;
       HGP_CHECK_MSG(static_cast<bool>(row >> wv),
-                    "METIS input: missing vertex weight on line " << v + 2);
+                    "METIS input: missing or malformed vertex weight on line "
+                        << lineno);
+      HGP_CHECK_MSG(wv >= 0, "METIS input: negative vertex weight "
+                                 << wv << " on line " << lineno);
       b.set_demand(narrow<Vertex>(v),
                    static_cast<double>(wv) / demand_scale);
     }
     long long to = 0;
     while (row >> to) {
-      HGP_CHECK_MSG(to >= 1 && to <= n, "METIS input: neighbour out of range");
+      HGP_CHECK_MSG(to >= 1 && to <= n,
+                    "METIS input: neighbour " << to << " out of range [1, "
+                                              << n << "] on line " << lineno);
       double wgt = 1.0;
       if (edge_weights) {
         HGP_CHECK_MSG(static_cast<bool>(row >> wgt),
-                      "METIS input: missing edge weight");
+                      "METIS input: missing edge weight on line " << lineno);
+        HGP_CHECK_MSG(std::isfinite(wgt) && wgt >= 0,
+                      "METIS input: edge weight "
+                          << wgt << " on line " << lineno
+                          << " must be finite and non-negative");
       }
       if (to - 1 > v) {  // each edge appears twice; keep one copy
         b.add_edge(narrow<Vertex>(v), narrow<Vertex>(to - 1), wgt);
       }
     }
+    // `row >> to` stops at either end-of-line (fine) or a non-numeric
+    // token; the latter used to silently drop the rest of the line.
+    if (!row.eof()) {
+      row.clear();
+      std::string junk;
+      row >> junk;
+      HGP_CHECK_MSG(junk.empty(), "METIS input: unexpected token '"
+                                      << junk << "' on line " << lineno);
+    }
+  }
+  while (next_line(in, line, lineno)) {
+    HGP_CHECK_MSG(line.find_first_not_of(" \t\r") == std::string::npos,
+                  "METIS input: header declares "
+                      << n << " vertices but line " << lineno
+                      << " holds extra data");
   }
   Graph g = b.build();
   HGP_CHECK_MSG(g.edge_count() == m,

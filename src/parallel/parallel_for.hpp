@@ -9,31 +9,45 @@
 
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
+#include "util/deadline.hpp"
 
 namespace hgp {
 
 /// Runs body(i) for i in [begin, end) across the pool, blocking until done.
 /// The range is split into contiguous chunks (one per worker by default).
 /// The first exception thrown by any chunk is rethrown on the caller.
+///
+/// A non-null `exec` makes the loop cooperative: every chunk checks
+/// cancellation before each item (an atomic load) and the deadline on a
+/// stride, so a cancel or expiry raised mid-loop stops the remaining work
+/// promptly and surfaces as SolveError{kCancelled|kDeadlineExceeded}.
+/// Items already dispatched to body() always run to completion.
 template <typename Body>
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const Body& body, std::size_t min_chunk = 1) {
+                  const Body& body, std::size_t min_chunk = 1,
+                  const ExecContext* exec = nullptr) {
   if (begin >= end) return;
+  auto run_range = [&body, exec](std::size_t lo, std::size_t hi) {
+    PeriodicCheck guard(exec, "parallel_for", 256);
+    for (std::size_t i = lo; i < hi; ++i) {
+      guard.tick();
+      body(i);
+    }
+  };
   const std::size_t n = end - begin;
   const std::size_t workers = std::max<std::size_t>(pool.thread_count(), 1);
   const std::size_t chunk =
       std::max(min_chunk, (n + workers - 1) / workers);
   if (pool.thread_count() == 0 || n <= chunk) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
+    run_range(begin, end);
     return;
   }
   std::vector<std::future<void>> futures;
   futures.reserve((n + chunk - 1) / chunk);
   for (std::size_t lo = begin; lo < end; lo += chunk) {
     const std::size_t hi = std::min(lo + chunk, end);
-    futures.push_back(pool.submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
+    futures.push_back(
+        pool.submit([lo, hi, &run_range] { run_range(lo, hi); }));
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {
@@ -49,16 +63,19 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
 /// parallel_for over the shared pool.
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, const Body& body,
-                  std::size_t min_chunk = 1) {
-  parallel_for(ThreadPool::shared(), begin, end, body, min_chunk);
+                  std::size_t min_chunk = 1,
+                  const ExecContext* exec = nullptr) {
+  parallel_for(ThreadPool::shared(), begin, end, body, min_chunk, exec);
 }
 
 /// Maps fn over [0, n) into a vector of results (fn(i) -> R).
 template <typename Fn>
-auto parallel_map(ThreadPool& pool, std::size_t n, const Fn& fn) {
+auto parallel_map(ThreadPool& pool, std::size_t n, const Fn& fn,
+                  const ExecContext* exec = nullptr) {
   using R = decltype(fn(std::size_t{0}));
   std::vector<R> out(n);
-  parallel_for(pool, 0, n, [&](std::size_t i) { out[i] = fn(i); });
+  parallel_for(
+      pool, 0, n, [&](std::size_t i) { out[i] = fn(i); }, 1, exec);
   return out;
 }
 

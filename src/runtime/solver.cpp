@@ -1,0 +1,224 @@
+#include "runtime/solver.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "baseline/greedy.hpp"
+#include "baseline/multilevel.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/fault_injector.hpp"
+#include "util/timer.hpp"
+
+namespace hgp {
+
+namespace {
+
+struct TreeOutcome {
+  Placement placement;
+  double cost = std::numeric_limits<double>::infinity();
+  TreeDpStats stats;
+};
+
+TreeOutcome solve_one_tree(const Graph& g, const Hierarchy& h,
+                           const DecompTree& dt,
+                           const TreeSolverOptions& tree_opt) {
+  const TreeHgpSolution sol = solve_hgpt(dt.tree(), h, tree_opt);
+  TreeOutcome out;
+  out.placement.leaf_of.assign(static_cast<std::size_t>(g.vertex_count()), 0);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    out.placement.leaf_of[static_cast<std::size_t>(v)] =
+        sol.assignment.of(dt.leaf_of_vertex(v));
+  }
+  // Judge every candidate by the true objective on G, not the tree cost
+  // (the tree cost over-estimates by the embedding stretch).
+  out.cost = placement_cost(g, h, out.placement);
+  out.stats = sol.stats;
+  return out;
+}
+
+/// Aggregates a full primary-pipeline failure into the one status the
+/// caller should see: a gone deadline dominates (the trees were killed, not
+/// broken), then a forest-build failure, then "every tree infeasible",
+/// then the first internal error.
+Status classify_total_failure(const ExecContext& exec,
+                              const Status& forest_status,
+                              const std::vector<TreeAttempt>& attempts) {
+  if (exec.deadline.expired()) {
+    return Status(StatusCode::kDeadlineExceeded,
+                  "deadline expired before any tree solve completed");
+  }
+  if (!forest_status.ok()) return forest_status;
+  bool all_infeasible = !attempts.empty();
+  for (const TreeAttempt& a : attempts) {
+    all_infeasible = all_infeasible && a.status == StatusCode::kInfeasible;
+  }
+  if (all_infeasible) {
+    return Status(StatusCode::kInfeasible,
+                  "every decomposition tree reported an infeasible "
+                  "instance: " +
+                      attempts.front().error);
+  }
+  for (const TreeAttempt& a : attempts) {
+    if (!a.ok()) {
+      return Status(StatusCode::kInternal,
+                    "all tree solves failed; first error: " + a.error);
+    }
+  }
+  return Status(StatusCode::kInternal, "no decomposition trees were solved");
+}
+
+/// Runs the degradation chain (multilevel, then greedy) without a deadline:
+/// the caller already blew its budget and wants *some* feasible placement;
+/// both heuristics are orders of magnitude cheaper than the DP pipeline.
+HgpResult run_fallback_chain(const Graph& g, const Hierarchy& h,
+                             const SolverOptions& opt, HgpResult result,
+                             Status reason) {
+  result.best_tree = -1;
+  result.stats = TreeDpStats{};
+  result.status = std::move(reason);
+  try {
+    Rng rng(opt.seed);
+    result.placement = multilevel_placement(g, h, rng);
+    result.method = SolveMethod::kMultilevel;
+  } catch (...) {
+    const Status ml = status_from_current_exception();
+    try {
+      result.placement = greedy_placement(g, h);
+      result.method = SolveMethod::kGreedy;
+    } catch (...) {
+      const Status gr = status_from_current_exception();
+      throw SolveError(StatusCode::kInfeasible,
+                       "fallback chain exhausted (primary: " +
+                           result.status.to_string() +
+                           "; multilevel: " + ml.to_string() +
+                           "; greedy: " + gr.to_string() + ")");
+    }
+  }
+  result.cost = placement_cost(g, h, result.placement);
+  result.loads = load_report(g, h, result.placement);
+  return result;
+}
+
+}  // namespace
+
+const char* solve_method_name(SolveMethod method) {
+  switch (method) {
+    case SolveMethod::kHgp:
+      return "hgp";
+    case SolveMethod::kMultilevel:
+      return "multilevel";
+    case SolveMethod::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
+                    const SolverOptions& opt) {
+  if (!g.has_demands()) {
+    throw SolveError(StatusCode::kInvalidInput,
+                     "HGP instances require vertex demands");
+  }
+  if (opt.num_trees < 1) {
+    throw SolveError(StatusCode::kInvalidInput, "num_trees must be >= 1");
+  }
+  if (opt.timeout_ms < 0) {
+    throw SolveError(StatusCode::kInvalidInput, "timeout_ms must be >= 0");
+  }
+
+  ExecContext exec;
+  exec.deadline =
+      opt.timeout_ms > 0 ? Deadline::after_ms(opt.timeout_ms) : Deadline::never();
+  exec.cancel = opt.cancel;
+  exec.check("solve_hgp entry");
+
+  const FmCutter default_cutter;
+  const Cutter& cutter =
+      opt.cutter != nullptr ? *opt.cutter : default_cutter;
+
+  HgpResult result;
+
+  // Stage 1: decomposition forest.  A failure here leaves zero trees, which
+  // the degradation logic below treats like "all trees failed".
+  std::vector<DecompTree> forest;
+  Status forest_status;
+  try {
+    forest = build_decomposition_forest(g, opt.num_trees, opt.seed, cutter,
+                                        opt.pool, &exec);
+  } catch (...) {
+    forest_status = status_from_current_exception();
+    if (forest_status.code == StatusCode::kCancelled) throw;
+    forest.clear();
+  }
+
+  TreeSolverOptions tree_opt;
+  tree_opt.epsilon = opt.epsilon;
+  tree_opt.units_override = opt.units_override;
+  tree_opt.exec = &exec;
+
+  // Stage 2: isolated per-tree solves.  Theorem 7's arg-min is over
+  // whatever survives, so nothing a single tree does — throw, stall past
+  // the deadline, report infeasibility — may escape its attempt record.
+  std::vector<TreeOutcome> outcomes(forest.size());
+  result.attempts.assign(forest.size(), TreeAttempt{});
+  auto run = [&](std::size_t i) {
+    TreeAttempt& attempt = result.attempts[i];
+    Timer timer;
+    try {
+      FaultInjector::instance().on_site("solve_one_tree",
+                                        static_cast<int>(i));
+      exec.check("tree solve start");
+      outcomes[i] = solve_one_tree(g, h, forest[i], tree_opt);
+      attempt.status = StatusCode::kOk;
+      attempt.cost = outcomes[i].cost;
+    } catch (...) {
+      const Status s = status_from_current_exception();
+      attempt.status = s.code;
+      attempt.error = s.message;
+    }
+    attempt.elapsed_ms = timer.millis();
+  };
+  // No exec on this loop: isolation happens inside `run`, and the loop
+  // itself must visit every index so every attempt is recorded.
+  if (opt.pool != nullptr) {
+    parallel_for(*opt.pool, 0, forest.size(), run);
+  } else {
+    for (std::size_t i = 0; i < forest.size(); ++i) run(i);
+  }
+
+  if (exec.cancelled()) {
+    throw SolveError(StatusCode::kCancelled, "solve_hgp cancelled");
+  }
+
+  // Stage 3: arg-min over the survivors.
+  result.tree_costs.reserve(result.attempts.size());
+  for (std::size_t i = 0; i < result.attempts.size(); ++i) {
+    result.tree_costs.push_back(result.attempts[i].cost);
+    if (result.attempts[i].ok() &&
+        (result.best_tree < 0 ||
+         result.attempts[i].cost <
+             result.attempts[static_cast<std::size_t>(result.best_tree)]
+                 .cost)) {
+      result.best_tree = narrow<int>(i);
+    }
+  }
+  if (result.best_tree >= 0) {
+    TreeOutcome& best = outcomes[static_cast<std::size_t>(result.best_tree)];
+    result.placement = std::move(best.placement);
+    result.cost = best.cost;
+    result.stats = best.stats;
+    result.loads = load_report(g, h, result.placement);
+    result.method = SolveMethod::kHgp;
+    result.status = Status();
+    return result;
+  }
+
+  // Stage 4: graceful degradation.
+  Status reason = classify_total_failure(exec, forest_status, result.attempts);
+  if (opt.fallback == FallbackPolicy::kNone) {
+    throw SolveError(std::move(reason));
+  }
+  return run_fallback_chain(g, h, opt, std::move(result), std::move(reason));
+}
+
+}  // namespace hgp

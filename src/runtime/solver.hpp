@@ -1,0 +1,118 @@
+// End-to-end HGP solver for general graphs (Theorem 1).
+//
+// Pipeline: sample a forest of decomposition trees (§4 stand-in for the
+// Räcke distribution), solve HGPT on every tree with the signature DP +
+// Theorem-5 conversion, map each tree solution back to G through the
+// leaf↔vertex bijection, evaluate the true Eq.-1 cost on G, and keep the
+// best (Theorem 7's arg-min over the tree family).
+//
+// Resilience semantics: the arg-min only needs ONE surviving tree, so each
+// per-tree solve is fault-isolated — a throw, an injected fault, or a
+// deadline expiry inside tree k is recorded in HgpResult::attempts[k] and
+// the remaining trees still compete.  The solve degrades (rather than
+// fails) through the fallback chain hgp → multilevel → greedy when the
+// deadline expires before any tree finishes or every tree fails; only
+// cancellation, invalid input, or a fully exhausted chain throw, always as
+// a typed SolveError.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tree_solver.hpp"
+#include "decomp/builder.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/placement.hpp"
+#include "util/deadline.hpp"
+#include "util/status.hpp"
+
+namespace hgp {
+
+/// What solve_hgp may do when the primary pipeline cannot produce a
+/// placement (deadline expired with no surviving tree, or all trees
+/// failed).
+enum class FallbackPolicy {
+  /// Throw the classified SolveError instead of degrading.
+  kNone,
+  /// Degrade through multilevel, then greedy; HgpResult::status carries
+  /// the reason for the downgrade.
+  kChain,
+};
+
+/// Which algorithm produced HgpResult::placement.
+enum class SolveMethod { kHgp, kMultilevel, kGreedy };
+
+const char* solve_method_name(SolveMethod method);
+
+struct SolverOptions {
+  /// Number of decomposition trees sampled (more trees = better expected
+  /// embedding, linearly more work).
+  int num_trees = 4;
+  /// Demand rounding accuracy (Theorem 2's ε).
+  double epsilon = 0.25;
+  /// Direct demand-unit override (0 = derive from ε).
+  DemandUnits units_override = 0;
+  std::uint64_t seed = 1;
+  /// Cut heuristic for tree building; nullptr = spectral + FM refinement.
+  const Cutter* cutter = nullptr;
+  /// Pool for solving trees concurrently; nullptr = sequential.
+  ThreadPool* pool = nullptr;
+  /// Wall-clock budget in milliseconds; 0 = unbounded.  When it expires
+  /// the solve returns the best result obtainable so far (surviving trees,
+  /// else the fallback chain) instead of running to completion.
+  double timeout_ms = 0;
+  /// Cooperative cancellation; nullptr = not cancellable.  Cancellation
+  /// always throws SolveError(kCancelled) — a cancelling caller wants the
+  /// work stopped, not a degraded answer.
+  const CancelToken* cancel = nullptr;
+  FallbackPolicy fallback = FallbackPolicy::kChain;
+};
+
+/// Outcome of one tree's isolated solve attempt.
+struct TreeAttempt {
+  StatusCode status = StatusCode::kInternal;
+  /// Mapped-back Eq.-1 cost on G; +inf unless status == kOk.
+  double cost = std::numeric_limits<double>::infinity();
+  double elapsed_ms = 0;
+  /// Error message when status != kOk.
+  std::string error;
+
+  bool ok() const { return status == StatusCode::kOk; }
+};
+
+struct HgpResult {
+  /// Task → H-leaf assignment for G.
+  Placement placement;
+  /// Eq.-1 cost of `placement` on G (under the original cost multipliers).
+  double cost = 0;
+  /// Load / violation report at every hierarchy level.
+  LoadReport loads;
+  /// Which sampled tree produced the winner (-1 when a fallback did), and
+  /// each tree's mapped cost (+inf for failed attempts).
+  int best_tree = -1;
+  std::vector<double> tree_costs;
+  /// DP diagnostics of the winning tree (zeroed for fallback results).
+  TreeDpStats stats;
+  /// Per-tree fault-isolation report, parallel to the sampled forest.
+  std::vector<TreeAttempt> attempts;
+  /// kOk when the primary pipeline won; otherwise the reason the solve
+  /// degraded to `method` (e.g. kDeadlineExceeded, kInfeasible, kInternal).
+  Status status;
+  /// Which algorithm produced `placement`.
+  SolveMethod method = SolveMethod::kHgp;
+
+  /// True when the primary hgp pipeline produced the placement.
+  bool degraded() const { return method != SolveMethod::kHgp; }
+};
+
+/// Requires vertex demands on `g`.  Returns a placement whenever any tree
+/// survives or the fallback chain produces one; throws SolveError
+/// (kInvalidInput / kCancelled / kInfeasible / kDeadlineExceeded /
+/// kInternal) otherwise.
+HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
+                    const SolverOptions& opt = {});
+
+}  // namespace hgp

@@ -1,0 +1,121 @@
+// Cooperative deadlines and cancellation for long-running solver stages.
+//
+// The solver never preempts work: stages poll an ExecContext at natural
+// checkpoints (per decomposition frame, every few thousand DP merges, per
+// parallel_for item) and unwind with a typed SolveError when the budget is
+// gone.  Deadline reads the clock, so hot loops go through PeriodicCheck,
+// which amortizes the clock read over a stride of iterations while still
+// noticing cancellation on every tick.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "util/status.hpp"
+
+namespace hgp {
+
+/// A point on the steady clock after which work should stop.  The default
+/// instance never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline never() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now (ms <= 0 expires immediately).
+  static Deadline after_ms(double ms) {
+    Deadline d;
+    d.armed_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  bool is_never() const { return !armed_; }
+
+  bool expired() const { return armed_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry (negative once past, +inf when never).
+  double remaining_ms() const {
+    if (!armed_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point at_{};
+  bool armed_ = false;
+};
+
+/// A thread-safe one-way flag the caller flips to stop a solve in flight.
+/// Share by pointer; the token must outlive the work observing it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The pair (deadline, cancel token) threaded through solver stages.
+/// Copyable and cheap; a default-constructed context is unconstrained, and
+/// a null pointer wherever an ExecContext* is accepted means the same.
+struct ExecContext {
+  Deadline deadline;
+  const CancelToken* cancel = nullptr;
+
+  bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }
+
+  /// Throws SolveError{kCancelled|kDeadlineExceeded} when the budget is
+  /// gone.  Cancellation wins ties: a caller that cancels wants silence,
+  /// not a deadline report.
+  void check(const char* where) const {
+    if (cancelled()) {
+      throw SolveError(StatusCode::kCancelled,
+                       std::string("cancelled during ") + where);
+    }
+    if (deadline.expired()) {
+      throw SolveError(StatusCode::kDeadlineExceeded,
+                       std::string("deadline expired during ") + where);
+    }
+  }
+};
+
+/// Amortized ExecContext polling for hot loops: cancellation (an atomic
+/// load) is checked on every tick, the deadline clock only every `stride`
+/// ticks.  A null context makes every tick a branch on a constant.
+class PeriodicCheck {
+ public:
+  explicit PeriodicCheck(const ExecContext* ctx, const char* where,
+                         std::uint32_t stride = 1024)
+      : ctx_(ctx), where_(where), stride_(stride) {}
+
+  void tick() {
+    if (ctx_ == nullptr) return;
+    if (ctx_->cancelled()) ctx_->check(where_);
+    if (++count_ >= stride_) {
+      count_ = 0;
+      ctx_->check(where_);
+    }
+  }
+
+ private:
+  const ExecContext* ctx_;
+  const char* where_;
+  std::uint32_t stride_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace hgp

@@ -1,0 +1,82 @@
+#include "util/fault_injector.hpp"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace hgp {
+
+namespace {
+
+// The armed table lives behind a mutex; on_site only takes it after the
+// atomic fast path says something is armed, so the lock never appears on
+// an un-instrumented run.
+struct ArmedTable {
+  std::mutex mu;
+  std::map<std::pair<std::string, int>, FaultInjector::Fault> faults;
+};
+
+ArmedTable& table() {
+  static ArmedTable t;
+  return t;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& site, int index, Fault fault) {
+  ArmedTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  t.faults[{site, index}] = fault;
+  armed_count_.store(static_cast<int>(t.faults.size()),
+                     std::memory_order_release);
+}
+
+void FaultInjector::disarm_all() {
+  ArmedTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  t.faults.clear();
+  armed_count_.store(0, std::memory_order_release);
+}
+
+void FaultInjector::on_site(const char* site, int index) {
+  if (armed_count_.load(std::memory_order_acquire) == 0) return;
+  fire(site, index);
+}
+
+void FaultInjector::fire(const char* site, int index) {
+  Fault fault;
+  {
+    ArmedTable& t = table();
+    const std::lock_guard<std::mutex> lock(t.mu);
+    auto it = t.faults.find({site, index});
+    if (it == t.faults.end()) it = t.faults.find({site, kEveryIndex});
+    if (it == t.faults.end()) return;
+    fault = it->second;
+  }
+  switch (fault.action) {
+    case Action::kNone:
+      return;
+    case Action::kThrow:
+      throw CheckError(std::string("injected fault at ") + site + "[" +
+                       std::to_string(index) + "]");
+    case Action::kStall:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(fault.stall_ms));
+      return;
+    case Action::kInfeasible:
+      throw SolveError(StatusCode::kInfeasible,
+                       std::string("injected infeasibility at ") + site +
+                           "[" + std::to_string(index) + "]");
+  }
+}
+
+}  // namespace hgp

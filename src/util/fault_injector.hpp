@@ -1,0 +1,68 @@
+// Deterministic fault injection for resilience tests.
+//
+// Production code marks interesting sites with
+//     FaultInjector::instance().on_site("solve_one_tree", tree_index);
+// which is a single relaxed atomic load when nothing is armed — cheap
+// enough to compile in always.  Tests arm faults per (site, index) to make
+// exactly tree k throw, stall past a deadline, or report infeasibility,
+// then rely on FaultScope to disarm on scope exit.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace hgp {
+
+class FaultInjector {
+ public:
+  enum class Action {
+    kNone = 0,
+    /// Throw a bare CheckError ("injected fault …") — exercises the
+    /// boundary that classifies unexpected exceptions as kInternal.
+    kThrow,
+    /// Sleep for `stall_ms` — lets tests force a deadline to fire at a
+    /// chosen site without real heavy work.
+    kStall,
+    /// Throw SolveError(kInfeasible) — a tree that cannot fit.
+    kInfeasible,
+  };
+
+  struct Fault {
+    Action action = Action::kNone;
+    double stall_ms = 0;
+  };
+
+  static FaultInjector& instance();
+
+  /// Arms `fault` at `site` for occurrence `index`; index kEveryIndex
+  /// matches all occurrences.  Re-arming a (site, index) overwrites.
+  void arm(const std::string& site, int index, Fault fault);
+
+  /// Removes every armed fault (back to the free no-op fast path).
+  void disarm_all();
+
+  /// The production hook: no-op unless something is armed.
+  void on_site(const char* site, int index);
+
+  static constexpr int kEveryIndex = -1;
+
+ private:
+  FaultInjector() = default;
+  void fire(const char* site, int index);
+
+  std::atomic<int> armed_count_{0};
+};
+
+/// RAII arming for tests: arms on construction, disarms *all* faults on
+/// destruction (tests own the injector exclusively).
+class FaultScope {
+ public:
+  FaultScope(const std::string& site, int index, FaultInjector::Fault fault) {
+    FaultInjector::instance().arm(site, index, fault);
+  }
+  ~FaultScope() { FaultInjector::instance().disarm_all(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+}  // namespace hgp

@@ -1,0 +1,44 @@
+#include "util/status.hpp"
+
+namespace hgp {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidInput:
+      return "INVALID_INPUT";
+    case StatusCode::kInfeasible:
+      return "INFEASIBLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out = status_code_name(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+Status status_from_current_exception() {
+  try {
+    throw;
+  } catch (const SolveError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  } catch (...) {
+    return Status(StatusCode::kInternal, "unknown non-standard exception");
+  }
+}
+
+}  // namespace hgp

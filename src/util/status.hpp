@@ -1,0 +1,73 @@
+// Structured status taxonomy for the solver runtime.
+//
+// Every failure that can cross an API boundary is classified into a
+// StatusCode and carried by SolveError.  SolveError derives from CheckError
+// so existing `catch (const CheckError&)` sites keep working; new code
+// should catch SolveError and dispatch on code().  Bare CheckErrors that
+// escape from library internals are classified as kInternal at API
+// boundaries (see status_from_current_exception).
+#pragma once
+
+#include <exception>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace hgp {
+
+enum class StatusCode {
+  kOk = 0,
+  /// Caller handed us something malformed (no demands, num_trees < 1, …).
+  kInvalidInput,
+  /// The instance cannot fit the hierarchy (even after rounding).
+  kInfeasible,
+  /// A Deadline expired before the stage completed.
+  kDeadlineExceeded,
+  /// A CancelToken was triggered by the caller.
+  kCancelled,
+  /// An invariant failed or an unexpected exception escaped — a bug or an
+  /// unclassified error, never the caller's fault.
+  kInternal,
+};
+
+/// Stable upper-snake name ("DEADLINE_EXCEEDED"); never nullptr.
+const char* status_code_name(StatusCode code);
+
+/// A status code plus a human-readable message.  Default-constructed = OK.
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  Status() = default;
+  Status(StatusCode c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  bool ok() const { return code == StatusCode::kOk; }
+
+  /// "DEADLINE_EXCEEDED: tree DP passed its deadline" (or just the name).
+  std::string to_string() const;
+};
+
+/// The exception type of the resilient solve path.  Derives from CheckError
+/// (and hence std::logic_error) for source compatibility with pre-taxonomy
+/// call sites.
+class SolveError : public CheckError {
+ public:
+  SolveError(StatusCode code, const std::string& message)
+      : CheckError(Status(code, message).to_string()),
+        status_(code, message) {}
+  explicit SolveError(Status status)
+      : CheckError(status.to_string()), status_(std::move(status)) {}
+
+  StatusCode code() const { return status_.code; }
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Classifies the in-flight exception (call from inside a catch block):
+/// SolveError keeps its status; CheckError and other std::exceptions map to
+/// kInternal; non-std exceptions map to kInternal with a generic message.
+Status status_from_current_exception();
+
+}  // namespace hgp

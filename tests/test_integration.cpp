@@ -7,7 +7,7 @@
 
 #include "baseline/local_search.hpp"
 #include "baseline/recursive_bisection.hpp"
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "core/tree_solver.hpp"
 #include "exp/workloads.hpp"
 #include "graph/io.hpp"

@@ -81,6 +81,78 @@ TEST(MetisIo, NeighbourOutOfRangeThrows) {
   EXPECT_THROW(io::read_metis(ss), CheckError);
 }
 
+TEST(MetisIo, MalformedHeaderThrows) {
+  std::stringstream ss("abc def\n");
+  EXPECT_THROW(io::read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, NegativeHeaderCountsThrow) {
+  std::stringstream ss("-2 1\n");
+  EXPECT_THROW(io::read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, NanEdgeWeightThrows) {
+  std::stringstream ss("2 1 001\n2 nan\n1 nan\n");
+  EXPECT_THROW(io::read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, NegativeEdgeWeightThrows) {
+  std::stringstream ss("2 1 001\n2 -3\n1 -3\n");
+  EXPECT_THROW(io::read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, NegativeVertexWeightThrows) {
+  std::stringstream ss("2 1 010\n-5 2\n5 1\n");
+  EXPECT_THROW(io::read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, GarbageTokenNoLongerSilentlyMisparses) {
+  // Before hardening, a non-numeric token silently truncated the line and
+  // the rest of the adjacency list was dropped.
+  std::stringstream ss("3 2\n2 x\n1 3\n2\n");
+  EXPECT_THROW(io::read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, ExtraBodyLinesThrow) {
+  std::stringstream ss("2 1\n2\n1\n1\n");
+  EXPECT_THROW(io::read_metis(ss), CheckError);
+}
+
+TEST(MetisIo, TrailingBlankLinesAreFine) {
+  std::stringstream ss("2 1\n2\n1\n\n  \n");
+  const Graph g = io::read_metis(ss);
+  EXPECT_EQ(g.vertex_count(), 2);
+  EXPECT_EQ(g.edge_count(), 1);
+}
+
+TEST(MetisIo, ErrorsCarryLineNumbers) {
+  std::stringstream ss(
+      "% comment\n"
+      "3 2 001\n"
+      "2 5\n"
+      "1 5 3 bad\n"
+      "2 7\n");
+  try {
+    io::read_metis(ss);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MetisIo, OutOfRangeNeighbourNamesLine) {
+  std::stringstream ss("2 1\n7\n1\n");
+  try {
+    io::read_metis(ss);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
 TEST(EdgeListIo, RoundTrip) {
   Rng rng(5);
   const Graph g = gen::barabasi_albert(40, 2, rng, gen::WeightRange{1.0, 4.0});

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "baseline/exact.hpp"
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "graph/generators.hpp"
 #include "hierarchy/cost.hpp"
 #include "hierarchy/mirror.hpp"

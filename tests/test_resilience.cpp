@@ -1,0 +1,377 @@
+// Resilience-layer tests: status taxonomy, deadlines/cancellation,
+// per-tree fault isolation, and the hgp → multilevel → greedy fallback
+// chain (see docs/RESILIENCE.md).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "baseline/multilevel.hpp"
+#include "decomp/builder.hpp"
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "runtime/solver.hpp"
+#include "util/deadline.hpp"
+#include "util/fault_injector.hpp"
+#include "util/status.hpp"
+
+namespace hgp {
+namespace {
+
+Graph workload(std::uint64_t seed, Vertex n = 24) {
+  Rng rng(seed);
+  Graph g = gen::planted_partition(n, 4, 0.75, 0.05, rng,
+                                   gen::WeightRange{2.0, 6.0},
+                                   gen::WeightRange{1.0, 2.0});
+  gen::set_uniform_demands(g, 4.0 / n);
+  return g;
+}
+
+const Hierarchy& hier() {
+  static const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  return h;
+}
+
+FaultInjector::Fault throw_fault() {
+  FaultInjector::Fault f;
+  f.action = FaultInjector::Action::kThrow;
+  return f;
+}
+
+FaultInjector::Fault stall_fault(double ms) {
+  FaultInjector::Fault f;
+  f.action = FaultInjector::Action::kStall;
+  f.stall_ms = ms;
+  return f;
+}
+
+FaultInjector::Fault infeasible_fault() {
+  FaultInjector::Fault f;
+  f.action = FaultInjector::Action::kInfeasible;
+  return f;
+}
+
+TEST(StatusTaxonomy, CodesHaveStableNames) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidInput), "INVALID_INPUT");
+  EXPECT_STREQ(status_code_name(StatusCode::kInfeasible), "INFEASIBLE");
+  EXPECT_STREQ(status_code_name(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(status_code_name(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusTaxonomy, SolveErrorIsACheckError) {
+  // API compatibility: pre-taxonomy call sites catch CheckError.
+  const SolveError err(StatusCode::kDeadlineExceeded, "budget gone");
+  EXPECT_EQ(err.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(std::string(err.what()).find("DEADLINE_EXCEEDED"),
+            std::string::npos);
+  const CheckError* base = &err;
+  EXPECT_NE(base, nullptr);
+}
+
+TEST(StatusTaxonomy, ClassifiesInFlightExceptions) {
+  try {
+    throw SolveError(StatusCode::kInfeasible, "too big");
+  } catch (...) {
+    const Status s = status_from_current_exception();
+    EXPECT_EQ(s.code, StatusCode::kInfeasible);
+    EXPECT_EQ(s.message, "too big");
+  }
+  try {
+    throw CheckError("bare invariant failure");
+  } catch (...) {
+    EXPECT_EQ(status_from_current_exception().code, StatusCode::kInternal);
+  }
+  try {
+    throw 42;
+  } catch (...) {
+    EXPECT_EQ(status_from_current_exception().code, StatusCode::kInternal);
+  }
+}
+
+TEST(DeadlineTest, NeverAndExpiry) {
+  const Deadline never = Deadline::never();
+  EXPECT_TRUE(never.is_never());
+  EXPECT_FALSE(never.expired());
+  const Deadline gone = Deadline::after_ms(-1);
+  EXPECT_TRUE(gone.expired());
+  EXPECT_LT(gone.remaining_ms(), 0);
+  const Deadline later = Deadline::after_ms(60'000);
+  EXPECT_FALSE(later.expired());
+  EXPECT_GT(later.remaining_ms(), 0);
+}
+
+TEST(DeadlineTest, ExecContextChecksThrowTyped) {
+  ExecContext unconstrained;
+  unconstrained.check("test");  // no-throw
+
+  ExecContext past;
+  past.deadline = Deadline::after_ms(-1);
+  try {
+    past.check("test stage");
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kDeadlineExceeded);
+  }
+
+  CancelToken token;
+  token.request_cancel();
+  ExecContext cancelled;
+  cancelled.cancel = &token;
+  // Cancellation wins over an expired deadline.
+  cancelled.deadline = Deadline::after_ms(-1);
+  try {
+    cancelled.check("test stage");
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(FaultInjectorTest, NoOpByDefault) {
+  FaultInjector::instance().on_site("solve_one_tree", 0);  // must not throw
+}
+
+TEST(Resilience, SurvivingTreeWinsWhenOthersThrow) {
+  const Graph g = workload(1);
+  SolverOptions opt;
+  opt.num_trees = 4;
+  // Kill every tree except the last; the forest arg-min must run over the
+  // lone survivor.
+  FaultScope f0("solve_one_tree", 0, throw_fault());
+  FaultInjector::instance().arm("solve_one_tree", 1, throw_fault());
+  FaultInjector::instance().arm("solve_one_tree", 2, throw_fault());
+  const HgpResult r = solve_hgp(g, hier(), opt);
+  EXPECT_EQ(r.method, SolveMethod::kHgp);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.best_tree, 3);
+  ASSERT_EQ(r.attempts.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.attempts[static_cast<std::size_t>(i)].status,
+              StatusCode::kInternal);
+    EXPECT_FALSE(r.attempts[static_cast<std::size_t>(i)].error.empty());
+    EXPECT_TRUE(std::isinf(r.tree_costs[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_TRUE(r.attempts[3].ok());
+  EXPECT_EQ(r.placement.leaf_of.size(),
+            static_cast<std::size_t>(g.vertex_count()));
+  EXPECT_NEAR(r.cost, placement_cost(g, hier(), r.placement), 1e-9);
+}
+
+TEST(Resilience, SurvivorBeatsTimedOutTreesUnderPool) {
+  const Graph g = workload(2);
+  ThreadPool pool(2);
+  SolverOptions opt;
+  opt.num_trees = 4;
+  opt.pool = &pool;
+  opt.timeout_ms = 2000;
+  // Tree 0 stalls far past the deadline; its chunk-mate (tree 1) then sees
+  // the expired deadline too.  Trees 2 and 3 run on the other worker and
+  // finish long before the budget is gone, so the arg-min has survivors.
+  FaultScope stall("solve_one_tree", 0, stall_fault(2500));
+  const HgpResult r = solve_hgp(g, hier(), opt);
+  EXPECT_EQ(r.method, SolveMethod::kHgp);
+  EXPECT_TRUE(r.status.ok());
+  ASSERT_EQ(r.attempts.size(), 4u);
+  EXPECT_EQ(r.attempts[0].status, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(r.attempts[2].ok());
+  EXPECT_TRUE(r.attempts[3].ok());
+  EXPECT_TRUE(r.best_tree == 2 || r.best_tree == 3) << r.best_tree;
+}
+
+TEST(Resilience, AllTreesThrowFallsBackToMultilevel) {
+  const Graph g = workload(3);
+  SolverOptions opt;
+  opt.num_trees = 3;
+  opt.seed = 9;
+  FaultScope all("solve_one_tree", FaultInjector::kEveryIndex, throw_fault());
+  const HgpResult r = solve_hgp(g, hier(), opt);
+  EXPECT_EQ(r.method, SolveMethod::kMultilevel);
+  EXPECT_TRUE(r.degraded());
+  EXPECT_EQ(r.status.code, StatusCode::kInternal);
+  EXPECT_EQ(r.best_tree, -1);
+  ASSERT_EQ(r.attempts.size(), 3u);
+  for (const TreeAttempt& a : r.attempts) {
+    EXPECT_EQ(a.status, StatusCode::kInternal);
+  }
+  // The fallback is the deterministic multilevel run under the same seed.
+  Rng rng(opt.seed);
+  const Placement direct = multilevel_placement(g, hier(), rng);
+  EXPECT_EQ(r.placement.leaf_of, direct.leaf_of);
+  EXPECT_NEAR(r.cost, placement_cost(g, hier(), direct), 1e-9);
+}
+
+TEST(Resilience, DeadlineKillingAllTreesDegradesWithDeadlineStatus) {
+  const Graph g = workload(4);
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.timeout_ms = 40;
+  // Both trees stall past the 40ms budget, so the whole primary pipeline is
+  // killed by the deadline and the solve must still hand back a placement.
+  FaultScope all("solve_one_tree", FaultInjector::kEveryIndex,
+                 stall_fault(120));
+  const HgpResult r = solve_hgp(g, hier(), opt);
+  EXPECT_TRUE(r.degraded());
+  EXPECT_EQ(r.method, SolveMethod::kMultilevel);
+  EXPECT_EQ(r.status.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.placement.leaf_of.size(),
+            static_cast<std::size_t>(g.vertex_count()));
+  for (const TreeAttempt& a : r.attempts) {
+    EXPECT_EQ(a.status, StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(Resilience, InjectedInfeasibilityClassifiedAndDegraded) {
+  const Graph g = workload(5);
+  SolverOptions opt;
+  opt.num_trees = 2;
+  FaultScope all("solve_one_tree", FaultInjector::kEveryIndex,
+                 infeasible_fault());
+  const HgpResult r = solve_hgp(g, hier(), opt);
+  EXPECT_TRUE(r.degraded());
+  EXPECT_EQ(r.status.code, StatusCode::kInfeasible);
+  for (const TreeAttempt& a : r.attempts) {
+    EXPECT_EQ(a.status, StatusCode::kInfeasible);
+  }
+}
+
+TEST(Resilience, FallbackNoneThrowsClassifiedError) {
+  const Graph g = workload(6);
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.fallback = FallbackPolicy::kNone;
+  FaultScope all("solve_one_tree", FaultInjector::kEveryIndex, throw_fault());
+  try {
+    solve_hgp(g, hier(), opt);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInternal);
+    EXPECT_NE(std::string(e.what()).find("injected fault"),
+              std::string::npos);
+  }
+}
+
+TEST(Resilience, DeadlineMidSolveDegradesInsteadOfThrowing) {
+  const Graph g = workload(7);
+  SolverOptions opt;
+  opt.num_trees = 4;
+  opt.timeout_ms = 0.01;  // expires before any real work is possible
+  const HgpResult r = solve_hgp(g, hier(), opt);
+  EXPECT_TRUE(r.degraded());
+  EXPECT_EQ(r.status.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.placement.leaf_of.size(),
+            static_cast<std::size_t>(g.vertex_count()));
+  EXPECT_NEAR(r.cost, placement_cost(g, hier(), r.placement), 1e-9);
+}
+
+TEST(Resilience, CancellationThrowsInsteadOfDegrading) {
+  const Graph g = workload(8);
+  CancelToken token;
+  token.request_cancel();
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.cancel = &token;
+  try {
+    solve_hgp(g, hier(), opt);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(Resilience, InvalidInputIsTyped) {
+  const Graph g = gen::grid2d(3, 3);  // no demands
+  try {
+    solve_hgp(g, hier(), {});
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInvalidInput);
+  }
+  const Graph w = workload(9);
+  SolverOptions bad;
+  bad.num_trees = 0;
+  EXPECT_THROW(solve_hgp(w, hier(), bad), SolveError);
+}
+
+TEST(Resilience, TreeDpHonoursDeadline) {
+  const Graph g = workload(10);
+  Rng rng(1);
+  const FmCutter cutter;
+  const DecompTree dt = build_decomp_tree(g, rng, cutter);
+  ExecContext exec;
+  exec.deadline = Deadline::after_ms(-1);
+  TreeSolverOptions opt;
+  opt.exec = &exec;
+  try {
+    solve_hgpt(dt.tree(), hier(), opt);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(Resilience, CancelStopsParallelForPromptly) {
+  ThreadPool pool(2);
+  CancelToken token;
+  ExecContext exec;
+  exec.cancel = &token;
+  std::atomic<std::size_t> processed{0};
+  const std::size_t n = 200'000;
+  try {
+    parallel_for(
+        pool, 0, n,
+        [&](std::size_t i) {
+          if (i == 10) token.request_cancel();
+          processed.fetch_add(1, std::memory_order_relaxed);
+        },
+        1, &exec);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kCancelled);
+  }
+  // Cancellation is checked before every item, so each chunk stops within
+  // one iteration of the flag flipping.
+  EXPECT_LT(processed.load(), n / 2);
+}
+
+TEST(Resilience, ExpiredDeadlineStopsParallelFor) {
+  ThreadPool pool(2);
+  ExecContext exec;
+  exec.deadline = Deadline::after_ms(-1);
+  std::atomic<std::size_t> processed{0};
+  const std::size_t n = 100'000;
+  try {
+    parallel_for(
+        pool, 0, n,
+        [&](std::size_t i) {
+          (void)i;
+          processed.fetch_add(1, std::memory_order_relaxed);
+        },
+        1, &exec);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kDeadlineExceeded);
+  }
+  // The deadline is polled on a stride, so each chunk does at most one
+  // stride of work.
+  EXPECT_LT(processed.load(), 4096u);
+}
+
+TEST(Resilience, AttemptsRecordElapsedTime) {
+  const Graph g = workload(11);
+  SolverOptions opt;
+  opt.num_trees = 2;
+  const HgpResult r = solve_hgp(g, hier(), opt);
+  ASSERT_EQ(r.attempts.size(), 2u);
+  for (const TreeAttempt& a : r.attempts) {
+    EXPECT_TRUE(a.ok());
+    EXPECT_GE(a.elapsed_ms, 0.0);
+    EXPECT_LT(a.cost, std::numeric_limits<double>::infinity());
+  }
+}
+
+}  // namespace
+}  // namespace hgp

@@ -2,7 +2,7 @@
 
 #include "baseline/exact.hpp"
 #include "baseline/random_placement.hpp"
-#include "core/solver.hpp"
+#include "runtime/solver.hpp"
 #include "graph/generators.hpp"
 
 namespace hgp {

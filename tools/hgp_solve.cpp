@@ -3,14 +3,25 @@
 //   hgp_solve --graph tasks.metis --deg 2,4,2 --cm 10,4,1,0
 //             [--algo hgp|greedy|multilevel|rb|random] [--trees 4]
 //             [--units 8 | --epsilon 0.5] [--seed 1] [--out placement.txt]
+//             [--timeout-ms MS] [--fallback chain|none]
 //
 // Reads a METIS task graph (vertex weights = demands scaled by 1/1000,
 // edge weights = communication volumes), solves the placement against the
 // given hierarchy, prints a per-level load/cost report, and optionally
 // writes the placement in the library's "task leaf" format.
+//
+// Exit codes are keyed to the final hgp::Status (see docs/RESILIENCE.md):
+//   0 OK   1 internal error   2 usage error   3 invalid input
+//   4 infeasible   5 deadline exceeded   6 cancelled
+// A degraded run (fallback placement under an expired deadline) still
+// prints and writes its placement but exits with the status's code, so
+// scripts can tell a full-quality solve from a downgraded one.
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -18,31 +29,115 @@
 #include "baseline/multilevel.hpp"
 #include "baseline/random_placement.hpp"
 #include "baseline/recursive_bisection.hpp"
-#include "core/solver.hpp"
 #include "graph/io.hpp"
 #include "hierarchy/cost.hpp"
 #include "hierarchy/placement_io.hpp"
+#include "runtime/solver.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s --graph FILE --deg D0,D1,... --cm C0,C1,...,Ch\n"
-      "          [--algo hgp|greedy|multilevel|rb|random] [--trees N]\n"
-      "          [--units U | --epsilon E] [--seed S] [--out FILE]\n",
-      argv0);
-  std::exit(2);
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+
+int exit_code_for(hgp::StatusCode code) {
+  switch (code) {
+    case hgp::StatusCode::kOk:
+      return kExitOk;
+    case hgp::StatusCode::kInvalidInput:
+      return 3;
+    case hgp::StatusCode::kInfeasible:
+      return 4;
+    case hgp::StatusCode::kDeadlineExceeded:
+      return 5;
+    case hgp::StatusCode::kCancelled:
+      return 6;
+    case hgp::StatusCode::kInternal:
+      return kExitInternal;
+  }
+  return kExitInternal;
 }
 
-std::vector<double> parse_list(const std::string& s) {
+void print_usage(std::FILE* to, const char* argv0) {
+  std::fprintf(
+      to,
+      "usage: %s --graph FILE --deg D0,D1,... --cm C0,C1,...,Ch\n"
+      "          [--algo hgp|greedy|multilevel|rb|random] [--trees N]\n"
+      "          [--units U | --epsilon E] [--seed S] [--out FILE]\n"
+      "          [--timeout-ms MS] [--fallback chain|none] [--help]\n"
+      "\n"
+      "  --graph FILE     METIS task graph (vertex weights = demands/1000)\n"
+      "  --deg LIST       children per hierarchy level, e.g. 2,4,2\n"
+      "  --cm LIST        level cost multipliers, e.g. 10,4,1,0\n"
+      "  --algo NAME      placement algorithm (default hgp)\n"
+      "  --trees N        decomposition trees sampled by hgp (default 4)\n"
+      "  --units U        demand units per leaf (default 8)\n"
+      "  --epsilon E      derive units from rounding accuracy E instead\n"
+      "  --seed S         PRNG seed (default 1)\n"
+      "  --out FILE       write the placement in task-leaf format\n"
+      "  --timeout-ms MS  wall-clock budget; on expiry hgp degrades to the\n"
+      "                   fallback chain instead of running over (default:\n"
+      "                   unbounded)\n"
+      "  --fallback MODE  chain = degrade hgp->multilevel->greedy (default),\n"
+      "                   none = fail with a typed status instead\n"
+      "  --help           print this message and exit\n",
+      argv0);
+}
+
+[[noreturn]] void usage_error(const char* argv0, const char* fmt,
+                              const char* detail) {
+  std::fprintf(stderr, "hgp_solve: ");
+  std::fprintf(stderr, fmt, detail);
+  std::fprintf(stderr, "\n");
+  print_usage(stderr, argv0);
+  std::exit(kExitUsage);
+}
+
+/// Strict integer parse: the whole token must be a base-10 integer within
+/// [lo, hi].  Exits 2 naming the offending flag otherwise (std::atoi would
+/// silently yield 0 on garbage like `--trees abc`).
+long long parse_int(const char* flag, const std::string& value, long long lo,
+                    long long hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno != 0) {
+    std::fprintf(stderr, "hgp_solve: invalid integer '%s' for %s\n",
+                 value.c_str(), flag);
+    std::exit(kExitUsage);
+  }
+  if (parsed < lo || parsed > hi) {
+    std::fprintf(stderr,
+                 "hgp_solve: value %lld for %s out of range [%lld, %lld]\n",
+                 parsed, flag, lo, hi);
+    std::exit(kExitUsage);
+  }
+  return parsed;
+}
+
+/// Strict finite-double parse with the same failure contract as parse_int.
+double parse_double(const char* flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || errno != 0 ||
+      !std::isfinite(parsed)) {
+    std::fprintf(stderr, "hgp_solve: invalid number '%s' for %s\n",
+                 value.c_str(), flag);
+    std::exit(kExitUsage);
+  }
+  return parsed;
+}
+
+std::vector<double> parse_list(const char* flag, const std::string& s) {
   std::vector<double> out;
   std::size_t pos = 0;
-  while (pos < s.size()) {
+  while (pos <= s.size()) {
     std::size_t next = s.find(',', pos);
     if (next == std::string::npos) next = s.size();
-    out.push_back(std::stod(s.substr(pos, next - pos)));
+    out.push_back(parse_double(flag, s.substr(pos, next - pos)));
     pos = next + 1;
   }
   return out;
@@ -56,52 +151,140 @@ int main(int argc, char** argv) {
   std::string deg_spec, cm_spec;
   int trees = 4;
   double epsilon = 0.5;
+  double timeout_ms = 0;
   DemandUnits units = 8;
   std::uint64_t seed = 1;
+  FallbackPolicy fallback = FallbackPolicy::kChain;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag);
-        usage(argv[0]);
-      }
+      if (i + 1 >= argc) usage_error(argv[0], "missing value for %s", flag);
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--graph")) graph_path = need("--graph");
-    else if (!std::strcmp(argv[i], "--deg")) deg_spec = need("--deg");
-    else if (!std::strcmp(argv[i], "--cm")) cm_spec = need("--cm");
-    else if (!std::strcmp(argv[i], "--algo")) algo = need("--algo");
-    else if (!std::strcmp(argv[i], "--trees")) trees = std::atoi(need("--trees").c_str());
-    else if (!std::strcmp(argv[i], "--units")) units = std::atoll(need("--units").c_str());
-    else if (!std::strcmp(argv[i], "--epsilon")) { epsilon = std::stod(need("--epsilon")); units = 0; }
-    else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(need("--seed").c_str(), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--out")) out_path = need("--out");
-    else usage(argv[0]);
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      print_usage(stdout, argv[0]);
+      return kExitOk;
+    } else if (!std::strcmp(argv[i], "--graph")) {
+      graph_path = need("--graph");
+    } else if (!std::strcmp(argv[i], "--deg")) {
+      deg_spec = need("--deg");
+    } else if (!std::strcmp(argv[i], "--cm")) {
+      cm_spec = need("--cm");
+    } else if (!std::strcmp(argv[i], "--algo")) {
+      algo = need("--algo");
+    } else if (!std::strcmp(argv[i], "--trees")) {
+      trees = static_cast<int>(
+          parse_int("--trees", need("--trees"), 1, 1 << 20));
+    } else if (!std::strcmp(argv[i], "--units")) {
+      units = static_cast<DemandUnits>(
+          parse_int("--units", need("--units"), 1, 1 << 30));
+    } else if (!std::strcmp(argv[i], "--epsilon")) {
+      epsilon = parse_double("--epsilon", need("--epsilon"));
+      if (epsilon <= 0) {
+        usage_error(argv[0], "--epsilon must be > 0%s", "");
+      }
+      units = 0;
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = static_cast<std::uint64_t>(
+          parse_int("--seed", need("--seed"), 0,
+                    std::numeric_limits<long long>::max()));
+    } else if (!std::strcmp(argv[i], "--timeout-ms")) {
+      timeout_ms = parse_double("--timeout-ms", need("--timeout-ms"));
+      if (timeout_ms < 0) {
+        usage_error(argv[0], "--timeout-ms must be >= 0%s", "");
+      }
+    } else if (!std::strcmp(argv[i], "--fallback")) {
+      const std::string mode = need("--fallback");
+      if (mode == "chain") {
+        fallback = FallbackPolicy::kChain;
+      } else if (mode == "none") {
+        fallback = FallbackPolicy::kNone;
+      } else {
+        usage_error(argv[0], "unknown --fallback mode '%s'", mode.c_str());
+      }
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out_path = need("--out");
+    } else {
+      usage_error(argv[0], "unknown argument '%s'", argv[i]);
+    }
   }
-  if (graph_path.empty() || deg_spec.empty() || cm_spec.empty()) usage(argv[0]);
+  if (graph_path.empty() || deg_spec.empty() || cm_spec.empty()) {
+    usage_error(argv[0], "--graph, --deg and --cm are required%s", "");
+  }
 
   try {
-    const Graph g = io::read_metis_file(graph_path);
-    std::vector<int> deg;
-    for (double d : parse_list(deg_spec)) deg.push_back(static_cast<int>(d));
-    const Hierarchy h(deg, parse_list(cm_spec));
+    // A CheckError out of file parsing or hierarchy construction is the
+    // input's fault, not ours — reclassify so the exit code says so.
+    const Graph g = [&] {
+      try {
+        return io::read_metis_file(graph_path);
+      } catch (const SolveError&) {
+        throw;
+      } catch (const CheckError& e) {
+        throw SolveError(StatusCode::kInvalidInput, e.what());
+      }
+    }();
+    const Hierarchy h = [&] {
+      std::vector<int> deg;
+      for (double d : parse_list("--deg", deg_spec)) {
+        deg.push_back(static_cast<int>(d));
+      }
+      try {
+        return Hierarchy(deg, parse_list("--cm", cm_spec));
+      } catch (const SolveError&) {
+        throw;
+      } catch (const CheckError& e) {
+        throw SolveError(StatusCode::kInvalidInput, e.what());
+      }
+    }();
     std::printf("graph: %d tasks, %d edges, total demand %.2f\n",
                 g.vertex_count(), g.edge_count(), g.total_demand());
     std::printf("machine: %s\n", h.to_string().c_str());
 
     Placement p;
+    Status status;
+    std::string solved_by = algo;
     if (algo == "hgp") {
       SolverOptions opt;
       opt.num_trees = trees;
       opt.epsilon = epsilon;
       opt.units_override = units;
       opt.seed = seed;
-      p = solve_hgp(g, h, opt).placement;
+      opt.timeout_ms = timeout_ms;
+      opt.fallback = fallback;
+      const HgpResult r = solve_hgp(g, h, opt);
+      p = r.placement;
+      status = r.status;
+      solved_by = solve_method_name(r.method);
+      int failed = 0;
+      for (const TreeAttempt& a : r.attempts) failed += a.ok() ? 0 : 1;
+      if (failed > 0) {
+        std::printf("trees: %zu sampled, %d failed\n", r.attempts.size(),
+                    failed);
+        for (std::size_t t = 0; t < r.attempts.size(); ++t) {
+          const TreeAttempt& a = r.attempts[t];
+          if (!a.ok()) {
+            std::printf("  tree %zu: %s (%.1f ms) %s\n", t,
+                        status_code_name(a.status), a.elapsed_ms,
+                        a.error.c_str());
+          }
+        }
+      }
+      if (r.degraded()) {
+        std::printf("degraded: %s (fallback: %s)\n",
+                    status.to_string().c_str(), solved_by.c_str());
+      }
     } else if (algo == "greedy") {
       p = greedy_placement(g, h);
     } else if (algo == "multilevel") {
       Rng rng(seed);
-      p = multilevel_placement(g, h, rng);
+      MultilevelOptions mopt;
+      ExecContext exec;
+      if (timeout_ms > 0) {
+        exec.deadline = Deadline::after_ms(timeout_ms);
+        mopt.exec = &exec;
+      }
+      p = multilevel_placement(g, h, rng, mopt);
     } else if (algo == "rb") {
       Rng rng(seed);
       p = recursive_bisection_placement(g, h, rng);
@@ -109,14 +292,13 @@ int main(int argc, char** argv) {
       Rng rng(seed);
       p = random_placement(g, h, rng);
     } else {
-      std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
-      usage(argv[0]);
+      usage_error(argv[0], "unknown --algo '%s'", algo.c_str());
     }
 
     const double cost = placement_cost(g, h, p);
     const LoadReport loads = load_report(g, h, p);
-    std::printf("\nalgorithm: %s\ncommunication cost: %.3f\n", algo.c_str(),
-                cost);
+    std::printf("\nalgorithm: %s\nstatus: %s\ncommunication cost: %.3f\n",
+                solved_by.c_str(), status_code_name(status.code), cost);
     Table table({"level", "nodes", "capacity", "max load", "violation"});
     for (int j = 0; j <= h.height(); ++j) {
       double max_load = 0;
@@ -136,9 +318,12 @@ int main(int argc, char** argv) {
       io::write_placement_file(p, out_path);
       std::printf("\nplacement written to %s\n", out_path.c_str());
     }
+    return exit_code_for(status.code);
+  } catch (const SolveError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code_for(e.code());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitInternal;
   }
-  return 0;
 }
