@@ -5,6 +5,7 @@
 // cost is non-increasing in the number of trees (same seed prefix) with
 // most of the benefit in the first few samples.
 #include <cstdio>
+#include <iostream>
 
 #include "runtime/solver.hpp"
 #include "exp/report.hpp"
@@ -42,7 +43,7 @@ int run() {
     table.add(monotone ? "yes" : "NO");
     all_monotone &= monotone;
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n");
   const bool ok =
       exp::check("cost non-increasing in the tree-family size", all_monotone);

@@ -6,6 +6,7 @@
 // The hybrid must never be worse than the raw solver and typically closes
 // part of the embedding loss.
 #include <cstdio>
+#include <iostream>
 
 #include "baseline/local_search.hpp"
 #include "runtime/solver.hpp"
@@ -52,7 +53,7 @@ int run() {
     total_gain += gain;
     ++rows;
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n   mean improvement: %.1f%%\n\n", total_gain / rows);
   const bool ok = exp::check("refinement never worsens the solver", never_worse);
   return ok ? 0 : 1;

@@ -6,6 +6,7 @@
 // state/time reduction that makes taller hierarchies practical.
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "core/tree_dp.hpp"
 #include "exp/report.hpp"
@@ -54,7 +55,7 @@ int run() {
         .add(equal ? "yes" : "NO");
     all_equal &= equal;
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n");
   const bool ok = exp::check("pruned and unpruned optima identical", all_equal);
   return ok ? 0 : 1;

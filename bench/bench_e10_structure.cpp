@@ -6,6 +6,7 @@
 // (the relaxation is capacity-exact; violation enters only at conversion).
 // Lemma 4/5 consequences are exercised through the validators.
 #include <cstdio>
+#include <iostream>
 
 #include "core/rhgpt.hpp"
 #include "core/tree_dp.hpp"
@@ -59,7 +60,7 @@ int run() {
       all_ok &= bad == 0 && valid && cost_match;
     }
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n");
   const bool ok = exp::check(
       "BS(s)=0, Definition-4 validation and exact cost accounting on every "

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "exp/algorithms.hpp"
 #include "exp/report.hpp"
@@ -38,7 +39,8 @@ double spearman(const std::vector<double>& x, const std::vector<double>& y) {
     sx += rx[i];
     sy += ry[i];
   }
-  const double mx = sx / n, my = sy / n;
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
   for (std::size_t i = 0; i < n; ++i) {
     sxy += (rx[i] - mx) * (ry[i] - my);
     sxx += (rx[i] - mx) * (rx[i] - mx);
@@ -85,7 +87,7 @@ int run() {
     all_ok &= rho > 0.5;
     all_ok &= solver_rate >= random_rate;
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n");
   const bool ok = exp::check(
       "cost rank-correlates with inverse throughput (> 0.5) and the solver "

@@ -5,6 +5,7 @@
 // solves the *relaxation* optimally, and the Theorem-5 conversion never
 // increases cost), while its capacity violation stays within (1+ε)(1+h).
 #include <cstdio>
+#include <iostream>
 
 #include "baseline/exact.hpp"
 #include "core/tree_solver.hpp"
@@ -51,7 +52,7 @@ int run() {
       all_ok &= sol.max_violation() <= bound + 1e-9;
     }
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n");
   const bool ok = exp::check(
       "every instance: cost <= exact OPT and violation within bound", all_ok);

@@ -5,6 +5,7 @@
 // optimal solutions coincide; the solver run under general multipliers
 // equals the normalized run plus the constant.
 #include <cstdio>
+#include <iostream>
 
 #include "runtime/solver.hpp"
 #include "exp/report.hpp"
@@ -51,7 +52,7 @@ int run() {
         .add(identity && same_placement ? "yes" : "NO");
     all_ok &= identity && same_placement;
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n");
   const bool ok =
       exp::check("normalization preserves solutions and shifts cost by "

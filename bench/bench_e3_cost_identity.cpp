@@ -6,6 +6,7 @@
 // throughput of both formulations.
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "exp/report.hpp"
 #include "exp/workloads.hpp"
@@ -67,7 +68,7 @@ int run() {
         .add(1e6 * t3 / rounds, 2);
     all_ok &= max_dev < 1e-9 && max_dev_lit < 1e-9;
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n");
   const bool ok = exp::check("Eq.(1) == Eq.(3) to 1e-9 on all families", all_ok);
   return ok ? 0 : 1;

@@ -6,6 +6,7 @@
 // worst violation per level against the theorem's bound — the paper's
 // bound is loose in practice, which is part of the story.
 #include <cstdio>
+#include <iostream>
 
 #include "core/tree_solver.hpp"
 #include "exp/report.hpp"
@@ -59,7 +60,7 @@ int run() {
       all_ok &= cost_ok && viol_ok;
     }
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n");
   const bool ok = exp::check(
       "cost never increases; violations within 2(1+j) at every level",

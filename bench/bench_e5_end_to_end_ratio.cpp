@@ -11,6 +11,7 @@
 // the theorem predicts.
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "baseline/exact.hpp"
 #include "exp/algorithms.hpp"
@@ -50,7 +51,7 @@ int run() {
     all_ok &= res.max_violation <= 2.0 * (1 + h.height()) + 1e-9;
   }
   std::printf("-- Part A: vs exact optimum (n = 9)\n");
-  small.print();
+  small.print(std::cout);
 
   // Part B: growth versus n against a log-n envelope.
   std::printf("\n-- Part B: ratio vs n (normalized by best algorithm found)\n");
@@ -80,7 +81,7 @@ int run() {
     csv.row().add(static_cast<std::int64_t>(n)).add(ratio).add(logn);
     worst_normalized = std::max(worst_normalized, ratio / logn);
   }
-  growth.print();
+  growth.print(std::cout);
   exp::maybe_write_csv(csv, "bench_e5_end_to_end_ratio");
   all_ok &= worst_normalized <= 1.0;  // far inside the O(log n) envelope
 

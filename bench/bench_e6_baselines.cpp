@@ -6,6 +6,7 @@
 // ≳ recursive-bisect / multilevel ≳ hgp-dp, with the DP winning or tying
 // on the clustered and streaming families it was designed for.
 #include <cstdio>
+#include <iostream>
 #include <map>
 
 #include "exp/algorithms.hpp"
@@ -53,7 +54,7 @@ int run() {
     solver_always_beats_random &=
         cost.at("hgp-dp").mean() < random_cost;
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n");
   const bool ok = exp::check(
       "hgp-dp beats random placement on every family", solver_always_beats_random);

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "core/tree_dp.hpp"
 #include "exp/report.hpp"
@@ -61,7 +62,7 @@ int run() {
     last_ms = ms;
     last_n = n;
   }
-  ta.print();
+  ta.print(std::cout);
 
   std::printf("\n-- (b) demand-unit sweep (h = 2, n = 160)\n");
   Table tb({"units U", "~epsilon", "ms", "signatures", "merge ops"});
@@ -83,7 +84,7 @@ int run() {
         .add(static_cast<std::int64_t>(r.stats.merge_operations));
     csv.row().add(std::string("U")).add(static_cast<std::int64_t>(u)).add(ms);
   }
-  tb.print();
+  tb.print(std::cout);
 
   std::printf("\n-- (c) height sweep (n = 120, ~1.5 units per job)\n");
   Table tc({"h", "leaves(H)", "ms", "signatures", "merge ops"});
@@ -107,7 +108,7 @@ int run() {
     if (prev_ms > 0.5) growth_factor = std::max(growth_factor, ms / prev_ms);
     prev_ms = ms;
   }
-  tc.print();
+  tc.print(std::cout);
   exp::maybe_write_csv(csv, "bench_e7_dp_scaling");
 
   std::printf("\n");

@@ -5,6 +5,7 @@
 // bisection on small graphs.  Part B: k-BGP comparison of all algorithms
 // on planted bipartitions, where the true cut is known by construction.
 #include <cstdio>
+#include <iostream>
 
 #include "baseline/exact.hpp"
 #include "exp/algorithms.hpp"
@@ -57,7 +58,7 @@ int run() {
     all_ok &= ratio <= 2.0 + 1e-9;           // empirical envelope
     all_ok &= res.max_violation <= 4.0 + 1e-9;  // 2(1+h), unit-floor bound
   }
-  ta.print();
+  ta.print(std::cout);
 
   std::printf("\n-- Part B: k-BGP with k = 8 on planted 8-partitions\n");
   Table tb({"algorithm", "mean cut", "vs planted cut", "violation"});
@@ -85,7 +86,7 @@ int run() {
         .add(res.max_violation, 2);
     if (a.name == "hgp-dp") solver_cut = res.cost;
   }
-  tb.print();
+  tb.print(std::cout);
   all_ok &= solver_cut <= 2.5 * planted_cut;
 
   std::printf("\n");

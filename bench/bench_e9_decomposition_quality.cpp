@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include <functional>
+#include <iostream>
 
 #include "runtime/solver.hpp"
 #include "decomp/builder.hpp"
@@ -91,7 +92,7 @@ int run() {
     // (allow a little noise on the unstructured families).
     ablation_ok &= fm_cost <= random_cost * 1.15 + 1e-9;
   }
-  table.print();
+  table.print(std::cout);
   std::printf("\n");
   bool ok = exp::check("Proposition 1: stretch >= 1 on every sample", prop1_ok);
   ok &= exp::check("spectral+fm trees never lose to random trees (within 15%)",

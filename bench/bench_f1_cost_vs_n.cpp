@@ -5,6 +5,7 @@
 // algorithm, with the expected ordering random > greedy > partitioners >
 // hgp-dp.
 #include <cstdio>
+#include <iostream>
 
 #include "exp/algorithms.hpp"
 #include "exp/report.hpp"
@@ -41,7 +42,7 @@ int run() {
     }
     ordering_ok &= dp_cost < random_cost;
   }
-  table.print();
+  table.print(std::cout);
   exp::maybe_write_csv(csv, "bench_f1_cost_vs_n");
   std::printf("\n");
   const bool ok =

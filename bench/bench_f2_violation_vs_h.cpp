@@ -4,6 +4,7 @@
 // shows the measured worst violation sitting under that line, and how much
 // slack there is in practice.
 #include <cstdio>
+#include <iostream>
 
 #include "core/tree_solver.hpp"
 #include "exp/report.hpp"
@@ -52,7 +53,7 @@ int run() {
         .add(bound);
     all_ok &= within;
   }
-  table.print();
+  table.print(std::cout);
   exp::maybe_write_csv(csv, "bench_f2_violation_vs_h");
   std::printf("\n");
   const bool ok = exp::check("violation within the 2(1+h) line for all h",

@@ -7,6 +7,7 @@
 //   $ ./datacenter [services] [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 
 #include "baseline/multilevel.hpp"
 #include "runtime/solver.hpp"
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
       .add(res.cost)
       .add(cross_rack(res.placement))
       .add(res.loads.max_violation(), 2);
-  table.print();
+  table.print(std::cout);
 
   // Per-server load map under the solver.
   std::printf("\nserver load map (hgp solver):\n");

@@ -8,6 +8,7 @@
 //   $ ./numa_pinning [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 
 #include "runtime/solver.hpp"
 #include "graph/generators.hpp"
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
         .add(loads)
         .add(res.loads.max_violation(), 2);
   }
-  table.print();
+  table.print(std::cout);
   std::printf(
       "\nAs r grows the solver trades intra-node balance for fewer\n"
       "cross-node edges: the stencil tiles onto nodes and only the hub's\n"

@@ -8,6 +8,7 @@
 //   $ ./stream_pipeline [tasks] [seed]
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 
 #include "baseline/greedy.hpp"
 #include "baseline/random_placement.hpp"
@@ -77,7 +78,7 @@ int main(int argc, char** argv) {
   const HgpResult res = solve_hgp(pipeline, machine, opt);
   report("hgp solver", res.placement);
 
-  table.print();
+  table.print(std::cout);
 
   // Show the hot channels' fate under the solver.
   std::printf("\nheaviest channels under the solver:\n");

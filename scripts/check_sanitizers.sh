@@ -1,11 +1,47 @@
 #!/usr/bin/env bash
-# Builds the tree with ASan+UBSan (the asan-ubsan preset) and runs the
-# test suite under it.  The resilience layer's unwinding paths —
-# exceptions crossing thread-pool futures, abandoned DP tables — are the
-# main customers.
-# Usage: scripts/check_sanitizers.sh [extra ctest args...]
+# Sanitizer matrix runner: builds the tree under each requested sanitizer
+# preset and runs the test suite under it.
+#
+# The resilience layer's unwinding paths (exceptions crossing thread-pool
+# futures, abandoned DP tables) are ASan/UBSan's main customers; the
+# parallel forest solve, CancelToken/Deadline polling, and the
+# FaultInjector's armed-table handoff are TSan's (tests/test_race.cpp).
+#
+# Usage: scripts/check_sanitizers.sh [asan-ubsan|tsan|all] [extra ctest args]
+#   scripts/check_sanitizers.sh                  # asan-ubsan + tsan
+#   scripts/check_sanitizers.sh tsan             # just TSan
+#   scripts/check_sanitizers.sh all -R Race      # both, filtered tests
 set -eu
 cd "$(dirname "$0")/.."
-cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$(nproc)"
-ctest --preset asan-ubsan -j "$(nproc)" "$@"
+
+matrix="all"
+if [ "$#" -ge 1 ]; then
+  case "$1" in
+    asan-ubsan|tsan|all) matrix="$1"; shift ;;
+  esac
+fi
+
+presets=""
+case "$matrix" in
+  all) presets="asan-ubsan tsan" ;;
+  *) presets="$matrix" ;;
+esac
+
+jobs="$(nproc)"
+failed=""
+for preset in $presets; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset"
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> [$preset] ctest"
+  if ! ctest --preset "$preset" -j "$jobs" "$@"; then
+    failed="$failed $preset"
+  fi
+done
+
+if [ -n "$failed" ]; then
+  echo "sanitizer matrix FAILED:$failed" >&2
+  exit 1
+fi
+echo "sanitizer matrix OK: $presets"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the project lint driver (tools/hgp_lint.py) over the source tree.
+#
+# Usage: scripts/lint.sh [--self-test]
+#   --self-test   also run the driver's fixture-based self-test first
+#
+# Exit code: 0 clean, non-zero on violations (or self-test failure).
+set -euo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+python=python3
+if ! command -v "${python}" >/dev/null 2>&1; then
+  echo "lint.sh: python3 not found; cannot run hgp_lint" >&2
+  exit 2
+fi
+
+if [[ "${1:-}" == "--self-test" ]]; then
+  "${python}" "${root}/tools/hgp_lint.py" --self-test
+fi
+
+exec "${python}" "${root}/tools/hgp_lint.py" --root "${root}"

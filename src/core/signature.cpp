@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+
+#include "util/contracts.hpp"
 
 namespace hgp {
 
@@ -93,7 +96,12 @@ std::size_t SignatureSpace::uniform_id(DemandUnits units) const {
 
 std::size_t SignatureSpace::merge(std::size_t a, int j1, std::size_t b,
                                   int j2, int present) const {
-  HGP_ASSERT(a < count_ && b < count_);
+  // Definition 9 preconditions: both children are interned signatures and
+  // the cut levels lie within the hierarchy.
+  HGP_PRECONDITION_MSG(a < count_ && b < count_,
+                       "merge children must be interned signature ids");
+  HGP_PRECONDITION_MSG(j1 >= 0 && j1 <= height_ && j2 >= 0 && j2 <= height_,
+                       "merge cut levels must lie in [0, h]");
   const int kept1 = std::min(j1, this->present(a));
   const int kept2 = std::min(j2, this->present(b));
   const int base = std::max(kept1, kept2);
@@ -110,11 +118,20 @@ std::size_t SignatureSpace::merge(std::size_t a, int j1, std::size_t b,
   // base ≥ support by construction.
   const std::size_t tuple = pack_to_tuple_[pack(out)];
   HGP_ASSERT(tuple != npos);
-  return compose(tuple, present);
+  const std::size_t merged = compose(tuple, present);
+  // Definition 9 postcondition: a successful (j1,j2)-consistent merge is
+  // itself a valid signature — monotone, within capacity, presence deep
+  // enough for its support.
+  HGP_POSTCONDITION_MSG(id_of(out, present) == merged,
+                        "consistent merge produced an invalid signature");
+  return merged;
 }
 
 std::size_t SignatureSpace::lift(std::size_t a, int j1, int present) const {
-  HGP_ASSERT(a < count_);
+  HGP_PRECONDITION_MSG(a < count_,
+                       "lift child must be an interned signature id");
+  HGP_PRECONDITION_MSG(j1 >= 0 && j1 <= height_,
+                       "lift cut level must lie in [0, h]");
   const int kept = std::min(j1, this->present(a));
   if (present < kept || present > height_) return npos;
   Signature out(static_cast<std::size_t>(height_), 0);
@@ -123,7 +140,73 @@ std::size_t SignatureSpace::lift(std::size_t a, int j1, int present) const {
   }
   const std::size_t tuple = pack_to_tuple_[pack(out)];
   HGP_ASSERT(tuple != npos);
-  return compose(tuple, present);
+  const std::size_t lifted = compose(tuple, present);
+  HGP_POSTCONDITION_MSG(id_of(out, present) == lifted,
+                        "lift produced an invalid signature");
+  return lifted;
+}
+
+void SignatureSpace::validate(const Signature& d, int present) const {
+  if (narrow<int>(d.size()) != height_) {
+    throw SolveError(StatusCode::kInternal,
+                     "signature invariant violated: tuple must have h=" +
+                         std::to_string(height_) + " levels, got " +
+                         std::to_string(d.size()));
+  }
+  if (present < 0 || present > height_) {
+    throw SolveError(StatusCode::kInternal,
+                     "signature invariant violated: presence depth " +
+                         std::to_string(present) + " outside [0, h]");
+  }
+  DemandUnits prev = std::numeric_limits<DemandUnits>::max();
+  int support = 0;
+  for (int j = 1; j <= height_; ++j) {
+    const DemandUnits x = d[static_cast<std::size_t>(j - 1)];
+    if (x < 0) {
+      throw SolveError(StatusCode::kInternal,
+                       "signature invariant violated: negative demand at "
+                       "level " +
+                           std::to_string(j));
+    }
+    if (x > bound_[static_cast<std::size_t>(j - 1)]) {
+      throw SolveError(StatusCode::kInternal,
+                       "signature invariant violated: demand " +
+                           std::to_string(x) + " exceeds capacity bound at "
+                           "level " +
+                           std::to_string(j));
+    }
+    if (x > prev) {
+      throw SolveError(StatusCode::kInternal,
+                       "signature invariant violated: Corollary 1 "
+                       "monotonicity fails at level " +
+                           std::to_string(j) + " (D rises " +
+                           std::to_string(prev) + " -> " +
+                           std::to_string(x) + ")");
+    }
+    if (x > 0) support = j;
+    prev = x;
+  }
+  if (present < support) {
+    throw SolveError(StatusCode::kInternal,
+                     "signature invariant violated: presence depth " +
+                         std::to_string(present) + " shallower than demand "
+                         "support " +
+                         std::to_string(support));
+  }
+}
+
+void SignatureSpace::validate(std::size_t id) const {
+  if (id >= count_) {
+    throw SolveError(StatusCode::kInternal,
+                     "signature invariant violated: id " +
+                         std::to_string(id) + " out of range (space size " +
+                         std::to_string(count_) + ")");
+  }
+  Signature d(static_cast<std::size_t>(height_), 0);
+  for (int j = 1; j <= height_; ++j) {
+    d[static_cast<std::size_t>(j - 1)] = level(id, j);
+  }
+  validate(d, present(id));
 }
 
 }  // namespace hgp

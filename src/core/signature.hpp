@@ -87,6 +87,17 @@ class SignatureSpace {
     return bound_[static_cast<std::size_t>(j - 1)];
   }
 
+  /// Audits a (D, p) pair directly: Corollary 1 monotonicity
+  /// D^(1) ≥ … ≥ D^(h) ≥ 0, capacity D^(j) ≤ level_bound(j), and presence
+  /// p ∈ [support, h].  Unlike id_of (which returns npos so the DP can
+  /// prune), a violation here throws SolveError{kInternal} — use at seams
+  /// and in tests against deliberately corrupted tuples.
+  void validate(const Signature& d, int present) const;
+
+  /// Same audit on an interned id (also rejects out-of-range ids and ids
+  /// whose presence depth is shallower than their demand support).
+  void validate(std::size_t id) const;
+
  private:
   std::size_t pack(const Signature& d) const;
   std::size_t compose(std::size_t tuple_index, int present) const {
@@ -103,5 +114,15 @@ class SignatureSpace {
   std::vector<std::size_t> pack_to_tuple_;  // packed key → tuple_index
   std::size_t zero_id_ = npos;
 };
+
+/// Free-function spelling of the signature audits, matching
+/// validate_hierarchy / validate_placement at the seams.
+inline void validate_signature(const SignatureSpace& space, std::size_t id) {
+  space.validate(id);
+}
+inline void validate_signature(const SignatureSpace& space, const Signature& d,
+                               int present) {
+  space.validate(d, present);
+}
 
 }  // namespace hgp

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/contracts.hpp"
+
 namespace hgp {
 
 Hierarchy::Hierarchy(std::vector<int> deg, std::vector<double> cm)
@@ -54,6 +56,62 @@ Hierarchy Hierarchy::normalized(double* subtracted) const {
 
 Hierarchy Hierarchy::with_cost_multipliers(std::vector<double> cm) const {
   return Hierarchy(deg_, std::move(cm));
+}
+
+void validate_hierarchy(const std::vector<int>& deg,
+                        const std::vector<double>& cm) {
+  const std::size_t height = deg.size();
+  if (height < 1) {
+    throw SolveError(StatusCode::kInternal,
+                     "hierarchy invariant violated: height < 1");
+  }
+  if (cm.size() != height + 1) {
+    throw SolveError(StatusCode::kInternal,
+                     "hierarchy invariant violated: cost multiplier vector "
+                     "must have height+1 entries");
+  }
+  for (std::size_t j = 0; j < height; ++j) {
+    if (deg[j] < 1) {
+      throw SolveError(StatusCode::kInternal,
+                       "hierarchy invariant violated: fan-out < 1 at level " +
+                           std::to_string(j));
+    }
+  }
+  for (std::size_t j = 0; j <= height; ++j) {
+    if (cm[j] < 0.0 || (j > 0 && cm[j - 1] < cm[j])) {
+      throw SolveError(StatusCode::kInternal,
+                       "hierarchy invariant violated: cost multipliers must "
+                       "be non-negative and non-increasing (level " +
+                           std::to_string(j) + ")");
+    }
+  }
+}
+
+void validate_hierarchy(const Hierarchy& h) {
+  validate_hierarchy(h.deg_, h.cm_);
+  const std::size_t height = h.deg_.size();
+  if (h.cp_.size() != height + 1 || h.nodes_.size() != height + 1) {
+    throw SolveError(StatusCode::kInternal,
+                     "hierarchy invariant violated: level arrays must have "
+                     "height+1 entries");
+  }
+  // CP[h] = 1 and CP[j] = CP[j+1] · DEG[j]; nodes_at(0) = 1 and
+  // nodes_at(j) = nodes_at(j-1) · DEG[j-1]; CP[j] · nodes_at(j) = leaves.
+  if (h.cp_[height] != 1 || h.nodes_[0] != 1) {
+    throw SolveError(StatusCode::kInternal,
+                     "hierarchy invariant violated: CP[h] and nodes_at(0) "
+                     "must both be 1");
+  }
+  for (std::size_t j = 0; j < height; ++j) {
+    if (h.cp_[j] != h.cp_[j + 1] * h.deg_[j] ||
+        h.nodes_[j + 1] != h.nodes_[j] * h.deg_[j] ||
+        h.cp_[j] * h.nodes_[j] != h.cp_[0]) {
+      throw SolveError(StatusCode::kInternal,
+                       "hierarchy invariant violated: capacity/node products "
+                       "inconsistent with fan-out at level " +
+                           std::to_string(j));
+    }
+  }
 }
 
 std::string Hierarchy::to_string() const {

@@ -93,10 +93,26 @@ class Hierarchy {
   std::string to_string() const;
 
  private:
+  friend void validate_hierarchy(const Hierarchy& h);
+
   std::vector<int> deg_;       // size h
   std::vector<double> cm_;     // size h+1
   std::vector<std::int64_t> cp_;     // size h+1: CP[j]
   std::vector<std::int64_t> nodes_;  // size h+1: nodes_at(j)
 };
+
+/// Audits the structural invariants the paper's indexing arithmetic rests
+/// on: height ≥ 1, regular fan-out ≥ 1 per level, and non-increasing
+/// non-negative cost multipliers (cm must have height+1 entries).  Throws
+/// SolveError{kInternal} on violation — a malformed hierarchy past the
+/// constructor is a library bug, not caller error.
+void validate_hierarchy(const std::vector<int>& deg,
+                        const std::vector<double>& cm);
+
+/// Same audit on a constructed Hierarchy, plus the derived CP[j] /
+/// nodes_at(j) products consistent with deg.  The constructor establishes
+/// all of this; seams re-check it (and tests, via the raw overload, feed
+/// deliberately corrupted level vectors).
+void validate_hierarchy(const Hierarchy& h);
 
 }  // namespace hgp

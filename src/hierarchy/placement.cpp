@@ -10,14 +10,30 @@ double LoadReport::max_violation() const {
   return worst;
 }
 
-void validate_placement(const Graph& g, const Hierarchy& h,
-                        const Placement& p) {
+void validate_placement(const Graph& g, const Hierarchy& h, const Placement& p,
+                        PlacementCheck check, double tolerance) {
   HGP_CHECK_MSG(p.leaf_of.size() == static_cast<std::size_t>(g.vertex_count()),
                 "placement must assign every vertex");
   HGP_CHECK_MSG(g.has_demands(), "HGP instances require vertex demands");
   for (LeafId leaf : p.leaf_of) {
     HGP_CHECK_MSG(leaf >= 0 && leaf < h.leaf_count(),
                   "placement leaf id out of range: " << leaf);
+  }
+  if (check == PlacementCheck::kFeasible) {
+    // Eq. 1: each leaf has capacity 1, so the demand landing on it may not
+    // exceed 1 (internal levels then fit automatically, their capacity
+    // being the sum of leaf capacities below).
+    std::vector<double> leaf_load(static_cast<std::size_t>(h.leaf_count()),
+                                  0.0);
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      leaf_load[static_cast<std::size_t>(p[v])] += g.demand(v);
+    }
+    for (std::size_t leaf = 0; leaf < leaf_load.size(); ++leaf) {
+      HGP_CHECK_MSG(leaf_load[leaf] <= 1.0 + tolerance,
+                    "placement violates Eq. 1: leaf "
+                        << leaf << " carries demand " << leaf_load[leaf]
+                        << " > capacity 1");
+    }
   }
 }
 

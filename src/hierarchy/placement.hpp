@@ -34,8 +34,23 @@ struct LoadReport {
   }
 };
 
-/// Checks index ranges; throws CheckError on malformed placements.
-void validate_placement(const Graph& g, const Hierarchy& h, const Placement& p);
+/// What validate_placement enforces beyond well-formedness.
+enum class PlacementCheck {
+  /// Every vertex assigned, every leaf id in [0, leaf_count).
+  kStructural,
+  /// Structural plus Eq. 1: the demand on each leaf fits its (unit)
+  /// capacity, up to `tolerance` — the contract exact placements and
+  /// feasibility-preserving heuristics must meet.
+  kFeasible,
+};
+
+/// Checks index ranges (and, under kFeasible, per-leaf capacity); throws
+/// CheckError on malformed placements.  load_report() runs the structural
+/// check internally, so callers needing only kStructural before a report
+/// can skip the explicit call.
+void validate_placement(const Graph& g, const Hierarchy& h, const Placement& p,
+                        PlacementCheck check = PlacementCheck::kStructural,
+                        double tolerance = 1e-9);
 
 /// Demand loads and violations at every level of H.
 LoadReport load_report(const Graph& g, const Hierarchy& h, const Placement& p);

@@ -6,6 +6,7 @@
 #include "baseline/greedy.hpp"
 #include "baseline/multilevel.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/contracts.hpp"
 #include "util/fault_injector.hpp"
 #include "util/timer.hpp"
 
@@ -33,6 +34,10 @@ TreeOutcome solve_one_tree(const Graph& g, const Hierarchy& h,
   // (the tree cost over-estimates by the embedding stretch).
   out.cost = placement_cost(g, h, out.placement);
   out.stats = sol.stats;
+  // The leaf↔vertex bijection must yield a structurally valid placement
+  // whose leaf loads match the tree solution's (leaves carry the same
+  // demand on both sides of the mapping).
+  if (contracts_enabled()) validate_placement(g, h, out.placement);
   return out;
 }
 
@@ -96,6 +101,8 @@ HgpResult run_fallback_chain(const Graph& g, const Hierarchy& h,
   }
   result.cost = placement_cost(g, h, result.placement);
   result.loads = load_report(g, h, result.placement);
+  HGP_POSTCONDITION_MSG(result.placement.task_count() == g.vertex_count(),
+                        "fallback placement must cover every task");
   return result;
 }
 
@@ -125,6 +132,11 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
   if (opt.timeout_ms < 0) {
     throw SolveError(StatusCode::kInvalidInput, "timeout_ms must be >= 0");
   }
+  if (opt.epsilon <= 0) {
+    throw SolveError(StatusCode::kInvalidInput, "epsilon must be > 0");
+  }
+
+  if (contracts_enabled()) validate_hierarchy(h);
 
   ExecContext exec;
   exec.deadline =

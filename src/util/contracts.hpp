@@ -1,0 +1,80 @@
+// Contract macros for internal correctness boundaries.
+//
+// HGP_PRECONDITION / HGP_POSTCONDITION / HGP_INVARIANT state the paper's
+// structural guarantees (per-leaf demand ≤ 1, nice-solution shape,
+// (j1,j2)-consistent merges) at the seams between core, hierarchy and
+// runtime.  They differ from HGP_CHECK in two ways:
+//   * they are compiled out of release builds (NDEBUG), so hot paths pay
+//     nothing in production — override with -DHGP_CONTRACTS=0|1 (the
+//     HGP_CONTRACTS CMake option);
+//   * a failure throws SolveError{kInternal}, not a bare CheckError: a
+//     violated contract is by definition a bug in this library, never the
+//     caller's fault, and the runtime's status taxonomy classifies it so.
+//
+// Use HGP_CHECK for caller-facing input validation (always on), contracts
+// for invariants that should be unviolable once inputs are validated.
+#pragma once
+
+#include <sstream>
+
+#include "util/status.hpp"
+
+#ifndef HGP_CONTRACTS
+#ifdef NDEBUG
+#define HGP_CONTRACTS 0
+#else
+#define HGP_CONTRACTS 1
+#endif
+#endif
+
+namespace hgp {
+
+/// True when contract macros are active in this translation unit's build.
+constexpr bool contracts_enabled() { return HGP_CONTRACTS != 0; }
+
+namespace detail {
+
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw SolveError(StatusCode::kInternal, os.str());
+}
+
+}  // namespace detail
+}  // namespace hgp
+
+#if HGP_CONTRACTS
+
+#define HGP_CONTRACT_IMPL_(kind, expr, msg)                            \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream hgp_contract_os_;                             \
+      hgp_contract_os_ << msg;                                         \
+      ::hgp::detail::contract_failed(kind, #expr, __FILE__, __LINE__,  \
+                                     hgp_contract_os_.str());          \
+    }                                                                  \
+  } while (0)
+
+#else
+
+// sizeof keeps the expression type-checked but unevaluated, so contract
+// text cannot rot in release builds.
+#define HGP_CONTRACT_IMPL_(kind, expr, msg) \
+  ((void)sizeof((expr) ? 1 : 0))
+
+#endif
+
+#define HGP_PRECONDITION(expr) HGP_CONTRACT_IMPL_("precondition", expr, "")
+#define HGP_PRECONDITION_MSG(expr, msg) \
+  HGP_CONTRACT_IMPL_("precondition", expr, msg)
+
+#define HGP_POSTCONDITION(expr) HGP_CONTRACT_IMPL_("postcondition", expr, "")
+#define HGP_POSTCONDITION_MSG(expr, msg) \
+  HGP_CONTRACT_IMPL_("postcondition", expr, msg)
+
+#define HGP_INVARIANT(expr) HGP_CONTRACT_IMPL_("invariant", expr, "")
+#define HGP_INVARIANT_MSG(expr, msg) \
+  HGP_CONTRACT_IMPL_("invariant", expr, msg)

@@ -19,6 +19,11 @@ namespace hgp {
 
 /// A point on the steady clock after which work should stop.  The default
 /// instance never expires.
+///
+/// Thread-safety: a Deadline is immutable after construction, so any
+/// number of threads may call the const observers concurrently (the TSan
+/// stress test shares one across a pool); re-assigning a shared Deadline
+/// while workers poll it is the caller's race to avoid.
 class Deadline {
  public:
   Deadline() = default;
@@ -53,16 +58,21 @@ class Deadline {
 
 /// A thread-safe one-way flag the caller flips to stop a solve in flight.
 /// Share by pointer; the token must outlive the work observing it.
+///
+/// Release/acquire ordering (not relaxed): everything the cancelling
+/// thread wrote before request_cancel() — the reason it cancelled, a
+/// replacement work item — is visible to a worker that observes the flag,
+/// so observers may act on that state without extra synchronization.
 class CancelToken {
  public:
   CancelToken() = default;
   CancelToken(const CancelToken&) = delete;
   CancelToken& operator=(const CancelToken&) = delete;
 
-  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void request_cancel() { cancelled_.store(true, std::memory_order_release); }
 
   bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    return cancelled_.load(std::memory_order_acquire);
   }
 
  private:

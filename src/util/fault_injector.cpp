@@ -40,6 +40,14 @@ void FaultInjector::arm(const std::string& site, int index, Fault fault) {
                      std::memory_order_release);
 }
 
+void FaultInjector::disarm(const std::string& site, int index) {
+  ArmedTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  t.faults.erase({site, index});
+  armed_count_.store(static_cast<int>(t.faults.size()),
+                     std::memory_order_release);
+}
+
 void FaultInjector::disarm_all() {
   ArmedTable& t = table();
   const std::lock_guard<std::mutex> lock(t.mu);

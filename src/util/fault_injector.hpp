@@ -38,6 +38,12 @@ class FaultInjector {
   /// matches all occurrences.  Re-arming a (site, index) overwrites.
   void arm(const std::string& site, int index, Fault fault);
 
+  /// Removes the fault armed at exactly (site, index), if any.  Scoped
+  /// arming must disarm only its own key: a blanket clear from one scope
+  /// would race another scope's still-armed fault away (the original
+  /// disarm-all-on-exit design did exactly that under concurrent tests).
+  void disarm(const std::string& site, int index);
+
   /// Removes every armed fault (back to the free no-op fast path).
   void disarm_all();
 
@@ -53,16 +59,22 @@ class FaultInjector {
   std::atomic<int> armed_count_{0};
 };
 
-/// RAII arming for tests: arms on construction, disarms *all* faults on
-/// destruction (tests own the injector exclusively).
+/// RAII arming for tests: arms on construction, disarms its own (site,
+/// index) on destruction.  Scopes may nest and may run on concurrent test
+/// threads; each removes only the fault it armed.
 class FaultScope {
  public:
-  FaultScope(const std::string& site, int index, FaultInjector::Fault fault) {
-    FaultInjector::instance().arm(site, index, fault);
+  FaultScope(std::string site, int index, FaultInjector::Fault fault)
+      : site_(std::move(site)), index_(index) {
+    FaultInjector::instance().arm(site_, index_, fault);
   }
-  ~FaultScope() { FaultInjector::instance().disarm_all(); }
+  ~FaultScope() { FaultInjector::instance().disarm(site_, index_); }
   FaultScope(const FaultScope&) = delete;
   FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  std::string site_;
+  int index_;
 };
 
 }  // namespace hgp

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
-#include <iostream>
+#include <ostream>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -83,7 +83,5 @@ std::string Table::to_string() const {
 }
 
 void Table::print(std::ostream& os) const { os << to_string(); }
-
-void Table::print() const { print(std::cout); }
 
 }  // namespace hgp

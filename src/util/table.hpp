@@ -32,9 +32,9 @@ class Table {
 
   /// Renders the table with a header rule and aligned columns.
   std::string to_string() const;
+  /// Renders to `os`.  Callers pick the sink explicitly — library code
+  /// never writes to stdout on its own (lint rule no-stdout).
   void print(std::ostream& os) const;
-  /// Prints to stdout.
-  void print() const;
 
  private:
   struct Cell {

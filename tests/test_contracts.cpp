@@ -1,0 +1,237 @@
+// Contract-layer tests: each validator against deliberately corrupted
+// inputs, plus the build-mode behaviour of the HGP_PRECONDITION /
+// HGP_POSTCONDITION / HGP_INVARIANT macros (active outside NDEBUG or when
+// forced by HGP_CONTRACTS, compiled out otherwise).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/demand.hpp"
+#include "core/signature.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "hierarchy/placement.hpp"
+#include "util/contracts.hpp"
+#include "util/status.hpp"
+
+namespace hgp {
+namespace {
+
+// ---------------------------------------------------------------- macros
+
+TEST(Contracts, PassingContractsAreSilentInEveryMode) {
+  EXPECT_NO_THROW(HGP_PRECONDITION(1 + 1 == 2));
+  EXPECT_NO_THROW(HGP_POSTCONDITION(true));
+  EXPECT_NO_THROW(HGP_INVARIANT_MSG(2 > 1, "arithmetic holds"));
+}
+
+TEST(Contracts, FailuresThrowInternalSolveErrorWhenEnabled) {
+  if (!contracts_enabled()) {
+    GTEST_SKIP() << "contracts compiled out in this build";
+  }
+  try {
+    HGP_PRECONDITION_MSG(false, "deliberate failure");
+    FAIL() << "precondition did not throw";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInternal);
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("deliberate failure"),
+              std::string::npos);
+  }
+  EXPECT_THROW(HGP_POSTCONDITION(1 < 0), SolveError);
+  EXPECT_THROW(HGP_INVARIANT(false), SolveError);
+}
+
+// The release-mode guarantee: checks vanish entirely, so a false contract
+// must NOT throw (the expression stays type-checked but unevaluated).
+TEST(Contracts, FailuresAreNoopsWhenCompiledOut) {
+  if (contracts_enabled()) {
+    GTEST_SKIP() << "contracts active in this build";
+  }
+  EXPECT_NO_THROW(HGP_PRECONDITION(false));
+  EXPECT_NO_THROW(HGP_POSTCONDITION_MSG(false, "ignored"));
+  EXPECT_NO_THROW(HGP_INVARIANT(false));
+  // Side effects must not run when compiled out.
+  int evaluations = 0;
+  auto bump = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  HGP_PRECONDITION(bump());
+  EXPECT_EQ(evaluations, 0);
+}
+
+// ------------------------------------------------------------- hierarchy
+
+TEST(ValidateHierarchy, AcceptsWellFormedHierarchies) {
+  EXPECT_NO_THROW(validate_hierarchy(Hierarchy({2, 3}, {4.0, 1.0, 0.0})));
+  EXPECT_NO_THROW(validate_hierarchy(Hierarchy::kbgp(8)));
+  EXPECT_NO_THROW(validate_hierarchy({2, 2, 2}, {3.0, 2.0, 1.0, 0.5}));
+}
+
+TEST(ValidateHierarchy, RejectsCorruptedLevelVectors) {
+  // Empty hierarchy.
+  EXPECT_THROW(validate_hierarchy({}, {1.0}), SolveError);
+  // Wrong multiplier count.
+  EXPECT_THROW(validate_hierarchy({2, 2}, {2.0, 1.0}), SolveError);
+  // Zero fan-out.
+  EXPECT_THROW(validate_hierarchy({2, 0}, {2.0, 1.0, 0.0}), SolveError);
+  // Increasing multipliers.
+  EXPECT_THROW(validate_hierarchy({2, 2}, {1.0, 2.0, 0.0}), SolveError);
+  // Negative multiplier.
+  EXPECT_THROW(validate_hierarchy({2}, {1.0, -0.5}), SolveError);
+}
+
+TEST(ValidateHierarchy, ViolationsCarryInternalStatus) {
+  try {
+    validate_hierarchy({2, 2}, {1.0, 2.0, 0.0});
+    FAIL() << "corrupted hierarchy accepted";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInternal);
+  }
+}
+
+// ------------------------------------------------------------- placement
+
+Graph placement_workload() {
+  Rng rng(17);
+  Graph g = gen::grid2d(2, 4);
+  gen::set_uniform_demands(g, 0.5);
+  return g;
+}
+
+TEST(ValidatePlacement, AcceptsStructurallySoundPlacements) {
+  const Graph g = placement_workload();
+  const Hierarchy h({2, 2}, {2.0, 1.0, 0.0});
+  Placement p;
+  // 8 vertices of demand 0.5 over 4 leaves: two per leaf, exactly full.
+  p.leaf_of = {0, 0, 1, 1, 2, 2, 3, 3};
+  EXPECT_NO_THROW(validate_placement(g, h, p));
+  EXPECT_NO_THROW(
+      validate_placement(g, h, p, PlacementCheck::kFeasible));
+}
+
+TEST(ValidatePlacement, RejectsWrongSizeAndRange) {
+  const Graph g = placement_workload();
+  const Hierarchy h({2, 2}, {2.0, 1.0, 0.0});
+  Placement short_p;
+  short_p.leaf_of = {0, 1, 2};
+  EXPECT_THROW(validate_placement(g, h, short_p), CheckError);
+  Placement out_of_range;
+  out_of_range.leaf_of = {0, 0, 1, 1, 2, 2, 3, 4};  // leaf 4 of 4
+  EXPECT_THROW(validate_placement(g, h, out_of_range), CheckError);
+  Placement negative;
+  negative.leaf_of = {0, 0, 1, 1, 2, 2, 3, -1};
+  EXPECT_THROW(validate_placement(g, h, negative), CheckError);
+}
+
+TEST(ValidatePlacement, FeasibleModeEnforcesEq1LeafCapacity) {
+  const Graph g = placement_workload();
+  const Hierarchy h({2, 2}, {2.0, 1.0, 0.0});
+  Placement overloaded;
+  // Three 0.5-demand tasks on leaf 0: structurally fine, 1.5 > capacity 1.
+  overloaded.leaf_of = {0, 0, 0, 1, 2, 2, 3, 3};
+  EXPECT_NO_THROW(validate_placement(g, h, overloaded));
+  EXPECT_THROW(
+      validate_placement(g, h, overloaded, PlacementCheck::kFeasible),
+      CheckError);
+  // A generous tolerance turns the same placement acceptable.
+  EXPECT_NO_THROW(
+      validate_placement(g, h, overloaded, PlacementCheck::kFeasible, 0.75));
+}
+
+// ------------------------------------------------------------- signature
+
+SignatureSpace small_space() {
+  ScaledDemands scaled;
+  scaled.units_per_capacity = 4;
+  scaled.capacity = {48, 16, 4};
+  scaled.total = 40;
+  return SignatureSpace(scaled, 2);
+}
+
+TEST(ValidateSignature, AcceptsEveryIdTheSpaceInterns) {
+  const SignatureSpace space = small_space();
+  EXPECT_NO_THROW(validate_signature(space, space.zero_id()));
+  EXPECT_NO_THROW(validate_signature(space, space.uniform_id(3)));
+  for (std::size_t id = 0; id < space.size(); ++id) {
+    if (space.present(id) >= space.support(id)) {
+      EXPECT_NO_THROW(validate_signature(space, id)) << "id " << id;
+    }
+  }
+}
+
+TEST(ValidateSignature, RejectsOutOfRangeIds) {
+  const SignatureSpace space = small_space();
+  EXPECT_THROW(validate_signature(space, space.size()), SolveError);
+  EXPECT_THROW(validate_signature(space, SignatureSpace::npos), SolveError);
+}
+
+TEST(ValidateSignature, RejectsPresenceShallowerThanSupport) {
+  const SignatureSpace space = small_space();
+  // uniform_id(2) has D = (2,2): support 2, presence 2.  The id arithmetic
+  // interleaves presence in the low digits, so id-1 is the same tuple with
+  // presence 1 < support — exactly the corruption Definition 8 forbids.
+  const std::size_t good = space.uniform_id(2);
+  ASSERT_NE(good, SignatureSpace::npos);
+  ASSERT_EQ(space.present(good), 2);
+  const std::size_t corrupted = good - 1;
+  ASSERT_EQ(space.support(corrupted), 2);
+  ASSERT_LT(space.present(corrupted), 2);
+  EXPECT_THROW(validate_signature(space, corrupted), SolveError);
+}
+
+TEST(ValidateSignature, RejectsCorruptedTuples) {
+  const SignatureSpace space = small_space();
+  // Wrong arity.
+  EXPECT_THROW(validate_signature(space, Signature{1}, 1), SolveError);
+  // Monotonicity violated (D rises toward the leaves).
+  EXPECT_THROW(validate_signature(space, Signature{1, 3}, 2), SolveError);
+  // Capacity bound exceeded (level-2 bound is 4).
+  EXPECT_THROW(validate_signature(space, Signature{9, 9}, 2), SolveError);
+  // Negative demand.
+  EXPECT_THROW(validate_signature(space, Signature{2, -1}, 2), SolveError);
+  // Presence outside [0, h].
+  EXPECT_THROW(validate_signature(space, Signature{2, 1}, 3), SolveError);
+  EXPECT_THROW(validate_signature(space, Signature{2, 1}, -1), SolveError);
+}
+
+TEST(ValidateSignature, IdOfAndValidateAgreeOnValidity) {
+  const SignatureSpace space = small_space();
+  const Signature good{3, 2};
+  EXPECT_NE(space.id_of(good, 2), SignatureSpace::npos);
+  EXPECT_NO_THROW(validate_signature(space, good, 2));
+  const Signature bad{2, 3};
+  EXPECT_EQ(space.id_of(bad, 2), SignatureSpace::npos);
+  EXPECT_THROW(validate_signature(space, bad, 2), SolveError);
+}
+
+TEST(ValidateSignature, MergePreconditionsRejectGarbageWhenEnabled) {
+  if (!contracts_enabled()) {
+    GTEST_SKIP() << "contracts compiled out in this build";
+  }
+  const SignatureSpace space = small_space();
+  EXPECT_THROW(space.merge(space.size(), 1, space.zero_id(), 1, 2),
+               SolveError);
+  EXPECT_THROW(space.merge(space.zero_id(), -1, space.zero_id(), 1, 2),
+               SolveError);
+  EXPECT_THROW(space.lift(space.zero_id(), 99, 2), SolveError);
+}
+
+TEST(ValidateSignature, ConsistentMergeResultsAreValidSignatures) {
+  const SignatureSpace space = small_space();
+  const std::size_t a = space.uniform_id(2);
+  const std::size_t b = space.uniform_id(1);
+  ASSERT_NE(a, SignatureSpace::npos);
+  ASSERT_NE(b, SignatureSpace::npos);
+  const std::size_t m = space.merge(a, 2, b, 1, 2);
+  ASSERT_NE(m, SignatureSpace::npos);
+  EXPECT_NO_THROW(validate_signature(space, m));
+  // The merge sums the kept prefixes: level 1 = 2+1, level 2 = 2+0.
+  EXPECT_EQ(space.level(m, 1), 3);
+  EXPECT_EQ(space.level(m, 2), 2);
+}
+
+}  // namespace
+}  // namespace hgp

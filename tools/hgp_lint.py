@@ -1,0 +1,432 @@
+#!/usr/bin/env python3
+"""Project lint driver: rules the C++ compiler cannot enforce.
+
+Rules (library scope = src/** unless noted):
+
+  throw-policy    Only SolveError / CheckError (or bare rethrows) may be
+                  thrown in library code; the status taxonomy depends on
+                  every escaping exception being classifiable.
+                  src/util/status.hpp and src/util/check.hpp — where the
+                  taxonomy itself lives — are exempt.
+  no-stdout       Library code never writes to stdout (std::cout, printf,
+                  puts, fprintf(stdout, ...)); CLI tools, examples,
+                  benches and tests are exempt.  stderr is allowed (the
+                  logging sink).
+  include-cycle   The project include graph over src/** is acyclic.
+  header-hygiene  Every header under src/ has `#pragma once` and starts
+                  with a top-of-file comment saying what it is.
+  naked-thread    std::thread is constructed only inside src/parallel
+                  (everyone else goes through ThreadPool / parallel_for,
+                  which own joining and exception transport).
+
+Suppression: append `// hgp-lint: allow(<rule>)` to the offending line, or
+put it alone on the previous line.
+
+Usage:
+  tools/hgp_lint.py [--root DIR]     lint the tree; exit 1 on violations
+  tools/hgp_lint.py --self-test      run the rule engine against fixture
+                                     violations; exit 1 on any miss
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+LIB_DIR = "src"
+HEADER_EXTS = (".hpp", ".h")
+SOURCE_EXTS = (".cpp", ".cc", ".cxx") + HEADER_EXTS
+
+ALLOW_RE = re.compile(r"//\s*hgp-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# A throw is fine when it rethrows (`throw;`) or constructs one of the
+# status-taxonomy types.  Everything else in library code is a violation.
+THROW_RE = re.compile(r"\bthrow\b\s*(?!;)([A-Za-z_][A-Za-z0-9_:<>]*)?")
+ALLOWED_THROW_TYPES = {"SolveError", "CheckError"}
+THROW_EXEMPT_FILES = {
+    os.path.join("src", "util", "status.hpp"),
+    os.path.join("src", "util", "check.hpp"),
+}
+
+STDOUT_RE = re.compile(
+    r"std::cout\b"
+    r"|\bstd::printf\s*\("
+    r"|(?<![\w:.])printf\s*\("
+    r"|\bstd::puts\s*\(|(?<![\w:.])puts\s*\("
+    r"|\bfprintf\s*\(\s*stdout\b|\bstd::fprintf\s*\(\s*stdout\b"
+)
+
+THREAD_RE = re.compile(r"\bstd::thread\b")
+THREAD_ALLOWED_SUBDIR = os.path.join("src", "parallel")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code_line(line: str) -> str:
+    """Removes string literals and // comments so rules don't fire on text."""
+    no_strings = STRING_RE.sub('""', line)
+    return LINE_COMMENT_RE.sub("", no_strings)
+
+
+def suppressions(lines: list[str], idx: int) -> set[str]:
+    """Rules suppressed for line idx (same line or a bare previous line)."""
+    out: set[str] = set()
+    m = ALLOW_RE.search(lines[idx])
+    if m:
+        out.update(r.strip() for r in m.group(1).split(","))
+    if idx > 0:
+        prev = lines[idx - 1].strip()
+        m = ALLOW_RE.search(prev)
+        if m and prev.startswith("//"):
+            out.update(r.strip() for r in m.group(1).split(","))
+    return out
+
+
+def iter_files(root: str, subdir: str, exts: tuple[str, ...]):
+    base = os.path.join(root, subdir)
+    for dirpath, _, filenames in os.walk(base):
+        for name in sorted(filenames):
+            if name.endswith(exts):
+                yield os.path.join(dirpath, name)
+
+
+def relpath(root: str, path: str) -> str:
+    return os.path.relpath(path, root)
+
+
+# ------------------------------------------------------------------ rules
+
+
+def check_throw_policy(root: str) -> list[Finding]:
+    findings = []
+    for path in iter_files(root, LIB_DIR, SOURCE_EXTS):
+        rel = relpath(root, path)
+        if rel in THROW_EXEMPT_FILES:
+            continue
+        lines = open(path, encoding="utf-8").read().splitlines()
+        in_block_comment = False
+        for i, raw in enumerate(lines):
+            line, in_block_comment = strip_block_comments(raw, in_block_comment)
+            code = strip_code_line(line)
+            for m in THROW_RE.finditer(code):
+                if "throw-policy" in suppressions(lines, i):
+                    continue
+                thrown = m.group(1)
+                if thrown is not None:
+                    base = thrown.split("<")[0].split("::")[-1]
+                    if base in ALLOWED_THROW_TYPES:
+                        continue
+                label = thrown if thrown is not None else "a non-type expression"
+                findings.append(
+                    Finding(rel, i + 1, "throw-policy",
+                            f"throws `{label}`; library code may only "
+                            "throw SolveError or CheckError"))
+    return findings
+
+
+def check_no_stdout(root: str) -> list[Finding]:
+    findings = []
+    for path in iter_files(root, LIB_DIR, SOURCE_EXTS):
+        rel = relpath(root, path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        in_block_comment = False
+        for i, raw in enumerate(lines):
+            line, in_block_comment = strip_block_comments(raw, in_block_comment)
+            code = strip_code_line(line)
+            if STDOUT_RE.search(code):
+                if "no-stdout" in suppressions(lines, i):
+                    continue
+                findings.append(
+                    Finding(rel, i + 1, "no-stdout",
+                            "library code must not write to stdout "
+                            "(return strings or take an std::ostream&)"))
+    return findings
+
+
+def check_include_cycles(root: str) -> list[Finding]:
+    graph: dict[str, list[tuple[str, int]]] = {}
+    for path in iter_files(root, LIB_DIR, SOURCE_EXTS):
+        rel = relpath(root, path)
+        edges = []
+        for i, line in enumerate(
+                open(path, encoding="utf-8").read().splitlines()):
+            m = INCLUDE_RE.match(line)
+            if m:
+                target = os.path.join(LIB_DIR, m.group(1))
+                edges.append((target, i + 1))
+        graph[rel] = edges
+
+    findings = []
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack: list[str] = []
+
+    def dfs(node: str) -> None:
+        color[node] = GREY
+        stack.append(node)
+        for target, line in graph.get(node, ()):
+            if target not in graph:
+                continue  # system or generated header
+            if color.get(target, WHITE) == GREY:
+                cycle = stack[stack.index(target):] + [target]
+                # Report on every member so the cycle is visible from any
+                # of the files a developer happens to have open.
+                for member in cycle[:-1]:
+                    findings.append(
+                        Finding(member, line if member == node else 1,
+                                "include-cycle",
+                                "#include cycle: " + " -> ".join(cycle)))
+            elif color.get(target, WHITE) == WHITE:
+                dfs(target)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            dfs(node)
+    return findings
+
+
+def check_header_hygiene(root: str) -> list[Finding]:
+    findings = []
+    for path in iter_files(root, LIB_DIR, HEADER_EXTS):
+        rel = relpath(root, path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        if not any(PRAGMA_ONCE_RE.match(l) for l in lines):
+            findings.append(
+                Finding(rel, 1, "header-hygiene",
+                        "header is missing `#pragma once`"))
+        first = next((l for l in lines if l.strip()), "")
+        if not (first.lstrip().startswith("//")
+                or first.lstrip().startswith("/*")):
+            findings.append(
+                Finding(rel, 1, "header-hygiene",
+                        "header must start with a top-of-file comment "
+                        "describing what it provides"))
+    return findings
+
+
+def check_naked_thread(root: str) -> list[Finding]:
+    findings = []
+    for path in iter_files(root, LIB_DIR, SOURCE_EXTS):
+        rel = relpath(root, path)
+        if rel.startswith(THREAD_ALLOWED_SUBDIR + os.sep):
+            continue
+        lines = open(path, encoding="utf-8").read().splitlines()
+        in_block_comment = False
+        for i, raw in enumerate(lines):
+            line, in_block_comment = strip_block_comments(raw, in_block_comment)
+            code = strip_code_line(line)
+            if THREAD_RE.search(code):
+                if "naked-thread" in suppressions(lines, i):
+                    continue
+                findings.append(
+                    Finding(rel, i + 1, "naked-thread",
+                            "std::thread outside src/parallel; use "
+                            "ThreadPool / parallel_for"))
+    return findings
+
+
+def strip_block_comments(line: str, in_block: bool) -> tuple[str, bool]:
+    """Removes /* ... */ content, tracking state across lines."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+        else:
+            start = line.find("/*", i)
+            if start == -1:
+                out.append(line[i:])
+                break
+            out.append(line[i:start])
+            i = start + 2
+            in_block = True
+    return "".join(out), in_block
+
+
+RULES = [
+    check_throw_policy,
+    check_no_stdout,
+    check_include_cycles,
+    check_header_hygiene,
+    check_naked_thread,
+]
+
+
+def run_lint(root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in RULES:
+        findings.extend(rule(root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# -------------------------------------------------------------- self-test
+
+
+FIXTURES = {
+    # Each entry: path -> (contents, set of rules that must fire on it).
+    "src/bad/throws.cpp": (
+        '// bad throws\n'
+        '#include <stdexcept>\n'
+        'void f() { throw std::runtime_error("boom"); }\n'
+        'void g() { throw 42; }\n'
+        'void ok1() { throw SolveError(code, "fine"); }\n'
+        'void ok2() { throw hgp::CheckError("fine"); }\n'
+        'void ok3() { try { f(); } catch (...) { throw; } }\n'
+        '// the string below must not trip the scanner\n'
+        'const char* s = "throw std::logic_error";\n'
+        'void sup() { throw std::logic_error("x"); }  // hgp-lint: allow(throw-policy)\n',
+        {"throw-policy"},
+    ),
+    "src/bad/prints.cpp": (
+        '// bad prints\n'
+        '#include <cstdio>\n'
+        '#include <iostream>\n'
+        'void a() { std::cout << "hi"; }\n'
+        'void b() { printf("hi"); }\n'
+        'void c() { std::fprintf(stdout, "hi"); }\n'
+        'void d() { std::fprintf(stderr, "fine"); }\n'
+        '// hgp-lint: allow(no-stdout)\n'
+        'void e() { std::puts("suppressed"); }\n'
+        '// std::cout in a comment must not fire\n',
+        {"no-stdout"},
+    ),
+    "src/bad/cycle_a.hpp": (
+        '// half of an include cycle\n'
+        '#pragma once\n'
+        '#include "bad/cycle_b.hpp"\n',
+        {"include-cycle"},
+    ),
+    "src/bad/cycle_b.hpp": (
+        '// other half of the cycle\n'
+        '#pragma once\n'
+        '#include "bad/cycle_a.hpp"\n',
+        {"include-cycle"},
+    ),
+    "src/bad/no_pragma.hpp": (
+        '// commented but not guarded\n'
+        'int x;\n',
+        {"header-hygiene"},
+    ),
+    "src/bad/no_comment.hpp": (
+        '#pragma once\n'
+        'int y;\n',
+        {"header-hygiene"},
+    ),
+    "src/bad/spawns.cpp": (
+        '// naked thread\n'
+        '#include <thread>\n'
+        'void run() { std::thread t([] {}); t.join(); }\n'
+        'void fine() { std::this_thread::yield(); }\n',
+        {"naked-thread"},
+    ),
+    "src/parallel/pool.cpp": (
+        '// thread pool home — std::thread allowed here\n'
+        '#include <thread>\n'
+        'void spawn() { std::thread t([] {}); t.join(); }\n',
+        set(),
+    ),
+    "src/good/clean.hpp": (
+        '// a perfectly fine header\n'
+        '#pragma once\n'
+        'namespace x { int f(); }\n',
+        set(),
+    ),
+}
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="hgp_lint_fixture_") as root:
+        for rel, (contents, _) in FIXTURES.items():
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(contents)
+        findings = run_lint(root)
+        fired: dict[str, set[str]] = {}
+        for f in findings:
+            fired.setdefault(f.path.replace(os.sep, "/"), set()).add(f.rule)
+        for rel, (_, expected) in FIXTURES.items():
+            got = fired.get(rel, set())
+            if expected - got:
+                print(f"SELF-TEST MISS: {rel}: expected {sorted(expected)}, "
+                      f"got {sorted(got)}")
+                failures += 1
+            if not expected and got:
+                print(f"SELF-TEST FALSE POSITIVE: {rel}: fired {sorted(got)}")
+                failures += 1
+        # `throw std::logic_error` suppressed on line 10 must NOT be counted:
+        throw_hits = [f for f in findings
+                      if f.rule == "throw-policy" and "throws.cpp" in f.path]
+        if sorted(f.line for f in throw_hits) != [3, 4]:
+            print("SELF-TEST MISS: throw-policy should fire exactly on lines "
+                  f"3 and 4, got {sorted(f.line for f in throw_hits)}")
+            failures += 1
+        stdout_hits = [f for f in findings
+                       if f.rule == "no-stdout" and "prints.cpp" in f.path]
+        if sorted(f.line for f in stdout_hits) != [4, 5, 6]:
+            print("SELF-TEST MISS: no-stdout should fire exactly on lines "
+                  f"4, 5 and 6, got {sorted(f.line for f in stdout_hits)}")
+            failures += 1
+    if failures:
+        print(f"hgp_lint self-test: {failures} failure(s)")
+        return 1
+    print("hgp_lint self-test: all rules detect their fixture violations")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the repo containing "
+                             "this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture-based rule tests")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, LIB_DIR)):
+        print(f"hgp_lint: no {LIB_DIR}/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = run_lint(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"hgp_lint: {len(findings)} violation(s)")
+        return 1
+    print("hgp_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

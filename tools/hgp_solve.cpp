@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <limits>
 #include <string>
 #include <vector>
@@ -312,7 +313,7 @@ int main(int argc, char** argv) {
           .add(max_load)
           .add(loads.violation[static_cast<std::size_t>(j)], 3);
     }
-    table.print();
+    table.print(std::cout);
 
     if (!out_path.empty()) {
       io::write_placement_file(p, out_path);
