@@ -16,8 +16,10 @@
 #include "exp/algorithms.hpp"
 #include "exp/report.hpp"
 #include "exp/workloads.hpp"
+#include "obs/metrics.hpp"
 #include "sim/throughput.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace hgp {
 namespace {
@@ -54,6 +56,7 @@ int run() {
                     "cheaper Eq.-1 placements sustain higher rates on a "
                     "tapered-bandwidth machine (rank correlation > 0.5)");
   const Hierarchy h = exp::hierarchy_socket_core_ht();
+  Timer bench_timer;
   bool all_ok = true;
   Table table({"family", "placements", "spearman(cost, 1/throughput)",
                "solver rate", "best rate", "random rate"});
@@ -92,6 +95,17 @@ int run() {
   const bool ok = exp::check(
       "cost rank-correlates with inverse throughput (> 0.5) and the solver "
       "sustains at least the oblivious rate", all_ok);
+  // DP counters come from the metrics registry (zero under HGP_OBS=OFF);
+  // scripts/run_benches.sh persists this line as BENCH_e11_throughput.json.
+  const obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  std::printf(
+      "BENCH_JSON: {\"n\": 64, \"solve_ms\": %.1f, \"dp_solves\": %llu, "
+      "\"dp_signatures\": %llu, \"dp_merge_operations\": %llu}\n",
+      bench_timer.millis(),
+      static_cast<unsigned long long>(reg.counter_value("dp.solves")),
+      static_cast<unsigned long long>(reg.counter_value("dp.signatures")),
+      static_cast<unsigned long long>(
+          reg.counter_value("dp.merge_operations")));
   return ok ? 0 : 1;
 }
 

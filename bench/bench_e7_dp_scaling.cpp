@@ -33,6 +33,18 @@ int run() {
                     "time polynomial in n and demand resolution, "
                     "exponential in hierarchy height h");
   CsvWriter csv({"sweep", "x", "ms", "signatures", "merges"});
+  // Totals across all sweep points, persisted by scripts/run_benches.sh
+  // (BENCH_JSON line below) as this bench's perf-trajectory record.
+  double solve_ms_total = 0;
+  std::uint64_t sig_total = 0, feasible_total = 0, merge_total = 0;
+  Vertex n_max = 0;
+  auto tally = [&](Vertex n, double ms, const TreeDpStats& stats) {
+    n_max = std::max(n_max, n);
+    solve_ms_total += ms;
+    sig_total += stats.signature_count;
+    feasible_total += stats.feasible_states;
+    merge_total += stats.merge_operations;
+  };
 
   std::printf("-- (a) n sweep (h = 2, ~2 units per job)\n");
   Table ta({"n(tree)", "jobs", "ms", "signatures", "feasible states",
@@ -55,6 +67,7 @@ int run() {
         .add(static_cast<std::int64_t>(r.stats.feasible_states))
         .add(static_cast<std::int64_t>(r.stats.merge_operations));
     csv.row().add(std::string("n")).add(static_cast<std::int64_t>(n)).add(ms);
+    tally(n, ms, r.stats);
     if (last_ms > 0) {
       worst_n_exponent = std::max(
           worst_n_exponent, std::log(ms / last_ms) / std::log(n / last_n));
@@ -83,6 +96,7 @@ int run() {
         .add(static_cast<std::int64_t>(r.stats.signature_count))
         .add(static_cast<std::int64_t>(r.stats.merge_operations));
     csv.row().add(std::string("U")).add(static_cast<std::int64_t>(u)).add(ms);
+    tally(160, ms, r.stats);
   }
   tb.print(std::cout);
 
@@ -105,6 +119,7 @@ int run() {
         .add(static_cast<std::int64_t>(r.stats.signature_count))
         .add(static_cast<std::int64_t>(r.stats.merge_operations));
     csv.row().add(std::string("h")).add(static_cast<std::int64_t>(height)).add(ms);
+    tally(120, ms, r.stats);
     if (prev_ms > 0.5) growth_factor = std::max(growth_factor, ms / prev_ms);
     prev_ms = ms;
   }
@@ -118,6 +133,12 @@ int run() {
       worst_n_exponent <= 3.2);
   ok &= exp::check("height sweep shows super-linear state growth",
                    growth_factor > 1.0);
+  std::printf(
+      "BENCH_JSON: {\"n\": %d, \"solve_ms\": %.1f, \"signatures\": %llu, "
+      "\"feasible_states\": %llu, \"merge_operations\": %llu}\n",
+      n_max, solve_ms_total, static_cast<unsigned long long>(sig_total),
+      static_cast<unsigned long long>(feasible_total),
+      static_cast<unsigned long long>(merge_total));
   return ok ? 0 : 1;
 }
 

@@ -5,12 +5,14 @@
 #include <numeric>
 
 #include "graph/union_find.hpp"
+#include "obs/obs.hpp"
 
 namespace hgp {
 
 Placement greedy_placement(const Graph& g, const Hierarchy& h,
                            double capacity_factor) {
   HGP_CHECK_MSG(g.has_demands(), "greedy_placement needs vertex demands");
+  HGP_TRACE_SPAN_ARG("baseline.greedy", g.vertex_count());
   const auto n = static_cast<std::size_t>(g.vertex_count());
 
   // Phase 1: agglomerate along heavy edges while a leaf can still host the

@@ -5,6 +5,7 @@
 
 #include "baseline/local_search.hpp"
 #include "baseline/recursive_bisection.hpp"
+#include "obs/obs.hpp"
 
 namespace hgp {
 
@@ -78,6 +79,7 @@ bool coarsen_once(const Graph& g, double capacity, Rng& rng,
 Placement multilevel_placement(const Graph& g, const Hierarchy& h, Rng& rng,
                                const MultilevelOptions& opt) {
   HGP_CHECK_MSG(g.has_demands(), "multilevel_placement needs vertex demands");
+  HGP_TRACE_SPAN_ARG("baseline.multilevel", g.vertex_count());
 
   // Coarsening phase.
   std::vector<CoarseLevel> levels;

@@ -3,7 +3,40 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace hgp {
+
+namespace {
+
+/// Publishes one solve's locally-counted DP work into the shared metrics
+/// registry (counters `dp.*` and the demand-rounding bucket histogram).
+/// One call per solve — the hot merge loop itself never touches atomics.
+void publish_dp_metrics(const TreeDpStats& stats, const Tree& bt,
+                        const ScaledDemands& sd) {
+  HGP_COUNTER_ADD("dp.solves", 1);
+  HGP_COUNTER_ADD("dp.signatures", stats.signature_count);
+  HGP_COUNTER_ADD("dp.feasible_states", stats.feasible_states);
+  HGP_COUNTER_ADD("dp.merge_operations", stats.merge_operations);
+  HGP_COUNTER_ADD("dp.merges_rejected", stats.merges_rejected);
+  HGP_COUNTER_ADD("dp.states_pruned", stats.states_pruned);
+#if HGP_OBS_ENABLED
+  static obs::Histogram& units_hist =
+      obs::MetricsRegistry::global().histogram(
+          "dp.leaf_demand_units", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  for (Vertex v = 0; v < bt.node_count(); ++v) {
+    if (bt.is_leaf(v)) {
+      units_hist.observe(
+          static_cast<double>(sd.units[static_cast<std::size_t>(v)]));
+    }
+  }
+#else
+  (void)bt;
+  (void)sd;
+#endif
+}
+
+}  // namespace
 
 namespace {
 
@@ -35,7 +68,8 @@ struct NodeTable {
   /// passes the same capacity checks (smaller demands), and produces a
   /// dominating parent entry — so dropping dominated states preserves the
   /// optimum.  This is what keeps deep hierarchies tractable in practice.
-  void prune_dominated(const SignatureSpace& space) {
+  /// Returns the number of entries dropped.
+  std::size_t prune_dominated(const SignatureSpace& space) {
     const int height = space.height();
     std::vector<std::uint32_t> order = feasible;
     std::sort(order.begin(), order.end(),
@@ -67,7 +101,9 @@ struct NodeTable {
         survivors.push_back(s);
       }
     }
+    const std::size_t pruned = feasible.size() - survivors.size();
     feasible = std::move(survivors);
+    return pruned;
   }
 
   void compact() {
@@ -123,6 +159,7 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
                          const TreeDpOptions& opt) {
   const int height = h.height();
   TreeDpResult result;
+  HGP_TRACE_SPAN_ARG("dp.solve", t.leaf_count());
   if (opt.exec != nullptr) opt.exec->check("tree DP setup");
   PeriodicCheck guard(opt.exec, "tree DP merge loop", 4096);
 
@@ -230,7 +267,10 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
                 const std::size_t up = space.merge(s1, j1, s2, j2, pv);
                 ++result.stats.merge_operations;
                 guard.tick();
-                if (up == SignatureSpace::npos) continue;
+                if (up == SignatureSpace::npos) {
+                  ++result.stats.merges_rejected;
+                  continue;
+                }
                 const double surviving =
                     w1 * (ps[static_cast<std::size_t>(pv)] -
                           ps[static_cast<std::size_t>(j1)]) +
@@ -247,7 +287,9 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
       t1.release_cost();
       t2.release_cost();
     }
-    if (opt.prune_dominated) table.prune_dominated(space);
+    if (opt.prune_dominated) {
+      result.stats.states_pruned += table.prune_dominated(space);
+    }
     table.compact();
     result.stats.feasible_states += table.feasible.size();
   }
@@ -354,6 +396,7 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
           sd.units[static_cast<std::size_t>(b)];
     }
   }
+  publish_dp_metrics(result.stats, bt, sd);
   return result;
 }
 

@@ -48,10 +48,16 @@ struct TreeDpOptions {
   const ExecContext* exec = nullptr;
 };
 
+// Per-solve DP work counters.  Collected as plain local increments inside
+// the merge loop (never atomics — the loop is the library's hottest path)
+// and published into the obs metrics registry once per solve, so the
+// registry's `dp.*` counters aggregate the same quantities across solves.
 struct TreeDpStats {
   std::size_t signature_count = 0;   ///< |Sig| for this instance
   std::size_t feasible_states = 0;   ///< Σ_v |feasible signatures at v|
   std::size_t merge_operations = 0;  ///< relaxation steps performed
+  std::size_t merges_rejected = 0;   ///< (j1,j2)-merges outside the space
+  std::size_t states_pruned = 0;     ///< dominance-pruned DP entries
 };
 
 struct TreeDpResult {

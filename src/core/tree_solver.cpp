@@ -1,6 +1,7 @@
 #include "core/tree_solver.hpp"
 
 #include "core/rhgpt.hpp"
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 
 namespace hgp {
@@ -35,8 +36,12 @@ TreeHgpSolution solve_hgpt(const Tree& t, const Hierarchy& h,
   }
 
   TreeHgpSolution out;
-  out.assignment =
-      convert_to_assignment(t, h, dp.solution, dp.scaled.units);
+  {
+    // Theorem-5 regrouping: relaxed mirror regions → leaf assignment.
+    HGP_TRACE_SPAN("tree.convert");
+    out.assignment =
+        convert_to_assignment(t, h, dp.solution, dp.scaled.units);
+  }
   out.relaxed = std::move(dp.solution);
   out.relaxed_cost = dp.cost;
   out.cost = assignment_cost(t, h, out.assignment);

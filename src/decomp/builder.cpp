@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace hgp {
@@ -30,6 +31,7 @@ DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter,
                              const ExecContext* exec) {
   const Vertex n = g.vertex_count();
   HGP_CHECK_MSG(n >= 1, "cannot decompose the empty graph");
+  HGP_TRACE_SPAN_ARG("decomp.tree_build", n);
 
   std::vector<Vertex> parent;
   std::vector<Weight> parent_weight;
@@ -64,11 +66,13 @@ DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter,
     const auto comp = sub.components(&comp_count);
     if (comp_count > 1) {
       // Free split along connected components.
+      HGP_COUNTER_ADD("decomp.component_splits", 1);
       parts.assign(static_cast<std::size_t>(comp_count), {});
       for (std::size_t i = 0; i < frame.vertices.size(); ++i) {
         parts[static_cast<std::size_t>(comp[i])].push_back(frame.vertices[i]);
       }
     } else {
+      HGP_COUNTER_ADD("decomp.cuts_evaluated", 1);
       const std::vector<char> side = cutter.cut(sub, rng);
       HGP_CHECK_MSG(side.size() == frame.vertices.size(),
                     "cutter returned wrong-size bipartition");
@@ -87,6 +91,7 @@ DecompTree build_decomp_tree(const Graph& g, Rng& rng, const Cutter& cutter,
     }
   }
 
+  HGP_COUNTER_ADD("decomp.trees_built", 1);
   Tree tree = Tree::from_parents(std::move(parent), std::move(parent_weight));
   if (g.has_demands()) {
     std::vector<double> demand(static_cast<std::size_t>(tree.node_count()),

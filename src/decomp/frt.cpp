@@ -6,6 +6,8 @@
 #include <numeric>
 #include <queue>
 
+#include "obs/obs.hpp"
+
 namespace hgp {
 
 namespace {
@@ -42,6 +44,7 @@ std::vector<double> dijkstra(const Graph& g, Vertex source) {
 DecompTree build_frt_tree(const Graph& g, Rng& rng) {
   const Vertex n = g.vertex_count();
   HGP_CHECK_MSG(n >= 1, "cannot decompose the empty graph");
+  HGP_TRACE_SPAN_ARG("decomp.frt_build", n);
 
   // All-pairs distances (laptop-scale: n Dijkstras).
   std::vector<std::vector<double>> dist(static_cast<std::size_t>(n));
@@ -123,6 +126,7 @@ DecompTree build_frt_tree(const Graph& g, Rng& rng) {
                             frame.radius / 2});
       continue;
     }
+    HGP_COUNTER_ADD("decomp.frt_levels", 1);
     for (auto& cluster : clusters) {
       const Weight w = boundary_of(cluster);
       const Vertex child = new_node(frame.node, w);

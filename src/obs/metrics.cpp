@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace hgp::obs {
+
+namespace {
+
+/// Same minimal escaping as the trace exporter; metric names are plain
+/// dotted identifiers, but emitted JSON must be valid regardless.
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default: {
+        const unsigned u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[u >> 4]
+             << "0123456789abcdef"[u & 0xf];
+        } else {
+          os << c;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  HGP_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                    std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                        bounds_.end(),
+                "histogram bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double x) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+void MetricsRegistry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    write_json_escaped(os, name);
+    os << "\": " << c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    write_json_escaped(os, name);
+    os << "\": {\"value\": " << g->value() << ", \"max\": " << g->max_value()
+       << "}";
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    write_json_escaped(os, name);
+    os << "\": {\"count\": " << h->count() << ", \"sum\": " << h->sum()
+       << ", \"buckets\": [";
+    const auto counts = h->bucket_counts();
+    const auto& bounds = h->upper_bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < bounds.size()) {
+        os << bounds[i];
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace hgp::obs

@@ -1,0 +1,39 @@
+// Per-solve telemetry summary surfaced on HgpResult.
+//
+// Phase wall-times and aggregate DP work for one solve_hgp call, filled by
+// the runtime regardless of whether tracing is enabled (the measurements
+// are a handful of Timer reads at phase boundaries, not per-event
+// recording).  The trace buffer answers "what happened when, on which
+// thread"; SolveTelemetry answers "where did this solve's time go" without
+// any export step.
+#pragma once
+
+#include <cstdint>
+
+namespace hgp {
+
+struct SolveTelemetry {
+  /// Wall time of the whole solve_hgp call.
+  double total_ms = 0;
+  /// Stage 1: decomposition-forest sampling.
+  double forest_build_ms = 0;
+  /// Stage 2: the per-tree attempt stage (wall time, not summed attempts —
+  /// attempts overlap under a thread pool; per-attempt times live in
+  /// HgpResult::attempts).
+  double tree_solve_ms = 0;
+  /// Stage 4: the fallback chain (0 when the primary pipeline won).
+  double fallback_ms = 0;
+
+  int trees_attempted = 0;
+  int trees_succeeded = 0;
+
+  /// DP work summed over the attempts that completed (failed attempts
+  /// lose their stats to the fault isolation boundary).
+  std::uint64_t dp_signatures = 0;
+  std::uint64_t dp_feasible_states = 0;
+  std::uint64_t dp_merge_operations = 0;
+  std::uint64_t dp_merges_rejected = 0;
+  std::uint64_t dp_states_pruned = 0;
+};
+
+}  // namespace hgp

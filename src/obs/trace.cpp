@@ -1,0 +1,159 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "util/thread_id.hpp"
+
+namespace hgp::obs {
+
+namespace {
+
+/// Per-thread span nesting depth.  One counter per thread (not per buffer):
+/// spans on distinct buffers almost never interleave on one thread, and
+/// depth is a rendering hint, not a correctness invariant.
+thread_local std::uint32_t t_span_depth = 0;
+
+/// Minimal JSON string escaping; span names are C identifiers-with-dots in
+/// practice, but the exporter must never emit invalid JSON regardless.
+void write_json_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+void TraceBuffer::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.events.clear();
+  }
+}
+
+void TraceBuffer::record(const TraceEvent& event) {
+  Shard& shard = shards_[event.tid % kShards];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back(event);
+}
+
+std::size_t TraceBuffer::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.events.size();
+  }
+  return total;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> events;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    events.insert(events.end(), shard.events.begin(), shard.events.end());
+  }
+  // Start-time order with longer (enclosing) spans first on ties, so a
+  // reader sees parents before children.  Depth settles the sub-µs case
+  // where nested spans collapse to identical timestamps and durations.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.depth < b.depth;
+            });
+  return events;
+}
+
+void TraceBuffer::write_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    write_json_escaped(os, e.name);
+    os << "\",\"cat\":\"hgp\",\"ph\":\"X\",\"ts\":" << e.start_us
+       << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << e.tid
+       << ",\"args\":{\"depth\":" << e.depth;
+    if (e.arg != kNoArg) os << ",\"arg\":" << e.arg;
+    os << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+Table TraceBuffer::summary() const {
+  struct Agg {
+    std::size_t count = 0;
+    double total_us = 0;
+    double max_us = 0;
+  };
+  // Keyed by name text (identical literals may have distinct addresses
+  // across translation units).
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& e : snapshot()) {
+    Agg& agg = by_name[e.name];
+    agg.count += 1;
+    agg.total_us += static_cast<double>(e.dur_us);
+    agg.max_us = std::max(agg.max_us, static_cast<double>(e.dur_us));
+  }
+  Table table({"span", "count", "total ms", "mean ms", "max ms"});
+  for (const auto& [name, agg] : by_name) {
+    table.row()
+        .add(name)
+        .add(static_cast<std::int64_t>(agg.count))
+        .add(agg.total_us / 1e3)
+        .add(agg.total_us / 1e3 / static_cast<double>(agg.count))
+        .add(agg.max_us / 1e3);
+  }
+  return table;
+}
+
+TraceSpan::TraceSpan(const char* name, std::int64_t arg, TraceBuffer* buffer)
+    : buffer_(buffer != nullptr && buffer->enabled() ? buffer : nullptr),
+      name_(name),
+      arg_(arg) {
+  if (buffer_ == nullptr) return;
+  start_us_ = buffer_->now_us();
+  depth_ = t_span_depth++;
+}
+
+TraceSpan::~TraceSpan() {
+  if (buffer_ == nullptr) return;
+  --t_span_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.start_us = start_us_;
+  event.dur_us = buffer_->now_us() - start_us_;
+  event.arg = arg_;
+  event.tid = this_thread_id();
+  event.depth = depth_;
+  buffer_->record(event);
+}
+
+}  // namespace hgp::obs

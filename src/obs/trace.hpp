@@ -1,0 +1,126 @@
+// Trace spans: nested, thread-aware begin/end events for the solver
+// pipeline, recorded into a lock-sharded in-memory buffer.
+//
+// A TraceSpan is an RAII region: construction stamps the start, the
+// destructor stamps the duration and appends one TraceEvent to a
+// TraceBuffer.  Spans nest naturally with C++ scopes; each event records
+// the dense id of its thread and its nesting depth on that thread, so
+// concurrent per-tree solves land in separate lanes of the exported trace.
+//
+// Tracing is opt-in at runtime: a disabled buffer (the default) makes
+// span construction a single relaxed atomic load, and the buffer only
+// grows while enabled.  The whole layer compiles out under HGP_OBS=OFF —
+// see obs/obs.hpp for the macro knob.
+//
+// Export targets:
+//   * write_chrome_json() — Chrome trace-event JSON ("ph":"X" complete
+//     events), loadable in chrome://tracing and https://ui.perfetto.dev;
+//   * summary() — a per-span-name table (count, total/mean/max ms) for
+//     humans, printable to any std::ostream via Table.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace hgp::obs {
+
+/// Sentinel for "span has no numeric argument".
+inline constexpr std::int64_t kNoArg = std::numeric_limits<std::int64_t>::min();
+
+/// One closed span.  `name` must point at static-storage text (the macros
+/// pass string literals); events are POD so shards copy them cheaply.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t start_us = 0;  ///< µs since the owning buffer's epoch
+  std::int64_t dur_us = 0;
+  std::int64_t arg = kNoArg;  ///< e.g. the tree index of a per-tree solve
+  std::uint32_t tid = 0;      ///< dense thread id (util/thread_id.hpp)
+  std::uint32_t depth = 0;    ///< nesting depth on `tid` at span begin
+};
+
+/// Lock-sharded event sink.  record() takes one shard mutex keyed by the
+/// calling thread, so concurrent workers do not serialize on a single
+/// lock; snapshot/export merge and sort the shards.
+class TraceBuffer {
+ public:
+  TraceBuffer() : epoch_(Clock::now()) {}
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Process-wide buffer the instrumentation macros record into.
+  static TraceBuffer& global();
+
+  /// Tracing is off by default; span construction is inert while disabled.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded events (the epoch is unchanged).
+  void clear();
+
+  void record(const TraceEvent& event);
+
+  std::size_t size() const;
+
+  /// All events merged across shards, ordered by start time (outer spans
+  /// before the spans they contain).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace-event JSON (chrome://tracing / Perfetto).
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Per-name aggregate: span, count, total ms, mean ms, max ms.
+  Table summary() const;
+
+  /// µs since this buffer's construction (the timebase of every event).
+  std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  std::atomic<bool> enabled_{false};
+  Clock::time_point epoch_;
+  Shard shards_[kShards];
+};
+
+/// RAII span.  `name` must outlive the buffer (pass a string literal).
+/// Construction on a disabled buffer costs one atomic load and records
+/// nothing.  Spans must be destroyed on the thread that created them (the
+/// natural consequence of being scope-bound locals).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::int64_t arg = kNoArg,
+                     TraceBuffer* buffer = &TraceBuffer::global());
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceBuffer* buffer_;  // nullptr when tracing was disabled at entry
+  const char* name_;
+  std::int64_t arg_;
+  std::int64_t start_us_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace hgp::obs

@@ -7,8 +7,16 @@
 //    threads);
 //  * a pool of size 0 is valid and runs tasks inline on submit(), which keeps
 //    single-core and debugging configurations simple.
+//
+// Observability (compiled out under HGP_OBS=OFF): every pool feeds the
+// shared metrics registry — `pool.tasks_submitted`, the `pool.queue_depth`
+// gauge (with high-water mark), and the `pool.task_wait_ms` /
+// `pool.task_run_ms` histograms measuring queue latency and execution
+// time.  All pools share these series; per-pool attribution is not worth a
+// registry namespace while the library runs one shared pool.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -18,6 +26,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace hgp {
 
@@ -39,12 +49,14 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     if (workers_.empty()) {
-      (*task)();
+      note_submit(/*queued=*/false);
+      run_job([task] { (*task)(); });
       return fut;
     }
+    note_submit(/*queued=*/true);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.emplace_back(make_job([task] { (*task)(); }));
     }
     cv_.notify_one();
     return fut;
@@ -58,10 +70,27 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
+#if HGP_OBS_ENABLED
+  struct Job {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+#else
+  struct Job {
+    std::function<void()> fn;
+  };
+#endif
+
+  static Job make_job(std::function<void()> fn);
+
   void worker_loop();
+  /// Metrics bookkeeping around one submit (counter + queue-depth gauge).
+  void note_submit(bool queued);
+  /// Runs `fn`, timing it into the task-latency histograms.
+  void run_job(const std::function<void()>& fn);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

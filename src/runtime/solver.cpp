@@ -5,6 +5,7 @@
 
 #include "baseline/greedy.hpp"
 #include "baseline/multilevel.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/contracts.hpp"
 #include "util/fault_injector.hpp"
@@ -25,6 +26,7 @@ TreeOutcome solve_one_tree(const Graph& g, const Hierarchy& h,
                            const TreeSolverOptions& tree_opt) {
   const TreeHgpSolution sol = solve_hgpt(dt.tree(), h, tree_opt);
   TreeOutcome out;
+  HGP_TRACE_SPAN("tree.map_back");
   out.placement.leaf_of.assign(static_cast<std::size_t>(g.vertex_count()), 0);
   for (Vertex v = 0; v < g.vertex_count(); ++v) {
     out.placement.leaf_of[static_cast<std::size_t>(v)] =
@@ -34,6 +36,7 @@ TreeOutcome solve_one_tree(const Graph& g, const Hierarchy& h,
   // (the tree cost over-estimates by the embedding stretch).
   out.cost = placement_cost(g, h, out.placement);
   out.stats = sol.stats;
+  HGP_COUNTER_ADD("solver.trees_solved", 1);
   // The leaf↔vertex bijection must yield a structurally valid placement
   // whose leaf loads match the tree solution's (leaves carry the same
   // demand on both sides of the mapping).
@@ -81,13 +84,19 @@ HgpResult run_fallback_chain(const Graph& g, const Hierarchy& h,
   result.best_tree = -1;
   result.stats = TreeDpStats{};
   result.status = std::move(reason);
+  HGP_TRACE_SPAN("solve.fallback");
+  Timer fallback_timer;
   try {
+    HGP_COUNTER_ADD("solver.fallback.multilevel", 1);
+    HGP_TRACE_SPAN("fallback.multilevel");
     Rng rng(opt.seed);
     result.placement = multilevel_placement(g, h, rng);
     result.method = SolveMethod::kMultilevel;
   } catch (...) {
     const Status ml = status_from_current_exception();
     try {
+      HGP_COUNTER_ADD("solver.fallback.greedy", 1);
+      HGP_TRACE_SPAN("fallback.greedy");
       result.placement = greedy_placement(g, h);
       result.method = SolveMethod::kGreedy;
     } catch (...) {
@@ -101,6 +110,7 @@ HgpResult run_fallback_chain(const Graph& g, const Hierarchy& h,
   }
   result.cost = placement_cost(g, h, result.placement);
   result.loads = load_report(g, h, result.placement);
+  result.telemetry.fallback_ms = fallback_timer.millis();
   HGP_POSTCONDITION_MSG(result.placement.task_count() == g.vertex_count(),
                         "fallback placement must cover every task");
   return result;
@@ -138,6 +148,10 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
 
   if (contracts_enabled()) validate_hierarchy(h);
 
+  HGP_TRACE_SPAN_ARG("solve", g.vertex_count());
+  HGP_COUNTER_ADD("solver.solves", 1);
+  Timer total_timer;
+
   ExecContext exec;
   exec.deadline =
       opt.timeout_ms > 0 ? Deadline::after_ms(opt.timeout_ms) : Deadline::never();
@@ -154,14 +168,21 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
   // the degradation logic below treats like "all trees failed".
   std::vector<DecompTree> forest;
   Status forest_status;
-  try {
-    forest = build_decomposition_forest(g, opt.num_trees, opt.seed, cutter,
-                                        opt.pool, &exec);
-  } catch (...) {
-    forest_status = status_from_current_exception();
-    if (forest_status.code == StatusCode::kCancelled) throw;
-    forest.clear();
+  {
+    HGP_TRACE_SPAN_ARG("solve.forest", opt.num_trees);
+    Timer forest_timer;
+    try {
+      forest = build_decomposition_forest(g, opt.num_trees, opt.seed, cutter,
+                                          opt.pool, &exec);
+    } catch (...) {
+      forest_status = status_from_current_exception();
+      if (forest_status.code == StatusCode::kCancelled) throw;
+      forest.clear();
+    }
+    result.telemetry.forest_build_ms = forest_timer.millis();
   }
+  HGP_COUNTER_ADD("solver.trees_sampled",
+                  static_cast<std::int64_t>(forest.size()));
 
   TreeSolverOptions tree_opt;
   tree_opt.epsilon = opt.epsilon;
@@ -175,6 +196,7 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
   result.attempts.assign(forest.size(), TreeAttempt{});
   auto run = [&](std::size_t i) {
     TreeAttempt& attempt = result.attempts[i];
+    HGP_TRACE_SPAN_ARG("tree.attempt", i);
     Timer timer;
     try {
       FaultInjector::instance().on_site("solve_one_tree",
@@ -192,10 +214,15 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
   };
   // No exec on this loop: isolation happens inside `run`, and the loop
   // itself must visit every index so every attempt is recorded.
-  if (opt.pool != nullptr) {
-    parallel_for(*opt.pool, 0, forest.size(), run);
-  } else {
-    for (std::size_t i = 0; i < forest.size(); ++i) run(i);
+  {
+    HGP_TRACE_SPAN_ARG("solve.trees", forest.size());
+    Timer trees_timer;
+    if (opt.pool != nullptr) {
+      parallel_for(*opt.pool, 0, forest.size(), run);
+    } else {
+      for (std::size_t i = 0; i < forest.size(); ++i) run(i);
+    }
+    result.telemetry.tree_solve_ms = trees_timer.millis();
   }
 
   if (exec.cancelled()) {
@@ -203,8 +230,20 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
   }
 
   // Stage 3: arg-min over the survivors.
+  result.telemetry.trees_attempted = narrow<int>(result.attempts.size());
   result.tree_costs.reserve(result.attempts.size());
   for (std::size_t i = 0; i < result.attempts.size(); ++i) {
+    if (result.attempts[i].ok()) {
+      ++result.telemetry.trees_succeeded;
+      const TreeDpStats& s = outcomes[i].stats;
+      result.telemetry.dp_signatures += s.signature_count;
+      result.telemetry.dp_feasible_states += s.feasible_states;
+      result.telemetry.dp_merge_operations += s.merge_operations;
+      result.telemetry.dp_merges_rejected += s.merges_rejected;
+      result.telemetry.dp_states_pruned += s.states_pruned;
+    } else {
+      HGP_COUNTER_ADD("solver.tree_failures", 1);
+    }
     result.tree_costs.push_back(result.attempts[i].cost);
     if (result.attempts[i].ok() &&
         (result.best_tree < 0 ||
@@ -222,6 +261,7 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
     result.loads = load_report(g, h, result.placement);
     result.method = SolveMethod::kHgp;
     result.status = Status();
+    result.telemetry.total_ms = total_timer.millis();
     return result;
   }
 
@@ -230,7 +270,10 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
   if (opt.fallback == FallbackPolicy::kNone) {
     throw SolveError(std::move(reason));
   }
-  return run_fallback_chain(g, h, opt, std::move(result), std::move(reason));
+  HgpResult degraded =
+      run_fallback_chain(g, h, opt, std::move(result), std::move(reason));
+  degraded.telemetry.total_ms = total_timer.millis();
+  return degraded;
 }
 
 }  // namespace hgp

@@ -26,6 +26,7 @@
 #include "decomp/builder.hpp"
 #include "hierarchy/cost.hpp"
 #include "hierarchy/placement.hpp"
+#include "obs/telemetry.hpp"
 #include "util/deadline.hpp"
 #include "util/status.hpp"
 
@@ -103,6 +104,9 @@ struct HgpResult {
   Status status;
   /// Which algorithm produced `placement`.
   SolveMethod method = SolveMethod::kHgp;
+  /// Wall-clock breakdown and aggregate DP work for this solve.  Filled
+  /// even when HGP_OBS is compiled out (plain Timer reads, no registry).
+  SolveTelemetry telemetry;
 
   /// True when the primary hgp pipeline produced the placement.
   bool degraded() const { return method != SolveMethod::kHgp; }

@@ -1,8 +1,12 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
+
+#include "util/thread_id.hpp"
 
 namespace hgp {
 
@@ -20,6 +24,21 @@ const char* level_tag(LogLevel level) {
   }
   return "?????";
 }
+
+/// "2026-08-06T12:34:56.789Z" into `out` (UTC, millisecond resolution).
+void format_iso8601(char* out, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char base[24];
+  std::strftime(base, sizeof base, "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(out, size, "%s.%03dZ", base, static_cast<int>(ms));
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -33,8 +52,11 @@ LogLevel log_level() {
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
+  char stamp[32];
+  format_iso8601(stamp, sizeof stamp);
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[hgp %s] %s\n", level_tag(level), message.c_str());
+  std::fprintf(stderr, "[%s hgp %s t%u] %s\n", stamp, level_tag(level),
+               this_thread_id(), message.c_str());
 }
 
 }  // namespace detail

@@ -1,7 +1,9 @@
 // Minimal leveled logging to stderr.
 //
 // The library itself logs nothing by default (level = Warn); benchmarks and
-// examples raise the level for progress reporting.
+// examples raise the level for progress reporting.  Each emitted line
+// carries an ISO-8601 UTC timestamp and the dense id of the emitting
+// thread, e.g. `[2026-08-06T12:34:56.789Z hgp WARN t3] message`.
 #pragma once
 
 #include <sstream>
@@ -19,10 +21,14 @@ namespace detail {
 void log_emit(LogLevel level, const std::string& message);
 }
 
+// Off is a threshold, not a message level: HGP_LOG(Off, ...) is always
+// dropped (without the guard it would compare >= any threshold and emit).
 #define HGP_LOG(level, expr)                                  \
   do {                                                        \
-    if (static_cast<int>(level) >=                            \
-        static_cast<int>(::hgp::log_level())) {               \
+    if (static_cast<int>(level) <                             \
+            static_cast<int>(::hgp::LogLevel::Off) &&         \
+        static_cast<int>(level) >=                            \
+            static_cast<int>(::hgp::log_level())) {           \
       std::ostringstream hgp_log_os_;                         \
       hgp_log_os_ << expr;                                    \
       ::hgp::detail::log_emit(level, hgp_log_os_.str());      \

@@ -1,0 +1,21 @@
+// Dense process-unique thread ids for logs and trace events.
+//
+// std::this_thread::get_id() is opaque and hashes to 64-bit noise; logs and
+// Chrome trace lanes want small stable integers instead.  Ids are assigned
+// 0, 1, 2, … in first-use order and never reused within a process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hgp {
+
+/// Dense id of the calling thread (0 for the first thread that asks).
+inline std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace hgp

@@ -1,0 +1,342 @@
+// Telemetry layer tests: span nesting and thread attribution, metric
+// correctness under concurrent updates (run these under the `tsan` preset
+// too), Chrome-trace export shape, and the HGP_OBS compile-out contract.
+//
+// The whole file compiles in both HGP_OBS modes: sections that observe the
+// *effects* of the instrumentation macros are gated on HGP_OBS_ENABLED,
+// everything else (classes, exporters, SolveTelemetry) must work either
+// way because the hgp_obs library always builds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/solver.hpp"
+#include "util/thread_id.hpp"
+
+namespace hgp {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::TraceBuffer;
+using obs::TraceEvent;
+using obs::TraceSpan;
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer / TraceSpan
+
+TEST(Trace, DisabledBufferRecordsNothing) {
+  TraceBuffer buf;  // disabled by default
+  {
+    TraceSpan s("ignored", obs::kNoArg, &buf);
+  }
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(Trace, NestedSpansRecordDepthAndOrdering) {
+  TraceBuffer buf;
+  buf.set_enabled(true);
+  {
+    TraceSpan outer("outer", obs::kNoArg, &buf);
+    {
+      TraceSpan mid("mid", 7, &buf);
+      TraceSpan inner("inner", obs::kNoArg, &buf);
+    }
+  }
+  const std::vector<TraceEvent> events = buf.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // snapshot() orders outer spans before the spans they contain.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_STREQ(events[1].name, "mid");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[1].arg, 7);
+  EXPECT_STREQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].depth, 2u);
+  // Containment: every child's interval lies inside its parent's.
+  EXPECT_GE(events[1].start_us, events[0].start_us);
+  EXPECT_LE(events[1].start_us + events[1].dur_us,
+            events[0].start_us + events[0].dur_us);
+  // All on this thread.
+  EXPECT_EQ(events[0].tid, this_thread_id());
+  EXPECT_EQ(events[1].tid, events[0].tid);
+}
+
+TEST(Trace, SpansAcrossThreadPoolWorkersKeepPerThreadNesting) {
+  TraceBuffer buf;
+  buf.set_enabled(true);
+  constexpr int kWorkers = 4;
+  {
+    ThreadPool pool(kWorkers);
+    // A rendezvous pins one task per worker, so the spans are guaranteed to
+    // come from kWorkers distinct threads recording concurrently.
+    std::atomic<int> arrived{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < kWorkers; ++i) {
+      futures.push_back(pool.submit([&, i] {
+        TraceSpan task("worker.task", i, &buf);
+        arrived.fetch_add(1);
+        while (arrived.load() < kWorkers) std::this_thread::yield();
+        TraceSpan nested("worker.nested", obs::kNoArg, &buf);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  const std::vector<TraceEvent> events = buf.snapshot();
+  ASSERT_EQ(events.size(), 2u * kWorkers);
+  std::set<std::uint32_t> tids;
+  std::set<std::int64_t> args;
+  for (const TraceEvent& e : events) {
+    tids.insert(e.tid);
+    if (e.arg != obs::kNoArg) args.insert(e.arg);
+    // Depth is per-thread: a task span sits at 0, its nested span at 1,
+    // regardless of what other workers are doing concurrently.
+    if (std::string(e.name) == "worker.task") {
+      EXPECT_EQ(e.depth, 0u);
+    } else {
+      EXPECT_EQ(e.depth, 1u);
+    }
+  }
+  EXPECT_EQ(args.size(), static_cast<std::size_t>(kWorkers));
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kWorkers));
+}
+
+TEST(Trace, ClearDropsEventsAndKeepsRecording) {
+  TraceBuffer buf;
+  buf.set_enabled(true);
+  { TraceSpan s("a", obs::kNoArg, &buf); }
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  { TraceSpan s("b", obs::kNoArg, &buf); }
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(Trace, ChromeJsonIsWellFormed) {
+  TraceBuffer buf;
+  buf.set_enabled(true);
+  {
+    TraceSpan outer("solve", 128, &buf);
+    TraceSpan inner("dp.solve", obs::kNoArg, &buf);
+  }
+  std::ostringstream os;
+  buf.write_chrome_json(os);
+  const std::string json = os.str();
+  // Structural checks; CI additionally runs `python3 -m json.tool` on the
+  // CLI's --trace output (telemetry smoke job).
+  EXPECT_EQ(json.rfind("{\"traceEvents\":", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"solve\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"dp.solve\""), 1u);
+  // The span arg is exported for "solve" and omitted for the arg-less one.
+  EXPECT_EQ(count_occurrences(json, "\"arg\":128"), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"arg\":"), 1u);
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+  ASSERT_GE(json.size(), 2u);
+  EXPECT_EQ(json[json.size() - 2], '}');  // trailing newline after the root
+}
+
+TEST(Trace, SummaryAggregatesPerName) {
+  TraceBuffer buf;
+  buf.set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan s("repeat", obs::kNoArg, &buf);
+  }
+  { TraceSpan s("once", obs::kNoArg, &buf); }
+  const Table summary = buf.summary();
+  EXPECT_EQ(summary.row_count(), 2u);
+  const std::string text = summary.to_string();
+  EXPECT_NE(text.find("repeat"), std::string::npos);
+  EXPECT_NE(text.find("once"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(Metrics, CounterIsExactUnderConcurrentIncrements) {
+  MetricsRegistry reg;
+  Counter& ctr = reg.counter("test.concurrent");
+  constexpr std::size_t kIters = 20000;
+  {
+    ThreadPool pool(8);
+    parallel_for(pool, 0, kIters, [&](std::size_t) { ctr.add(1); });
+  }
+  EXPECT_EQ(ctr.value(), kIters);
+  EXPECT_EQ(reg.counter_value("test.concurrent"), kIters);
+  EXPECT_EQ(reg.counter_value("test.never_registered"), 0u);
+}
+
+TEST(Metrics, RegistryHandsOutStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("same.name");
+  Counter& b = reg.counter("same.name");
+  EXPECT_EQ(&a, &b);
+  a.add(2);
+  EXPECT_EQ(b.value(), 2u);
+}
+
+TEST(Metrics, GaugeTracksValueAndHighWaterMark) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test.depth");
+  g.add(+3);
+  g.add(+2);
+  g.add(-4);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.max_value(), 5);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  EXPECT_EQ(g.max_value(), 5);  // max is sticky
+}
+
+TEST(Metrics, HistogramBucketsAndSumAreExactUnderConcurrency) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.latency", {1.0, 2.0, 4.0});
+  constexpr std::size_t kIters = 4000;  // multiple of 4
+  {
+    ThreadPool pool(8);
+    parallel_for(pool, 0, kIters, [&](std::size_t i) {
+      // Cycle deterministically through the buckets: 1, 2, 4, 8(overflow).
+      h.observe(static_cast<double>(std::size_t{1} << (i % 4)));
+    });
+  }
+  EXPECT_EQ(h.count(), kIters);
+  // Integer-valued observations sum exactly in doubles (≤ 15000 << 2^53).
+  EXPECT_EQ(h.sum(), static_cast<double>(kIters / 4 * (1 + 2 + 4 + 8)));
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  for (std::uint64_t b : buckets) EXPECT_EQ(b, kIters / 4);
+}
+
+TEST(Metrics, ResetZeroesWithoutInvalidatingReferences) {
+  MetricsRegistry reg;
+  Counter& ctr = reg.counter("test.reset");
+  Gauge& g = reg.gauge("test.reset_gauge");
+  Histogram& h = reg.histogram("test.reset_hist", {10.0});
+  ctr.add(5);
+  g.set(9);
+  h.observe(3.0);
+  reg.reset_values();
+  EXPECT_EQ(ctr.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max_value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  ctr.add(1);
+  EXPECT_EQ(reg.counter_value("test.reset"), 1u);
+}
+
+TEST(Metrics, JsonExportContainsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("c.one").add(3);
+  reg.gauge("g.two").set(4);
+  reg.histogram("h.three", {1.0, 10.0}).observe(5.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"g.two\""), std::string::npos);
+  EXPECT_NE(json.find("\"h.three\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+}
+
+// ---------------------------------------------------------------------------
+// Macro layer and the HGP_OBS knob
+
+TEST(ObsMacros, CompileOutContractMatchesBuildMode) {
+  TraceBuffer& buf = TraceBuffer::global();
+  buf.set_enabled(true);
+  buf.clear();
+  const std::uint64_t before =
+      MetricsRegistry::global().counter_value("test.macro_counter");
+  {
+    HGP_TRACE_SPAN("macro.span");
+    HGP_COUNTER_ADD("test.macro_counter", 2);
+  }
+  const std::uint64_t after =
+      MetricsRegistry::global().counter_value("test.macro_counter");
+  buf.set_enabled(false);
+#if HGP_OBS_ENABLED
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(after - before, 2u);
+#else
+  // With HGP_OBS=OFF every macro collapses to a no-op: nothing recorded,
+  // nothing registered, arguments not even evaluated.
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(after, 0u);
+  EXPECT_EQ(before, 0u);
+#endif
+  buf.clear();
+}
+
+TEST(ObsMacros, DisabledGlobalBufferMakesSpansInert) {
+  TraceBuffer& buf = TraceBuffer::global();
+  buf.set_enabled(false);
+  buf.clear();
+  {
+    HGP_TRACE_SPAN("macro.inert");
+  }
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SolveTelemetry surface (filled with or without HGP_OBS)
+
+TEST(Telemetry, SolveHgpFillsPhaseTimingsAndDpTotals) {
+  Rng rng(11);
+  Graph g = gen::planted_partition(16, 4, 0.75, 0.05, rng,
+                                   gen::WeightRange{2.0, 6.0},
+                                   gen::WeightRange{1.0, 2.0});
+  gen::set_uniform_demands(g, 4.0 / 16.0);
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+
+  SolverOptions opt;
+  opt.num_trees = 3;
+  opt.seed = 5;
+  const HgpResult r = solve_hgp(g, h, opt);
+
+  const SolveTelemetry& tm = r.telemetry;
+  EXPECT_EQ(tm.trees_attempted, 3);
+  EXPECT_EQ(tm.trees_succeeded, 3);
+  EXPECT_GT(tm.total_ms, 0.0);
+  EXPECT_GE(tm.total_ms,
+            tm.forest_build_ms);  // stages are contained in the total
+  EXPECT_GE(tm.total_ms, tm.tree_solve_ms);
+  EXPECT_EQ(tm.fallback_ms, 0.0);  // primary pipeline won
+  EXPECT_GT(tm.dp_signatures, 0u);
+  EXPECT_GT(tm.dp_feasible_states, 0u);
+  EXPECT_GT(tm.dp_merge_operations, 0u);
+  // The winner's stats are a subset of the summed telemetry.
+  EXPECT_LE(r.stats.merge_operations, tm.dp_merge_operations);
+}
+
+}  // namespace
+}  // namespace hgp

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -33,6 +34,8 @@
 #include "graph/io.hpp"
 #include "hierarchy/cost.hpp"
 #include "hierarchy/placement_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/solver.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"
@@ -67,7 +70,8 @@ void print_usage(std::FILE* to, const char* argv0) {
       "usage: %s --graph FILE --deg D0,D1,... --cm C0,C1,...,Ch\n"
       "          [--algo hgp|greedy|multilevel|rb|random] [--trees N]\n"
       "          [--units U | --epsilon E] [--seed S] [--out FILE]\n"
-      "          [--timeout-ms MS] [--fallback chain|none] [--help]\n"
+      "          [--timeout-ms MS] [--fallback chain|none]\n"
+      "          [--trace FILE] [--metrics FILE] [--report] [--help]\n"
       "\n"
       "  --graph FILE     METIS task graph (vertex weights = demands/1000)\n"
       "  --deg LIST       children per hierarchy level, e.g. 2,4,2\n"
@@ -83,6 +87,11 @@ void print_usage(std::FILE* to, const char* argv0) {
       "                   unbounded)\n"
       "  --fallback MODE  chain = degrade hgp->multilevel->greedy (default),\n"
       "                   none = fail with a typed status instead\n"
+      "  --trace FILE     record trace spans, write Chrome trace-event JSON\n"
+      "                   (open in chrome://tracing or ui.perfetto.dev)\n"
+      "  --metrics FILE   write the metrics registry as JSON\n"
+      "  --report         print per-tree attempts, phase timings and a span\n"
+      "                   summary to stderr\n"
       "  --help           print this message and exit\n",
       argv0);
 }
@@ -149,6 +158,8 @@ std::vector<double> parse_list(const char* flag, const std::string& s) {
 int main(int argc, char** argv) {
   using namespace hgp;
   std::string graph_path, out_path, algo = "hgp";
+  std::string trace_path, metrics_path;
+  bool report = false;
   std::string deg_spec, cm_spec;
   int trees = 4;
   double epsilon = 0.5;
@@ -205,6 +216,12 @@ int main(int argc, char** argv) {
       }
     } else if (!std::strcmp(argv[i], "--out")) {
       out_path = need("--out");
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = need("--trace");
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      metrics_path = need("--metrics");
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report = true;
     } else {
       usage_error(argv[0], "unknown argument '%s'", argv[i]);
     }
@@ -212,6 +229,10 @@ int main(int argc, char** argv) {
   if (graph_path.empty() || deg_spec.empty() || cm_spec.empty()) {
     usage_error(argv[0], "--graph, --deg and --cm are required%s", "");
   }
+
+  // Tracing must be live before the solve starts; it is off by default so
+  // un-traced runs pay nothing beyond an atomic load per span site.
+  if (!trace_path.empty()) obs::TraceBuffer::global().set_enabled(true);
 
   try {
     // A CheckError out of file parsing or hierarchy construction is the
@@ -245,6 +266,8 @@ int main(int argc, char** argv) {
     Placement p;
     Status status;
     std::string solved_by = algo;
+    HgpResult hgp_result;
+    bool have_hgp = false;
     if (algo == "hgp") {
       SolverOptions opt;
       opt.num_trees = trees;
@@ -253,7 +276,9 @@ int main(int argc, char** argv) {
       opt.seed = seed;
       opt.timeout_ms = timeout_ms;
       opt.fallback = fallback;
-      const HgpResult r = solve_hgp(g, h, opt);
+      hgp_result = solve_hgp(g, h, opt);
+      have_hgp = true;
+      const HgpResult& r = hgp_result;
       p = r.placement;
       status = r.status;
       solved_by = solve_method_name(r.method);
@@ -318,6 +343,69 @@ int main(int argc, char** argv) {
     if (!out_path.empty()) {
       io::write_placement_file(p, out_path);
       std::printf("\nplacement written to %s\n", out_path.c_str());
+    }
+
+    // Telemetry surface: the report goes to stderr (stdout carries the
+    // placement/report contract above), exports go to their files.
+    if (report) {
+      std::fprintf(stderr, "\n== solve report ==\n");
+      if (have_hgp) {
+        Table attempts({"tree", "status", "cost", "elapsed ms", "error"});
+        for (std::size_t t = 0; t < hgp_result.attempts.size(); ++t) {
+          const TreeAttempt& a = hgp_result.attempts[t];
+          Table& row = attempts.row()
+                           .add(static_cast<std::int64_t>(t))
+                           .add(status_code_name(a.status));
+          if (a.ok()) {
+            row.add(a.cost);
+          } else {
+            row.add("-");
+          }
+          row.add(a.elapsed_ms, 1).add(a.error);
+        }
+        attempts.print(std::cerr);
+        const SolveTelemetry& tm = hgp_result.telemetry;
+        std::fprintf(stderr,
+                     "phases: total %.1f ms = forest %.1f + trees %.1f + "
+                     "fallback %.1f (+ overhead)\n",
+                     tm.total_ms, tm.forest_build_ms, tm.tree_solve_ms,
+                     tm.fallback_ms);
+        std::fprintf(stderr,
+                     "trees: %d/%d succeeded; dp: %llu signatures, %llu "
+                     "feasible states, %llu merges (%llu rejected), %llu "
+                     "pruned\n",
+                     tm.trees_succeeded, tm.trees_attempted,
+                     static_cast<unsigned long long>(tm.dp_signatures),
+                     static_cast<unsigned long long>(tm.dp_feasible_states),
+                     static_cast<unsigned long long>(tm.dp_merge_operations),
+                     static_cast<unsigned long long>(tm.dp_merges_rejected),
+                     static_cast<unsigned long long>(tm.dp_states_pruned));
+      }
+      if (obs::TraceBuffer::global().size() > 0) {
+        std::fprintf(stderr, "\nspan summary:\n");
+        obs::TraceBuffer::global().summary().print(std::cerr);
+      }
+    }
+    if (!trace_path.empty()) {
+      std::ofstream os(trace_path);
+      obs::TraceBuffer::global().write_chrome_json(os);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                     trace_path.c_str());
+        return kExitInternal;
+      }
+      std::printf("trace written to %s (%zu spans)\n", trace_path.c_str(),
+                  obs::TraceBuffer::global().size());
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      obs::MetricsRegistry::global().write_json(os);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write metrics file '%s'\n",
+                     metrics_path.c_str());
+        return kExitInternal;
+      }
+      std::printf("metrics written to %s\n", metrics_path.c_str());
     }
     return exit_code_for(status.code);
   } catch (const SolveError& e) {
