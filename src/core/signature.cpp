@@ -30,21 +30,13 @@ SignatureSpace::SignatureSpace(const ScaledDemands& scaled, int height)
                   "signature space too large; lower the demand resolution "
                   "(larger epsilon or explicit units_override)");
   }
-  pack_to_tuple_.assign(span, npos);
-
   // Enumerate all non-increasing tuples within the bounds (depth-first).
+  // Two passes: count first, then fill the arena-backed interned tables
+  // with exactly-sized allocations (the arena hands out contiguous blocks,
+  // so the hot-path lookups walk dense, cache-friendly memory).
   Signature cur(static_cast<std::size_t>(height), 0);
-  auto emit = [&](const Signature& d) {
-    const std::size_t key = pack(d);
-    pack_to_tuple_[key] = support_.size();
-    int support = 0;
-    for (int k = 1; k <= height; ++k) {
-      if (d[static_cast<std::size_t>(k - 1)] > 0) support = k;
-    }
-    support_.push_back(support);
-    demands_.insert(demands_.end(), d.begin(), d.end());
-  };
-  auto rec = [&](auto&& self, int level, DemandUnits upper) -> void {
+  auto rec = [&](auto&& self, int level, DemandUnits upper,
+                 auto&& emit) -> void {
     if (level > height) {
       emit(cur);
       return;
@@ -53,11 +45,40 @@ SignatureSpace::SignatureSpace(const ScaledDemands& scaled, int height)
         std::min(upper, bound_[static_cast<std::size_t>(level - 1)]);
     for (DemandUnits d = 0; d <= cap; ++d) {
       cur[static_cast<std::size_t>(level - 1)] = d;
-      self(self, level + 1, d);
+      self(self, level + 1, d, emit);
     }
   };
-  rec(rec, 1, std::numeric_limits<DemandUnits>::max());
-  count_ = support_.size() * static_cast<std::size_t>(height + 1);
+  std::size_t tuple_count = 0;
+  rec(rec, 1, std::numeric_limits<DemandUnits>::max(),
+      [&](const Signature&) { ++tuple_count; });
+
+  const auto h_sz = static_cast<std::size_t>(height);
+  demands_ = arena_.allocate<DemandUnits>(tuple_count * h_sz);
+  support_ = arena_.allocate<int>(tuple_count);
+  prefix_key_ = arena_.allocate<std::size_t>(tuple_count * (h_sz + 1));
+  pack_to_tuple_ = arena_.allocate_filled<std::size_t>(span, npos);
+
+  std::size_t next = 0;
+  rec(rec, 1, std::numeric_limits<DemandUnits>::max(),
+      [&](const Signature& d) {
+        const std::size_t t = next++;
+        pack_to_tuple_[pack(d)] = t;
+        int support = 0;
+        std::size_t key = 0;
+        prefix_key_[t * (h_sz + 1)] = 0;
+        for (int k = 1; k <= height; ++k) {
+          const DemandUnits x = d[static_cast<std::size_t>(k - 1)];
+          if (x > 0) support = k;
+          demands_[t * h_sz + static_cast<std::size_t>(k - 1)] = x;
+          key += static_cast<std::size_t>(x) *
+                 static_cast<std::size_t>(
+                     stride_[static_cast<std::size_t>(k - 1)]);
+          prefix_key_[t * (h_sz + 1) + static_cast<std::size_t>(k)] = key;
+        }
+        support_[t] = support;
+      });
+  HGP_ASSERT(next == tuple_count);
+  count_ = tuple_count * static_cast<std::size_t>(height + 1);
   zero_id_ = id_of(Signature(static_cast<std::size_t>(height), 0), 0);
   HGP_CHECK(zero_id_ != npos);
 }
@@ -106,24 +127,39 @@ std::size_t SignatureSpace::merge(std::size_t a, int j1, std::size_t b,
   const int kept2 = std::min(j2, this->present(b));
   const int base = std::max(kept1, kept2);
   if (present < base || present > height_) return npos;
-  Signature out(static_cast<std::size_t>(height_), 0);
-  for (int k = 1; k <= height_; ++k) {
-    const DemandUnits da = k <= kept1 ? level(a, k) : 0;
-    const DemandUnits db = k <= kept2 ? level(b, k) : 0;
-    const DemandUnits d = da + db;
-    if (d > bound_[static_cast<std::size_t>(k - 1)]) return npos;
-    out[static_cast<std::size_t>(k - 1)] = d;
+  // Capacity: only levels where BOTH masked prefixes contribute can
+  // overflow — beyond min(kept1, kept2) a single interned child's demand is
+  // within bound by construction.
+  const int overlap = std::min(kept1, kept2);
+  for (int k = 1; k <= overlap; ++k) {
+    if (level(a, k) + level(b, k) > bound_[static_cast<std::size_t>(k - 1)]) {
+      return npos;
+    }
   }
   // Masked child tuples are non-increasing, so the sum is too; presence ≥
-  // base ≥ support by construction.
-  const std::size_t tuple = pack_to_tuple_[pack(out)];
+  // base ≥ support by construction.  The mixed-radix packing is linear and
+  // the capacity check above rules out digit carries, so the merged
+  // tuple's pack key is the sum of the precomputed masked-prefix keys —
+  // no tuple is materialized on this path.
+  const std::size_t tuple =
+      pack_to_tuple_[prefix_key(tuple_of(a), kept1) +
+                     prefix_key(tuple_of(b), kept2)];
   HGP_ASSERT(tuple != npos);
   const std::size_t merged = compose(tuple, present);
   // Definition 9 postcondition: a successful (j1,j2)-consistent merge is
   // itself a valid signature — monotone, within capacity, presence deep
-  // enough for its support.
-  HGP_POSTCONDITION_MSG(id_of(out, present) == merged,
-                        "consistent merge produced an invalid signature");
+  // enough for its support.  (The tuple is materialized only when the
+  // contract layer is compiled in.)
+  HGP_POSTCONDITION_MSG(
+      [&] {
+        Signature out(static_cast<std::size_t>(height_), 0);
+        for (int k = 1; k <= height_; ++k) {
+          out[static_cast<std::size_t>(k - 1)] =
+              (k <= kept1 ? level(a, k) : 0) + (k <= kept2 ? level(b, k) : 0);
+        }
+        return id_of(out, present) == merged;
+      }(),
+      "consistent merge produced an invalid signature");
   return merged;
 }
 
@@ -134,15 +170,19 @@ std::size_t SignatureSpace::lift(std::size_t a, int j1, int present) const {
                        "lift cut level must lie in [0, h]");
   const int kept = std::min(j1, this->present(a));
   if (present < kept || present > height_) return npos;
-  Signature out(static_cast<std::size_t>(height_), 0);
-  for (int k = 1; k <= kept; ++k) {
-    out[static_cast<std::size_t>(k - 1)] = level(a, k);
-  }
-  const std::size_t tuple = pack_to_tuple_[pack(out)];
+  // The lifted tuple is the masked prefix itself; its key is precomputed.
+  const std::size_t tuple = pack_to_tuple_[prefix_key(tuple_of(a), kept)];
   HGP_ASSERT(tuple != npos);
   const std::size_t lifted = compose(tuple, present);
-  HGP_POSTCONDITION_MSG(id_of(out, present) == lifted,
-                        "lift produced an invalid signature");
+  HGP_POSTCONDITION_MSG(
+      [&] {
+        Signature out(static_cast<std::size_t>(height_), 0);
+        for (int k = 1; k <= kept; ++k) {
+          out[static_cast<std::size_t>(k - 1)] = level(a, k);
+        }
+        return id_of(out, present) == lifted;
+      }(),
+      "lift produced an invalid signature");
   return lifted;
 }
 

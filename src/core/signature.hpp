@@ -17,12 +17,24 @@
 // SignatureSpace enumerates every (D, p) pair once per (hierarchy, demand
 // scale) and interns them to dense ids; the merge derives the parent id
 // arithmetically.
+//
+// Performance: the interned tables (demand tuples, supports, masked-prefix
+// pack keys, the pack→tuple index) live in a single Arena owned by the
+// space — one allocation burst at construction, contiguous in memory.
+// merge()/lift() are allocation-free: because the mixed-radix packing is
+// linear in the demand tuple and a (j1,j2)-consistent merge never carries
+// a digit past its radix (capacity is checked first), the merged tuple's
+// pack key is just the SUM of the two children's masked-prefix keys, all
+// precomputed.  The construction-time enumeration is the only code that
+// materializes tuples.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/demand.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
 
 namespace hgp {
@@ -35,6 +47,13 @@ class SignatureSpace {
   /// `scaled`: capacities from scale_demands (only capacity[] and total are
   /// read); `height`: h of the hierarchy.
   SignatureSpace(const ScaledDemands& scaled, int height);
+
+  // The interned tables are spans into the member arena; copying would
+  // leave the copy pointing into the original's storage.
+  SignatureSpace(const SignatureSpace&) = delete;
+  SignatureSpace& operator=(const SignatureSpace&) = delete;
+  SignatureSpace(SignatureSpace&&) = default;
+  SignatureSpace& operator=(SignatureSpace&&) = default;
 
   int height() const { return height_; }
   std::size_t size() const { return count_; }
@@ -98,20 +117,34 @@ class SignatureSpace {
   /// whose presence depth is shallower than their demand support).
   void validate(std::size_t id) const;
 
+  /// Arena bytes backing the interned tables (for memory diagnostics).
+  std::size_t interned_bytes() const { return arena_.bytes_in_use(); }
+
  private:
   std::size_t pack(const Signature& d) const;
   std::size_t compose(std::size_t tuple_index, int present) const {
     return tuple_index * static_cast<std::size_t>(height_ + 1) +
            static_cast<std::size_t>(present);
   }
+  std::size_t tuple_of(std::size_t id) const {
+    return id / static_cast<std::size_t>(height_ + 1);
+  }
+  /// Pack key of the masked prefix (D^(1..kept), 0, …, 0) of a tuple.
+  std::size_t prefix_key(std::size_t tuple_index, int kept) const {
+    return prefix_key_[tuple_index * static_cast<std::size_t>(height_ + 1) +
+                       static_cast<std::size_t>(kept)];
+  }
 
   int height_;
   std::size_t count_ = 0;                // tuples × (h+1)
   std::vector<DemandUnits> bound_;       // per level 1..h
   std::vector<DemandUnits> stride_;      // mixed-radix packing strides
-  std::vector<DemandUnits> demands_;     // tuple_index → D^(1..h), flattened
-  std::vector<int> support_;             // per tuple_index
-  std::vector<std::size_t> pack_to_tuple_;  // packed key → tuple_index
+  // Interned tables, allocated from `arena_` in one burst at construction.
+  Arena arena_;
+  std::span<DemandUnits> demands_;       // tuple_index → D^(1..h), flattened
+  std::span<int> support_;               // per tuple_index
+  std::span<std::size_t> prefix_key_;    // tuple_index → key per kept 0..h
+  std::span<std::size_t> pack_to_tuple_;  // packed key → tuple_index
   std::size_t zero_id_ = npos;
 };
 

@@ -1,13 +1,28 @@
 #include "core/tree_dp.hpp"
 
 #include <algorithm>
+#include <future>
 #include <limits>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
 
 #include "obs/obs.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/arena.hpp"
+#include "util/env.hpp"
 
 namespace hgp {
 
 namespace {
+
+/// Process-wide A/B switch for dominance pruning (HGP_DP_PRUNE, default
+/// ON).  Read once; the differential harness and CI flip it per process.
+bool dp_prune_env_enabled() {
+  static const bool enabled = env_flag("HGP_DP_PRUNE", true);
+  return enabled;
+}
 
 /// Publishes one solve's locally-counted DP work into the shared metrics
 /// registry (counters `dp.*` and the demand-rounding bucket histogram).
@@ -20,6 +35,7 @@ void publish_dp_metrics(const TreeDpStats& stats, const Tree& bt,
   HGP_COUNTER_ADD("dp.merge_operations", stats.merge_operations);
   HGP_COUNTER_ADD("dp.merges_rejected", stats.merges_rejected);
   HGP_COUNTER_ADD("dp.states_pruned", stats.states_pruned);
+  HGP_COUNTER_ADD("dp.subtree_tasks", stats.subtree_tasks);
 #if HGP_OBS_ENABLED
   static obs::Histogram& units_hist =
       obs::MetricsRegistry::global().histogram(
@@ -50,14 +66,66 @@ struct Back {
   std::int8_t j2 = -1;
 };
 
+/// Recycled dense DP scratch.  Every node needs a |Sig|-sized cost array
+/// (read by its parent's merge) and a parallel back-pointer array (read by
+/// compaction); heap-allocating them per node used to dominate small-node
+/// time.  The pool hands out arena-backed spans and recycles released ones
+/// through free lists, so a DP sweep performs O(tree depth) real
+/// allocations total instead of O(nodes).  One pool per worker in the
+/// parallel subtree phase — a pool is single-threaded by design.
+class DenseTablePool {
+ public:
+  explicit DenseTablePool(std::size_t size) : size_(size) {}
+
+  std::span<double> acquire_cost() {
+    std::span<double> s;
+    if (!free_cost_.empty()) {
+      s = free_cost_.back();
+      free_cost_.pop_back();
+    } else {
+      s = arena_.allocate<double>(size_);
+    }
+    std::fill(s.begin(), s.end(), kInf);
+    return s;
+  }
+  void release_cost(std::span<double> s) {
+    if (!s.empty()) free_cost_.push_back(s);
+  }
+
+  /// Back arrays are returned uninitialized: entries are written by the
+  /// first relax() of their signature before any read (compaction only
+  /// copies entries of feasible signatures).
+  std::span<Back> acquire_back() {
+    std::span<Back> s;
+    if (!free_back_.empty()) {
+      s = free_back_.back();
+      free_back_.pop_back();
+    } else {
+      s = arena_.allocate<Back>(size_);
+    }
+    return s;
+  }
+  void release_back(std::span<Back> s) {
+    if (!s.empty()) free_back_.push_back(s);
+  }
+
+  std::size_t bytes_reserved() const { return arena_.bytes_reserved(); }
+
+ private:
+  std::size_t size_;
+  Arena arena_;
+  std::vector<std::span<double>> free_cost_;
+  std::vector<std::span<Back>> free_back_;
+};
+
 /// Per-node DP table.  `cost` is scratch read by the parent's merge and
-/// freed afterwards; the dense back array is compacted to the feasible
+/// recycled afterwards; the dense back array is compacted to the feasible
 /// entries right after the node is built (reconstruction only queries
 /// feasible signatures, and dense back-pointers for every node would
 /// dominate memory).
 struct NodeTable {
-  std::vector<double> cost;
-  std::vector<Back> back_dense;
+  std::span<double> cost;
+  std::span<Back> back_dense;
   std::vector<std::uint32_t> feasible;  // sorted after compaction
   std::vector<Back> back_compact;       // parallel to `feasible`
 
@@ -106,12 +174,13 @@ struct NodeTable {
     return pruned;
   }
 
-  void compact() {
+  void compact(DenseTablePool& pool) {
     std::sort(feasible.begin(), feasible.end());
     back_compact.resize(feasible.size());
     for (std::size_t i = 0; i < feasible.size(); ++i) {
       back_compact[i] = back_dense[feasible[i]];
     }
+    pool.release_back(back_dense);
     back_dense = {};
   }
 
@@ -122,7 +191,10 @@ struct NodeTable {
     return back_compact[static_cast<std::size_t>(it - feasible.begin())];
   }
 
-  void release_cost() { cost = {}; }
+  void release_cost(DenseTablePool& pool) {
+    pool.release_cost(cost);
+    cost = {};
+  }
 };
 
 void relax(NodeTable& table, std::size_t sig, double cost, const Back& back) {
@@ -134,8 +206,6 @@ void relax(NodeTable& table, std::size_t sig, double cost, const Back& back) {
     table.back_dense[sig] = back;
   }
 }
-
-}  // namespace
 
 // Cost accounting.  The solution's mirror regions partition (a subset of)
 // the tree nodes into disjoint connected regions per level, nested across
@@ -155,45 +225,26 @@ void relax(NodeTable& table, std::size_t sig, double cost, const Back& back) {
 // T ∖ CUT_T(S), Definition 5) are of this form, so the DP optimum equals
 // the Definition-4 objective (Σ of independent minimum separators) over the
 // rounded demands, as Theorem 4 requires.
-TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
-                         const TreeDpOptions& opt) {
-  const int height = h.height();
-  TreeDpResult result;
-  HGP_TRACE_SPAN_ARG("dp.solve", t.leaf_count());
-  if (opt.exec != nullptr) opt.exec->check("tree DP setup");
-  PeriodicCheck guard(opt.exec, "tree DP merge loop", 4096);
+//
+// Node-build order only needs children before parents; beyond that, node
+// tables are independent — the parallel subtree phase exploits exactly
+// this (disjoint subtrees touch disjoint table ranges), and every
+// scheduling produces bit-identical tables.
+struct DpEngine {
+  const Tree& bt;
+  const SignatureSpace& space;
+  const ScaledDemands& sd;
+  const std::vector<double>& ps;
+  bool prune;
+  std::vector<NodeTable>& tables;
 
-  // 1. Binarize and round demands (leaf demands are identical after
-  //    binarization, only node ids differ).
-  const BinarizedTree bin = binarize(t);
-  const Tree& bt = bin.tree;
-  const ScaledDemands sd =
-      scale_demands(bt, h, opt.epsilon, opt.units_override);
-  if (sd.total > sd.capacity_at(0)) {
-    std::ostringstream os;
-    os << "instance infeasible: total rounded demand " << sd.total
-       << " units exceeds hierarchy capacity " << sd.capacity_at(0)
-       << " units";
-    throw SolveError(StatusCode::kInfeasible, os.str());
-  }
-
-  // 2. Signature space and the Δ/2 prefix sums.
-  const SignatureSpace space(sd, height);
-  result.stats.signature_count = space.size();
-  std::vector<double> ps(static_cast<std::size_t>(height) + 1, 0.0);
-  for (int k = 1; k <= height; ++k) {
-    ps[static_cast<std::size_t>(k)] =
-        ps[static_cast<std::size_t>(k - 1)] + (h.cm(k - 1) - h.cm(k)) / 2.0;
-  }
-
-  // 3. Bottom-up DP (reverse preorder visits children before parents).
-  std::vector<NodeTable> tables(static_cast<std::size_t>(bt.node_count()));
-  for (auto it = bt.preorder().rbegin(); it != bt.preorder().rend(); ++it) {
-    const Vertex v = *it;
+  void build_node(Vertex v, DenseTablePool& pool, TreeDpStats& stats,
+                  PeriodicCheck& guard) const {
+    const int height = space.height();
     guard.tick();
     NodeTable& table = tables[static_cast<std::size_t>(v)];
-    table.cost.assign(space.size(), kInf);
-    table.back_dense.assign(space.size(), Back{});
+    table.cost = pool.acquire_cost();
+    table.back_dense = pool.acquire_back();
 
     const auto kids = bt.children(v);
     if (kids.empty()) {
@@ -225,12 +276,12 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
                      ps[static_cast<std::size_t>(j1)]);
             relax(table, up, ct.cost[s1] + closing + surviving,
                   Back{s1, kNoSig, narrow<std::int8_t>(j1), -1});
-            ++result.stats.merge_operations;
+            ++stats.merge_operations;
             guard.tick();
           }
         }
       }
-      ct.release_cost();
+      ct.release_cost(pool);
     } else {
       HGP_CHECK_MSG(kids.size() == 2, "tree must be binarized");
       NodeTable& t1 = tables[static_cast<std::size_t>(kids[0])];
@@ -265,10 +316,10 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
               }
               for (int pv = pv_lo; pv <= pv_hi; ++pv) {
                 const std::size_t up = space.merge(s1, j1, s2, j2, pv);
-                ++result.stats.merge_operations;
+                ++stats.merge_operations;
                 guard.tick();
                 if (up == SignatureSpace::npos) {
-                  ++result.stats.merges_rejected;
+                  ++stats.merges_rejected;
                   continue;
                 }
                 const double surviving =
@@ -284,14 +335,209 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
           }
         }
       }
-      t1.release_cost();
-      t2.release_cost();
+      t1.release_cost(pool);
+      t2.release_cost(pool);
     }
-    if (opt.prune_dominated) {
-      result.stats.states_pruned += table.prune_dominated(space);
+    if (prune) {
+      stats.states_pruned += table.prune_dominated(space);
     }
-    table.compact();
-    result.stats.feasible_states += table.feasible.size();
+    table.compact(pool);
+    stats.feasible_states += table.feasible.size();
+  }
+};
+
+/// Decomposition of the binarized tree into independent subtree slices for
+/// the parallel bottom-up phase.  Subtrees are contiguous in the DFS
+/// preorder, so a slice [lo, hi) walked in reverse visits children before
+/// parents and touches no table outside the slice.  Nodes not covered by a
+/// slice (the expanded ancestors) form the sequential "top" finished after
+/// the tasks join.
+struct SubtreePlan {
+  std::vector<std::pair<std::size_t, std::size_t>> slices;
+  std::vector<char> is_top;
+};
+
+SubtreePlan plan_subtrees(const Tree& bt, std::size_t target) {
+  const auto n = static_cast<std::size_t>(bt.node_count());
+  const std::vector<Vertex>& pre = bt.preorder();
+  std::vector<std::size_t> pos(n, 0);
+  std::vector<std::size_t> size(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[static_cast<std::size_t>(pre[i])] = i;
+  }
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+    const Vertex v = *it;
+    if (v != bt.root()) {
+      size[static_cast<std::size_t>(bt.parent(v))] +=
+          size[static_cast<std::size_t>(v)];
+    }
+  }
+
+  SubtreePlan plan;
+  plan.is_top.assign(n, 0);
+  // Repeatedly expand the largest frontier subtree into its children until
+  // we have enough roughly-balanced tasks or the pieces get too small to
+  // amortize scheduling.
+  const std::size_t grain =
+      std::max<std::size_t>(16, n / std::max<std::size_t>(1, 4 * target));
+  auto by_size = [&](Vertex a, Vertex b) {
+    return size[static_cast<std::size_t>(a)] <
+           size[static_cast<std::size_t>(b)];
+  };
+  std::priority_queue<Vertex, std::vector<Vertex>, decltype(by_size)>
+      frontier(by_size);
+  frontier.push(bt.root());
+  std::vector<Vertex> leaves_of_plan;
+  while (!frontier.empty()) {
+    const Vertex top = frontier.top();
+    const bool expand =
+        !bt.is_leaf(top) &&
+        (frontier.size() + leaves_of_plan.size() < target ||
+         size[static_cast<std::size_t>(top)] > grain * 4) &&
+        size[static_cast<std::size_t>(top)] > grain;
+    if (!expand) break;
+    frontier.pop();
+    plan.is_top[static_cast<std::size_t>(top)] = 1;
+    for (const Vertex c : bt.children(top)) {
+      if (bt.is_leaf(c) || size[static_cast<std::size_t>(c)] <= grain) {
+        leaves_of_plan.push_back(c);
+      } else {
+        frontier.push(c);
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    leaves_of_plan.push_back(frontier.top());
+    frontier.pop();
+  }
+  for (const Vertex v : leaves_of_plan) {
+    const std::size_t lo = pos[static_cast<std::size_t>(v)];
+    plan.slices.emplace_back(lo, lo + size[static_cast<std::size_t>(v)]);
+  }
+  return plan;
+}
+
+/// Number of subtree tasks worth creating on `pool` right now, sized by
+/// the PR-3 `pool.queue_depth` gauge: a backlogged pool (the runtime
+/// already fans a forest of trees across it) gets a small fan-out — extra
+/// tasks would only queue — while an idle pool gets 2× its workers for
+/// load balancing.
+std::size_t subtree_fanout(const ThreadPool& pool) {
+  const std::size_t workers = pool.thread_count();
+  std::size_t backlog = pool.pending();
+#if HGP_OBS_ENABLED
+  static obs::Gauge& queue_depth =
+      obs::MetricsRegistry::global().gauge("pool.queue_depth");
+  backlog = std::max(
+      backlog, static_cast<std::size_t>(
+                   std::max<std::int64_t>(0, queue_depth.value())));
+#endif
+  const std::size_t available = backlog >= workers ? 1 : workers - backlog;
+  return available * 2;
+}
+
+}  // namespace
+
+TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
+                         const TreeDpOptions& opt) {
+  const int height = h.height();
+  TreeDpResult result;
+  HGP_TRACE_SPAN_ARG("dp.solve", t.leaf_count());
+  if (opt.exec != nullptr) opt.exec->check("tree DP setup");
+  PeriodicCheck guard(opt.exec, "tree DP merge loop", 4096);
+
+  // 1. Binarize and round demands (leaf demands are identical after
+  //    binarization, only node ids differ).
+  const BinarizedTree bin = binarize(t);
+  const Tree& bt = bin.tree;
+  const ScaledDemands sd =
+      scale_demands(bt, h, opt.epsilon, opt.units_override);
+  if (sd.total > sd.capacity_at(0)) {
+    std::ostringstream os;
+    os << "instance infeasible: total rounded demand " << sd.total
+       << " units exceeds hierarchy capacity " << sd.capacity_at(0)
+       << " units";
+    throw SolveError(StatusCode::kInfeasible, os.str());
+  }
+
+  // 2. Signature space and the Δ/2 prefix sums.
+  const SignatureSpace space(sd, height);
+  result.stats.signature_count = space.size();
+  std::vector<double> ps(static_cast<std::size_t>(height) + 1, 0.0);
+  for (int k = 1; k <= height; ++k) {
+    ps[static_cast<std::size_t>(k)] =
+        ps[static_cast<std::size_t>(k - 1)] + (h.cm(k - 1) - h.cm(k)) / 2.0;
+  }
+
+  // 3. Bottom-up DP.  Independent subtrees run as pool tasks when a pool
+  //    is supplied (each task on its own arena-backed workspace, so the
+  //    hot loops never contend); the remaining top of the tree — and the
+  //    whole tree in the sequential case — runs on the caller's thread.
+  //    All workspaces outlive step 4: the root's cost span is read there.
+  std::vector<NodeTable> tables(static_cast<std::size_t>(bt.node_count()));
+  const bool prune = opt.prune_dominated && dp_prune_env_enabled();
+  const DpEngine engine{bt, space, sd, ps, prune, tables};
+  std::vector<std::unique_ptr<DenseTablePool>> pools;
+  pools.push_back(std::make_unique<DenseTablePool>(space.size()));
+  DenseTablePool& main_pool = *pools.front();
+
+  bool parallel = false;
+  if (opt.pool != nullptr && opt.pool->thread_count() > 0 &&
+      !opt.pool->is_worker_thread() &&
+      bt.node_count() >= opt.min_parallel_nodes) {
+    const SubtreePlan plan = plan_subtrees(bt, subtree_fanout(*opt.pool));
+    if (plan.slices.size() >= 2) {
+      parallel = true;
+      HGP_TRACE_SPAN_ARG("dp.subtree_tasks", plan.slices.size());
+      result.stats.subtree_tasks = plan.slices.size();
+      std::vector<TreeDpStats> task_stats(plan.slices.size());
+      std::vector<std::future<void>> futures;
+      futures.reserve(plan.slices.size());
+      for (std::size_t i = 0; i < plan.slices.size(); ++i) {
+        pools.push_back(std::make_unique<DenseTablePool>(space.size()));
+        DenseTablePool& task_pool = *pools.back();
+        const auto [lo, hi] = plan.slices[i];
+        TreeDpStats& stats = task_stats[i];
+        futures.push_back(opt.pool->submit(
+            [&engine, &bt, &task_pool, &stats, lo, hi, exec = opt.exec] {
+              PeriodicCheck task_guard(exec, "tree DP subtree task", 4096);
+              for (std::size_t idx = hi; idx-- > lo;) {
+                engine.build_node(bt.preorder()[idx], task_pool, stats,
+                                  task_guard);
+              }
+            }));
+      }
+      std::exception_ptr first_error;
+      for (auto& f : futures) {
+        try {
+          f.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+      for (const TreeDpStats& s : task_stats) {
+        result.stats.feasible_states += s.feasible_states;
+        result.stats.merge_operations += s.merge_operations;
+        result.stats.merges_rejected += s.merges_rejected;
+        result.stats.states_pruned += s.states_pruned;
+      }
+      // Finish the ancestors of the subtree roots, children-first.
+      for (auto it = bt.preorder().rbegin(); it != bt.preorder().rend();
+           ++it) {
+        if (plan.is_top[static_cast<std::size_t>(*it)] != 0) {
+          engine.build_node(*it, main_pool, result.stats, guard);
+        }
+      }
+    }
+  }
+  if (!parallel) {
+    for (auto it = bt.preorder().rbegin(); it != bt.preorder().rend(); ++it) {
+      engine.build_node(*it, main_pool, result.stats, guard);
+    }
+  }
+  for (const auto& pool : pools) {
+    result.stats.arena_bytes += pool->bytes_reserved();
   }
 
   // 4. Pick the best root signature.

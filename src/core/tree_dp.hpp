@@ -33,6 +33,8 @@
 
 namespace hgp {
 
+class ThreadPool;
+
 struct TreeDpOptions {
   /// Demand rounding accuracy; U = ⌈n/ε⌉ units per leaf capacity.
   double epsilon = 0.25;
@@ -41,8 +43,19 @@ struct TreeDpOptions {
   DemandUnits units_override = 0;
   /// Pareto dominance pruning of DP states (same presence, componentwise
   /// ≥ demand, ≥ cost ⇒ dropped).  Provably lossless; off only for the
-  /// pruning ablation benchmark.
+  /// pruning ablation benchmark.  The HGP_DP_PRUNE environment knob
+  /// (default ON) additionally gates this process-wide, so A/B validation
+  /// can disable pruning without touching call sites.
   bool prune_dominated = true;
+  /// Solves independent subtrees of the (binarized) tree concurrently on
+  /// this pool, each task on its own arena-backed workspace.  nullptr —
+  /// or a call made from one of the pool's own workers (forest-level
+  /// parallelism already owns the pool) — runs the classic sequential
+  /// bottom-up sweep.  Results are bit-identical either way.
+  ThreadPool* pool = nullptr;
+  /// Minimum binarized-tree size before the parallel subtree phase is
+  /// worth its scheduling overhead.
+  Vertex min_parallel_nodes = 128;
   /// Cooperative deadline/cancellation; checked every few thousand merge
   /// relaxations.  nullptr = unconstrained.  Must outlive the call.
   const ExecContext* exec = nullptr;
@@ -58,6 +71,8 @@ struct TreeDpStats {
   std::size_t merge_operations = 0;  ///< relaxation steps performed
   std::size_t merges_rejected = 0;   ///< (j1,j2)-merges outside the space
   std::size_t states_pruned = 0;     ///< dominance-pruned DP entries
+  std::size_t subtree_tasks = 0;     ///< parallel subtree DP tasks (0 = seq)
+  std::size_t arena_bytes = 0;       ///< workspace arena high-water, bytes
 };
 
 struct TreeDpResult {

@@ -22,6 +22,7 @@ TreeHgpSolution solve_hgpt(const Tree& t, const Hierarchy& h,
   TreeDpOptions dp_opt;
   dp_opt.epsilon = opt.epsilon;
   dp_opt.units_override = opt.units_override;
+  dp_opt.pool = opt.pool;
   dp_opt.exec = opt.exec;
   TreeDpResult dp = solve_rhgpt(t, h, dp_opt);
 

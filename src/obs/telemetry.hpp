@@ -17,6 +17,9 @@ struct SolveTelemetry {
   double total_ms = 0;
   /// Stage 1: decomposition-forest sampling.
   double forest_build_ms = 0;
+  /// Stage 1 was served from the forest LRU cache (forest_build_ms then
+  /// measures only the fingerprint + lookup).
+  bool forest_cache_hit = false;
   /// Stage 2: the per-tree attempt stage (wall time, not summed attempts —
   /// attempts overlap under a thread pool; per-attempt times live in
   /// HgpResult::attempts).

@@ -42,6 +42,16 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// True when called from one of THIS pool's worker threads.  Nested
+  /// fan-out stages use this to fall back to inline execution instead of
+  /// submitting to — and then blocking on — the pool they are running
+  /// inside, which could deadlock once every worker waits.
+  bool is_worker_thread() const;
+
+  /// Tasks currently queued (excludes tasks being executed).  A scheduling
+  /// hint only — the value is stale the moment it is read.
+  std::size_t pending() const;
+
   /// Submits a callable; the result (or exception) arrives via the future.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F&>> {
@@ -91,7 +101,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<Job> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

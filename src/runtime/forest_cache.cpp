@@ -1,0 +1,89 @@
+#include "runtime/forest_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/env.hpp"
+
+namespace hgp {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const Graph& g) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(g.vertex_count()));
+  mix(h, static_cast<std::uint64_t>(g.edge_count()));
+  for (const Edge& e : g.edges()) {
+    mix(h, static_cast<std::uint64_t>(e.u));
+    mix(h, static_cast<std::uint64_t>(e.v));
+    mix(h, std::bit_cast<std::uint64_t>(e.weight));
+  }
+  mix(h, g.has_demands() ? 1 : 0);
+  for (const double d : g.demands()) {
+    mix(h, std::bit_cast<std::uint64_t>(d));
+  }
+  return h;
+}
+
+ForestCache& ForestCache::global() {
+  static ForestCache cache(
+      static_cast<std::size_t>(std::max(0L, env_int("HGP_FOREST_CACHE", 8))));
+  return cache;
+}
+
+CachedForest ForestCache::find(const ForestCacheKey& key) {
+  if (!enabled()) return nullptr;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->key == key) {
+      lru_.splice(lru_.begin(), lru_, it);
+      HGP_COUNTER_ADD("solver.forest_cache.hits", 1);
+      return lru_.front().forest;
+    }
+  }
+  HGP_COUNTER_ADD("solver.forest_cache.misses", 1);
+  return nullptr;
+}
+
+void ForestCache::insert(const ForestCacheKey& key, CachedForest forest) {
+  if (!enabled() || forest == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->key == key) {
+      it->forest = std::move(forest);
+      lru_.splice(lru_.begin(), lru_, it);
+      return;
+    }
+  }
+  lru_.push_front(Entry{key, std::move(forest)});
+  while (lru_.size() > capacity_) {
+    HGP_COUNTER_ADD("solver.forest_cache.evictions", 1);
+    lru_.pop_back();
+  }
+}
+
+std::size_t ForestCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ForestCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+}
+
+}  // namespace hgp

@@ -1,0 +1,79 @@
+// Process-wide LRU cache of decomposition forests.
+//
+// Forest sampling is deterministic in (graph content, seed, tree count,
+// cutter), so repeated solves over the same instance — parameter sweeps,
+// epsilon ablations, serving the same workload graph — can reuse the
+// sampled forest instead of re-running the cutter recursion, which
+// dominates stage-1 time.  Entries are shared immutable snapshots
+// (shared_ptr<const vector>), so concurrent solves can hold the same
+// forest while the cache evicts it.
+//
+// Keying by a content fingerprint (not object identity) keeps the cache
+// semantically transparent: mutating or rebuilding a graph changes the
+// fingerprint and misses.  The HGP_FOREST_CACHE environment knob sets the
+// capacity of the global cache (default 8 forests; 0 disables caching).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "decomp/decomp_tree.hpp"
+#include "graph/graph.hpp"
+
+namespace hgp {
+
+/// FNV-1a content hash over vertex count, edge list (endpoints + weight
+/// bits) and demands.  Stable within a process run; not a cryptographic
+/// commitment.
+std::uint64_t graph_fingerprint(const Graph& g);
+
+struct ForestCacheKey {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t seed = 0;
+  int num_trees = 0;
+  std::string cutter;
+
+  bool operator==(const ForestCacheKey&) const = default;
+};
+
+using CachedForest = std::shared_ptr<const std::vector<DecompTree>>;
+
+class ForestCache {
+ public:
+  /// `capacity` = max cached forests; 0 disables (find misses, insert
+  /// drops).
+  explicit ForestCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// The solver's shared instance; capacity from HGP_FOREST_CACHE.
+  static ForestCache& global();
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Returns the cached forest (promoting it to most-recently-used), or
+  /// nullptr on miss.  Thread-safe.
+  CachedForest find(const ForestCacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// forest beyond capacity.  Thread-safe.
+  void insert(const ForestCacheKey& key, CachedForest forest);
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    ForestCacheKey key;
+    CachedForest forest;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+};
+
+}  // namespace hgp

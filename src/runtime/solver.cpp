@@ -6,6 +6,7 @@
 #include "baseline/greedy.hpp"
 #include "baseline/multilevel.hpp"
 #include "obs/obs.hpp"
+#include "runtime/forest_cache.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/contracts.hpp"
 #include "util/fault_injector.hpp"
@@ -165,28 +166,49 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
   HgpResult result;
 
   // Stage 1: decomposition forest.  A failure here leaves zero trees, which
-  // the degradation logic below treats like "all trees failed".
-  std::vector<DecompTree> forest;
+  // the degradation logic below treats like "all trees failed".  Sampling
+  // is deterministic in (graph content, seed, count, cutter), so the
+  // global LRU cache can serve repeated solves of the same instance; the
+  // forest is held as a shared immutable snapshot either way.
+  CachedForest forest_ptr;
   Status forest_status;
   {
     HGP_TRACE_SPAN_ARG("solve.forest", opt.num_trees);
     Timer forest_timer;
-    try {
-      forest = build_decomposition_forest(g, opt.num_trees, opt.seed, cutter,
-                                          opt.pool, &exec);
-    } catch (...) {
-      forest_status = status_from_current_exception();
-      if (forest_status.code == StatusCode::kCancelled) throw;
-      forest.clear();
+    ForestCache& cache = ForestCache::global();
+    ForestCacheKey key;
+    if (cache.enabled()) {
+      key = ForestCacheKey{graph_fingerprint(g), opt.seed, opt.num_trees,
+                           cutter.name()};
+      forest_ptr = cache.find(key);
+    }
+    if (forest_ptr != nullptr) {
+      result.telemetry.forest_cache_hit = true;
+    } else {
+      try {
+        forest_ptr = std::make_shared<const std::vector<DecompTree>>(
+            build_decomposition_forest(g, opt.num_trees, opt.seed, cutter,
+                                       opt.pool, &exec));
+        cache.insert(key, forest_ptr);
+      } catch (...) {
+        forest_status = status_from_current_exception();
+        if (forest_status.code == StatusCode::kCancelled) throw;
+        forest_ptr = std::make_shared<const std::vector<DecompTree>>();
+      }
     }
     result.telemetry.forest_build_ms = forest_timer.millis();
   }
+  const std::vector<DecompTree>& forest = *forest_ptr;
   HGP_COUNTER_ADD("solver.trees_sampled",
                   static_cast<std::int64_t>(forest.size()));
 
   TreeSolverOptions tree_opt;
   tree_opt.epsilon = opt.epsilon;
   tree_opt.units_override = opt.units_override;
+  // The DP itself may also fan subtrees across the pool; when the attempts
+  // below already occupy the workers, its is_worker_thread() guard keeps
+  // each tree's DP sequential, so sharing the pool cannot deadlock.
+  tree_opt.pool = opt.pool;
   tree_opt.exec = &exec;
 
   // Stage 2: isolated per-tree solves.  Theorem 7's arg-min is over

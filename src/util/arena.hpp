@@ -1,0 +1,128 @@
+// Monotonic bump allocator (arena) for the solver's hot paths.
+//
+// The signature DP allocates many short-lived arrays whose lifetimes end
+// together (per-node DP tables, interned signature tables): individually
+// heap-allocating them churns the allocator on the hottest loop of the
+// library.  An Arena hands out pointer-bumped blocks from larger chunks;
+// nothing is freed until reset() or destruction, so allocation is a bump
+// and a bounds check.  Chunks are retained across reset() and reused, so a
+// steady-state workload (one DP solve after another on a recycled
+// workspace) stops touching malloc entirely after warm-up.
+//
+// Thread-safety: none by design.  The DP gives each worker its own arena
+// (thread-local workspaces in the parallel subtree phase); sharing an
+// Arena across threads without external synchronization is a bug.
+//
+// Only trivially-destructible types may be allocated: the arena never runs
+// destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hgp {
+
+class Arena {
+ public:
+  /// `chunk_bytes`: granularity of the backing allocations; oversized
+  /// requests get a dedicated chunk of exactly their size.
+  explicit Arena(std::size_t chunk_bytes = std::size_t{1} << 16)
+      : chunk_bytes_(chunk_bytes) {
+    HGP_CHECK_MSG(chunk_bytes > 0, "arena chunk size must be positive");
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Uninitialized storage for `count` objects of type T.  The span stays
+  /// valid until reset() or destruction.  count == 0 returns an empty span.
+  template <typename T>
+  std::span<T> allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    if (count == 0) return {};
+    void* p = allocate_bytes(count * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), count};
+  }
+
+  /// Storage for `count` objects of type T, each copy-initialized from
+  /// `fill`.
+  template <typename T>
+  std::span<T> allocate_filled(std::size_t count, const T& fill) {
+    std::span<T> out = allocate<T>(count);
+    for (T& x : out) x = fill;
+    return out;
+  }
+
+  /// Rewinds every chunk to empty without releasing memory: previously
+  /// returned spans become invalid, subsequent allocations reuse the
+  /// retained chunks.
+  void reset() {
+    for (Chunk& c : chunks_) c.used = 0;
+    active_ = 0;
+    bytes_in_use_ = 0;
+  }
+
+  /// Bytes handed out since construction / the last reset (excluding
+  /// alignment padding).
+  std::size_t bytes_in_use() const { return bytes_in_use_; }
+
+  /// Total bytes of backing chunks currently retained.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t align_up(std::size_t value, std::size_t alignment) {
+    return (value + alignment - 1) & ~(alignment - 1);
+  }
+
+  void* allocate_bytes(std::size_t bytes, std::size_t alignment) {
+    // Find (or create) a chunk with room; chunks before `active_` are full
+    // enough that retrying them for every allocation would be quadratic.
+    while (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      const std::size_t start = align_up(c.used, alignment);
+      if (start + bytes <= c.size) {
+        c.used = start + bytes;
+        bytes_in_use_ += bytes;
+        return c.data.get() + start;
+      }
+      ++active_;
+    }
+    const std::size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+    Chunk c;
+    c.data = std::make_unique<std::byte[]>(size);
+    c.size = size;
+    c.used = bytes;
+    chunks_.push_back(std::move(c));
+    active_ = chunks_.size() - 1;
+    bytes_in_use_ += bytes;
+    return chunks_.back().data.get();
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::size_t bytes_in_use_ = 0;
+};
+
+}  // namespace hgp

@@ -1,0 +1,93 @@
+// Shared brute-force RHGPT reference for test binaries.
+//
+// Enumerates EVERY relaxed solution on tiny instances — all partitions of
+// the leaves at level 1, all refinements at deeper levels, capacity-checked
+// in rounded units — and evaluates the Definition-4 objective with true
+// minimum separators.  This pins the signature DP's optimality directly,
+// with no shared code path and no reliance on the fan-out trick.  Used by
+// the dedicated brute-force suite and as the exactness anchor of the
+// randomized differential harness.  Exponential: keep instances ≤ ~6
+// leaves.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "core/rhgpt.hpp"
+#include "core/tree_dp.hpp"
+
+namespace hgp::testref {
+
+using SetList = std::vector<std::vector<Vertex>>;
+
+/// All partitions of `items` whose blocks respect `max_units`.
+inline void enumerate_partitions(
+    const std::vector<Vertex>& items, const std::vector<DemandUnits>& units,
+    DemandUnits max_units, const std::function<void(const SetList&)>& visit) {
+  SetList current;
+  std::vector<DemandUnits> load;
+  auto rec = [&](auto&& self, std::size_t idx) -> void {
+    if (idx == items.size()) {
+      visit(current);
+      return;
+    }
+    const Vertex item = items[idx];
+    const DemandUnits u = units[static_cast<std::size_t>(item)];
+    for (std::size_t b = 0; b < current.size(); ++b) {
+      if (load[b] + u > max_units) continue;
+      current[b].push_back(item);
+      load[b] += u;
+      self(self, idx + 1);
+      load[b] -= u;
+      current[b].pop_back();
+    }
+    if (u <= max_units) {
+      current.push_back({item});
+      load.push_back(u);
+      self(self, idx + 1);
+      current.pop_back();
+      load.pop_back();
+    }
+  };
+  rec(rec, 0);
+}
+
+/// Minimum Definition-4 cost over all solutions, by recursive refinement.
+inline double brute_force_rhgpt(const Tree& t, const Hierarchy& h,
+                                const ScaledDemands& sd) {
+  double best = std::numeric_limits<double>::infinity();
+  RhgptSolution sol;
+  sol.sets.assign(static_cast<std::size_t>(h.height()) + 1, {});
+  sol.sets[0] = {t.leaves()};
+
+  auto rec = [&](auto&& self, int level) -> void {
+    if (level > h.height()) {
+      best = std::min(best, rhgpt_cost(t, h, sol));
+      return;
+    }
+    // Refine every level-(level-1) set independently; enumerate the
+    // cartesian product of their partitions.
+    const SetList& parents = sol.sets[static_cast<std::size_t>(level - 1)];
+    auto product = [&](auto&& pself, std::size_t pi) -> void {
+      if (pi == parents.size()) {
+        self(self, level + 1);
+        return;
+      }
+      enumerate_partitions(
+          parents[pi], sd.units, sd.capacity_at(level),
+          [&](const SetList& blocks) {
+            auto& lvl = sol.sets[static_cast<std::size_t>(level)];
+            const std::size_t mark = lvl.size();
+            lvl.insert(lvl.end(), blocks.begin(), blocks.end());
+            pself(pself, pi + 1);
+            lvl.resize(mark);
+          });
+    };
+    product(product, 0);
+  };
+  rec(rec, 1);
+  return best;
+}
+
+}  // namespace hgp::testref

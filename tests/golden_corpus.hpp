@@ -1,0 +1,152 @@
+// Golden regression corpus: instance specs shared by the refresh tool
+// (tools/hgp_golden.cpp) and the regression test (tests/test_golden.cpp).
+//
+// Each spec deterministically generates a small instance from one of the
+// standard workload families.  The committed corpus (tests/golden/) holds
+// the instances serialized as METIS files plus their expected end-to-end
+// solver costs in expected.tsv.  Costs are computed from the RE-READ
+// files, so METIS demand quantization (1/1000) is baked into the expected
+// values and the test is exact file-in → cost-out.
+//
+// The solve is the fully deterministic canonical configuration: default
+// spectral+FM cutter, two trees, fixed seed, sequential (no pool).  Any
+// change that shifts a cost — cutter tweaks, DP changes, demand-rounding
+// edits — must consciously refresh the corpus with the tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "runtime/solver.hpp"
+
+namespace hgp::golden {
+
+struct Spec {
+  std::string name;       ///< file stem: tests/golden/<name>.graph
+  std::string hierarchy;  ///< key for hierarchy_by_name()
+  Graph (*build)();       ///< deterministic generator
+};
+
+/// The named hierarchies instances solve against (kept tiny so golden
+/// solves stay fast).
+inline Hierarchy hierarchy_by_name(const std::string& name) {
+  if (name == "h1") return Hierarchy({4}, {2.0, 0.0});
+  if (name == "h2") return Hierarchy({2, 2}, {4.0, 1.0, 0.0});
+  if (name == "h3") return Hierarchy({2, 2, 2}, {6.0, 3.0, 1.0, 0.0});
+  throw SolveError(StatusCode::kInvalidInput,
+                   "unknown golden hierarchy: " + name);
+}
+
+/// The canonical fully-deterministic solve configuration.  The fixed
+/// demand resolution (units_override) keeps the height-3 instances' DP
+/// state spaces test-sized; golden tests gate on drift, not on accuracy.
+inline SolverOptions canonical_options() {
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.seed = 7;
+  opt.units_override = 6;
+  return opt;
+}
+
+inline const std::vector<Spec>& corpus() {
+  static const std::vector<Spec> specs = {
+      {"planted16", "h2",
+       [] {
+         Rng rng(101);
+         Graph g = gen::planted_partition(16, 4, 0.8, 0.1, rng,
+                                          gen::WeightRange{2.0, 6.0},
+                                          gen::WeightRange{1.0, 2.0});
+         gen::set_uniform_demands(g, 3.2 / 16);
+         return g;
+       }},
+      {"planted32", "h2",
+       [] {
+         Rng rng(102);
+         Graph g = gen::planted_partition(32, 4, 0.7, 0.05, rng,
+                                          gen::WeightRange{2.0, 6.0},
+                                          gen::WeightRange{1.0, 2.0});
+         gen::set_uniform_demands(g, 3.2 / 32);
+         return g;
+       }},
+      {"grid4x4", "h2",
+       [] {
+         Graph g = gen::grid2d(4, 4);
+         gen::set_uniform_demands(g, 3.2 / 16);
+         return g;
+       }},
+      {"grid6x5", "h2",
+       [] {
+         Rng rng(103);
+         Graph g = gen::grid2d(6, 5, gen::WeightRange{1.0, 4.0}, &rng);
+         gen::set_random_demands(g, rng, 0.05, 0.15);
+         return g;
+       }},
+      {"tree24", "h2",
+       [] {
+         Rng rng(104);
+         Graph g = gen::random_tree(24, rng, gen::WeightRange{1.0, 9.0});
+         gen::set_uniform_demands(g, 3.2 / 24);
+         return g;
+       }},
+      {"tree40", "h3",
+       [] {
+         Rng rng(105);
+         Graph g = gen::random_tree(40, rng, gen::WeightRange{1.0, 9.0});
+         gen::set_uniform_demands(g, 6.4 / 40);
+         return g;
+       }},
+      {"ba24", "h2",
+       [] {
+         Rng rng(106);
+         Graph g = gen::barabasi_albert(24, 2, rng,
+                                        gen::WeightRange{1.0, 3.0});
+         gen::set_uniform_demands(g, 3.2 / 24);
+         return g;
+       }},
+      {"ring16", "h1",
+       [] {
+         Graph g = gen::ring(16);
+         gen::set_uniform_demands(g, 3.2 / 16);
+         return g;
+       }},
+      {"er24", "h2",
+       [] {
+         Rng rng(107);
+         Graph g = gen::erdos_renyi(24, 0.25, rng,
+                                    gen::WeightRange{1.0, 5.0});
+         gen::set_uniform_demands(g, 3.2 / 24);
+         return g;
+       }},
+      {"stream", "h2",
+       [] {
+         Rng rng(108);
+         gen::StreamDagOptions sopt;
+         sopt.sources = 2;
+         sopt.sinks = 2;
+         sopt.stages = 2;
+         sopt.stage_width = 5;
+         sopt.demand_lo = 0.05;
+         sopt.demand_hi = 0.2;
+         return gen::stream_dag(sopt, rng);
+       }},
+      {"complete12", "h1",
+       [] {
+         Rng rng(109);
+         Graph g = gen::complete(12, gen::WeightRange{1.0, 4.0}, &rng);
+         gen::set_uniform_demands(g, 3.2 / 12);
+         return g;
+       }},
+      {"grid3d", "h3",
+       [] {
+         Graph g = gen::grid3d(3, 3, 3);
+         gen::set_uniform_demands(g, 6.4 / 27);
+         return g;
+       }},
+  };
+  return specs;
+}
+
+}  // namespace hgp::golden

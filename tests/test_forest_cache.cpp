@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "runtime/forest_cache.hpp"
+#include "runtime/solver.hpp"
+
+namespace hgp {
+namespace {
+
+Graph workload(std::uint64_t seed, Vertex n = 24) {
+  Rng rng(seed);
+  Graph g = gen::planted_partition(n, 4, 0.75, 0.05, rng,
+                                   gen::WeightRange{2.0, 6.0},
+                                   gen::WeightRange{1.0, 2.0});
+  gen::set_uniform_demands(g, 4.0 / n);
+  return g;
+}
+
+const Hierarchy& hier() {
+  static const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  return h;
+}
+
+CachedForest dummy_forest() {
+  return std::make_shared<const std::vector<DecompTree>>();
+}
+
+TEST(GraphFingerprint, ContentDeterminesTheHash) {
+  const Graph a = workload(1);
+  const Graph b = workload(1);  // rebuilt from the same seed
+  const Graph c = workload(2);
+  EXPECT_EQ(graph_fingerprint(a), graph_fingerprint(b));
+  EXPECT_NE(graph_fingerprint(a), graph_fingerprint(c));
+}
+
+TEST(GraphFingerprint, DemandsAreCommitted) {
+  Graph a = workload(3);
+  Graph b = workload(3);
+  std::vector<double> d = b.demands();
+  d[0] = d[0] / 2;
+  b.set_demands(std::move(d));
+  EXPECT_NE(graph_fingerprint(a), graph_fingerprint(b));
+}
+
+TEST(ForestCache, LruEvictionAndPromotion) {
+  ForestCache cache(2);
+  const ForestCacheKey k1{1, 1, 2, "spectral"};
+  const ForestCacheKey k2{2, 1, 2, "spectral"};
+  const ForestCacheKey k3{3, 1, 2, "spectral"};
+  cache.insert(k1, dummy_forest());
+  cache.insert(k2, dummy_forest());
+  EXPECT_NE(cache.find(k1), nullptr);  // promotes k1 over k2
+  cache.insert(k3, dummy_forest());    // evicts k2, the LRU entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.find(k1), nullptr);
+  EXPECT_EQ(cache.find(k2), nullptr);
+  EXPECT_NE(cache.find(k3), nullptr);
+}
+
+TEST(ForestCache, KeyCommitsToEveryField) {
+  ForestCache cache(8);
+  const ForestCacheKey base{7, 3, 4, "spectral"};
+  cache.insert(base, dummy_forest());
+  EXPECT_NE(cache.find(base), nullptr);
+  EXPECT_EQ(cache.find(ForestCacheKey{8, 3, 4, "spectral"}), nullptr);
+  EXPECT_EQ(cache.find(ForestCacheKey{7, 4, 4, "spectral"}), nullptr);
+  EXPECT_EQ(cache.find(ForestCacheKey{7, 3, 5, "spectral"}), nullptr);
+  EXPECT_EQ(cache.find(ForestCacheKey{7, 3, 4, "random"}), nullptr);
+}
+
+TEST(ForestCache, ZeroCapacityDisables) {
+  ForestCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  const ForestCacheKey k{1, 1, 1, "spectral"};
+  cache.insert(k, dummy_forest());
+  EXPECT_EQ(cache.find(k), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ForestCache, RepeatedSolveHitsAndMatches) {
+  const Graph g = workload(11);
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.seed = 5;
+  const HgpResult cold = solve_hgp(g, hier(), opt);
+  const HgpResult warm = solve_hgp(g, hier(), opt);
+  ASSERT_FALSE(cold.degraded());
+  ASSERT_FALSE(warm.degraded());
+  EXPECT_TRUE(warm.telemetry.forest_cache_hit);
+  // The cached forest is the one that would have been rebuilt, so the
+  // whole solve is reproduced exactly.
+  EXPECT_EQ(cold.cost, warm.cost);
+  EXPECT_EQ(cold.best_tree, warm.best_tree);
+  EXPECT_EQ(cold.tree_costs, warm.tree_costs);
+}
+
+TEST(ForestCache, DifferentSeedMisses) {
+  const Graph g = workload(12);
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.seed = 5;
+  (void)solve_hgp(g, hier(), opt);
+  opt.seed = 6;
+  const HgpResult other = solve_hgp(g, hier(), opt);
+  EXPECT_FALSE(other.telemetry.forest_cache_hit);
+}
+
+}  // namespace
+}  // namespace hgp

@@ -1,0 +1,103 @@
+// Golden regression suite: committed METIS instances with committed
+// end-to-end costs.
+//
+// Guards the whole pipeline — METIS parsing, demand handling, forest
+// sampling, the signature DP, conversion and mapped-back costing — against
+// silent behavior drift: any change that shifts a canonical-solve cost
+// fails here and must refresh the corpus deliberately with tools/hgp_golden
+// (see golden_corpus.hpp for the rules).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "golden_corpus.hpp"
+#include "graph/io.hpp"
+
+#ifndef HGP_GOLDEN_DIR
+#error "HGP_GOLDEN_DIR must point at the committed corpus directory"
+#endif
+
+namespace hgp {
+namespace {
+
+struct Expected {
+  std::string name;
+  std::string hierarchy;
+  double cost = 0;
+};
+
+std::vector<Expected> load_expected() {
+  std::ifstream tsv(std::string(HGP_GOLDEN_DIR) + "/expected.tsv");
+  std::vector<Expected> rows;
+  std::string line;
+  while (std::getline(tsv, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    Expected e;
+    row >> e.name >> e.hierarchy >> e.cost;
+    rows.push_back(std::move(e));
+  }
+  return rows;
+}
+
+TEST(Golden, CorpusCoversEverySpec) {
+  const std::vector<Expected> rows = load_expected();
+  ASSERT_GE(rows.size(), 12u);
+  std::set<std::string> names;
+  for (const Expected& e : rows) names.insert(e.name);
+  for (const golden::Spec& spec : golden::corpus()) {
+    EXPECT_TRUE(names.count(spec.name))
+        << "spec " << spec.name
+        << " missing from expected.tsv; run tools/hgp_golden to refresh";
+  }
+}
+
+TEST(Golden, CommittedCostsReproduce) {
+  const std::vector<Expected> rows = load_expected();
+  ASSERT_GE(rows.size(), 12u) << "corpus missing or unreadable";
+  for (const Expected& e : rows) {
+    SCOPED_TRACE(e.name);
+    const Graph g = io::read_metis_file(std::string(HGP_GOLDEN_DIR) + "/" +
+                                        e.name + ".graph");
+    const Hierarchy h = golden::hierarchy_by_name(e.hierarchy);
+    const HgpResult r = solve_hgp(g, h, golden::canonical_options());
+    ASSERT_FALSE(r.degraded()) << r.status.to_string();
+    EXPECT_NEAR(r.cost, e.cost, 1e-6 * std::max(1.0, std::abs(e.cost)))
+        << "cost drift; if intended, refresh with tools/hgp_golden";
+  }
+}
+
+TEST(Golden, MetisRoundTripPreservesFingerprintRelevantContent) {
+  // The corpus files are the canonical serialization: writing what we read
+  // must reproduce the identical graph (vertices, edges, weights, demands
+  // at file precision).
+  for (const golden::Spec& spec : golden::corpus()) {
+    SCOPED_TRACE(spec.name);
+    const std::string path =
+        std::string(HGP_GOLDEN_DIR) + "/" + spec.name + ".graph";
+    const Graph g = io::read_metis_file(path);
+    std::ostringstream out;
+    io::write_metis(g, out);
+    std::istringstream in(out.str());
+    const Graph again = io::read_metis(in);
+    ASSERT_EQ(g.vertex_count(), again.vertex_count());
+    ASSERT_EQ(g.edge_count(), again.edge_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_EQ(g.edge(e).u, again.edge(e).u);
+      EXPECT_EQ(g.edge(e).v, again.edge(e).v);
+      EXPECT_DOUBLE_EQ(g.edge(e).weight, again.edge(e).weight);
+    }
+    ASSERT_EQ(g.has_demands(), again.has_demands());
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (g.has_demands()) EXPECT_DOUBLE_EQ(g.demand(v), again.demand(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hgp

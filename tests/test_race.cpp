@@ -201,6 +201,92 @@ TEST(Race, ScopedDisarmIsKeyLocal) {
   EXPECT_THROW(FaultInjector::instance().on_site("race_outer", 5), SolveError);
 }
 
+// The parallel subtree DP phase: pool workers concurrently read the shared
+// arena-backed signature interner (merge/lift walk its prefix-key and
+// pack tables) while each bumps its own task-local workspace arena.  A
+// stray shared mutable member in SignatureSpace, Arena or DenseTablePool
+// would race here; the result must also be bit-identical to the
+// sequential sweep.
+TEST(Race, ConcurrentSubtreeDpSharesSignatureArena) {
+  Rng rng(13);
+  const Graph g = gen::random_tree(400, rng, gen::WeightRange{1.0, 6.0});
+  Tree t = Tree::from_graph(g, 0);
+  std::vector<double> d(static_cast<std::size_t>(t.leaf_count()));
+  for (double& x : d) x = rng.next_double(0.005, 0.02);
+  t.set_leaf_demands(d);
+  const Hierarchy& h = hier();
+
+  ThreadPool pool(4);
+  TreeDpOptions opt;
+  opt.units_override = 3;
+  opt.pool = &pool;
+  opt.min_parallel_nodes = 8;
+  const TreeDpResult par = solve_rhgpt(t, h, opt);
+  EXPECT_GT(par.stats.subtree_tasks, 1u);
+
+  TreeDpOptions seq = opt;
+  seq.pool = nullptr;
+  const TreeDpResult ref = solve_rhgpt(t, h, seq);
+  EXPECT_EQ(par.cost, ref.cost);
+  EXPECT_EQ(par.stats.merge_operations, ref.stats.merge_operations);
+  EXPECT_EQ(par.stats.feasible_states, ref.stats.feasible_states);
+}
+
+// Two outer threads fan subtree tasks of DIFFERENT solves into the SAME
+// pool at once: tasks from both solves interleave on the workers, the
+// queue-depth-gauge fan-out sizing reads racing gauge updates, and each
+// solve must still reproduce its own sequential result.
+TEST(Race, CompetingParallelSubtreeSolvesShareOnePool) {
+  ThreadPool pool(4);
+  auto make_tree = [](std::uint64_t seed) {
+    Rng rng(seed);
+    const Graph g = gen::random_tree(250, rng, gen::WeightRange{1.0, 6.0});
+    Tree t = Tree::from_graph(g, 0);
+    std::vector<double> d(static_cast<std::size_t>(t.leaf_count()));
+    for (double& x : d) x = rng.next_double(0.005, 0.025);
+    t.set_leaf_demands(d);
+    return t;
+  };
+  const Tree t1 = make_tree(21);
+  const Tree t2 = make_tree(22);
+  const Hierarchy& h = hier();
+
+  TreeDpOptions opt;
+  opt.units_override = 3;
+  opt.pool = &pool;
+  opt.min_parallel_nodes = 8;
+  double c1 = -1, c2 = -1;
+  std::thread s1([&] { c1 = solve_rhgpt(t1, h, opt).cost; });
+  std::thread s2([&] { c2 = solve_rhgpt(t2, h, opt).cost; });
+  s1.join();
+  s2.join();
+
+  TreeDpOptions seq = opt;
+  seq.pool = nullptr;
+  EXPECT_EQ(c1, solve_rhgpt(t1, h, seq).cost);
+  EXPECT_EQ(c2, solve_rhgpt(t2, h, seq).cost);
+}
+
+// Concurrent end-to-end solves of the SAME instance: the second wave is
+// served by the forest LRU cache, so the shared cache's find/insert and
+// the shared immutable forest snapshot get hammered from every thread.
+TEST(Race, ForestCacheServesConcurrentSolves) {
+  const Graph g = demand_graph(9);
+  const Hierarchy& h = hier();
+  std::vector<std::thread> solvers;
+  std::vector<double> costs(4, -1);
+  for (int r = 0; r < 4; ++r) {
+    solvers.emplace_back([&, r] {
+      SolverOptions opt;
+      opt.num_trees = 2;
+      opt.seed = 5;
+      costs[static_cast<std::size_t>(r)] = solve_hgp(g, h, opt).cost;
+    });
+  }
+  for (auto& t : solvers) t.join();
+  for (double c : costs) EXPECT_EQ(c, costs[0]);
+}
+
 // Submission storm: many producer threads submit to one pool at once while
 // results drain through futures.
 TEST(Race, ThreadPoolConcurrentSubmitters) {

@@ -1,0 +1,114 @@
+// Golden-corpus refresh / check tool.
+//
+//   hgp_golden <golden-dir>          regenerate METIS files + expected.tsv
+//   hgp_golden <golden-dir> --check  re-solve committed files, diff costs
+//
+// The corpus contents are defined once in tests/golden_corpus.hpp; the
+// regression test replays the committed files through the same canonical
+// solve.  Refresh the corpus (and commit the diff) only when a cost shift
+// is intended — e.g. a cutter or rounding change — never to silence an
+// unexplained regression.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "golden_corpus.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace hgp;
+
+double solve_cost(const Graph& g, const Hierarchy& h) {
+  const HgpResult r = solve_hgp(g, h, golden::canonical_options());
+  if (r.degraded()) {
+    throw SolveError(StatusCode::kInternal,
+                     "golden solve degraded: " + r.status.to_string());
+  }
+  return r.cost;
+}
+
+int generate(const std::string& dir) {
+  std::ofstream tsv(dir + "/expected.tsv");
+  if (!tsv) {
+    std::fprintf(stderr, "cannot write %s/expected.tsv\n", dir.c_str());
+    return 1;
+  }
+  tsv << "# name\thierarchy\tcost (canonical solve; see golden_corpus.hpp)\n";
+  for (const golden::Spec& spec : golden::corpus()) {
+    const std::string path = dir + "/" + spec.name + ".graph";
+    io::write_metis_file(spec.build(), path);
+    // Solve the RE-READ file so METIS demand quantization is baked in.
+    const Graph g = io::read_metis_file(path);
+    const double cost = solve_cost(g, golden::hierarchy_by_name(spec.hierarchy));
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", cost);
+    tsv << spec.name << "\t" << spec.hierarchy << "\t" << buf << "\n";
+    std::fprintf(stdout, "  %-12s %s cost=%s\n", spec.name.c_str(),
+                 spec.hierarchy.c_str(), buf);
+  }
+  std::fprintf(stdout, "wrote %zu instances to %s\n",
+               golden::corpus().size(), dir.c_str());
+  return 0;
+}
+
+int check(const std::string& dir) {
+  std::ifstream tsv(dir + "/expected.tsv");
+  if (!tsv) {
+    std::fprintf(stderr, "cannot read %s/expected.tsv\n", dir.c_str());
+    return 1;
+  }
+  int failures = 0, checked = 0;
+  std::string line;
+  while (std::getline(tsv, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string name, hier_name;
+    double expected = 0;
+    row >> name >> hier_name >> expected;
+    const Graph g = io::read_metis_file(dir + "/" + name + ".graph");
+    const double cost =
+        solve_cost(g, golden::hierarchy_by_name(hier_name));
+    ++checked;
+    if (std::abs(cost - expected) >
+        1e-6 * std::max(1.0, std::abs(expected))) {
+      std::fprintf(stderr, "MISMATCH %s: expected %.17g got %.17g\n",
+                   name.c_str(), expected, cost);
+      ++failures;
+    }
+  }
+  std::fprintf(stdout, "checked %d golden instances, %d mismatches\n",
+               checked, failures);
+  return failures == 0 && checked > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  bool check_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check_mode = true;
+    } else if (argv[i][0] == '-' || !dir.empty()) {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      dir.clear();
+      break;
+    } else {
+      dir = argv[i];
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "usage: %s <golden-dir> [--check]\n", argv[0]);
+    return 2;
+  }
+  try {
+    return check_mode ? check(dir) : generate(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hgp_golden: %s\n", e.what());
+    return 1;
+  }
+}
