@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Chaos smoke test for the solver service layer (CI: the chaos-smoke job).
+#
+# Fires `hgp_chaos` — N concurrent requests against a SolverService under
+# injected faults, random caller cancellations, and memory-budget pressure
+# (see docs/RESILIENCE.md).  The harness itself asserts the service-layer
+# invariants (every request terminal + documented status, valid placements,
+# at least one admission rejection / successful retry / checkpoint-resume)
+# and exits non-zero on any violation; running it under ASan additionally
+# proves the storm leaks and corrupts nothing.  This script then checks the
+# exported metrics are valid JSON and carry the service.* series.
+#
+# Usage: scripts/chaos_smoke.sh [build-dir] [requests] [seed]
+#   scripts/chaos_smoke.sh build-asan            # CI: ASan build, 200 reqs
+#   scripts/chaos_smoke.sh build 500 7           # bigger local storm
+set -eu
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-asan}"
+REQUESTS="${2:-200}"
+SEED="${3:-1}"
+CHAOS="$BUILD/tools/hgp_chaos"
+[ -x "$CHAOS" ] || { echo "missing $CHAOS (build hgp_chaos first)"; exit 1; }
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CHAOS" --requests "$REQUESTS" --seed "$SEED" --metrics "$WORK/metrics.json"
+
+python3 -m json.tool "$WORK/metrics.json" > /dev/null
+
+# The storm must have exercised every service-layer path it instruments.
+for metric in '"service.submitted"' '"service.admitted"' \
+              '"service.completed"' '"service.admission_rejects"' \
+              '"service.retries"' '"service.checkpoint_trees"'; do
+  grep -q "$metric" "$WORK/metrics.json" \
+    || { echo "metrics export missing $metric"; exit 1; }
+done
+
+echo "chaos smoke OK ($REQUESTS requests, seed $SEED)"

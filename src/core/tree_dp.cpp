@@ -475,7 +475,8 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
   //    whole tree in the sequential case — runs on the caller's thread.
   //    All workspaces outlive step 4: the root's cost span is read there.
   std::vector<NodeTable> tables(static_cast<std::size_t>(bt.node_count()));
-  const bool prune = opt.prune_dominated && dp_prune_env_enabled();
+  const bool prune =
+      opt.force_prune || (opt.prune_dominated && dp_prune_env_enabled());
   const DpEngine engine{bt, space, sd, ps, prune, tables};
   std::vector<std::unique_ptr<DenseTablePool>> pools;
   pools.push_back(std::make_unique<DenseTablePool>(space.size()));

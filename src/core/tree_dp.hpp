@@ -47,6 +47,10 @@ struct TreeDpOptions {
   /// (default ON) additionally gates this process-wide, so A/B validation
   /// can disable pruning without touching call sites.
   bool prune_dominated = true;
+  /// Forces dominance pruning ON even when HGP_DP_PRUNE turned it off —
+  /// the service layer's memory-pressure degradation must be able to shed
+  /// DP state regardless of the A/B knob.
+  bool force_prune = false;
   /// Solves independent subtrees of the (binarized) tree concurrently on
   /// this pool, each task on its own arena-backed workspace.  nullptr —
   /// or a call made from one of the pool's own workers (forest-level

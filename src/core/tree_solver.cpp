@@ -24,6 +24,7 @@ TreeHgpSolution solve_hgpt(const Tree& t, const Hierarchy& h,
   dp_opt.units_override = opt.units_override;
   dp_opt.pool = opt.pool;
   dp_opt.exec = opt.exec;
+  dp_opt.force_prune = opt.force_prune;
   TreeDpResult dp = solve_rhgpt(t, h, dp_opt);
 
   // Theorem 3: the DP's relaxed optimum is a *nice* solution (BS = 0) and

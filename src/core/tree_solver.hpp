@@ -19,6 +19,8 @@ struct TreeSolverOptions {
   ThreadPool* pool = nullptr;
   /// Cooperative deadline/cancellation, forwarded to the DP.
   const ExecContext* exec = nullptr;
+  /// Forwarded to TreeDpOptions::force_prune (memory-pressure degrade).
+  bool force_prune = false;
 };
 
 struct TreeHgpSolution {

@@ -29,6 +29,9 @@ struct SolveTelemetry {
 
   int trees_attempted = 0;
   int trees_succeeded = 0;
+  /// Trees served from a SolveCheckpoint (a previous attempt of the same
+  /// request completed them; this attempt skipped their DP entirely).
+  int checkpoint_trees = 0;
 
   /// DP work summed over the attempts that completed (failed attempts
   /// lose their stats to the fault isolation boundary).

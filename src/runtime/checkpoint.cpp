@@ -1,0 +1,110 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace hgp {
+
+void SolveCheckpoint::bind(const CheckpointKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (bound_ && key == key_) return;
+  trees_.clear();
+  key_ = key;
+  bound_ = true;
+}
+
+bool SolveCheckpoint::lookup(int index, CheckpointedTree* out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = trees_.find(index);
+  if (it == trees_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void SolveCheckpoint::record(int index, CheckpointedTree tree) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trees_[index] = std::move(tree);
+}
+
+std::size_t SolveCheckpoint::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trees_.size();
+}
+
+void SolveCheckpoint::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trees_.clear();
+  bound_ = false;
+}
+
+// Spill format (text, line-oriented, versioned):
+//   hgp-checkpoint 1
+//   key <fingerprint> <seed> <num_trees> <epsilon> <units>
+//   tree <index> <cost> <n> <leaf_0> ... <leaf_{n-1}>
+// DP stats are not spilled: a resumed-from-disk tree reports zero DP work,
+// which is the truth — this process did none for it.
+
+bool SolveCheckpoint::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "hgp-checkpoint 1\n";
+  os << "key " << key_.graph_fingerprint << ' ' << key_.seed << ' '
+     << key_.num_trees << ' ';
+  // Hex float round-trips exactly; the key must compare == after reload.
+  os << std::hexfloat << key_.epsilon << std::defaultfloat << ' '
+     << key_.units_override << '\n';
+  for (const auto& [index, tree] : trees_) {
+    os << "tree " << index << ' ' << std::hexfloat << tree.cost
+       << std::defaultfloat << ' ' << tree.placement.leaf_of.size();
+    for (const LeafId leaf : tree.placement.leaf_of) os << ' ' << leaf;
+    os << '\n';
+  }
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+bool SolveCheckpoint::load(const std::string& path) {
+  std::ifstream is(path);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trees_.clear();
+  bound_ = false;
+  if (!is) return false;
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "hgp-checkpoint" || version != 1) {
+    return false;
+  }
+  std::string tag;
+  if (!(is >> tag) || tag != "key") return false;
+  CheckpointKey key;
+  if (!(is >> key.graph_fingerprint >> key.seed >> key.num_trees >>
+        std::hexfloat >> key.epsilon >> std::defaultfloat >>
+        key.units_override)) {
+    return false;
+  }
+  std::map<int, CheckpointedTree> trees;
+  while (is >> tag) {
+    if (tag != "tree") return false;
+    int index = 0;
+    std::size_t n = 0;
+    CheckpointedTree tree;
+    if (!(is >> index >> std::hexfloat >> tree.cost >> std::defaultfloat >>
+          n)) {
+      return false;
+    }
+    tree.placement.leaf_of.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(is >> tree.placement.leaf_of[i])) return false;
+    }
+    trees[index] = std::move(tree);
+  }
+  key_ = key;
+  bound_ = true;
+  trees_ = std::move(trees);
+  return true;
+}
+
+}  // namespace hgp

@@ -1,0 +1,93 @@
+// Checkpoint/resume for forest solves: completed per-tree results survive
+// a killed attempt.
+//
+// A forest solve is embarrassingly resumable — each tree's mapped-back
+// placement depends only on (graph, seed, tree index, rounding), all of
+// which are deterministic.  When an attempt dies after some trees finished
+// (watchdog cancel, injected fault, deadline on a retry), redoing those
+// trees is pure waste: the service layer hands the same SolveCheckpoint to
+// every retry of a request, solve_hgp records each completed tree into it,
+// and a later attempt serves those trees from the checkpoint instead of
+// re-running the DP.
+//
+// The checkpoint is bound to a CheckpointKey (graph fingerprint, seed,
+// tree count, rounding parameters).  Binding with a different key clears
+// the stored trees — a degraded retry that changed num_trees samples a
+// different forest, so stale entries must never leak across parameter
+// changes.  Entries may also be spilled to / reloaded from a file, so a
+// restarted process can resume a long solve's surviving trees.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/tree_dp.hpp"
+#include "hierarchy/placement.hpp"
+
+namespace hgp {
+
+/// Everything the sampled forest and the demand rounding depend on.  Two
+/// solves with equal keys attempt identical per-tree subproblems.
+struct CheckpointKey {
+  std::uint64_t graph_fingerprint = 0;
+  std::uint64_t seed = 0;
+  int num_trees = 0;
+  double epsilon = 0;
+  DemandUnits units_override = 0;
+
+  bool operator==(const CheckpointKey&) const = default;
+};
+
+/// One completed tree attempt: the mapped-back placement on G, its true
+/// Eq.-1 cost, and the DP work counters (kept so resumed solves report
+/// honest telemetry).
+struct CheckpointedTree {
+  Placement placement;
+  double cost = 0;
+  TreeDpStats stats;
+};
+
+/// Thread-safe store of completed tree results for ONE logical request.
+/// Concurrent per-tree solves record into it; retries look trees up before
+/// solving.  Share by pointer via SolverOptions::checkpoint.
+class SolveCheckpoint {
+ public:
+  SolveCheckpoint() = default;
+  SolveCheckpoint(const SolveCheckpoint&) = delete;
+  SolveCheckpoint& operator=(const SolveCheckpoint&) = delete;
+
+  /// Binds the checkpoint to `key`.  A key change (first bind included
+  /// when entries were loaded from a stale spill) clears stored trees.
+  void bind(const CheckpointKey& key);
+
+  /// Copies tree `index`'s result into `*out` when present.  Only valid
+  /// between bind() and the next key change.
+  bool lookup(int index, CheckpointedTree* out) const;
+
+  /// Records a completed tree (overwrites a duplicate; identical by
+  /// determinism).
+  void record(int index, CheckpointedTree tree);
+
+  std::size_t size() const;
+  void clear();
+
+  /// Writes key + entries as a line-oriented text spill file.  Returns
+  /// false (leaving a partial file possible) on I/O failure — callers
+  /// treat spilling as best-effort.
+  bool save(const std::string& path) const;
+
+  /// Replaces the current contents with the spill file's.  Returns false
+  /// and leaves the checkpoint empty on a missing/corrupt file.  The
+  /// loaded key is validated by the next bind().
+  bool load(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  CheckpointKey key_;
+  bool bound_ = false;
+  std::map<int, CheckpointedTree> trees_;
+};
+
+}  // namespace hgp

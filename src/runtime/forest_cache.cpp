@@ -6,10 +6,23 @@
 
 #include "obs/obs.hpp"
 #include "util/env.hpp"
+#include "util/memory_budget.hpp"
 
 namespace hgp {
 
 namespace {
+
+/// Rough retained-bytes estimate for one cached forest: per tree node, the
+/// Tree adjacency (parent/children/weights) plus the two leaf↔vertex maps
+/// — ~64 bytes covers all of them with headroom.  The budget needs the
+/// order of magnitude, not an exact census.
+std::size_t estimate_forest_bytes(const std::vector<DecompTree>& forest) {
+  std::size_t nodes = 0;
+  for (const DecompTree& t : forest) {
+    nodes += static_cast<std::size_t>(t.tree().node_count());
+  }
+  return nodes * 64;
+}
 
 constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
@@ -61,17 +74,32 @@ CachedForest ForestCache::find(const ForestCacheKey& key) {
 
 void ForestCache::insert(const ForestCacheKey& key, CachedForest forest) {
   if (!enabled() || forest == nullptr) return;
+  const std::size_t bytes = estimate_forest_bytes(*forest);
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     if (it->key == key) {
+      MemoryBudget::global().release(it->charged_bytes);
+      if (!MemoryBudget::global().try_reserve(bytes)) {
+        HGP_COUNTER_ADD("solver.forest_cache.budget_skips", 1);
+        lru_.erase(it);
+        return;
+      }
       it->forest = std::move(forest);
+      it->charged_bytes = bytes;
       lru_.splice(lru_.begin(), lru_, it);
       return;
     }
   }
-  lru_.push_front(Entry{key, std::move(forest)});
+  // Caching is an optimization, never worth failing a solve over: when the
+  // budget cannot cover the retained forest, drop it instead of throwing.
+  if (!MemoryBudget::global().try_reserve(bytes)) {
+    HGP_COUNTER_ADD("solver.forest_cache.budget_skips", 1);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(forest), bytes});
   while (lru_.size() > capacity_) {
     HGP_COUNTER_ADD("solver.forest_cache.evictions", 1);
+    MemoryBudget::global().release(lru_.back().charged_bytes);
     lru_.pop_back();
   }
 }
@@ -83,6 +111,7 @@ std::size_t ForestCache::size() const {
 
 void ForestCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : lru_) MemoryBudget::global().release(e.charged_bytes);
   lru_.clear();
 }
 

@@ -59,7 +59,10 @@ class ForestCache {
   CachedForest find(const ForestCacheKey& key);
 
   /// Inserts (or refreshes) an entry, evicting the least-recently-used
-  /// forest beyond capacity.  Thread-safe.
+  /// forest beyond capacity.  Thread-safe.  Retained forests are charged
+  /// to MemoryBudget::global(); when the budget cannot cover the estimate
+  /// the forest is simply not cached (callers hold their own snapshot, so
+  /// skipping the cache is always safe).
   void insert(const ForestCacheKey& key, CachedForest forest);
 
   std::size_t size() const;
@@ -69,6 +72,9 @@ class ForestCache {
   struct Entry {
     ForestCacheKey key;
     CachedForest forest;
+    /// Bytes charged to the global MemoryBudget for this entry (released
+    /// on eviction/clear).  An estimate — see forest_cache.cpp.
+    std::size_t charged_bytes = 0;
   };
 
   std::size_t capacity_;

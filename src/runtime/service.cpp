@@ -1,0 +1,394 @@
+#include "runtime/service.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/prng.hpp"
+
+namespace hgp {
+
+namespace {
+
+/// Hooks a SolverService worker installs around the shared retry loop so
+/// the loop stays oblivious to queues, watchdogs and metrics.  The plain
+/// solve_with_retry leaves every hook empty.
+struct RetryHooks {
+  /// Called before each attempt (install a fresh cancel token, stamp the
+  /// attempt start for the watchdog).
+  std::function<void(SolverOptions&)> before_attempt;
+  /// Classifies a caught kCancelled: true = the watchdog did it (retry),
+  /// false = the caller did it (terminal).
+  std::function<bool()> cancel_is_transient;
+  /// Interruptible backoff sleep; returns false when the request was
+  /// cancelled while waiting (→ terminal kCancelled).
+  std::function<bool(double)> backoff_wait;
+  std::function<void()> on_retry;
+  std::function<void()> on_degrade;
+};
+
+double backoff_for_retry(const RetryOptions& ro, int retry_number,
+                         Rng& jitter) {
+  double backoff = ro.backoff_base_ms;
+  for (int i = 1; i < retry_number; ++i) {
+    backoff = std::min(backoff * 2, ro.backoff_max_ms);
+  }
+  backoff = std::min(backoff, ro.backoff_max_ms);
+  if (ro.jitter_fraction > 0 && backoff > 0) {
+    backoff *=
+        1.0 + jitter.next_double(-ro.jitter_fraction, ro.jitter_fraction);
+  }
+  return backoff > 0 ? backoff : 0;
+}
+
+RetrySolveReport run_retry_loop(const Graph& g, const Hierarchy& h,
+                                SolverOptions opt, const RetryOptions& ro,
+                                const RetryHooks& hooks) {
+  RetrySolveReport rep;
+  // Attempts of one logical request share a checkpoint, so trees completed
+  // by a killed attempt are served, not re-solved, on the retry.
+  SolveCheckpoint local_checkpoint;
+  if (opt.checkpoint == nullptr) opt.checkpoint = &local_checkpoint;
+  Rng jitter(ro.jitter_seed);
+
+  while (true) {
+    Status failure;
+    try {
+      if (hooks.before_attempt) hooks.before_attempt(opt);
+      HgpResult r = solve_hgp(g, h, opt);
+      r.retries_used = rep.retries_used;
+      if (!status_is_transient(r.status.code)) {
+        rep.status = r.status;
+        rep.result = std::move(r);
+        rep.has_result = true;
+        return rep;
+      }
+      // The fallback chain placed the request but for a transient reason
+      // (all trees crashed, resource pressure).  Keep the degraded result
+      // as the floor, then let the retry/degradation logic below decide
+      // whether another attempt may do better.
+      failure = r.status;
+      rep.result = std::move(r);
+      rep.has_result = true;
+    } catch (const SolveError& e) {
+      failure = e.status();
+      if (failure.code == StatusCode::kCancelled) {
+        const bool transient =
+            hooks.cancel_is_transient && hooks.cancel_is_transient();
+        if (!transient) {
+          rep.status = failure;
+          return rep;
+        }
+        // Watchdog-initiated: the attempt was stuck, not the request —
+        // fall through to the retry path.
+      } else if (!status_is_transient(failure.code)) {
+        rep.status = failure;
+        return rep;
+      }
+    } catch (...) {
+      failure = status_from_current_exception();  // kInternal → transient
+    }
+
+    // Resource pressure degrades before it burns retries: each ladder step
+    // strictly shrinks the footprint (forced DP pruning, then half the
+    // trees), so stepping is free.
+    if (failure.code == StatusCode::kResourceExhausted &&
+        ro.degrade_on_resource_exhausted &&
+        (!opt.force_prune || opt.num_trees > ro.min_trees)) {
+      if (!opt.force_prune) {
+        opt.force_prune = true;
+      } else {
+        opt.num_trees = std::max(ro.min_trees, opt.num_trees / 2);
+      }
+      ++rep.degrades;
+      if (hooks.on_degrade) hooks.on_degrade();
+      continue;
+    }
+
+    if (rep.retries_used >= ro.max_retries) {
+      rep.retry_budget_exhausted = true;
+      rep.status = failure;
+      if (rep.has_result) rep.result.retries_used = rep.retries_used;
+      return rep;
+    }
+    ++rep.retries_used;
+    if (hooks.on_retry) hooks.on_retry();
+    const double backoff = backoff_for_retry(ro, rep.retries_used, jitter);
+    if (backoff > 0) {
+      if (hooks.backoff_wait) {
+        if (!hooks.backoff_wait(backoff)) {
+          rep.status = Status(StatusCode::kCancelled,
+                              "cancelled while waiting to retry");
+          return rep;
+        }
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RetrySolveReport solve_with_retry(const Graph& g, const Hierarchy& h,
+                                  SolverOptions opt,
+                                  const RetryOptions& retry) {
+  return run_retry_loop(g, h, std::move(opt), retry, RetryHooks{});
+}
+
+// ---------------------------------------------------------------------------
+// ServiceRequest
+
+const RetrySolveReport& ServiceRequest::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+  return report_;
+}
+
+void ServiceRequest::cancel() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  caller_cancelled_.store(true, std::memory_order_release);
+  if (attempt_token_) attempt_token_->request_cancel();
+  cv_.notify_all();  // interrupt a backoff sleep
+}
+
+bool ServiceRequest::done() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+void ServiceRequest::finish(RetrySolveReport report) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  report_ = std::move(report);
+  done_ = true;
+  running_ = false;
+  attempt_token_.reset();
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// SolverService
+
+SolverService::SolverService(ServiceOptions opt) : opt_(std::move(opt)) {
+  if (opt_.workers == 0) opt_.workers = 1;
+  if (opt_.watchdog_poll_ms <= 0) opt_.watchdog_poll_ms = 20;
+  workers_.reserve(opt_.workers);
+  for (std::size_t i = 0; i < opt_.workers; ++i) {
+    // hgp-lint: allow(naked-thread) — see the member declaration.
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (opt_.stuck_after_ms > 0) {
+    // hgp-lint: allow(naked-thread) — see the member declaration.
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
+
+SolverService::~SolverService() {
+  drain();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();  // hgp-lint: allow(naked-thread)
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::shared_ptr<ServiceRequest> SolverService::reject(
+    std::shared_ptr<ServiceRequest> req, const char* why) {
+  RetrySolveReport rep;
+  rep.status = Status(StatusCode::kResourceExhausted, why);
+  req->finish(std::move(rep));
+  HGP_COUNTER_ADD("service.admission_rejects", 1);
+  return req;
+}
+
+std::shared_ptr<ServiceRequest> SolverService::submit(const Graph& g,
+                                                      const Hierarchy& h,
+                                                      SolverOptions opt) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  HGP_COUNTER_ADD("service.submitted", 1);
+  std::shared_ptr<ServiceRequest> req;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    req.reset(new ServiceRequest(next_id_++, g, h, std::move(opt)));
+    if (draining_ || stopping_) {
+      stats_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+      return reject(std::move(req), "service is draining; request rejected");
+    }
+    if (queue_.size() >= opt_.max_queue) {
+      stats_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+      return reject(std::move(req), "admission queue is full");
+    }
+    const MemoryBudget& budget = MemoryBudget::global();
+    if (budget.limit() > 0 &&
+        budget.utilization() > opt_.admission_max_utilization) {
+      stats_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
+      return reject(std::move(req),
+                    "memory budget utilization above the admission threshold");
+    }
+    queue_.push_back(req);
+    stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+    HGP_GAUGE_SET("service.queue_depth", queue_.size());
+  }
+  work_cv_.notify_one();
+  HGP_COUNTER_ADD("service.admitted", 1);
+  return req;
+}
+
+void SolverService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  idle_cv_.wait(lock, [&] { return queue_.empty() && inflight_.empty(); });
+}
+
+std::size_t SolverService::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+SolverService::Stats SolverService::stats() const {
+  Stats s;
+  s.submitted = stats_.submitted.load(std::memory_order_relaxed);
+  s.admitted = stats_.admitted.load(std::memory_order_relaxed);
+  s.rejected_queue_full =
+      stats_.rejected_queue_full.load(std::memory_order_relaxed);
+  s.rejected_budget = stats_.rejected_budget.load(std::memory_order_relaxed);
+  s.rejected_draining =
+      stats_.rejected_draining.load(std::memory_order_relaxed);
+  s.completed = stats_.completed.load(std::memory_order_relaxed);
+  s.retries = stats_.retries.load(std::memory_order_relaxed);
+  s.degrades = stats_.degrades.load(std::memory_order_relaxed);
+  s.watchdog_cancels = stats_.watchdog_cancels.load(std::memory_order_relaxed);
+  s.checkpoint_trees = stats_.checkpoint_trees.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SolverService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<ServiceRequest> req;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      // Even when stopping, finish what was admitted: the destructor
+      // drains before it sets stopping_, so this only matters for queued
+      // work racing a shutdown.
+      if (queue_.empty()) return;
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      inflight_.push_back(req);
+      HGP_GAUGE_SET("service.queue_depth", queue_.size());
+      HGP_GAUGE_SET("service.inflight", inflight_.size());
+    }
+    run_request(req);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), req),
+                      inflight_.end());
+      stats_.completed.fetch_add(1, std::memory_order_relaxed);
+      HGP_GAUGE_SET("service.inflight", inflight_.size());
+    }
+    HGP_COUNTER_ADD("service.completed", 1);
+    idle_cv_.notify_all();
+  }
+}
+
+void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
+  {
+    const std::lock_guard<std::mutex> lock(req->mutex_);
+    req->running_ = true;
+  }
+  SolverOptions opt = req->opt_;
+  opt.checkpoint = &req->checkpoint_;
+  if (opt.pool == nullptr) opt.pool = opt_.solve_pool;
+
+  RetryOptions retry = opt_.retry;
+  // Decorrelate jitter across requests while staying deterministic in
+  // (service seed, request id).
+  retry.jitter_seed = SplitMix64(retry.jitter_seed ^ (req->id() + 1)).next();
+
+  RetryHooks hooks;
+  hooks.before_attempt = [this, &req](SolverOptions& o) {
+    auto token = std::make_shared<CancelToken>();
+    {
+      const std::lock_guard<std::mutex> lock(req->mutex_);
+      req->watchdog_cancelled_.store(false, std::memory_order_release);
+      req->attempt_token_ = token;
+      req->attempt_start_ = std::chrono::steady_clock::now();
+    }
+    // A caller cancel that landed between attempts must still stop the
+    // request: pre-cancel the fresh token so the solve unwinds at its
+    // first check.
+    if (req->caller_cancelled_.load(std::memory_order_acquire)) {
+      token->request_cancel();
+    }
+    o.cancel = token.get();
+  };
+  hooks.cancel_is_transient = [&req] {
+    return req->watchdog_cancelled_.load(std::memory_order_acquire) &&
+           !req->caller_cancelled_.load(std::memory_order_acquire);
+  };
+  hooks.backoff_wait = [&req](double ms) {
+    std::unique_lock<std::mutex> lock(req->mutex_);
+    req->cv_.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
+                      [&] {
+                        return req->caller_cancelled_.load(
+                            std::memory_order_acquire);
+                      });
+    return !req->caller_cancelled_.load(std::memory_order_acquire);
+  };
+  hooks.on_retry = [this] {
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    HGP_COUNTER_ADD("service.retries", 1);
+  };
+  hooks.on_degrade = [this] {
+    stats_.degrades.fetch_add(1, std::memory_order_relaxed);
+    HGP_COUNTER_ADD("service.degrades", 1);
+  };
+
+  RetrySolveReport rep =
+      run_retry_loop(*req->graph_, *req->hierarchy_, std::move(opt), retry,
+                     hooks);
+  if (rep.has_result && rep.result.telemetry.checkpoint_trees > 0) {
+    const auto n =
+        static_cast<std::uint64_t>(rep.result.telemetry.checkpoint_trees);
+    stats_.checkpoint_trees.fetch_add(n, std::memory_order_relaxed);
+    HGP_COUNTER_ADD("service.checkpoint_trees", n);
+  }
+  req->finish(std::move(rep));
+}
+
+void SolverService::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(opt_.watchdog_poll_ms));
+    if (stopping_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (const std::shared_ptr<ServiceRequest>& req : inflight_) {
+      std::shared_ptr<CancelToken> token;
+      {
+        const std::lock_guard<std::mutex> rlock(req->mutex_);
+        if (!req->running_ || req->attempt_token_ == nullptr) continue;
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(now - req->attempt_start_)
+                .count();
+        if (elapsed_ms < opt_.stuck_after_ms) continue;
+        if (req->attempt_token_->cancelled()) continue;  // already handled
+        // Flag before cancelling: the worker that observes the cancelled
+        // token (acquire) must also see this store so it classifies the
+        // cancel as watchdog-transient, not caller-terminal.
+        req->watchdog_cancelled_.store(true, std::memory_order_release);
+        token = req->attempt_token_;
+      }
+      token->request_cancel();
+      stats_.watchdog_cancels.fetch_add(1, std::memory_order_relaxed);
+      HGP_COUNTER_ADD("service.watchdog_cancels", 1);
+    }
+  }
+}
+
+}  // namespace hgp

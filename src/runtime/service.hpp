@@ -1,0 +1,249 @@
+// SolverService: the long-running-process front end over solve_hgp.
+//
+// PR 1 made a single solve resilient; this layer protects the *process*
+// serving many solves:
+//
+//   * admission control — a bounded request queue plus a memory-budget
+//     utilization gate (util/memory_budget.hpp).  Arrivals beyond either
+//     limit are rejected with kResourceExhausted instead of queueing
+//     without bound or OOMing the arena/pool machinery.
+//   * retry with exponential backoff + deterministic jitter — transiently
+//     classified failures (status_is_transient) are re-attempted within a
+//     per-request retry budget; the spend is surfaced on
+//     HgpResult::retries_used.
+//   * degradation ladder — kResourceExhausted degrades the request before
+//     burning retries: dominance pruning is forced on, then the tree count
+//     is halved toward RetryOptions::min_trees; the fallback chain inside
+//     solve_hgp (multilevel → greedy) is the final rung.  Ladder steps are
+//     free (not counted against the retry budget) because each strictly
+//     shrinks the footprint.
+//   * checkpoint/resume — every retry of a request shares one
+//     SolveCheckpoint (runtime/checkpoint.hpp), so an attempt killed after
+//     some trees completed resumes from the survivors.
+//   * watchdog — a service thread cancels any attempt running past a
+//     stuck-threshold; a watchdog cancel is treated as transient (the
+//     retry path re-attempts), a caller cancel is terminal.
+//   * drain/shutdown — drain() finishes queued and in-flight work while
+//     rejecting new arrivals; the destructor drains then joins all
+//     threads.
+//
+// Validation lives in tests/test_service.cpp and the chaos harness
+// tools/hgp_chaos (seeded probabilistic fault schedules, concurrent
+// requests, budget pressure).  See docs/RESILIENCE.md for the
+// architecture diagram and knob table.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/solver.hpp"
+#include "util/memory_budget.hpp"
+
+namespace hgp {
+
+struct RetryOptions {
+  /// Re-attempts allowed beyond the first try (0 = fail fast).
+  int max_retries = 2;
+  /// First backoff; doubles per retry up to backoff_max_ms.
+  double backoff_base_ms = 5;
+  double backoff_max_ms = 250;
+  /// Uniform jitter applied to each backoff: sleep *= 1 + U(-f, +f).
+  /// Jitter decorrelates retry storms across concurrent requests.
+  double jitter_fraction = 0.5;
+  /// Seed of the jitter stream (deterministic per request).
+  std::uint64_t jitter_seed = 1;
+  /// Enables the resource-pressure degradation ladder.
+  bool degrade_on_resource_exhausted = true;
+  /// The ladder never reduces num_trees below this.
+  int min_trees = 1;
+};
+
+/// Terminal outcome of one request after admission, retries and
+/// degradation.  `status` is always one of the documented terminal codes;
+/// `has_result` says whether `result` carries a placement (true for kOk
+/// and for degraded-but-placed outcomes).
+struct RetrySolveReport {
+  Status status;
+  bool has_result = false;
+  HgpResult result;
+  int retries_used = 0;
+  /// Degradation-ladder steps applied (fewer trees / forced pruning).
+  int degrades = 0;
+  /// The final failure was transient but the retry budget was spent.
+  bool retry_budget_exhausted = false;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// solve_hgp wrapped in the retry/backoff/degradation policy, for callers
+/// that want the service semantics without the queue (hgp_solve --retries
+/// uses this; SolverService workers run the same loop).  `opt.checkpoint`
+/// carries completed trees across attempts; when null an internal
+/// checkpoint is used.  Never throws: every outcome, including
+/// kInvalidInput, is reported through the returned status.
+RetrySolveReport solve_with_retry(const Graph& g, const Hierarchy& h,
+                                  SolverOptions opt,
+                                  const RetryOptions& retry = {});
+
+struct ServiceOptions {
+  /// Worker threads executing requests (≥ 1).
+  std::size_t workers = 2;
+  /// Bounded admission queue (excludes in-flight work); arrivals beyond it
+  /// are rejected with kResourceExhausted.
+  std::size_t max_queue = 64;
+  RetryOptions retry;
+  /// Reject admission when MemoryBudget::global() utilization exceeds this
+  /// (only applies when a budget limit is set).
+  double admission_max_utilization = 0.95;
+  /// Watchdog stuck-threshold: cancel any attempt running longer than this
+  /// many milliseconds (0 disables the watchdog).
+  double stuck_after_ms = 0;
+  double watchdog_poll_ms = 20;
+  /// Inner pool for each solve's tree/DP parallelism (shared across
+  /// workers; solve_hgp's worker-thread guard keeps sharing safe).
+  ThreadPool* solve_pool = nullptr;
+};
+
+/// Caller's handle to a submitted request.  Thread-safe.
+class ServiceRequest {
+ public:
+  /// Blocks until the request reaches a terminal state.
+  const RetrySolveReport& wait();
+
+  /// Requests cancellation: the current attempt is cancelled cooperatively
+  /// and no further attempts start.  Terminal status becomes kCancelled
+  /// unless the request already finished.
+  void cancel();
+
+  bool done() const;
+
+  /// Identifier assigned at submit (dense, starting at 0).
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class SolverService;
+
+  ServiceRequest(std::uint64_t id, const Graph& g, const Hierarchy& h,
+                 SolverOptions opt)
+      : id_(id), graph_(&g), hierarchy_(&h), opt_(std::move(opt)) {}
+
+  void finish(RetrySolveReport report);
+
+  const std::uint64_t id_;
+  const Graph* graph_;
+  const Hierarchy* hierarchy_;
+  SolverOptions opt_;
+  SolveCheckpoint checkpoint_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  bool running_ = false;
+  RetrySolveReport report_;
+
+  /// Caller-initiated cancellation (sticky across attempts).
+  std::atomic<bool> caller_cancelled_{false};
+  /// The watchdog cancelled the *current* attempt (reset per attempt).
+  std::atomic<bool> watchdog_cancelled_{false};
+  /// Token observed by the current attempt, swapped fresh per attempt so a
+  /// stale watchdog cancel cannot kill the retry (guarded by mutex_).
+  std::shared_ptr<CancelToken> attempt_token_;
+  std::chrono::steady_clock::time_point attempt_start_{};
+};
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceOptions opt = {});
+  /// Drains (finishing queued + in-flight work), then joins all threads.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Submits a request.  `g` and `h` must outlive the request.  Never
+  /// blocks and never throws SolveError: a rejected arrival (queue full,
+  /// budget pressure, draining) returns a handle that is already terminal
+  /// with status kResourceExhausted.
+  std::shared_ptr<ServiceRequest> submit(const Graph& g, const Hierarchy& h,
+                                         SolverOptions opt = {});
+
+  /// Stops admitting, waits until every queued and in-flight request is
+  /// terminal.  Idempotent; the service stays drained afterwards.
+  void drain();
+
+  /// Queued requests right now (in-flight excluded).
+  std::size_t queue_depth() const;
+
+  /// Plain-atomic counters mirrored into the obs metrics registry (the
+  /// struct works under HGP_OBS=OFF; the registry copy feeds --metrics
+  /// exports).
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_budget = 0;
+    std::uint64_t rejected_draining = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t degrades = 0;
+    std::uint64_t watchdog_cancels = 0;
+    std::uint64_t checkpoint_trees = 0;
+
+    std::uint64_t rejected() const {
+      return rejected_queue_full + rejected_budget + rejected_draining;
+    }
+  };
+  Stats stats() const;
+
+ private:
+  void worker_loop();
+  void watchdog_loop();
+  void run_request(const std::shared_ptr<ServiceRequest>& req);
+  std::shared_ptr<ServiceRequest> reject(std::shared_ptr<ServiceRequest> req,
+                                         const char* why);
+
+  ServiceOptions opt_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for queue/stop
+  std::condition_variable idle_cv_;   // drain waits for quiescence
+  std::deque<std::shared_ptr<ServiceRequest>> queue_;
+  std::vector<std::shared_ptr<ServiceRequest>> inflight_;
+  bool draining_ = false;
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 0;
+
+  std::condition_variable watchdog_cv_;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> rejected_queue_full{0};
+    std::atomic<std::uint64_t> rejected_budget{0};
+    std::atomic<std::uint64_t> rejected_draining{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> degrades{0};
+    std::atomic<std::uint64_t> watchdog_cancels{0};
+    std::atomic<std::uint64_t> checkpoint_trees{0};
+  };
+  AtomicStats stats_;
+
+  // Dedicated long-lived threads, not pool tasks: workers block on the
+  // queue cv for the service's lifetime and the watchdog must keep running
+  // while every pool worker is wedged — parking them in a ThreadPool would
+  // deadlock the very condition the watchdog exists to break.
+  // hgp-lint: allow(naked-thread)
+  std::vector<std::thread> workers_;
+  // hgp-lint: allow(naked-thread)
+  std::thread watchdog_;
+};
+
+}  // namespace hgp

@@ -48,6 +48,7 @@ TreeOutcome solve_one_tree(const Graph& g, const Hierarchy& h,
 /// Aggregates a full primary-pipeline failure into the one status the
 /// caller should see: a gone deadline dominates (the trees were killed, not
 /// broken), then a forest-build failure, then "every tree infeasible",
+/// then memory-budget exhaustion (the degradation ladder keys off it),
 /// then the first internal error.
 Status classify_total_failure(const ExecContext& exec,
                               const Status& forest_status,
@@ -66,6 +67,12 @@ Status classify_total_failure(const ExecContext& exec,
                   "every decomposition tree reported an infeasible "
                   "instance: " +
                       attempts.front().error);
+  }
+  for (const TreeAttempt& a : attempts) {
+    if (a.status == StatusCode::kResourceExhausted) {
+      return Status(StatusCode::kResourceExhausted,
+                    "tree solves hit the memory budget: " + a.error);
+    }
   }
   for (const TreeAttempt& a : attempts) {
     if (!a.ok()) {
@@ -90,6 +97,9 @@ HgpResult run_fallback_chain(const Graph& g, const Hierarchy& h,
   try {
     HGP_COUNTER_ADD("solver.fallback.multilevel", 1);
     HGP_TRACE_SPAN("fallback.multilevel");
+    // Stage-boundary fault hook: tests kill the multilevel stage here to
+    // drive the chain down to greedy (and beyond, to exhaustion).
+    FaultInjector::instance().on_site("fallback_multilevel", 0);
     Rng rng(opt.seed);
     result.placement = multilevel_placement(g, h, rng);
     result.method = SolveMethod::kMultilevel;
@@ -98,6 +108,7 @@ HgpResult run_fallback_chain(const Graph& g, const Hierarchy& h,
     try {
       HGP_COUNTER_ADD("solver.fallback.greedy", 1);
       HGP_TRACE_SPAN("fallback.greedy");
+      FaultInjector::instance().on_site("fallback_greedy", 0);
       result.placement = greedy_placement(g, h);
       result.method = SolveMethod::kGreedy;
     } catch (...) {
@@ -177,8 +188,19 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
     Timer forest_timer;
     ForestCache& cache = ForestCache::global();
     ForestCacheKey key;
+    std::uint64_t fingerprint = 0;
+    if (cache.enabled() || opt.checkpoint != nullptr) {
+      fingerprint = graph_fingerprint(g);
+    }
+    // (Re)bind the checkpoint to this solve's parameters: retries with
+    // identical parameters resume recorded trees, a degraded retry (e.g.
+    // fewer trees) invalidates them — the forest it samples differs.
+    if (opt.checkpoint != nullptr) {
+      opt.checkpoint->bind(CheckpointKey{fingerprint, opt.seed, opt.num_trees,
+                                         opt.epsilon, opt.units_override});
+    }
     if (cache.enabled()) {
-      key = ForestCacheKey{graph_fingerprint(g), opt.seed, opt.num_trees,
+      key = ForestCacheKey{fingerprint, opt.seed, opt.num_trees,
                            cutter.name()};
       forest_ptr = cache.find(key);
     }
@@ -210,6 +232,7 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
   // each tree's DP sequential, so sharing the pool cannot deadlock.
   tree_opt.pool = opt.pool;
   tree_opt.exec = &exec;
+  tree_opt.force_prune = opt.force_prune;
 
   // Stage 2: isolated per-tree solves.  Theorem 7's arg-min is over
   // whatever survives, so nothing a single tree does — throw, stall past
@@ -221,12 +244,33 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
     HGP_TRACE_SPAN_ARG("tree.attempt", i);
     Timer timer;
     try {
-      FaultInjector::instance().on_site("solve_one_tree",
-                                        static_cast<int>(i));
-      exec.check("tree solve start");
-      outcomes[i] = solve_one_tree(g, h, forest[i], tree_opt);
-      attempt.status = StatusCode::kOk;
-      attempt.cost = outcomes[i].cost;
+      CheckpointedTree ck;
+      if (opt.checkpoint != nullptr &&
+          opt.checkpoint->lookup(static_cast<int>(i), &ck)) {
+        // A previous attempt of this request already solved tree i — the
+        // subproblem is deterministic in the checkpoint key, so reuse the
+        // recorded placement instead of re-running the DP.
+        outcomes[i].placement = std::move(ck.placement);
+        outcomes[i].cost = ck.cost;
+        outcomes[i].stats = ck.stats;
+        attempt.status = StatusCode::kOk;
+        attempt.cost = outcomes[i].cost;
+        attempt.from_checkpoint = true;
+        HGP_COUNTER_ADD("solver.checkpoint_trees", 1);
+      } else {
+        FaultInjector::instance().on_site("solve_one_tree",
+                                          static_cast<int>(i));
+        exec.check("tree solve start");
+        outcomes[i] = solve_one_tree(g, h, forest[i], tree_opt);
+        attempt.status = StatusCode::kOk;
+        attempt.cost = outcomes[i].cost;
+        if (opt.checkpoint != nullptr) {
+          opt.checkpoint->record(
+              static_cast<int>(i),
+              CheckpointedTree{outcomes[i].placement, outcomes[i].cost,
+                               outcomes[i].stats});
+        }
+      }
     } catch (...) {
       const Status s = status_from_current_exception();
       attempt.status = s.code;
@@ -251,10 +295,27 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
     throw SolveError(StatusCode::kCancelled, "solve_hgp cancelled");
   }
 
+  // Post-tree fault hook: by now every completed tree is checkpointed, so
+  // a fault injected here models the worst checkpoint-resume case — the
+  // attempt dies with all its tree work banked (tests and the chaos
+  // harness use it to force a resume that skips completed trees).  The
+  // injected CheckError is classified here so solve_hgp keeps its
+  // only-typed-errors contract.
+  try {
+    FaultInjector::instance().on_site("solve_finalize", 0);
+  } catch (const SolveError&) {
+    throw;
+  } catch (...) {
+    throw SolveError(status_from_current_exception());
+  }
+
   // Stage 3: arg-min over the survivors.
   result.telemetry.trees_attempted = narrow<int>(result.attempts.size());
   result.tree_costs.reserve(result.attempts.size());
   for (std::size_t i = 0; i < result.attempts.size(); ++i) {
+    if (result.attempts[i].from_checkpoint) {
+      ++result.telemetry.checkpoint_trees;
+    }
     if (result.attempts[i].ok()) {
       ++result.telemetry.trees_succeeded;
       const TreeDpStats& s = outcomes[i].stats;

@@ -27,6 +27,7 @@
 #include "hierarchy/cost.hpp"
 #include "hierarchy/placement.hpp"
 #include "obs/telemetry.hpp"
+#include "runtime/checkpoint.hpp"
 #include "util/deadline.hpp"
 #include "util/status.hpp"
 
@@ -70,6 +71,15 @@ struct SolverOptions {
   /// work stopped, not a degraded answer.
   const CancelToken* cancel = nullptr;
   FallbackPolicy fallback = FallbackPolicy::kChain;
+  /// Checkpoint store shared across the retries of one logical request
+  /// (see runtime/checkpoint.hpp): completed tree results are recorded
+  /// into it and served from it, so a killed attempt resumes instead of
+  /// restarting.  solve_hgp (re)binds it to this solve's parameters;
+  /// nullptr = no checkpointing.  Must outlive the call.
+  SolveCheckpoint* checkpoint = nullptr;
+  /// Forces DP dominance pruning ON regardless of HGP_DP_PRUNE — the
+  /// memory-pressure degradation ladder sheds DP state with this.
+  bool force_prune = false;
 };
 
 /// Outcome of one tree's isolated solve attempt.
@@ -80,6 +90,9 @@ struct TreeAttempt {
   double elapsed_ms = 0;
   /// Error message when status != kOk.
   std::string error;
+  /// This tree was served from SolverOptions::checkpoint (a previous
+  /// attempt of the same request completed it) — no DP was run.
+  bool from_checkpoint = false;
 
   bool ok() const { return status == StatusCode::kOk; }
 };
@@ -104,6 +117,9 @@ struct HgpResult {
   Status status;
   /// Which algorithm produced `placement`.
   SolveMethod method = SolveMethod::kHgp;
+  /// Retries the service layer spent before this result (0 for a direct
+  /// solve_hgp call; filled by solve_with_retry / SolverService).
+  int retries_used = 0;
   /// Wall-clock breakdown and aggregate DP work for this solve.  Filled
   /// even when HGP_OBS is compiled out (plain Timer reads, no registry).
   SolveTelemetry telemetry;

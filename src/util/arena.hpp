@@ -22,9 +22,11 @@
 #include <memory>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/memory_budget.hpp"
 
 namespace hgp {
 
@@ -39,8 +41,26 @@ class Arena {
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
-  Arena(Arena&&) = default;
-  Arena& operator=(Arena&&) = default;
+  // Moves transfer the budget charge with the chunks; the source must not
+  // release what it no longer owns.
+  Arena(Arena&& other) noexcept
+      : chunk_bytes_(other.chunk_bytes_),
+        chunks_(std::move(other.chunks_)),
+        active_(other.active_),
+        bytes_in_use_(other.bytes_in_use_),
+        charged_bytes_(std::exchange(other.charged_bytes_, 0)) {}
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      release_charge();
+      chunk_bytes_ = other.chunk_bytes_;
+      chunks_ = std::move(other.chunks_);
+      active_ = other.active_;
+      bytes_in_use_ = other.bytes_in_use_;
+      charged_bytes_ = std::exchange(other.charged_bytes_, 0);
+    }
+    return *this;
+  }
+  ~Arena() { release_charge(); }
 
   /// Uninitialized storage for `count` objects of type T.  The span stays
   /// valid until reset() or destruction.  count == 0 returns an empty span.
@@ -109,6 +129,12 @@ class Arena {
       ++active_;
     }
     const std::size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+    // Chunk allocations (the only real allocations an arena performs) are
+    // charged to the process memory budget: under HGP_MEM_BUDGET pressure
+    // this throws SolveError(kResourceExhausted) instead of OOMing, and
+    // the per-tree fault isolation / service degradation ladder absorb it.
+    MemoryBudget::global().reserve_or_throw(size, "arena chunk");
+    charged_bytes_ += size;
     Chunk c;
     c.data = std::make_unique<std::byte[]>(size);
     c.size = size;
@@ -119,10 +145,18 @@ class Arena {
     return chunks_.back().data.get();
   }
 
+  void release_charge() {
+    if (charged_bytes_ != 0) {
+      MemoryBudget::global().release(charged_bytes_);
+      charged_bytes_ = 0;
+    }
+  }
+
   std::size_t chunk_bytes_;
   std::vector<Chunk> chunks_;
   std::size_t active_ = 0;
   std::size_t bytes_in_use_ = 0;
+  std::size_t charged_bytes_ = 0;
 };
 
 }  // namespace hgp

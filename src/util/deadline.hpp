@@ -31,11 +31,27 @@ class Deadline {
   static Deadline never() { return Deadline(); }
 
   /// Expires `ms` milliseconds from now (ms <= 0 expires immediately).
+  /// Arithmetic saturates instead of overflowing: a budget too large for
+  /// the clock's representation (e.g. --timeout-ms near int64 max, or a
+  /// non-finite value) pins the expiry at Clock::time_point::max(), which
+  /// behaves like "never expires in this process's lifetime".
   static Deadline after_ms(double ms) {
     Deadline d;
     d.armed_ = true;
-    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double, std::milli>(ms));
+    const auto now = Clock::now();
+    // Largest millisecond count that still fits the clock's duration once
+    // added to `now` (duration_cast of anything larger is UB-adjacent
+    // int64 overflow, which UBSan rightly traps).
+    const double headroom_ms =
+        std::chrono::duration<double, std::milli>(Clock::time_point::max() -
+                                                  now)
+            .count();
+    if (!(ms < headroom_ms)) {  // also catches NaN and +inf
+      d.at_ = Clock::time_point::max();
+      return d;
+    }
+    d.at_ = now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(ms));
     return d;
   }
 
@@ -43,11 +59,15 @@ class Deadline {
 
   bool expired() const { return armed_ && Clock::now() >= at_; }
 
-  /// Milliseconds until expiry (negative once past, +inf when never).
+  /// Milliseconds until expiry (clamped at 0 once past, +inf when never).
+  /// Never negative: callers size sleeps and sub-budgets from this value,
+  /// and a negative duration handed to a wait API is at best confusing and
+  /// at worst an overflow when converted to an unsigned count.
   double remaining_ms() const {
     if (!armed_) return std::numeric_limits<double>::infinity();
-    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
-        .count();
+    const double left =
+        std::chrono::duration<double, std::milli>(at_ - Clock::now()).count();
+    return left > 0 ? left : 0;
   }
 
  private:

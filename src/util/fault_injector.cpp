@@ -6,18 +6,28 @@
 #include <thread>
 #include <utility>
 
+#include "util/prng.hpp"
 #include "util/status.hpp"
 
 namespace hgp {
 
 namespace {
 
+// One armed entry: the fault plus the state of its probabilistic draw
+// stream (advanced under the table mutex on every hit of the site when
+// probability < 1, so concurrent hits consume the stream deterministically
+// in arrival order).
+struct Armed {
+  FaultInjector::Fault fault;
+  SplitMix64 draws{1};
+};
+
 // The armed table lives behind a mutex; on_site only takes it after the
 // atomic fast path says something is armed, so the lock never appears on
 // an un-instrumented run.
 struct ArmedTable {
   std::mutex mu;
-  std::map<std::pair<std::string, int>, FaultInjector::Fault> faults;
+  std::map<std::pair<std::string, int>, Armed> faults;
 };
 
 ArmedTable& table() {
@@ -35,7 +45,7 @@ FaultInjector& FaultInjector::instance() {
 void FaultInjector::arm(const std::string& site, int index, Fault fault) {
   ArmedTable& t = table();
   const std::lock_guard<std::mutex> lock(t.mu);
-  t.faults[{site, index}] = fault;
+  t.faults.insert_or_assign({site, index}, Armed{fault, SplitMix64(fault.seed)});
   armed_count_.store(static_cast<int>(t.faults.size()),
                      std::memory_order_release);
 }
@@ -68,7 +78,15 @@ void FaultInjector::fire(const char* site, int index) {
     auto it = t.faults.find({site, index});
     if (it == t.faults.end()) it = t.faults.find({site, kEveryIndex});
     if (it == t.faults.end()) return;
-    fault = it->second;
+    fault = it->second.fault;
+    if (fault.probability < 1.0) {
+      // One draw per hit from the entry's seeded stream; skipping the
+      // fault still consumes the draw, so the schedule is a deterministic
+      // function of (seed, hit ordinal).
+      const double u =
+          static_cast<double>(it->second.draws.next() >> 11) * 0x1.0p-53;
+      if (u >= fault.probability) return;
+    }
   }
   switch (fault.action) {
     case Action::kNone:

@@ -30,6 +30,13 @@ class FaultInjector {
   struct Fault {
     Action action = Action::kNone;
     double stall_ms = 0;
+    /// Probability the fault fires when its site is hit (1 = always).
+    /// Values below 1 make the armed entry a *seeded probabilistic
+    /// schedule*: each hit draws from a per-entry SplitMix64 stream, so a
+    /// chaos run with the same seed replays the identical fault sequence.
+    double probability = 1.0;
+    /// Seed of the per-entry draw stream (used when probability < 1).
+    std::uint64_t seed = 1;
   };
 
   static FaultInjector& instance();

@@ -1,0 +1,51 @@
+#include "util/memory_budget.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace hgp {
+
+void MemoryBudget::reserve_or_throw(std::size_t bytes, const char* what) {
+  if (try_reserve(bytes)) return;
+  throw SolveError(
+      StatusCode::kResourceExhausted,
+      std::string(what) + " needs " + std::to_string(bytes) +
+          " bytes but the memory budget is exhausted (used " +
+          std::to_string(used()) + " of " + std::to_string(limit()) + ")");
+}
+
+std::size_t parse_byte_size(const char* text, std::size_t default_bytes) {
+  if (text == nullptr || *text == '\0') return default_bytes;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text) return default_bytes;
+  std::size_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k':
+        multiplier = std::size_t{1} << 10;
+        break;
+      case 'm':
+        multiplier = std::size_t{1} << 20;
+        break;
+      case 'g':
+        multiplier = std::size_t{1} << 30;
+        break;
+      default:
+        return default_bytes;
+    }
+    if (end[1] != '\0') return default_bytes;
+  }
+  return static_cast<std::size_t>(v) * multiplier;
+}
+
+MemoryBudget& MemoryBudget::global() {
+  static MemoryBudget budget(
+      parse_byte_size(std::getenv("HGP_MEM_BUDGET"), 0));
+  return budget;
+}
+
+}  // namespace hgp

@@ -1,0 +1,92 @@
+// Process-wide memory budget: admission control for the solver's big
+// allocators instead of an OOM kill.
+//
+// The DP's arenas, the dense-table pools they back, and the forest cache
+// are the allocations that actually grow with instance size; everything
+// else is noise.  Each of them charges this budget at *chunk* granularity
+// (one reservation per backing block, never per bump), so the accounting
+// costs one relaxed atomic per rare slow-path allocation.  When a
+// reservation would push usage past the limit the allocator throws
+// SolveError(kResourceExhausted) — a typed, catchable signal the per-tree
+// fault isolation and the service layer's degradation ladder both know how
+// to absorb — instead of letting the kernel abort the process.
+//
+// The global budget's limit comes from the HGP_MEM_BUDGET environment
+// variable (bytes, with optional k/m/g suffix; unset or 0 = unlimited).
+// Tests and the service layer may also construct private budgets or adjust
+// the global limit at runtime (set_limit is atomic; in-flight reservations
+// are unaffected).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hgp {
+
+class MemoryBudget {
+ public:
+  /// `limit_bytes` = 0 means unlimited (reservations always succeed).
+  explicit MemoryBudget(std::size_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// The budget the solver's allocators charge; limit from HGP_MEM_BUDGET
+  /// (read once, on first use).
+  static MemoryBudget& global();
+
+  /// Attempts to reserve `bytes`; false when the reservation would exceed
+  /// the limit (usage is rolled back).  Always succeeds when unlimited.
+  bool try_reserve(std::size_t bytes) {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+    const std::size_t limit = limit_.load(std::memory_order_relaxed);
+    if (limit != 0 && used_.load(std::memory_order_relaxed) > limit) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  /// try_reserve or throw SolveError(kResourceExhausted) naming `what`.
+  /// Defined in the .cpp to keep status.hpp out of this header's
+  /// dependents' hot paths.
+  void reserve_or_throw(std::size_t bytes, const char* what);
+
+  /// Returns previously reserved bytes to the budget.
+  void release(std::size_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// 0 = unlimited.
+  std::size_t limit() const { return limit_.load(std::memory_order_relaxed); }
+
+  /// Bytes currently reserved (approximate under concurrency).
+  std::size_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  /// used/limit in [0, +inf); 0 when unlimited.  The service layer's
+  /// admission control rejects new work above a utilization threshold.
+  double utilization() const {
+    const std::size_t limit = limit_.load(std::memory_order_relaxed);
+    if (limit == 0) return 0;
+    return static_cast<double>(used()) / static_cast<double>(limit);
+  }
+
+  /// Changes the limit at runtime (0 = unlimited).  Existing reservations
+  /// stay charged; only future try_reserve calls see the new limit.
+  void set_limit(std::size_t limit_bytes) {
+    limit_.store(limit_bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> limit_;
+  std::atomic<std::size_t> used_{0};
+};
+
+/// Parses a byte-count knob value: a non-negative integer with an optional
+/// k/m/g (KiB/MiB/GiB, any case) suffix.  Unparsable input yields
+/// `default_bytes` (knob parsing is forgiving by project convention —
+/// see env.hpp).
+std::size_t parse_byte_size(const char* text, std::size_t default_bytes);
+
+}  // namespace hgp

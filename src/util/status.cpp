@@ -16,8 +16,15 @@ const char* status_code_name(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
+}
+
+bool status_is_transient(StatusCode code) {
+  return code == StatusCode::kInternal ||
+         code == StatusCode::kResourceExhausted;
 }
 
 std::string Status::to_string() const {

@@ -28,10 +28,21 @@ enum class StatusCode {
   /// An invariant failed or an unexpected exception escaped — a bug or an
   /// unclassified error, never the caller's fault.
   kInternal,
+  /// A resource limit (memory budget, admission queue) rejected the work
+  /// before it could OOM or overload the process.  Retryable: pressure may
+  /// subside, and the service layer degrades requests under it.
+  kResourceExhausted,
 };
 
 /// Stable upper-snake name ("DEADLINE_EXCEEDED"); never nullptr.
 const char* status_code_name(StatusCode code);
+
+/// True for failures worth retrying after a backoff: transient resource
+/// pressure (kResourceExhausted) and unclassified internal errors
+/// (kInternal — crashes of a single attempt, injected faults).  Input
+/// errors, infeasibility, deadlines and caller cancellation are permanent
+/// for the request that produced them.
+bool status_is_transient(StatusCode code);
 
 /// A status code plus a human-readable message.  Default-constructed = OK.
 struct Status {

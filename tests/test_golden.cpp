@@ -94,7 +94,9 @@ TEST(Golden, MetisRoundTripPreservesFingerprintRelevantContent) {
     }
     ASSERT_EQ(g.has_demands(), again.has_demands());
     for (Vertex v = 0; v < g.vertex_count(); ++v) {
-      if (g.has_demands()) EXPECT_DOUBLE_EQ(g.demand(v), again.demand(v));
+      if (g.has_demands()) {
+        EXPECT_DOUBLE_EQ(g.demand(v), again.demand(v));
+      }
     }
   }
 }

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -17,9 +18,12 @@
 #include "graph/generators.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "runtime/service.hpp"
 #include "runtime/solver.hpp"
 #include "util/deadline.hpp"
 #include "util/fault_injector.hpp"
+#include "util/memory_budget.hpp"
+#include "util/status.hpp"
 
 namespace hgp {
 namespace {
@@ -308,6 +312,152 @@ TEST(Race, ThreadPoolConcurrentSubmitters) {
   }
   for (auto& t : producers) t.join();
   EXPECT_EQ(total.load(), 200);
+}
+
+// --- Service layer under TSan ---------------------------------------------
+
+// Submission storm racing a mid-stream drain(): submitter threads hammer
+// submit while another thread flips the service into draining, so the
+// admission path, the queue, and the terminal-report handoff all run
+// concurrently.  Every handle must still reach a documented terminal
+// state and the admission ledger must balance.
+TEST(Race, ServiceConcurrentSubmitAndDrain) {
+  const Graph g = demand_graph(31);
+  const Hierarchy& h = hier();
+  ServiceOptions sopt;
+  sopt.workers = 2;
+  sopt.max_queue = 4;
+  SolverService service(sopt);
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 10;
+  std::vector<std::shared_ptr<ServiceRequest>> handles[kThreads];
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int p = 0; p < kThreads; ++p) {
+    submitters.emplace_back([&, p] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SolverOptions opt;
+        opt.num_trees = 1;
+        opt.seed = static_cast<std::uint64_t>(p * 100 + i);
+        handles[p].push_back(service.submit(g, h, opt));
+      }
+    });
+  }
+  std::thread drainer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    service.drain();
+  });
+  for (auto& t : submitters) t.join();
+  drainer.join();
+  service.drain();  // idempotent; everything terminal afterwards
+
+  for (const auto& wave : handles) {
+    for (const auto& req : wave) {
+      const RetrySolveReport& rep = req->wait();
+      EXPECT_TRUE(req->done());
+      // Valid inputs: every terminal status except kInvalidInput is a
+      // documented outcome (ok, rejected, cancelled, degraded failure).
+      EXPECT_NE(rep.status.code, StatusCode::kInvalidInput)
+          << rep.status.to_string();
+      if (rep.ok()) {
+        EXPECT_TRUE(rep.has_result);
+        EXPECT_EQ(rep.result.placement.leaf_of.size(),
+                  static_cast<std::size_t>(g.vertex_count()));
+      }
+    }
+  }
+  const SolverService::Stats s = service.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.submitted, s.admitted + s.rejected());
+  EXPECT_EQ(s.completed, s.admitted);
+}
+
+// Watchdog with a hair-trigger timeout racing requests that complete in
+// about the same time: the per-attempt token swap, the watchdog's
+// cancelled-classification flag, and normal completion all collide.  A
+// request must end kOk (it won the race, possibly after retries) or
+// kCancelled (the watchdog won and the retry budget ran out) — nothing
+// else, and never a torn report.
+TEST(Race, ServiceWatchdogCancelRacesCompletion) {
+  const Graph g = demand_graph(33);
+  const Hierarchy& h = hier();
+  ServiceOptions sopt;
+  sopt.workers = 2;
+  sopt.max_queue = 32;
+  sopt.retry.max_retries = 2;
+  sopt.retry.backoff_base_ms = 0;
+  sopt.retry.backoff_max_ms = 1;
+  sopt.stuck_after_ms = 1;  // same order as a small solve's runtime
+  sopt.watchdog_poll_ms = 1;
+  SolverService service(sopt);
+
+  std::vector<std::shared_ptr<ServiceRequest>> handles;
+  handles.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    SolverOptions opt;
+    opt.num_trees = 1;
+    opt.seed = static_cast<std::uint64_t>(i);
+    handles.push_back(service.submit(g, h, opt));
+  }
+  service.drain();
+
+  for (const auto& req : handles) {
+    const RetrySolveReport& rep = req->wait();
+    EXPECT_TRUE(req->done());
+    EXPECT_TRUE(rep.status.code == StatusCode::kOk ||
+                rep.status.code == StatusCode::kCancelled)
+        << rep.status.to_string();
+    EXPECT_LE(rep.retries_used, sopt.retry.max_retries);
+    if (rep.ok()) {
+      EXPECT_TRUE(rep.has_result);
+    }
+  }
+  // How often the watchdog wins is timing-dependent; the invariant under
+  // test is the absence of races and of undocumented statuses.
+  SUCCEED() << "watchdog cancels: " << service.stats().watchdog_cancels;
+}
+
+// Budget accounting under parallel DP: concurrent solves sharing one inner
+// pool charge and release the global MemoryBudget from every worker at
+// once (arena chunks, dense-table pool).  After the storm, usage must
+// return exactly to the post-warmup baseline — a lost or doubled atomic
+// update would leave a permanent drift.  Baseline-relative because the
+// forest cache legitimately retains its charges across solves.
+TEST(Race, ServiceBudgetAccountingUnderParallelDp) {
+  const Graph g = demand_graph(35, 32);
+  const Hierarchy& h = hier();
+  MemoryBudget& budget = MemoryBudget::global();
+
+  SolverOptions warm;
+  warm.num_trees = 2;
+  warm.seed = 5;
+  solve_hgp(g, h, warm);  // populate the forest cache for this key
+  const std::size_t used0 = budget.used();
+
+  const std::size_t old_limit = budget.limit();
+  budget.set_limit(used0 + (std::size_t{512} << 20));  // generous headroom
+
+  ThreadPool pool(4);
+  std::vector<std::thread> solvers;
+  std::vector<double> costs(4, -1);
+  for (int r = 0; r < 4; ++r) {
+    solvers.emplace_back([&, r] {
+      for (int round = 0; round < 3; ++round) {
+        SolverOptions opt;
+        opt.num_trees = 2;
+        opt.seed = 5;  // cache hit: no new retained charges
+        opt.pool = &pool;
+        costs[static_cast<std::size_t>(r)] = solve_hgp(g, h, opt).cost;
+      }
+    });
+  }
+  for (auto& t : solvers) t.join();
+  budget.set_limit(old_limit);
+
+  for (double c : costs) EXPECT_EQ(c, costs[0]);
+  // Every per-solve charge (arenas, table pools) must have been released.
+  EXPECT_EQ(budget.used(), used0);
 }
 
 }  // namespace

@@ -6,8 +6,12 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "baseline/multilevel.hpp"
+#include "obs/obs.hpp"
 #include "decomp/builder.hpp"
 #include "graph/generators.hpp"
 #include "parallel/parallel_for.hpp"
@@ -45,6 +49,28 @@ FaultInjector::Fault stall_fault(double ms) {
   f.stall_ms = ms;
   return f;
 }
+
+// Captures the global trace buffer for one test.  Tracing is off by default
+// process-wide, so flipping it on/off here cannot leak into other tests.
+struct TraceCapture {
+  TraceCapture() {
+    obs::TraceBuffer::global().clear();
+    obs::TraceBuffer::global().set_enabled(true);
+  }
+  ~TraceCapture() {
+    obs::TraceBuffer::global().set_enabled(false);
+    obs::TraceBuffer::global().clear();
+  }
+  // A span is recorded only when its destructor runs, so presence in the
+  // snapshot is proof the span closed (including during unwinding).
+  static std::size_t closed(const char* name) {
+    std::size_t n = 0;
+    for (const obs::TraceEvent& e : obs::TraceBuffer::global().snapshot()) {
+      if (std::string_view(e.name) == name) ++n;
+    }
+    return n;
+  }
+};
 
 FaultInjector::Fault infeasible_fault() {
   FaultInjector::Fault f;
@@ -98,10 +124,27 @@ TEST(DeadlineTest, NeverAndExpiry) {
   EXPECT_FALSE(never.expired());
   const Deadline gone = Deadline::after_ms(-1);
   EXPECT_TRUE(gone.expired());
-  EXPECT_LT(gone.remaining_ms(), 0);
+  EXPECT_EQ(gone.remaining_ms(), 0);  // clamped, never negative
   const Deadline later = Deadline::after_ms(60'000);
   EXPECT_FALSE(later.expired());
   EXPECT_GT(later.remaining_ms(), 0);
+}
+
+TEST(DeadlineTest, HugeBudgetSaturatesInsteadOfOverflowing) {
+  // --timeout-ms near int64 max used to overflow the steady_clock addition
+  // inside after_ms; the clamp pins such budgets at the clock's horizon.
+  const double huge = 9.2e18;  // ~int64 max in ms, far past the ns range
+  const Deadline d = Deadline::after_ms(huge);
+  EXPECT_FALSE(d.is_never());  // armed, but effectively unbounded
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 1e9);
+
+  const Deadline inf_d =
+      Deadline::after_ms(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(inf_d.expired());
+  const Deadline nan_d =
+      Deadline::after_ms(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(nan_d.expired());
 }
 
 TEST(DeadlineTest, ExecContextChecksThrowTyped) {
@@ -141,9 +184,11 @@ TEST(Resilience, SurvivingTreeWinsWhenOthersThrow) {
   opt.num_trees = 4;
   // Kill every tree except the last; the forest arg-min must run over the
   // lone survivor.
+  // Each scope disarms only its own (site, index) key, so all three must
+  // be scoped — a raw arm() here would leak into later tests.
   FaultScope f0("solve_one_tree", 0, throw_fault());
-  FaultInjector::instance().arm("solve_one_tree", 1, throw_fault());
-  FaultInjector::instance().arm("solve_one_tree", 2, throw_fault());
+  FaultScope f1("solve_one_tree", 1, throw_fault());
+  FaultScope f2("solve_one_tree", 2, throw_fault());
   const HgpResult r = solve_hgp(g, hier(), opt);
   EXPECT_EQ(r.method, SolveMethod::kHgp);
   EXPECT_TRUE(r.status.ok());
@@ -371,6 +416,92 @@ TEST(Resilience, AttemptsRecordElapsedTime) {
     EXPECT_GE(a.elapsed_ms, 0.0);
     EXPECT_LT(a.cost, std::numeric_limits<double>::infinity());
   }
+}
+
+// --- Fallback-chain stage boundaries --------------------------------------
+//
+// Each stage of hgp → multilevel → greedy can die independently; these
+// tests kill the chain at every boundary and assert both the terminal
+// status and that every entered trace span closed (spans are recorded at
+// destruction, so a span that leaked through the unwind would be missing
+// from the snapshot).
+
+TEST(Resilience, FallbackSpansCloseWhenMultilevelRescues) {
+  const Graph g = workload(12);
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.seed = 13;
+  FaultScope trees("solve_one_tree", FaultInjector::kEveryIndex,
+                   throw_fault());
+  TraceCapture trace;
+  const HgpResult r = solve_hgp(g, hier(), opt);
+  EXPECT_EQ(r.method, SolveMethod::kMultilevel);
+  EXPECT_EQ(r.status.code, StatusCode::kInternal);
+#if HGP_OBS_ENABLED
+  EXPECT_EQ(TraceCapture::closed("solve"), 1u);
+  EXPECT_EQ(TraceCapture::closed("solve.fallback"), 1u);
+  EXPECT_EQ(TraceCapture::closed("fallback.multilevel"), 1u);
+  // The chain stopped at stage one: greedy must never have been entered.
+  EXPECT_EQ(TraceCapture::closed("fallback.greedy"), 0u);
+#endif
+}
+
+TEST(Resilience, MultilevelStageFaultFallsThroughToGreedy) {
+  const Graph g = workload(13);
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.seed = 17;
+  FaultScope trees("solve_one_tree", FaultInjector::kEveryIndex,
+                   throw_fault());
+  FaultScope ml("fallback_multilevel", 0, throw_fault());
+  TraceCapture trace;
+  const HgpResult r = solve_hgp(g, hier(), opt);
+  EXPECT_EQ(r.method, SolveMethod::kGreedy);
+  EXPECT_TRUE(r.degraded());
+  // The surfaced status is the *primary* failure reason, not the
+  // multilevel stage's own demise.
+  EXPECT_EQ(r.status.code, StatusCode::kInternal);
+  EXPECT_EQ(r.placement.leaf_of.size(),
+            static_cast<std::size_t>(g.vertex_count()));
+  EXPECT_LT(r.cost, std::numeric_limits<double>::infinity());
+#if HGP_OBS_ENABLED
+  // The multilevel span closed via unwinding; greedy closed normally.
+  EXPECT_EQ(TraceCapture::closed("solve.fallback"), 1u);
+  EXPECT_EQ(TraceCapture::closed("fallback.multilevel"), 1u);
+  EXPECT_EQ(TraceCapture::closed("fallback.greedy"), 1u);
+#endif
+}
+
+TEST(Resilience, FallbackChainExhaustionNamesEveryStage) {
+  const Graph g = workload(14);
+  SolverOptions opt;
+  opt.num_trees = 2;
+  FaultScope trees("solve_one_tree", FaultInjector::kEveryIndex,
+                   throw_fault());
+  FaultScope ml("fallback_multilevel", 0, throw_fault());
+  FaultScope gr("fallback_greedy", 0, infeasible_fault());
+  TraceCapture trace;
+  try {
+    solve_hgp(g, hier(), opt);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInfeasible);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fallback chain exhausted"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("multilevel"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("greedy"), std::string::npos) << msg;
+    // Stage statuses ride along for the postmortem: primary + multilevel
+    // died as INTERNAL, greedy as INFEASIBLE.
+    EXPECT_NE(msg.find("INTERNAL"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("INFEASIBLE"), std::string::npos) << msg;
+  }
+#if HGP_OBS_ENABLED
+  // Even on the fully-exhausted path every entered span unwound cleanly.
+  EXPECT_EQ(TraceCapture::closed("solve"), 1u);
+  EXPECT_EQ(TraceCapture::closed("solve.fallback"), 1u);
+  EXPECT_EQ(TraceCapture::closed("fallback.multilevel"), 1u);
+  EXPECT_EQ(TraceCapture::closed("fallback.greedy"), 1u);
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,349 @@
+// hgp_chaos — chaos harness for the solver service layer.
+//
+//   hgp_chaos [--requests N] [--seed S] [--metrics FILE] [--verbose]
+//
+// Fires N concurrent requests at a SolverService while seeded probabilistic
+// fault schedules (util/fault_injector.hpp) crash trees, kill solves at the
+// finalize boundary and break fallback stages; a canceller thread aborts a
+// random subset of requests in flight; a small admission queue and a global
+// memory budget put the service under the pressure it exists to absorb.
+//
+// The harness then asserts the service's contract:
+//   * every request ends in a documented terminal status (never hangs,
+//     never leaks an unclassified exception, never OOM-aborts),
+//   * every placed result is a valid placement with finite cost,
+//   * no request exceeds its retry budget,
+//   * the run exercised ≥ 1 admission rejection, ≥ 1 successful retry and
+//     ≥ 1 checkpoint-resume (the three behaviours the service adds).
+//
+// Exit 0 when every invariant held, 1 otherwise.  Deterministic in --seed
+// up to OS scheduling (fault draws are seeded streams consumed in arrival
+// order).  CI runs this under ASan — see scripts/chaos_smoke.sh.
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "hierarchy/cost.hpp"
+#include "hierarchy/placement.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/service.hpp"
+#include "util/fault_injector.hpp"
+#include "util/memory_budget.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace hgp;
+
+int g_failures = 0;
+
+#define CHAOS_EXPECT(cond, ...)              \
+  do {                                       \
+    if (!(cond)) {                           \
+      ++g_failures;                          \
+      std::fprintf(stderr, "FAIL: ");        \
+      std::fprintf(stderr, __VA_ARGS__);     \
+      std::fprintf(stderr, "  [%s]\n", #cond); \
+    }                                        \
+  } while (0)
+
+FaultInjector::Fault prob_throw(double p, std::uint64_t seed) {
+  FaultInjector::Fault f;
+  f.action = FaultInjector::Action::kThrow;
+  f.probability = p;
+  f.seed = seed;
+  return f;
+}
+
+bool documented_terminal(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+    case StatusCode::kInfeasible:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kInternal:
+    case StatusCode::kResourceExhausted:
+      return true;
+    case StatusCode::kInvalidInput:
+      // The harness submits only valid inputs; seeing this is a bug.
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 200;
+  std::uint64_t seed = 1;
+  std::string metrics_path;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hgp_chaos: missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--requests")) {
+      requests = std::atoi(need("--requests").c_str());
+      if (requests < 1) {
+        std::fprintf(stderr, "hgp_chaos: --requests must be >= 1\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(need("--seed").c_str(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      metrics_path = need("--metrics");
+    } else if (!std::strcmp(argv[i], "--verbose")) {
+      verbose = true;
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      std::printf(
+          "usage: hgp_chaos [--requests N] [--seed S] [--metrics FILE]\n"
+          "                 [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "hgp_chaos: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Rng master(seed);
+  Graph g = gen::planted_partition(32, 4, 0.7, 0.08, master,
+                                   gen::WeightRange{2.0, 6.0},
+                                   gen::WeightRange{1.0, 2.0});
+  gen::set_uniform_demands(g, 4.0 / 32);
+  const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+
+  // A budget large enough that healthy solves pass but small enough that
+  // the accounting paths run for real (arena chunks charge against it).
+  MemoryBudget::global().set_limit(256u << 20);
+
+  ServiceOptions sopt;
+  sopt.workers = 4;
+  sopt.max_queue = 16;
+  sopt.retry.max_retries = 2;
+  sopt.retry.backoff_base_ms = 1;
+  sopt.retry.backoff_max_ms = 8;
+  sopt.retry.jitter_seed = seed;
+  sopt.stuck_after_ms = 2000;  // generous: a smoke check, not a trigger
+  sopt.watchdog_poll_ms = 50;
+
+  // ---- Phase 1: deterministic admission rejection under budget pressure.
+  // Saturate the budget above the admission threshold, submit, restore.
+  {
+    SolverService service(sopt);
+    const std::size_t hog = static_cast<std::size_t>(
+        static_cast<double>(MemoryBudget::global().limit()) * 0.99);
+    if (!MemoryBudget::global().try_reserve(hog)) {
+      CHAOS_EXPECT(false, "budget hog reservation unexpectedly failed\n");
+    } else {
+      auto req = service.submit(g, h);
+      const RetrySolveReport& rep = req->wait();
+      CHAOS_EXPECT(rep.status.code == StatusCode::kResourceExhausted,
+                   "budget-pressure submit returned %s\n",
+                   status_code_name(rep.status.code));
+      CHAOS_EXPECT(!rep.has_result,
+                   "admission-rejected request carried a result\n");
+      MemoryBudget::global().release(hog);
+    }
+    CHAOS_EXPECT(service.stats().rejected_budget >= 1,
+                 "no budget admission rejection recorded\n");
+  }
+
+  // ---- Phase 2: the storm.  Probabilistic fault schedules at the solver's
+  // injection sites (seeded: same --seed, same schedule), random caller
+  // cancellations, a small queue, all workers busy.
+  FaultScope tree_faults("solve_one_tree", FaultInjector::kEveryIndex,
+                         prob_throw(0.30, seed * 2 + 1));
+  FaultScope finalize_faults("solve_finalize", 0,
+                             prob_throw(0.12, seed * 3 + 1));
+  FaultScope multilevel_faults("fallback_multilevel", 0,
+                               prob_throw(0.20, seed * 5 + 1));
+
+  SolverService service(sopt);
+  std::vector<std::shared_ptr<ServiceRequest>> handles;
+  handles.reserve(static_cast<std::size_t>(requests));
+
+  SolverOptions base;
+  base.num_trees = 2;
+  base.epsilon = 0.5;
+
+  // The canceller runs concurrently with submission so cancels land on
+  // queued and in-flight requests, not on corpses: the submitter hands it
+  // victims through a small mailbox.
+  std::mutex cancel_mu;
+  std::vector<std::shared_ptr<ServiceRequest>> cancel_mailbox;
+  std::atomic<bool> submitting{true};
+  std::thread canceller([&] {
+    Rng delay(seed ^ 0xDEADBEEF);
+    for (;;) {
+      std::shared_ptr<ServiceRequest> victim;
+      {
+        const std::lock_guard<std::mutex> lock(cancel_mu);
+        if (!cancel_mailbox.empty()) {
+          victim = std::move(cancel_mailbox.back());
+          cancel_mailbox.pop_back();
+        }
+      }
+      if (victim == nullptr) {
+        if (!submitting.load(std::memory_order_acquire)) return;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<std::int64_t>(delay.next_double(50, 1500))));
+      victim->cancel();
+    }
+  });
+
+  Rng pace = master.fork(0xCA);
+  for (int i = 0; i < requests; ++i) {
+    // Most arrivals respect backpressure (bounded wait for queue space) so
+    // the bulk of the load is admitted; the rest barge in mid-burst and
+    // overflow into admission rejections when the queue is at its bound.
+    if (pace.next_bool(0.8)) {
+      for (int spin = 0;
+           spin < 400 && service.queue_depth() >= sopt.max_queue; ++spin) {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    }
+    SolverOptions opt = base;
+    opt.seed = seed + static_cast<std::uint64_t>(i);
+    auto req = service.submit(g, h, opt);
+    handles.push_back(req);
+    if (pace.next_bool(0.06)) {
+      const std::lock_guard<std::mutex> lock(cancel_mu);
+      cancel_mailbox.push_back(req);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<std::int64_t>(pace.next_double(0, 300))));
+  }
+  submitting.store(false, std::memory_order_release);
+
+  service.drain();
+  canceller.join();
+
+  // ---- Verification.
+  int ok_count = 0, cancelled = 0, rejected = 0, degraded_results = 0,
+      failed_terminal = 0, retry_successes = 0, checkpoint_resumes = 0;
+  for (const auto& req : handles) {
+    CHAOS_EXPECT(req->done(), "request %llu not terminal after drain\n",
+                 static_cast<unsigned long long>(req->id()));
+    const RetrySolveReport& rep = req->wait();
+    CHAOS_EXPECT(documented_terminal(rep.status.code),
+                 "request %llu ended in undocumented status %s\n",
+                 static_cast<unsigned long long>(req->id()),
+                 status_code_name(rep.status.code));
+    CHAOS_EXPECT(rep.retries_used <= sopt.retry.max_retries,
+                 "request %llu used %d retries (budget %d)\n",
+                 static_cast<unsigned long long>(req->id()), rep.retries_used,
+                 sopt.retry.max_retries);
+    if (rep.has_result) {
+      try {
+        validate_placement(g, h, rep.result.placement);
+      } catch (const std::exception& e) {
+        CHAOS_EXPECT(false, "request %llu produced invalid placement: %s\n",
+                     static_cast<unsigned long long>(req->id()), e.what());
+      }
+      CHAOS_EXPECT(std::isfinite(rep.result.cost),
+                   "request %llu result cost not finite\n",
+                   static_cast<unsigned long long>(req->id()));
+      if (rep.result.telemetry.checkpoint_trees > 0) ++checkpoint_resumes;
+    }
+    switch (rep.status.code) {
+      case StatusCode::kOk:
+        ++ok_count;
+        if (rep.retries_used > 0) ++retry_successes;
+        break;
+      case StatusCode::kCancelled:
+        ++cancelled;
+        break;
+      case StatusCode::kResourceExhausted:
+        if (rep.has_result) {
+          ++degraded_results;
+        } else {
+          ++rejected;
+        }
+        break;
+      default:
+        if (rep.has_result) {
+          ++degraded_results;
+        } else {
+          ++failed_terminal;
+        }
+        break;
+    }
+  }
+
+  const SolverService::Stats stats = service.stats();
+  std::printf(
+      "hgp_chaos: %d requests — %d ok (%d after retries), %d cancelled, "
+      "%d rejected, %d degraded, %d failed\n",
+      requests, ok_count, retry_successes, cancelled, rejected,
+      degraded_results, failed_terminal);
+  std::printf(
+      "service: admitted %llu, rejected %llu (queue %llu, budget %llu, "
+      "draining %llu), retries %llu, degrades %llu, watchdog cancels %llu, "
+      "checkpoint trees %llu\n",
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.rejected()),
+      static_cast<unsigned long long>(stats.rejected_queue_full),
+      static_cast<unsigned long long>(stats.rejected_budget),
+      static_cast<unsigned long long>(stats.rejected_draining),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.degrades),
+      static_cast<unsigned long long>(stats.watchdog_cancels),
+      static_cast<unsigned long long>(stats.checkpoint_trees));
+  if (verbose) {
+    for (const auto& req : handles) {
+      const RetrySolveReport& rep = req->wait();
+      std::printf("  req %3llu: %-18s retries=%d degrades=%d ckpt=%d%s\n",
+                  static_cast<unsigned long long>(req->id()),
+                  status_code_name(rep.status.code), rep.retries_used,
+                  rep.degrades,
+                  rep.has_result ? rep.result.telemetry.checkpoint_trees : 0,
+                  rep.has_result ? "" : " (no result)");
+    }
+  }
+
+  // The acceptance counters: phase 1 guarantees the admission rejection;
+  // the storm's fault schedule makes retry successes and checkpoint
+  // resumes overwhelmingly likely at the default scale (p ≈ 1 - 1e-6 at
+  // 200 requests; smaller --requests runs may need a different seed).
+  CHAOS_EXPECT(retry_successes >= 1, "no request succeeded after a retry\n");
+  CHAOS_EXPECT(checkpoint_resumes >= 1,
+               "no request resumed trees from a checkpoint\n");
+  CHAOS_EXPECT(stats.checkpoint_trees >= 1,
+               "service counted no checkpoint-served trees\n");
+
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    obs::MetricsRegistry::global().write_json(os);
+    if (!os) {
+      std::fprintf(stderr, "hgp_chaos: cannot write metrics file '%s'\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "hgp_chaos: %d invariant violation(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("hgp_chaos: all invariants held\n");
+  return 0;
+}

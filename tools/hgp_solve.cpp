@@ -13,6 +13,8 @@
 // Exit codes are keyed to the final hgp::Status (see docs/RESILIENCE.md):
 //   0 OK   1 internal error   2 usage error   3 invalid input
 //   4 infeasible   5 deadline exceeded   6 cancelled
+//   7 resource exhausted (memory budget / admission rejected the work)
+//   8 retry budget exhausted (--retries N spent, last failure transient)
 // A degraded run (fallback placement under an expired deadline) still
 // prints and writes its placement but exits with the status's code, so
 // scripts can tell a full-quality solve from a downgraded one.
@@ -36,6 +38,7 @@
 #include "hierarchy/placement_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/service.hpp"
 #include "runtime/solver.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"
@@ -45,6 +48,10 @@ namespace {
 constexpr int kExitOk = 0;
 constexpr int kExitInternal = 1;
 constexpr int kExitUsage = 2;
+constexpr int kExitResourceExhausted = 7;
+/// The --retries budget was spent on transient failures; distinct from 7 so
+/// scripts can tell "rejected up front" from "kept failing transiently".
+constexpr int kExitRetriesExhausted = 8;
 
 int exit_code_for(hgp::StatusCode code) {
   switch (code) {
@@ -60,6 +67,8 @@ int exit_code_for(hgp::StatusCode code) {
       return 6;
     case hgp::StatusCode::kInternal:
       return kExitInternal;
+    case hgp::StatusCode::kResourceExhausted:
+      return kExitResourceExhausted;
   }
   return kExitInternal;
 }
@@ -70,7 +79,7 @@ void print_usage(std::FILE* to, const char* argv0) {
       "usage: %s --graph FILE --deg D0,D1,... --cm C0,C1,...,Ch\n"
       "          [--algo hgp|greedy|multilevel|rb|random] [--trees N]\n"
       "          [--units U | --epsilon E] [--seed S] [--out FILE]\n"
-      "          [--timeout-ms MS] [--fallback chain|none]\n"
+      "          [--timeout-ms MS] [--fallback chain|none] [--retries N]\n"
       "          [--trace FILE] [--metrics FILE] [--report] [--help]\n"
       "\n"
       "  --graph FILE     METIS task graph (vertex weights = demands/1000)\n"
@@ -87,6 +96,9 @@ void print_usage(std::FILE* to, const char* argv0) {
       "                   unbounded)\n"
       "  --fallback MODE  chain = degrade hgp->multilevel->greedy (default),\n"
       "                   none = fail with a typed status instead\n"
+      "  --retries N      retry transient failures up to N times with\n"
+      "                   exponential backoff (service-layer semantics;\n"
+      "                   exit 8 when the budget is spent, default 0)\n"
       "  --trace FILE     record trace spans, write Chrome trace-event JSON\n"
       "                   (open in chrome://tracing or ui.perfetto.dev)\n"
       "  --metrics FILE   write the metrics registry as JSON\n"
@@ -162,6 +174,7 @@ int main(int argc, char** argv) {
   bool report = false;
   std::string deg_spec, cm_spec;
   int trees = 4;
+  int retries = 0;
   double epsilon = 0.5;
   double timeout_ms = 0;
   DemandUnits units = 8;
@@ -187,6 +200,9 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--trees")) {
       trees = static_cast<int>(
           parse_int("--trees", need("--trees"), 1, 1 << 20));
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      retries = static_cast<int>(
+          parse_int("--retries", need("--retries"), 0, 1 << 20));
     } else if (!std::strcmp(argv[i], "--units")) {
       units = static_cast<DemandUnits>(
           parse_int("--units", need("--units"), 1, 1 << 30));
@@ -268,6 +284,7 @@ int main(int argc, char** argv) {
     std::string solved_by = algo;
     HgpResult hgp_result;
     bool have_hgp = false;
+    bool retries_exhausted = false;
     if (algo == "hgp") {
       SolverOptions opt;
       opt.num_trees = trees;
@@ -276,7 +293,26 @@ int main(int argc, char** argv) {
       opt.seed = seed;
       opt.timeout_ms = timeout_ms;
       opt.fallback = fallback;
-      hgp_result = solve_hgp(g, h, opt);
+      if (retries > 0) {
+        RetryOptions ro;
+        ro.max_retries = retries;
+        ro.jitter_seed = seed;
+        RetrySolveReport rep = solve_with_retry(g, h, opt, ro);
+        retries_exhausted = rep.retry_budget_exhausted;
+        if (rep.retries_used > 0 || rep.degrades > 0) {
+          std::printf("retries: %d of %d used, %d degradation step(s)%s\n",
+                      rep.retries_used, retries, rep.degrades,
+                      retries_exhausted ? " (budget exhausted)" : "");
+        }
+        if (!rep.has_result) {
+          std::fprintf(stderr, "error: %s\n", rep.status.to_string().c_str());
+          return retries_exhausted ? kExitRetriesExhausted
+                                   : exit_code_for(rep.status.code);
+        }
+        hgp_result = std::move(rep.result);
+      } else {
+        hgp_result = solve_hgp(g, h, opt);
+      }
       have_hgp = true;
       const HgpResult& r = hgp_result;
       p = r.placement;
@@ -407,7 +443,10 @@ int main(int argc, char** argv) {
       }
       std::printf("metrics written to %s\n", metrics_path.c_str());
     }
-    return exit_code_for(status.code);
+    // A placed-but-retry-exhausted run keeps its report and placement but
+    // exits 8: the placement is a degraded floor, not the requested solve.
+    return retries_exhausted ? kExitRetriesExhausted
+                             : exit_code_for(status.code);
   } catch (const SolveError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return exit_code_for(e.code());
