@@ -28,10 +28,13 @@ trap 'rm -rf "$WORK"' EXIT
 
 python3 -m json.tool "$WORK/metrics.json" > /dev/null
 
-# The storm must have exercised every service-layer path it instruments.
+# The storm must have exercised every service-layer path it instruments,
+# including the durability path: phase 3 crashes requests over a spill
+# directory, restarts the service, and resumes from the recovered spills.
 for metric in '"service.submitted"' '"service.admitted"' \
               '"service.completed"' '"service.admission_rejects"' \
-              '"service.retries"' '"service.checkpoint_trees"'; do
+              '"service.retries"' '"service.checkpoint_trees"' \
+              '"service.checkpoint_spills"' '"service.checkpoint_recovered"'; do
   grep -q "$metric" "$WORK/metrics.json" \
     || { echo "metrics export missing $metric"; exit 1; }
 done

@@ -1,0 +1,37 @@
+#include "graph/fingerprint.hpp"
+
+#include <bit>
+
+namespace hgp {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const Graph& g) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(g.vertex_count()));
+  mix(h, static_cast<std::uint64_t>(g.edge_count()));
+  for (const Edge& e : g.edges()) {
+    mix(h, static_cast<std::uint64_t>(e.u));
+    mix(h, static_cast<std::uint64_t>(e.v));
+    mix(h, std::bit_cast<std::uint64_t>(e.weight));
+  }
+  mix(h, g.has_demands() ? 1 : 0);
+  for (const double d : g.demands()) {
+    mix(h, std::bit_cast<std::uint64_t>(d));
+  }
+  return h;
+}
+
+}  // namespace hgp

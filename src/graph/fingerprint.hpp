@@ -1,0 +1,22 @@
+// Content fingerprint of a Graph.
+//
+// An FNV-1a hash over vertex count, the canonical edge list (endpoints +
+// weight bits) and demands.  Because Graph is immutable after build and
+// GraphBuilder canonicalizes (sorted u < v edges, merged parallels), two
+// graphs with equal content always fingerprint equally — across processes
+// too, which is what lets snapshot files (src/io/snapshot.hpp), the forest
+// cache and checkpoint keys all recognize "the same instance" by value.
+// Not a cryptographic commitment: it detects drift and corruption, not an
+// adversary.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace hgp {
+
+/// Stable across processes for equal graph content.
+std::uint64_t graph_fingerprint(const Graph& g);
+
+}  // namespace hgp

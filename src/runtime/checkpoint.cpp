@@ -1,9 +1,10 @@
 #include "runtime/checkpoint.hpp"
 
-#include <cinttypes>
-#include <fstream>
-#include <sstream>
+#include <cmath>
+#include <span>
 #include <utility>
+
+#include "io/snapshot.hpp"
 
 namespace hgp {
 
@@ -39,72 +40,112 @@ void SolveCheckpoint::clear() {
   bound_ = false;
 }
 
-// Spill format (text, line-oriented, versioned):
-//   hgp-checkpoint 1
-//   key <fingerprint> <seed> <num_trees> <epsilon> <units>
-//   tree <index> <cost> <n> <leaf_0> ... <leaf_{n-1}>
-// DP stats are not spilled: a resumed-from-disk tree reports zero DP work,
-// which is the truth — this process did none for it.
-
-bool SolveCheckpoint::save(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
+bool SolveCheckpoint::bound() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  os << "hgp-checkpoint 1\n";
-  os << "key " << key_.graph_fingerprint << ' ' << key_.seed << ' '
-     << key_.num_trees << ' ';
-  // Hex float round-trips exactly; the key must compare == after reload.
-  os << std::hexfloat << key_.epsilon << std::defaultfloat << ' '
-     << key_.units_override << '\n';
-  for (const auto& [index, tree] : trees_) {
-    os << "tree " << index << ' ' << std::hexfloat << tree.cost
-       << std::defaultfloat << ' ' << tree.placement.leaf_of.size();
-    for (const LeafId leaf : tree.placement.leaf_of) os << ' ' << leaf;
-    os << '\n';
-  }
-  os.flush();
-  return static_cast<bool>(os);
+  return bound_;
 }
 
-bool SolveCheckpoint::load(const std::string& path) {
-  std::ifstream is(path);
+CheckpointKey SolveCheckpoint::key() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  trees_.clear();
-  bound_ = false;
-  if (!is) return false;
-  std::string magic;
-  int version = 0;
-  if (!(is >> magic >> version) || magic != "hgp-checkpoint" || version != 1) {
-    return false;
+  return key_;
+}
+
+// Spill format: one snapshot container (src/io/snapshot.hpp) holding a
+// checkpoint_header section (the key + entry count) followed by one
+// checkpoint_tree section per completed tree.  DP stats are not spilled: a
+// resumed-from-disk tree reports zero DP work, which is the truth — this
+// process did none for it.
+
+Status SolveCheckpoint::save(const std::string& path) const {
+  io::SnapshotWriter w;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    io::CheckpointHeaderRecord header;
+    header.graph_fingerprint = key_.graph_fingerprint;
+    header.seed = key_.seed;
+    header.num_trees = key_.num_trees;
+    header.bound = bound_ ? 1 : 0;
+    header.epsilon = key_.epsilon;
+    header.units_override = key_.units_override;
+    header.tree_count = narrow<std::uint32_t>(trees_.size());
+    io::PayloadBuilder hb;
+    hb.append_pod(header);
+    w.add_section(io::SectionType::kCheckpointHeader, hb);
+    for (const auto& [index, tree] : trees_) {
+      io::CheckpointTreeRecord rec;
+      rec.index = index;
+      rec.cost = tree.cost;
+      rec.leaf_count = tree.placement.leaf_of.size();
+      io::PayloadBuilder tb;
+      tb.append_pod(rec);
+      tb.append_span(std::span<const LeafId>(tree.placement.leaf_of));
+      w.add_section(io::SectionType::kCheckpointTree, tb);
+    }
   }
-  std::string tag;
-  if (!(is >> tag) || tag != "key") return false;
+  // Serialization is done; the file I/O runs outside the lock.
+  return w.write_file(path);
+}
+
+Status SolveCheckpoint::load(const std::string& path) {
   CheckpointKey key;
-  if (!(is >> key.graph_fingerprint >> key.seed >> key.num_trees >>
-        std::hexfloat >> key.epsilon >> std::defaultfloat >>
-        key.units_override)) {
-    return false;
-  }
+  bool was_bound = false;
   std::map<int, CheckpointedTree> trees;
-  while (is >> tag) {
-    if (tag != "tree") return false;
-    int index = 0;
-    std::size_t n = 0;
-    CheckpointedTree tree;
-    if (!(is >> index >> std::hexfloat >> tree.cost >> std::defaultfloat >>
-          n)) {
-      return false;
+  try {
+    const auto reject = [](const std::string& what) {
+      throw SolveError(StatusCode::kDataLoss, "checkpoint spill: " + what);
+    };
+    const io::SnapshotReader r(path);
+    io::SectionCursor c;
+    io::SectionView hv =
+        r.expect(c.index++, io::SectionType::kCheckpointHeader);
+    const auto header = hv.read_pod<io::CheckpointHeaderRecord>();
+    hv.expect_exhausted();
+    if (header.reserved != 0 || header.bound > 1) {
+      reject("header flags corrupt");
     }
-    tree.placement.leaf_of.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!(is >> tree.placement.leaf_of[i])) return false;
+    if (header.num_trees < 0 || header.units_override < 0 ||
+        !std::isfinite(header.epsilon)) {
+      reject("key fields corrupt");
     }
-    trees[index] = std::move(tree);
+    key.graph_fingerprint = header.graph_fingerprint;
+    key.seed = header.seed;
+    key.num_trees = header.num_trees;
+    key.epsilon = header.epsilon;
+    key.units_override = header.units_override;
+    was_bound = header.bound == 1;
+    for (std::uint32_t i = 0; i < header.tree_count; ++i) {
+      io::SectionView tv =
+          r.expect(c.index++, io::SectionType::kCheckpointTree);
+      const auto rec = tv.read_pod<io::CheckpointTreeRecord>();
+      if (rec.reserved != 0) reject("tree record flags corrupt");
+      if (rec.index < 0 || rec.index >= header.num_trees) {
+        reject("tree index out of range");
+      }
+      if (!std::isfinite(rec.cost)) reject("tree cost corrupt");
+      CheckpointedTree tree;
+      tree.cost = rec.cost;
+      tree.placement.leaf_of =
+          tv.read_span<LeafId>(static_cast<std::size_t>(rec.leaf_count));
+      tv.expect_exhausted();
+      for (const LeafId leaf : tree.placement.leaf_of) {
+        if (leaf < 0) reject("placement leaf id corrupt");
+      }
+      if (!trees.emplace(rec.index, std::move(tree)).second) {
+        reject("duplicate tree index");
+      }
+    }
+    if (c.index != r.section_count()) reject("unexpected trailing sections");
+  } catch (const SolveError& e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    trees_.clear();
+    bound_ = false;
+    return e.status();
   }
+  const std::lock_guard<std::mutex> lock(mutex_);
   key_ = key;
-  bound_ = true;
+  bound_ = was_bound;
   trees_ = std::move(trees);
-  return true;
+  return Status();
 }
 
 }  // namespace hgp

@@ -14,8 +14,9 @@
 // tree count, rounding parameters).  Binding with a different key clears
 // the stored trees — a degraded retry that changed num_trees samples a
 // different forest, so stale entries must never leak across parameter
-// changes.  Entries may also be spilled to / reloaded from a file, so a
-// restarted process can resume a long solve's surviving trees.
+// changes.  Entries may also be spilled to / reloaded from a file (the
+// versioned binary container of src/io/snapshot.hpp), so a restarted
+// process can resume a long solve's surviving trees.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +26,7 @@
 
 #include "core/tree_dp.hpp"
 #include "hierarchy/placement.hpp"
+#include "util/status.hpp"
 
 namespace hgp {
 
@@ -73,15 +75,22 @@ class SolveCheckpoint {
   std::size_t size() const;
   void clear();
 
-  /// Writes key + entries as a line-oriented text spill file.  Returns
-  /// false (leaving a partial file possible) on I/O failure — callers
-  /// treat spilling as best-effort.
-  bool save(const std::string& path) const;
+  /// True once bind() or a successful load() fixed the key.
+  bool bound() const;
+  /// The bound key (meaningful only when bound()).
+  CheckpointKey key() const;
 
-  /// Replaces the current contents with the spill file's.  Returns false
-  /// and leaves the checkpoint empty on a missing/corrupt file.  The
-  /// loaded key is validated by the next bind().
-  bool load(const std::string& path);
+  /// Spills key + entries as a snapshot container (crash-safe: temp →
+  /// fsync → atomic rename; see src/io/snapshot.hpp).  Returns the write
+  /// status — callers treat spilling as best-effort and degrade to
+  /// in-memory operation on failure.
+  Status save(const std::string& path) const;
+
+  /// Replaces the current contents with the spill file's.  On a missing,
+  /// truncated or corrupt file it returns the kDataLoss status and leaves
+  /// the checkpoint empty — recovery treats that as "no durable state".
+  /// The loaded key is still validated by the next bind().
+  Status load(const std::string& path);
 
  private:
   mutable std::mutex mutex_;

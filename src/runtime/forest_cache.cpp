@@ -1,11 +1,13 @@
 #include "runtime/forest_cache.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <filesystem>
 #include <utility>
 
+#include "io/snapshot.hpp"
 #include "obs/obs.hpp"
 #include "util/env.hpp"
+#include "util/log.hpp"
 #include "util/memory_budget.hpp"
 
 namespace hgp {
@@ -24,33 +26,7 @@ std::size_t estimate_forest_bytes(const std::vector<DecompTree>& forest) {
   return nodes * 64;
 }
 
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-void mix(std::uint64_t& h, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (value >> (8 * i)) & 0xffu;
-    h *= kFnvPrime;
-  }
-}
-
 }  // namespace
-
-std::uint64_t graph_fingerprint(const Graph& g) {
-  std::uint64_t h = kFnvOffset;
-  mix(h, static_cast<std::uint64_t>(g.vertex_count()));
-  mix(h, static_cast<std::uint64_t>(g.edge_count()));
-  for (const Edge& e : g.edges()) {
-    mix(h, static_cast<std::uint64_t>(e.u));
-    mix(h, static_cast<std::uint64_t>(e.v));
-    mix(h, std::bit_cast<std::uint64_t>(e.weight));
-  }
-  mix(h, g.has_demands() ? 1 : 0);
-  for (const double d : g.demands()) {
-    mix(h, std::bit_cast<std::uint64_t>(d));
-  }
-  return h;
-}
 
 ForestCache& ForestCache::global() {
   static ForestCache cache(
@@ -113,6 +89,59 @@ void ForestCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const Entry& e : lru_) MemoryBudget::global().release(e.charged_bytes);
   lru_.clear();
+}
+
+Status ForestCache::warm_load_file(const std::string& path) {
+  if (!enabled()) {
+    return Status(StatusCode::kResourceExhausted,
+                  "forest cache disabled (HGP_FOREST_CACHE=0)");
+  }
+  io::ForestSnapshot snap;
+  try {
+    snap = io::load_forest_snapshot(path);
+  } catch (const SolveError& e) {
+    HGP_COUNTER_ADD("solver.forest_cache.warm_load_failures", 1);
+    return e.status();
+  }
+  const ForestCacheKey key{snap.meta.graph_fingerprint, snap.meta.seed,
+                           snap.meta.num_trees, snap.meta.cutter};
+  insert(key, std::make_shared<const std::vector<DecompTree>>(
+                  std::move(snap.forest)));
+  HGP_COUNTER_ADD("solver.forest_cache.warm_loads", 1);
+  return Status();
+}
+
+std::size_t ForestCache::warm_load_dir(const std::string& dir) {
+  std::size_t loaded = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".forest") {
+      continue;
+    }
+    const Status s = warm_load_file(entry.path().string());
+    if (s.ok()) {
+      ++loaded;
+    } else {
+      HGP_WARN("forest warm-load skipped " << entry.path().string() << ": "
+                                           << s.to_string());
+    }
+  }
+  return loaded;
+}
+
+Status ForestCache::save_entry(const ForestCacheKey& key, const Graph& g,
+                               const std::string& path) {
+  const CachedForest forest = find(key);
+  if (forest == nullptr) {
+    return Status(StatusCode::kInvalidInput,
+                  "forest cache has no entry for this key");
+  }
+  io::ForestSnapshotMeta meta;
+  meta.graph_fingerprint = key.fingerprint;
+  meta.seed = key.seed;
+  meta.num_trees = key.num_trees;
+  meta.cutter = key.cutter;
+  return io::save_forest_snapshot(meta, g, *forest, path);
 }
 
 }  // namespace hgp

@@ -22,14 +22,11 @@
 #include <vector>
 
 #include "decomp/decomp_tree.hpp"
+#include "graph/fingerprint.hpp"
 #include "graph/graph.hpp"
+#include "util/status.hpp"
 
 namespace hgp {
-
-/// FNV-1a content hash over vertex count, edge list (endpoints + weight
-/// bits) and demands.  Stable within a process run; not a cryptographic
-/// commitment.
-std::uint64_t graph_fingerprint(const Graph& g);
 
 struct ForestCacheKey {
   std::uint64_t fingerprint = 0;
@@ -67,6 +64,25 @@ class ForestCache {
 
   std::size_t size() const;
   void clear();
+
+  /// Warm-loads one forest snapshot (src/io/snapshot.hpp) and inserts it
+  /// under its stored key, so a restarted process serves stage-1 from
+  /// disk instead of re-sampling.  Returns the load status — a corrupt or
+  /// version-mismatched file is reported as kDataLoss and simply not
+  /// cached; it never throws and never fails the caller's solve.
+  Status warm_load_file(const std::string& path);
+
+  /// Warm-loads every `*.forest` file in `dir` (non-recursively); corrupt
+  /// files are skipped with a warning.  Returns the number of forests
+  /// actually inserted.
+  std::size_t warm_load_dir(const std::string& dir);
+
+  /// Snapshots the cached forest for `key` to `path` (the warm_load
+  /// counterpart).  `g` must be the graph the key fingerprints — the
+  /// snapshot embeds it so warm loading needs nothing but the file.
+  /// Returns kInvalidInput on a cache miss or fingerprint mismatch.
+  Status save_entry(const ForestCacheKey& key, const Graph& g,
+                    const std::string& path);
 
  private:
   struct Entry {

@@ -1,10 +1,15 @@
 #include "runtime/service.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <filesystem>
 #include <functional>
+#include <sstream>
 #include <utility>
 
+#include "graph/fingerprint.hpp"
 #include "obs/obs.hpp"
+#include "util/log.hpp"
 #include "util/prng.hpp"
 
 namespace hgp {
@@ -26,6 +31,11 @@ struct RetryHooks {
   std::function<bool(double)> backoff_wait;
   std::function<void()> on_retry;
   std::function<void()> on_degrade;
+  /// Called at every retry boundary — an attempt failed with the given
+  /// status and the loop is about to degrade, retry, or give up.  The
+  /// service spills the checkpoint here so a killed process can resume
+  /// completed trees after restart.
+  std::function<void(const Status&)> on_attempt_failed;
 };
 
 double backoff_for_retry(const RetryOptions& ro, int retry_number,
@@ -89,6 +99,8 @@ RetrySolveReport run_retry_loop(const Graph& g, const Hierarchy& h,
     } catch (...) {
       failure = status_from_current_exception();  // kInternal → transient
     }
+
+    if (hooks.on_attempt_failed) hooks.on_attempt_failed(failure);
 
     // Resource pressure degrades before it burns retries: each ladder step
     // strictly shrinks the footprint (forced DP pruning, then half the
@@ -174,6 +186,9 @@ void ServiceRequest::finish(RetrySolveReport report) {
 SolverService::SolverService(ServiceOptions opt) : opt_(std::move(opt)) {
   if (opt_.workers == 0) opt_.workers = 1;
   if (opt_.watchdog_poll_ms <= 0) opt_.watchdog_poll_ms = 20;
+  // Recover before any worker starts, so the index is complete by the
+  // time the first request could look for its spill.
+  if (!opt_.spill_dir.empty()) recover_spills();
   workers_.reserve(opt_.workers);
   for (std::size_t i = 0; i < opt_.workers; ++i) {
     // hgp-lint: allow(naked-thread) — see the member declaration.
@@ -264,7 +279,119 @@ SolverService::Stats SolverService::stats() const {
   s.degrades = stats_.degrades.load(std::memory_order_relaxed);
   s.watchdog_cancels = stats_.watchdog_cancels.load(std::memory_order_relaxed);
   s.checkpoint_trees = stats_.checkpoint_trees.load(std::memory_order_relaxed);
+  s.checkpoint_spills =
+      stats_.checkpoint_spills.load(std::memory_order_relaxed);
+  s.checkpoint_spill_failures =
+      stats_.checkpoint_spill_failures.load(std::memory_order_relaxed);
+  s.checkpoint_recovered =
+      stats_.checkpoint_recovered.load(std::memory_order_relaxed);
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Durable checkpoint spills
+
+std::string SolverService::spill_path(const CheckpointKey& key) const {
+  // One file per key, named by a mix of every key field, so a re-spill of
+  // the same request overwrites its predecessor and a restarted process
+  // computes the identical name.
+  std::uint64_t h = key.graph_fingerprint;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(key.seed);
+  mix(static_cast<std::uint64_t>(key.num_trees));
+  mix(std::bit_cast<std::uint64_t>(key.epsilon));
+  mix(static_cast<std::uint64_t>(key.units_override));
+  std::ostringstream name;
+  name << std::hex << h;
+  return opt_.spill_dir + "/ckpt-" + name.str() + ".ckpt";
+}
+
+void SolverService::recover_spills() {
+  std::error_code ec;
+  std::filesystem::create_directories(opt_.spill_dir, ec);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(opt_.spill_dir, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".ckpt") {
+      continue;
+    }
+    const std::string path = entry.path().string();
+    SolveCheckpoint probe;
+    const Status s = probe.load(path);
+    if (!s.ok() || !probe.bound()) {
+      // A spill that fails integrity checking carries no usable state;
+      // delete it so it cannot shadow a future spill under the same name.
+      HGP_WARN("discarding unreadable checkpoint spill " << path << ": "
+                                                         << s.to_string());
+      stats_.checkpoint_spill_failures.fetch_add(1, std::memory_order_relaxed);
+      HGP_COUNTER_ADD("service.checkpoint_spill_failures", 1);
+      std::error_code rm;
+      std::filesystem::remove(entry.path(), rm);
+      continue;
+    }
+    const std::lock_guard<std::mutex> lock(spill_mutex_);
+    recovered_spills_.emplace_back(probe.key(), path);
+  }
+}
+
+void SolverService::spill_checkpoint(ServiceRequest& req) {
+  if (!req.checkpoint_.bound() || req.checkpoint_.size() == 0) return;
+  const Status s = req.checkpoint_.save(spill_path(req.checkpoint_.key()));
+  if (s.ok()) {
+    stats_.checkpoint_spills.fetch_add(1, std::memory_order_relaxed);
+    HGP_COUNTER_ADD("service.checkpoint_spills", 1);
+  } else {
+    // Spilling is strictly best-effort: losing durability must never fail
+    // the solve, so the failure is counted and logged and the request
+    // keeps running on its in-memory checkpoint.
+    stats_.checkpoint_spill_failures.fetch_add(1, std::memory_order_relaxed);
+    HGP_COUNTER_ADD("service.checkpoint_spill_failures", 1);
+    HGP_WARN("checkpoint spill failed: " << s.to_string());
+  }
+}
+
+void SolverService::try_recover(ServiceRequest& req,
+                                const SolverOptions& opt) {
+  {
+    const std::lock_guard<std::mutex> lock(spill_mutex_);
+    if (recovered_spills_.empty()) return;
+  }
+  // The fingerprint costs O(m); it is only paid while unconsumed spills
+  // remain, and solve_hgp recomputes its own copy regardless.
+  CheckpointKey key;
+  key.graph_fingerprint = graph_fingerprint(*req.graph_);
+  key.seed = opt.seed;
+  key.num_trees = opt.num_trees;
+  key.epsilon = opt.epsilon;
+  key.units_override = opt.units_override;
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(spill_mutex_);
+    const auto it = std::find_if(
+        recovered_spills_.begin(), recovered_spills_.end(),
+        [&key](const auto& e) { return e.first == key; });
+    if (it == recovered_spills_.end()) return;
+    path = it->second;
+    recovered_spills_.erase(it);
+  }
+  const Status s = req.checkpoint_.load(path);
+  if (s.ok() && req.checkpoint_.bound() && req.checkpoint_.key() == key) {
+    stats_.checkpoint_recovered.fetch_add(1, std::memory_order_relaxed);
+    HGP_COUNTER_ADD("service.checkpoint_recovered", 1);
+    HGP_INFO("request " << req.id() << " resumed "
+                        << req.checkpoint_.size()
+                        << " checkpointed trees from " << path);
+  } else {
+    // The file rotted between the recovery scan and now (or a key
+    // collision slipped through the name hash): drop it and solve from
+    // scratch.
+    HGP_WARN("recovered checkpoint spill unusable: " << path << ": "
+                                                     << s.to_string());
+    stats_.checkpoint_spill_failures.fetch_add(1, std::memory_order_relaxed);
+    HGP_COUNTER_ADD("service.checkpoint_spill_failures", 1);
+    req.checkpoint_.clear();
+  }
 }
 
 void SolverService::worker_loop() {
@@ -304,6 +431,7 @@ void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
   SolverOptions opt = req->opt_;
   opt.checkpoint = &req->checkpoint_;
   if (opt.pool == nullptr) opt.pool = opt_.solve_pool;
+  if (!opt_.spill_dir.empty()) try_recover(*req, opt);
 
   RetryOptions retry = opt_.retry;
   // Decorrelate jitter across requests while staying deterministic in
@@ -348,10 +476,21 @@ void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
     stats_.degrades.fetch_add(1, std::memory_order_relaxed);
     HGP_COUNTER_ADD("service.degrades", 1);
   };
+  if (!opt_.spill_dir.empty()) {
+    hooks.on_attempt_failed = [this, &req](const Status&) {
+      spill_checkpoint(*req);
+    };
+  }
 
   RetrySolveReport rep =
       run_retry_loop(*req->graph_, *req->hierarchy_, std::move(opt), retry,
                      hooks);
+  if (!opt_.spill_dir.empty() && rep.status.ok() && req->checkpoint_.bound()) {
+    // Terminal success: the durable state served its purpose; remove the
+    // spill so the directory only holds work worth resuming.
+    std::error_code ec;
+    std::filesystem::remove(spill_path(req->checkpoint_.key()), ec);
+  }
   if (rep.has_result && rep.result.telemetry.checkpoint_trees > 0) {
     const auto n =
         static_cast<std::uint64_t>(rep.result.telemetry.checkpoint_trees);

@@ -109,6 +109,16 @@ struct ServiceOptions {
   /// Inner pool for each solve's tree/DP parallelism (shared across
   /// workers; solve_hgp's worker-thread guard keeps sharing safe).
   ThreadPool* solve_pool = nullptr;
+  /// Directory for durable checkpoint spills (empty = disabled).  With a
+  /// spill dir set, every failed attempt persists its checkpoint (binary
+  /// snapshot container, crash-safe rename; src/io/snapshot.hpp), the
+  /// constructor scans the directory and indexes surviving spills by key,
+  /// and a submitted request whose key matches a recovered spill resumes
+  /// from the completed trees instead of re-solving them — including
+  /// across a kill + restart of the whole process.  Spilling is strictly
+  /// best-effort: any I/O or integrity failure is counted, logged, and
+  /// the solve continues in memory.
+  std::string spill_dir;
 };
 
 /// Caller's handle to a submitted request.  Thread-safe.
@@ -195,6 +205,13 @@ class SolverService {
     std::uint64_t degrades = 0;
     std::uint64_t watchdog_cancels = 0;
     std::uint64_t checkpoint_trees = 0;
+    /// Checkpoints durably spilled at retry boundaries.
+    std::uint64_t checkpoint_spills = 0;
+    /// Spill writes that failed, plus recovered files that failed
+    /// integrity checking (both degrade to in-memory operation).
+    std::uint64_t checkpoint_spill_failures = 0;
+    /// Requests that resumed from a spill recovered at construction.
+    std::uint64_t checkpoint_recovered = 0;
 
     std::uint64_t rejected() const {
       return rejected_queue_full + rejected_budget + rejected_draining;
@@ -208,6 +225,15 @@ class SolverService {
   void run_request(const std::shared_ptr<ServiceRequest>& req);
   std::shared_ptr<ServiceRequest> reject(std::shared_ptr<ServiceRequest> req,
                                          const char* why);
+  /// Construction-time scan of spill_dir: index readable spills by key,
+  /// delete unreadable ones (their bytes are gone for good).
+  void recover_spills();
+  /// Deterministic spill file path for a checkpoint key.
+  std::string spill_path(const CheckpointKey& key) const;
+  /// Best-effort durable spill of the request's checkpoint.
+  void spill_checkpoint(ServiceRequest& req);
+  /// Loads a recovered spill matching the request's key, if any.
+  void try_recover(ServiceRequest& req, const SolverOptions& opt);
 
   ServiceOptions opt_;
 
@@ -222,6 +248,12 @@ class SolverService {
 
   std::condition_variable watchdog_cv_;
 
+  /// Spills found at construction, consumed (erased) as requests with
+  /// matching keys arrive.  Own mutex: touched from run_request, which
+  /// never holds mutex_.
+  std::mutex spill_mutex_;
+  std::vector<std::pair<CheckpointKey, std::string>> recovered_spills_;
+
   struct AtomicStats {
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> admitted{0};
@@ -233,6 +265,9 @@ class SolverService {
     std::atomic<std::uint64_t> degrades{0};
     std::atomic<std::uint64_t> watchdog_cancels{0};
     std::atomic<std::uint64_t> checkpoint_trees{0};
+    std::atomic<std::uint64_t> checkpoint_spills{0};
+    std::atomic<std::uint64_t> checkpoint_spill_failures{0};
+    std::atomic<std::uint64_t> checkpoint_recovered{0};
   };
   AtomicStats stats_;
 

@@ -1,5 +1,6 @@
 #include "runtime/solver.hpp"
 
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -245,8 +246,26 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
     Timer timer;
     try {
       CheckpointedTree ck;
-      if (opt.checkpoint != nullptr &&
-          opt.checkpoint->lookup(static_cast<int>(i), &ck)) {
+      bool from_checkpoint = opt.checkpoint != nullptr &&
+                             opt.checkpoint->lookup(static_cast<int>(i), &ck);
+      if (from_checkpoint) {
+        // Checkpoints may have been recovered from disk, so the entry is
+        // re-validated against THIS instance before it is trusted: a
+        // placement of the wrong size or with out-of-range leaves (a spill
+        // that survived its CRCs but matched a different run, or hostile
+        // bytes) is treated as a miss and the tree is simply re-solved.
+        from_checkpoint =
+            ck.placement.leaf_of.size() ==
+                static_cast<std::size_t>(g.vertex_count()) &&
+            std::isfinite(ck.cost);
+        for (std::size_t v = 0; from_checkpoint && v < ck.placement.leaf_of.size();
+             ++v) {
+          from_checkpoint =
+              ck.placement.leaf_of[v] >= 0 &&
+              ck.placement.leaf_of[v] < h.leaf_count();
+        }
+      }
+      if (from_checkpoint) {
         // A previous attempt of this request already solved tree i — the
         // subproblem is deterministic in the checkpoint key, so reuse the
         // recorded placement instead of re-running the DP.

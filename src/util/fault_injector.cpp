@@ -70,24 +70,52 @@ void FaultInjector::on_site(const char* site, int index) {
   fire(site, index);
 }
 
-void FaultInjector::fire(const char* site, int index) {
-  Fault fault;
-  {
-    ArmedTable& t = table();
-    const std::lock_guard<std::mutex> lock(t.mu);
-    auto it = t.faults.find({site, index});
-    if (it == t.faults.end()) it = t.faults.find({site, kEveryIndex});
-    if (it == t.faults.end()) return;
-    fault = it->second.fault;
-    if (fault.probability < 1.0) {
-      // One draw per hit from the entry's seeded stream; skipping the
-      // fault still consumes the draw, so the schedule is a deterministic
-      // function of (seed, hit ordinal).
-      const double u =
-          static_cast<double>(it->second.draws.next() >> 11) * 0x1.0p-53;
-      if (u >= fault.probability) return;
-    }
+FaultInjector::Action FaultInjector::poll_io(const char* site, int index) {
+  if (armed_count_.load(std::memory_order_acquire) == 0) return Action::kNone;
+  const Fault fault = draw(site, index);
+  switch (fault.action) {
+    case Action::kIoShortWrite:
+    case Action::kIoEnospc:
+    case Action::kIoFsyncFail:
+    case Action::kIoTornRename:
+      return fault.action;
+    case Action::kNone:
+      return Action::kNone;
+    case Action::kThrow:
+      throw CheckError(std::string("injected fault at ") + site + "[" +
+                       std::to_string(index) + "]");
+    case Action::kStall:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(fault.stall_ms));
+      return Action::kNone;
+    case Action::kInfeasible:
+      throw SolveError(StatusCode::kInfeasible,
+                       std::string("injected infeasibility at ") + site +
+                           "[" + std::to_string(index) + "]");
   }
+  return Action::kNone;
+}
+
+FaultInjector::Fault FaultInjector::draw(const char* site, int index) {
+  ArmedTable& t = table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.faults.find({site, index});
+  if (it == t.faults.end()) it = t.faults.find({site, kEveryIndex});
+  if (it == t.faults.end()) return Fault{};
+  Fault fault = it->second.fault;
+  if (fault.probability < 1.0) {
+    // One draw per hit from the entry's seeded stream; skipping the
+    // fault still consumes the draw, so the schedule is a deterministic
+    // function of (seed, hit ordinal).
+    const double u =
+        static_cast<double>(it->second.draws.next() >> 11) * 0x1.0p-53;
+    if (u >= fault.probability) fault.action = Action::kNone;
+  }
+  return fault;
+}
+
+void FaultInjector::fire(const char* site, int index) {
+  const Fault fault = draw(site, index);
   switch (fault.action) {
     case Action::kNone:
       return;
@@ -102,6 +130,14 @@ void FaultInjector::fire(const char* site, int index) {
       throw SolveError(StatusCode::kInfeasible,
                        std::string("injected infeasibility at ") + site +
                            "[" + std::to_string(index) + "]");
+    case Action::kIoShortWrite:
+    case Action::kIoEnospc:
+    case Action::kIoFsyncFail:
+    case Action::kIoTornRename:
+      // I/O faults only make sense where the code can act on them; an
+      // on_site() hit just ignores them (arming one here is a test bug,
+      // not a reason to crash production).
+      return;
   }
 }
 

@@ -25,6 +25,18 @@ class FaultInjector {
     kStall,
     /// Throw SolveError(kInfeasible) — a tree that cannot fit.
     kInfeasible,
+    // I/O-class faults.  These are POLLED (poll_io), not thrown: the io
+    // layer asks whether a fault fires at its site and then implements the
+    // failure itself — truncating the write, skipping the fsync, tearing
+    // the rename — so the degradation path under test is the real one.
+    /// Persist fewer bytes than asked, then report failure (torn write).
+    kIoShortWrite,
+    /// The device is full: the write fails before any byte lands.
+    kIoEnospc,
+    /// Data written but fsync fails — durability, not content, is lost.
+    kIoFsyncFail,
+    /// The atomic rename is interrupted, leaving a corrupt final file.
+    kIoTornRename,
   };
 
   struct Fault {
@@ -57,11 +69,19 @@ class FaultInjector {
   /// The production hook: no-op unless something is armed.
   void on_site(const char* site, int index);
 
+  /// The io layer's hook: returns the I/O-class action that fires at this
+  /// site (kNone when nothing is armed or the draw skips).  A non-I/O
+  /// action armed at a polled site keeps its throwing/stalling behaviour,
+  /// so a site can be killed either way.  Same fast path as on_site.
+  Action poll_io(const char* site, int index);
+
   static constexpr int kEveryIndex = -1;
 
  private:
   FaultInjector() = default;
   void fire(const char* site, int index);
+  /// Looks up + probability-draws the armed fault; kNone action = no fire.
+  Fault draw(const char* site, int index);
 
   std::atomic<int> armed_count_{0};
 };

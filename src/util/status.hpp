@@ -32,6 +32,12 @@ enum class StatusCode {
   /// before it could OOM or overload the process.  Retryable: pressure may
   /// subside, and the service layer degrades requests under it.
   kResourceExhausted,
+  /// Durable state failed integrity checking: a snapshot/spill file is
+  /// missing, truncated, bit-rotted, or structurally invalid (see
+  /// src/io/snapshot.hpp).  Permanent for that file — re-reading corrupt
+  /// bytes cannot help — but never fatal to a solve: recovery paths treat
+  /// it as "no durable state" and recompute.
+  kDataLoss,
 };
 
 /// Stable upper-snake name ("DEADLINE_EXCEEDED"); never nullptr.

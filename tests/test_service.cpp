@@ -5,6 +5,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "graph/generators.hpp"
@@ -359,6 +362,160 @@ TEST(SolverService, ZeroQueueRejectsEverythingImmediately) {
   auto req = service.submit(g, hier());
   EXPECT_TRUE(req->done());
   EXPECT_EQ(req->wait().status.code, StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Durable spills (ServiceOptions::spill_dir, docs/RESILIENCE.md)
+
+/// Fresh spill directory, removed (with contents) on scope exit.
+struct SpillDir {
+  std::string path;
+  SpillDir() {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "hgp-test-spill-XXXXXX")
+            .string();
+    path = ::mkdtemp(templ.data()) != nullptr ? templ : std::string();
+  }
+  ~SpillDir() {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  }
+};
+
+std::size_t spill_file_count(const std::string& dir) {
+  std::size_t n = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    n += e.path().extension() == ".ckpt" ? 1u : 0u;
+  }
+  return n;
+}
+
+TEST(SolverService, SpillsCheckpointAndResumesAcrossRestart) {
+  const Graph g = workload(59);
+  SpillDir spill;
+  ASSERT_FALSE(spill.path.empty());
+
+  ServiceOptions sopt;
+  sopt.workers = 1;
+  sopt.retry.max_retries = 0;  // first failure is terminal → one spill
+  sopt.spill_dir = spill.path;
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.seed = 59;
+  opt.fallback = FallbackPolicy::kNone;  // the failure must propagate
+
+  // "Process" 1: every tree completes, then the finalize boundary dies.
+  {
+    FaultScope finalize("solve_finalize", 0, throw_fault());
+    SolverService crashing(sopt);
+    auto req = crashing.submit(g, hier(), opt);
+    EXPECT_FALSE(req->wait().ok());
+    EXPECT_EQ(crashing.stats().checkpoint_spills, 1u);
+  }
+  EXPECT_EQ(spill_file_count(spill.path), 1u);
+
+  // "Process" 2: a fresh service over the same directory recovers the
+  // spill; the identical request resumes every tree instead of re-solving.
+  SolverService restarted(sopt);
+  auto req = restarted.submit(g, hier(), opt);
+  const RetrySolveReport& rep = req->wait();
+  ASSERT_TRUE(rep.ok()) << rep.status.to_string();
+  ASSERT_TRUE(rep.has_result);
+  EXPECT_EQ(rep.result.telemetry.checkpoint_trees, opt.num_trees);
+  EXPECT_EQ(restarted.stats().checkpoint_recovered, 1u);
+  // Success consumes the spill file.
+  EXPECT_EQ(spill_file_count(spill.path), 0u);
+  EXPECT_NO_THROW(validate_placement(g, hier(), rep.result.placement));
+}
+
+TEST(SolverService, DifferentKeyDoesNotConsumeRecoveredSpill) {
+  const Graph g = workload(61);
+  SpillDir spill;
+  ASSERT_FALSE(spill.path.empty());
+
+  ServiceOptions sopt;
+  sopt.workers = 1;
+  sopt.retry.max_retries = 0;
+  sopt.spill_dir = spill.path;
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.seed = 61;
+  opt.fallback = FallbackPolicy::kNone;
+  {
+    FaultScope finalize("solve_finalize", 0, throw_fault());
+    SolverService crashing(sopt);
+    crashing.submit(g, hier(), opt)->wait();
+  }
+
+  SolverService restarted(sopt);
+  SolverOptions other = opt;
+  other.seed = 62;  // different key → different forest → no resume
+  other.fallback = FallbackPolicy::kChain;
+  auto req = restarted.submit(g, hier(), other);
+  const RetrySolveReport& rep = req->wait();
+  ASSERT_TRUE(rep.ok()) << rep.status.to_string();
+  EXPECT_EQ(rep.result.telemetry.checkpoint_trees, 0);
+  EXPECT_EQ(restarted.stats().checkpoint_recovered, 0u);
+  // The unmatched spill stays for a later restart with the right key.
+  EXPECT_EQ(spill_file_count(spill.path), 1u);
+}
+
+TEST(SolverService, CorruptSpillIsDeletedAtRecoveryScan) {
+  const Graph g = workload(67);
+  SpillDir spill;
+  ASSERT_FALSE(spill.path.empty());
+  {
+    std::ofstream os(spill.path + "/ckpt-deadbeef.ckpt", std::ios::binary);
+    os << "not a snapshot container";
+  }
+
+  ServiceOptions sopt;
+  sopt.spill_dir = spill.path;
+  SolverService service(sopt);
+  // The unreadable spill was counted and deleted (its bytes are gone for
+  // good); the service still serves requests normally.
+  EXPECT_GE(service.stats().checkpoint_spill_failures, 1u);
+  EXPECT_EQ(spill_file_count(spill.path), 0u);
+  auto req = service.submit(g, hier());
+  EXPECT_TRUE(req->wait().ok());
+}
+
+TEST(SolverService, SpillWriteFailureDegradesToInMemory) {
+  const Graph g = workload(71);
+  SpillDir spill;
+  ASSERT_FALSE(spill.path.empty());
+
+  ServiceOptions sopt;
+  sopt.workers = 1;
+  sopt.retry.max_retries = 2;
+  sopt.retry.backoff_base_ms = 1;
+  sopt.retry.backoff_max_ms = 2;
+  sopt.spill_dir = spill.path;
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.seed = 71;
+
+  // Attempt 1 dies at finalize; the spill write hits injected ENOSPC at
+  // every boundary.  The retry must still succeed from the *in-memory*
+  // checkpoint — durability is best-effort, never load-bearing.
+  const std::uint64_t fire_once = seed_firing_once(0.5);
+  FaultScope finalize("solve_finalize", 0, throw_fault(0.5, fire_once));
+  FaultScope enospc("snapshot.write", FaultInjector::kEveryIndex,
+                    [] {
+                      FaultInjector::Fault f;
+                      f.action = FaultInjector::Action::kIoEnospc;
+                      return f;
+                    }());
+  SolverService service(sopt);
+  auto req = service.submit(g, hier(), opt);
+  const RetrySolveReport& rep = req->wait();
+  ASSERT_TRUE(rep.ok()) << rep.status.to_string();
+  EXPECT_GE(rep.result.telemetry.checkpoint_trees, 1);
+  EXPECT_EQ(service.stats().checkpoint_spills, 0u);
+  EXPECT_GE(service.stats().checkpoint_spill_failures, 1u);
+  EXPECT_EQ(spill_file_count(spill.path), 0u);
 }
 
 }  // namespace

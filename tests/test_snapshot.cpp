@@ -1,0 +1,442 @@
+// Durable snapshot tests: container round-trips, the corruption-rejection
+// matrix, crash-safe write semantics under injected I/O faults, and
+// checkpoint spill/reload (src/io/snapshot.hpp, docs/FORMATS.md).
+//
+// The random-corruption hammer lives in tools/hgp_snapfuzz; these tests pin
+// the deterministic corners: every rejection names kDataLoss, round-trips
+// are bit-faithful, and a failed write never replaces the destination.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "decomp/builder.hpp"
+#include "decomp/cutter.hpp"
+#include "graph/fingerprint.hpp"
+#include "graph/generators.hpp"
+#include "io/snapshot.hpp"
+#include "runtime/checkpoint.hpp"
+#include "util/fault_injector.hpp"
+#include "util/prng.hpp"
+
+namespace hgp {
+namespace {
+
+Graph sample_graph(std::uint64_t seed = 5, Vertex n = 20) {
+  Rng rng(seed);
+  Graph g = gen::planted_partition(n, 4, 0.7, 0.1, rng,
+                                   gen::WeightRange{2.0, 6.0},
+                                   gen::WeightRange{1.0, 2.0});
+  gen::set_uniform_demands(g, 4.0 / static_cast<double>(n));
+  return g;
+}
+
+std::string temp_path(const char* stem) {
+  return testing::TempDir() + stem + "." +
+         std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+}
+
+std::vector<std::byte> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::vector<char> raw((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+  std::vector<std::byte> out(raw.size());
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+void write_bytes(const std::string& path, const std::vector<std::byte>& b) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(b.data()),
+           static_cast<std::streamsize>(b.size()));
+}
+
+/// Asserts `fn` throws SolveError{kDataLoss} (the one corruption contract
+/// every reader path must keep).
+template <typename Fn>
+void expect_data_loss(Fn&& fn) {
+  try {
+    fn();
+    FAIL() << "expected SolveError{kDataLoss}";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kDataLoss) << e.what();
+  }
+}
+
+std::vector<std::byte> graph_image(const Graph& g) {
+  io::SnapshotWriter w;
+  io::append_graph_sections(w, g);
+  return w.serialize();
+}
+
+Graph parse_graph_image(const std::vector<std::byte>& image) {
+  io::SnapshotReader r{std::vector<std::byte>(image)};
+  io::SectionCursor c;
+  return io::read_graph_sections(r, c);
+}
+
+// ---------------------------------------------------------------------------
+// Container primitives
+
+TEST(SnapshotContainer, Crc32MatchesKnownVectors) {
+  // The IEEE 802.3 reference value for "123456789".
+  EXPECT_EQ(io::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(io::crc32("", 0), 0u);
+  // Chaining: crc(a ++ b) == crc(b, seed = crc(a)).
+  const std::uint32_t whole = io::crc32("123456789", 9);
+  const std::uint32_t chained = io::crc32("456789", 6, io::crc32("123", 3));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(SnapshotContainer, SectionRoundTripAndTypeConfusionGuard) {
+  io::PayloadBuilder pb;
+  const std::vector<std::int32_t> values{1, -2, 3};
+  pb.append_span<std::int32_t>(values);
+
+  io::SnapshotWriter w;
+  w.add_section(io::SectionType::kGraphEdges, pb);
+  w.add_section(io::SectionType::kHierarchy, io::PayloadBuilder{});
+  io::SnapshotReader r{w.serialize()};
+  ASSERT_EQ(r.section_count(), 2u);
+
+  io::SectionView v = r.expect(0, io::SectionType::kGraphEdges);
+  EXPECT_EQ(v.read_span<std::int32_t>(3), values);
+  v.expect_exhausted();
+
+  // Asking for the wrong type is kDataLoss, not a silent reinterpret.
+  expect_data_loss([&] { r.expect(0, io::SectionType::kHierarchy); });
+  // Over-reads and trailing bytes are caught by the cursor.
+  expect_data_loss([&] {
+    io::SectionView s = r.expect(0, io::SectionType::kGraphEdges);
+    s.read_span<std::int32_t>(4);
+  });
+  expect_data_loss([&] {
+    io::SectionView s = r.expect(0, io::SectionType::kGraphEdges);
+    s.read_span<std::int32_t>(2);
+    s.expect_exhausted();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Rejection matrix (deterministic corners; hgp_snapfuzz covers the rest)
+
+TEST(SnapshotReject, BadMagic) {
+  std::vector<std::byte> img = graph_image(sample_graph());
+  img[0] = std::byte{'X'};
+  expect_data_loss([&] { parse_graph_image(img); });
+}
+
+TEST(SnapshotReject, FutureFormatVersion) {
+  std::vector<std::byte> img = graph_image(sample_graph());
+  const std::uint32_t future = io::kSnapshotVersion + 1;
+  std::memcpy(img.data() + 8, &future, sizeof(future));
+  // Container CRCs repaired: only the version gate can fire.
+  const std::uint32_t crc = io::crc32(img.data(), img.size() - 4);
+  std::memcpy(img.data() + img.size() - 4, &crc, sizeof(crc));
+  expect_data_loss([&] { parse_graph_image(img); });
+}
+
+TEST(SnapshotReject, EveryTruncationLength) {
+  const std::vector<std::byte> img = graph_image(sample_graph(5, 8));
+  for (std::size_t len = 0; len < img.size(); ++len) {
+    std::vector<std::byte> cut(img.begin(),
+                               img.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_data_loss([&] { parse_graph_image(cut); });
+  }
+}
+
+TEST(SnapshotReject, TrailingGarbage) {
+  std::vector<std::byte> img = graph_image(sample_graph());
+  img.push_back(std::byte{0});
+  expect_data_loss([&] { parse_graph_image(img); });
+}
+
+TEST(SnapshotReject, EverySingleBitFlip) {
+  // The file CRC covers every byte, so each single-bit flip anywhere in a
+  // small image must be rejected.
+  const std::vector<std::byte> img = graph_image(sample_graph(5, 6));
+  for (std::size_t at = 0; at < img.size(); ++at) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::byte> flipped = img;
+      flipped[at] ^= static_cast<std::byte>(1u << bit);
+      expect_data_loss([&] { parse_graph_image(flipped); });
+    }
+  }
+}
+
+TEST(SnapshotReject, SemanticCorruptionBehindValidCrcs) {
+  // Stomp the fingerprint field inside the graph-header payload, then
+  // repair both CRCs: the container is self-consistent and only the
+  // fingerprint re-verification can catch it.
+  std::vector<std::byte> img = graph_image(sample_graph());
+  const std::size_t payload = 16 + 16;  // file header + section header
+  img[payload] ^= std::byte{0x01};      // fingerprint low byte
+  std::uint64_t size = 0;
+  std::memcpy(&size, img.data() + 16 + 8, sizeof(size));
+  const std::uint32_t scrc =
+      io::crc32(img.data() + payload, static_cast<std::size_t>(size));
+  std::memcpy(img.data() + 16 + 4, &scrc, sizeof(scrc));
+  const std::uint32_t fcrc = io::crc32(img.data(), img.size() - 4);
+  std::memcpy(img.data() + img.size() - 4, &fcrc, sizeof(fcrc));
+  expect_data_loss([&] { parse_graph_image(img); });
+}
+
+TEST(SnapshotReject, MissingFileIsDataLoss) {
+  expect_data_loss(
+      [] { io::load_graph_snapshot("/nonexistent/hgp-snapshot.bin"); });
+}
+
+// ---------------------------------------------------------------------------
+// Typed round-trips
+
+TEST(SnapshotGraph, RoundTripIsContentIdentical) {
+  const Graph g = sample_graph();
+  const std::string path = temp_path("graph.snap");
+  ASSERT_TRUE(io::save_graph_snapshot(g, path).ok());
+  const Graph back = io::load_graph_snapshot(path);
+  EXPECT_EQ(graph_fingerprint(back), graph_fingerprint(g));
+  EXPECT_EQ(back.vertex_count(), g.vertex_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  EXPECT_DOUBLE_EQ(back.total_demand(), g.total_demand());
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotGraph, RoundTripWithoutDemands) {
+  Rng rng(3);
+  const Graph g = gen::erdos_renyi(12, 0.4, rng);
+  const std::string path = temp_path("graph-nodem.snap");
+  ASSERT_TRUE(io::save_graph_snapshot(g, path).ok());
+  const Graph back = io::load_graph_snapshot(path);
+  EXPECT_EQ(graph_fingerprint(back), graph_fingerprint(g));
+  EXPECT_FALSE(back.has_demands());
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotHierarchy, RoundTripPreservesShape) {
+  const Hierarchy h({2, 3, 2}, {9.0, 3.0, 1.0, 0.0});
+  const std::string path = temp_path("hier.snap");
+  ASSERT_TRUE(io::save_hierarchy_snapshot(h, path).ok());
+  const Hierarchy back = io::load_hierarchy_snapshot(path);
+  EXPECT_EQ(back.to_string(), h.to_string());
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotForest, RoundTripPreservesEveryTree) {
+  const Graph g = sample_graph();
+  const FmCutter cutter;
+  const std::vector<DecompTree> forest =
+      build_decomposition_forest(g, 3, 17, cutter);
+
+  io::ForestSnapshotMeta meta;
+  meta.graph_fingerprint = graph_fingerprint(g);
+  meta.seed = 17;
+  meta.num_trees = 3;
+  meta.cutter = cutter.name();
+  const std::string path = temp_path("forest.snap");
+  ASSERT_TRUE(io::save_forest_snapshot(meta, g, forest, path).ok());
+
+  const io::ForestSnapshot snap = io::load_forest_snapshot(path);
+  EXPECT_EQ(snap.meta.graph_fingerprint, meta.graph_fingerprint);
+  EXPECT_EQ(snap.meta.seed, meta.seed);
+  EXPECT_EQ(snap.meta.num_trees, meta.num_trees);
+  EXPECT_EQ(snap.meta.cutter, meta.cutter);
+  EXPECT_EQ(graph_fingerprint(snap.graph), graph_fingerprint(g));
+  ASSERT_EQ(snap.forest.size(), forest.size());
+  for (std::size_t i = 0; i < forest.size(); ++i) {
+    const Tree& a = forest[i].tree();
+    const Tree& b = snap.forest[i].tree();
+    ASSERT_EQ(b.node_count(), a.node_count());
+    EXPECT_EQ(b.root(), a.root());
+    for (Vertex v = 0; v < a.node_count(); ++v) {
+      EXPECT_EQ(b.parent(v), a.parent(v));
+      if (v != a.root()) {
+        EXPECT_DOUBLE_EQ(b.parent_weight(v), a.parent_weight(v));
+        EXPECT_EQ(b.parent_edge_infinite(v), a.parent_edge_infinite(v));
+      }
+      if (a.is_leaf(v)) {
+        EXPECT_EQ(snap.forest[i].vertex_of_leaf(v),
+                  forest[i].vertex_of_leaf(v));
+        EXPECT_DOUBLE_EQ(b.demand(v), a.demand(v));
+      }
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotForest, RejectsForestOfDifferentGraph) {
+  const Graph g = sample_graph(5);
+  const Graph other = sample_graph(6);
+  const FmCutter cutter;
+  const std::vector<DecompTree> forest =
+      build_decomposition_forest(g, 2, 1, cutter);
+
+  io::SnapshotWriter w;
+  io::append_graph_sections(w, g);
+  io::ForestSnapshotMeta meta;
+  meta.graph_fingerprint = graph_fingerprint(g);
+  meta.num_trees = 2;
+  io::append_forest_sections(w, meta, forest);
+  io::SnapshotReader r{w.serialize()};
+  io::SectionCursor c;
+  (void)io::read_graph_sections(r, c);
+  // Same bytes, wrong graph: the stored fingerprint must not match.
+  expect_data_loss(
+      [&] { io::read_forest_sections(r, c, other, nullptr); });
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint spills
+
+CheckpointKey sample_key(const Graph& g) {
+  CheckpointKey key;
+  key.graph_fingerprint = graph_fingerprint(g);
+  key.seed = 9;
+  key.num_trees = 2;
+  key.epsilon = 0.5;
+  return key;
+}
+
+void fill_checkpoint(SolveCheckpoint& ck, const Graph& g) {
+  ck.bind(sample_key(g));
+  for (int t = 0; t < 2; ++t) {
+    CheckpointedTree tree;
+    tree.placement.leaf_of.assign(
+        static_cast<std::size_t>(g.vertex_count()), static_cast<LeafId>(t));
+    tree.cost = 2.25 * (t + 1);
+    ck.record(t, std::move(tree));
+  }
+}
+
+TEST(SnapshotCheckpoint, SpillRoundTripIsExact) {
+  const Graph g = sample_graph();
+  SolveCheckpoint ck;
+  fill_checkpoint(ck, g);
+  const std::string path = temp_path("ckpt.snap");
+  ASSERT_TRUE(ck.save(path).ok());
+
+  SolveCheckpoint back;
+  ASSERT_TRUE(back.load(path).ok());
+  EXPECT_TRUE(back.bound());
+  EXPECT_EQ(back.key(), sample_key(g));
+  EXPECT_EQ(back.size(), 2u);
+  for (int t = 0; t < 2; ++t) {
+    CheckpointedTree a, b;
+    ASSERT_TRUE(ck.lookup(t, &a));
+    ASSERT_TRUE(back.lookup(t, &b));
+    EXPECT_EQ(b.placement.leaf_of, a.placement.leaf_of);
+    EXPECT_DOUBLE_EQ(b.cost, a.cost);
+  }
+  // Re-binding the same key must keep the loaded entries...
+  back.bind(sample_key(g));
+  EXPECT_EQ(back.size(), 2u);
+  // ...and a different key must clear them (stale spill defense).
+  CheckpointKey other = sample_key(g);
+  other.seed ^= 1;
+  back.bind(other);
+  EXPECT_EQ(back.size(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotCheckpoint, CorruptSpillLoadsAsDataLossAndLeavesEmpty) {
+  const Graph g = sample_graph();
+  const std::string path = temp_path("ckpt-corrupt.snap");
+  SolveCheckpoint ck;
+  fill_checkpoint(ck, g);
+  ASSERT_TRUE(ck.save(path).ok());
+  std::vector<std::byte> img = read_bytes(path);
+  img[img.size() / 2] ^= std::byte{0x10};
+  write_bytes(path, img);
+
+  SolveCheckpoint back;
+  const Status s = back.load(path);
+  EXPECT_EQ(s.code, StatusCode::kDataLoss) << s.to_string();
+  EXPECT_FALSE(back.bound());
+  EXPECT_EQ(back.size(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotCheckpoint, MissingSpillIsDataLossNotCrash) {
+  SolveCheckpoint ck;
+  const Status s = ck.load(testing::TempDir() + "no-such-spill.ckpt");
+  EXPECT_EQ(s.code, StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe writes under injected I/O faults
+
+FaultInjector::Fault io_fault(FaultInjector::Action action) {
+  FaultInjector::Fault f;
+  f.action = action;
+  return f;
+}
+
+TEST(SnapshotWrite, ShortWriteFailsWithoutReplacingDestination) {
+  const Graph g = sample_graph();
+  const std::string path = temp_path("write-short.snap");
+  ASSERT_TRUE(io::save_graph_snapshot(g, path).ok());
+  const std::vector<std::byte> before = read_bytes(path);
+
+  {
+    FaultScope fault("snapshot.write", 0,
+                     io_fault(FaultInjector::Action::kIoShortWrite));
+    const Status s = io::save_graph_snapshot(g, path);
+    EXPECT_FALSE(s.ok());
+  }
+  // The destination still holds the previous good bytes; no temp litter.
+  EXPECT_EQ(read_bytes(path), before);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(graph_fingerprint(io::load_graph_snapshot(path)),
+            graph_fingerprint(g));
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotWrite, EnospcIsResourceExhausted) {
+  const Graph g = sample_graph();
+  const std::string path = temp_path("write-enospc.snap");
+  FaultScope fault("snapshot.write", 0,
+                   io_fault(FaultInjector::Action::kIoEnospc));
+  const Status s = io::save_graph_snapshot(g, path);
+  EXPECT_EQ(s.code, StatusCode::kResourceExhausted) << s.to_string();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(SnapshotWrite, FsyncFailureIsReportedAndLeavesNoFile) {
+  const Graph g = sample_graph();
+  const std::string path = temp_path("write-fsync.snap");
+  FaultScope fault("snapshot.fsync", 0,
+                   io_fault(FaultInjector::Action::kIoFsyncFail));
+  const Status s = io::save_graph_snapshot(g, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(SnapshotWrite, TornRenameLeavesRejectableFile) {
+  // The one failure mode that corrupts the destination by design (it
+  // models a crash mid-rename): the loader must reject what it left.
+  const Graph g = sample_graph();
+  const std::string path = temp_path("write-torn.snap");
+  FaultScope fault("snapshot.rename", 0,
+                   io_fault(FaultInjector::Action::kIoTornRename));
+  const Status s = io::save_graph_snapshot(g, path);
+  EXPECT_FALSE(s.ok());
+  ASSERT_TRUE(std::filesystem::exists(path));
+  expect_data_loss([&] { io::load_graph_snapshot(path); });
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotWrite, SuccessfulWriteLeavesNoTempFile) {
+  const Graph g = sample_graph();
+  const std::string path = temp_path("write-clean.snap");
+  ASSERT_TRUE(io::save_graph_snapshot(g, path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace hgp

@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -77,6 +78,10 @@ bool documented_terminal(StatusCode code) {
       return true;
     case StatusCode::kInvalidInput:
       // The harness submits only valid inputs; seeing this is a bug.
+      return false;
+    case StatusCode::kDataLoss:
+      // Spill/recovery integrity failures degrade to in-memory operation;
+      // a request must never surface kDataLoss as its terminal status.
       return false;
   }
   return false;
@@ -328,6 +333,106 @@ int main(int argc, char** argv) {
                "no request resumed trees from a checkpoint\n");
   CHAOS_EXPECT(stats.checkpoint_trees >= 1,
                "service counted no checkpoint-served trees\n");
+
+  // ---- Phase 3: durability across a service restart.  Part A: a service
+  // with a spill directory and no retry budget, where every attempt dies
+  // at the finalize boundary — *after* all trees completed — so each
+  // terminal failure spills a full checkpoint.  Part B: a fresh service
+  // (the "restarted process") over the same directory must recover the
+  // spills and serve every tree of the re-submitted requests from them.
+  // Destroying the first service models the kill: nothing survives it but
+  // the spill files on disk, which is exactly what a dead process leaves.
+  {
+    // Mask the storm's probabilistic schedules (re-arming a (site, index)
+    // overwrites): phase 3 needs solves that fail only where it says.
+    FaultScope quiet_trees("solve_one_tree", FaultInjector::kEveryIndex, {});
+    FaultScope quiet_ml("fallback_multilevel", 0, {});
+
+    std::string spill_dir = [] {
+      std::string templ = (std::filesystem::temp_directory_path() /
+                           "hgp-chaos-spill-XXXXXX")
+                              .string();
+      return ::mkdtemp(templ.data()) != nullptr ? templ : std::string();
+    }();
+    CHAOS_EXPECT(!spill_dir.empty(), "mkdtemp failed for the spill dir\n");
+    if (!spill_dir.empty()) {
+      ServiceOptions dopt = sopt;
+      dopt.workers = 2;
+      dopt.retry.max_retries = 0;  // first failure is terminal → one spill
+      dopt.spill_dir = spill_dir;
+      constexpr int kPhase3Requests = 4;
+      auto phase3_opt = [&](int i) {
+        SolverOptions opt = base;
+        opt.seed = seed + 1000 + static_cast<std::uint64_t>(i);
+        opt.fallback = FallbackPolicy::kNone;  // let the failure propagate
+        return opt;
+      };
+      {
+        FaultScope kill_finalize("solve_finalize", 0, prob_throw(1.0, 1));
+        SolverService crashing(dopt);
+        std::vector<std::shared_ptr<ServiceRequest>> doomed;
+        for (int i = 0; i < kPhase3Requests; ++i) {
+          doomed.push_back(crashing.submit(g, h, phase3_opt(i)));
+        }
+        for (const auto& req : doomed) {
+          const RetrySolveReport& rep = req->wait();
+          CHAOS_EXPECT(!rep.ok(),
+                       "phase 3 request %llu survived the finalize kill\n",
+                       static_cast<unsigned long long>(req->id()));
+        }
+        CHAOS_EXPECT(
+            crashing.stats().checkpoint_spills >=
+                static_cast<std::uint64_t>(kPhase3Requests),
+            "phase 3 spilled %llu checkpoints, expected >= %d\n",
+            static_cast<unsigned long long>(
+                crashing.stats().checkpoint_spills),
+            kPhase3Requests);
+      }  // service destroyed: the process "died", only the spills survive
+
+      SolverService restarted(dopt);
+      std::vector<std::shared_ptr<ServiceRequest>> resumed;
+      for (int i = 0; i < kPhase3Requests; ++i) {
+        resumed.push_back(restarted.submit(g, h, phase3_opt(i)));
+      }
+      for (const auto& req : resumed) {
+        const RetrySolveReport& rep = req->wait();
+        CHAOS_EXPECT(rep.ok(), "phase 3 restart request %llu ended %s\n",
+                     static_cast<unsigned long long>(req->id()),
+                     status_code_name(rep.status.code));
+        // Every tree must come from the recovered checkpoint: a restarted
+        // process re-solving completed trees is exactly the waste this
+        // subsystem exists to avoid.
+        CHAOS_EXPECT(
+            rep.has_result &&
+                rep.result.telemetry.checkpoint_trees == base.num_trees,
+            "phase 3 restart request %llu resumed %d/%d trees\n",
+            static_cast<unsigned long long>(req->id()),
+            rep.has_result ? rep.result.telemetry.checkpoint_trees : 0,
+            base.num_trees);
+      }
+      const SolverService::Stats rstats = restarted.stats();
+      CHAOS_EXPECT(rstats.checkpoint_recovered >=
+                       static_cast<std::uint64_t>(kPhase3Requests),
+                   "phase 3 recovered %llu spills, expected >= %d\n",
+                   static_cast<unsigned long long>(rstats.checkpoint_recovered),
+                   kPhase3Requests);
+      // Success consumes the spill: nothing stale may linger for the next
+      // restart to trip over.
+      std::size_t leftover = 0;
+      for (const auto& e : std::filesystem::directory_iterator(spill_dir)) {
+        leftover += e.path().extension() == ".ckpt" ? 1u : 0u;
+      }
+      CHAOS_EXPECT(leftover == 0,
+                   "phase 3 left %zu spill file(s) after success\n", leftover);
+      std::printf(
+          "phase 3: %d crash-spilled requests resumed after restart "
+          "(%llu spills recovered)\n",
+          kPhase3Requests,
+          static_cast<unsigned long long>(rstats.checkpoint_recovered));
+      std::error_code ec;
+      std::filesystem::remove_all(spill_dir, ec);
+    }
+  }
 
   if (!metrics_path.empty()) {
     std::ofstream os(metrics_path);

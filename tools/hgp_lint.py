@@ -22,6 +22,13 @@ Rules (library scope = src/** unless noted):
   naked-thread    std::thread is constructed only inside src/parallel
                   (everyone else goes through ThreadPool / parallel_for,
                   which own joining and exception transport).
+  raw-binary-io   Raw binary I/O (fwrite/fread, POSIX ::write/::read,
+                  reinterpret_cast<char*> pointer-punning into streams)
+                  happens only inside src/io.  Everything durable goes
+                  through the versioned, checksummed snapshot container
+                  (src/io/snapshot.hpp, docs/FORMATS.md); ad-hoc struct
+                  dumps have no version field, no CRC, and no reader
+                  that can reject corruption as kDataLoss.
 
 Suppression: append `// hgp-lint: allow(<rule>)` to the offending line, or
 put it alone on the previous line.
@@ -72,6 +79,17 @@ NO_STDOUT_EXEMPT_FILES = {
 
 THREAD_RE = re.compile(r"\bstd::thread\b")
 THREAD_ALLOWED_SUBDIR = os.path.join("src", "parallel")
+
+# The binary-I/O primitives that bypass the snapshot container: C stdio
+# block transfer, bare POSIX fd read/write (the `(?<![\w.])::` guard keeps
+# qualified member names like SnapshotWriter::write_file out), and the
+# classic reinterpret_cast<char*> stream-punning idiom.
+RAW_IO_RE = re.compile(
+    r"\bfwrite\s*\(|\bfread\s*\("
+    r"|(?<![\w.])::write\s*\(|(?<![\w.])::read\s*\("
+    r"|reinterpret_cast\s*<\s*(?:const\s+)?char\s*\*\s*>"
+)
+RAW_IO_ALLOWED_SUBDIR = os.path.join("src", "io")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
@@ -258,6 +276,28 @@ def check_naked_thread(root: str) -> list[Finding]:
     return findings
 
 
+def check_raw_binary_io(root: str) -> list[Finding]:
+    findings = []
+    for path in iter_files(root, LIB_DIR, SOURCE_EXTS):
+        rel = relpath(root, path)
+        if rel.startswith(RAW_IO_ALLOWED_SUBDIR + os.sep):
+            continue
+        lines = open(path, encoding="utf-8").read().splitlines()
+        in_block_comment = False
+        for i, raw in enumerate(lines):
+            line, in_block_comment = strip_block_comments(raw, in_block_comment)
+            code = strip_code_line(line)
+            if RAW_IO_RE.search(code):
+                if "raw-binary-io" in suppressions(lines, i):
+                    continue
+                findings.append(
+                    Finding(rel, i + 1, "raw-binary-io",
+                            "raw binary I/O outside src/io; persist through "
+                            "the snapshot container (src/io/snapshot.hpp, "
+                            "docs/FORMATS.md)"))
+    return findings
+
+
 def strip_block_comments(line: str, in_block: bool) -> tuple[str, bool]:
     """Removes /* ... */ content, tracking state across lines."""
     out = []
@@ -286,6 +326,7 @@ RULES = [
     check_include_cycles,
     check_header_hygiene,
     check_naked_thread,
+    check_raw_binary_io,
 ]
 
 
@@ -363,6 +404,25 @@ FIXTURES = {
         'void spawn() { std::thread t([] {}); t.join(); }\n',
         set(),
     ),
+    "src/bad/rawio.cpp": (
+        '// raw binary I/O outside src/io\n'
+        '#include <cstdio>\n'
+        'void a(FILE* f, const Header& h) { fwrite(&h, sizeof h, 1, f); }\n'
+        'void b(FILE* f, Header& h) { fread(&h, sizeof h, 1, f); }\n'
+        'void c(std::ostream& os, const Header& h) {\n'
+        '  os.write(reinterpret_cast<const char*>(&h), sizeof h);\n'
+        '}\n'
+        'void d(int fd, void* p, long n) { ::read(fd, p, n); }\n'
+        'long e(Writer& w) { return w.write_file("fine: not POSIX"); }\n'
+        'void sup(FILE* f) { fwrite("x", 1, 1, f); }  // hgp-lint: allow(raw-binary-io)\n',
+        {"raw-binary-io"},
+    ),
+    "src/io/blob.cpp": (
+        '// serialization home: raw binary I/O is allowed under src/io\n'
+        '#include <cstdio>\n'
+        'void w(FILE* f, const char* p, long n) { fwrite(p, 1, n, f); }\n',
+        set(),
+    ),
     "src/good/clean.hpp": (
         '// a perfectly fine header\n'
         '#pragma once\n'
@@ -405,6 +465,12 @@ def self_test() -> int:
         if sorted(f.line for f in throw_hits) != [3, 4]:
             print("SELF-TEST MISS: throw-policy should fire exactly on lines "
                   f"3 and 4, got {sorted(f.line for f in throw_hits)}")
+            failures += 1
+        rawio_hits = [f for f in findings
+                      if f.rule == "raw-binary-io" and "rawio.cpp" in f.path]
+        if sorted(f.line for f in rawio_hits) != [3, 4, 6, 8]:
+            print("SELF-TEST MISS: raw-binary-io should fire exactly on lines "
+                  f"3, 4, 6 and 8, got {sorted(f.line for f in rawio_hits)}")
             failures += 1
         stdout_hits = [f for f in findings
                        if f.rule == "no-stdout" and "prints.cpp" in f.path]

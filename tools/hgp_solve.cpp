@@ -15,6 +15,7 @@
 //   4 infeasible   5 deadline exceeded   6 cancelled
 //   7 resource exhausted (memory budget / admission rejected the work)
 //   8 retry budget exhausted (--retries N spent, last failure transient)
+//   9 data loss (--load-snapshot file corrupt / wrong version / truncated)
 // A degraded run (fallback placement under an expired deadline) still
 // prints and writes its placement but exits with the status's code, so
 // scripts can tell a full-quality solve from a downgraded one.
@@ -33,11 +34,14 @@
 #include "baseline/multilevel.hpp"
 #include "baseline/random_placement.hpp"
 #include "baseline/recursive_bisection.hpp"
+#include "decomp/cutter.hpp"
+#include "graph/fingerprint.hpp"
 #include "graph/io.hpp"
 #include "hierarchy/cost.hpp"
 #include "hierarchy/placement_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/forest_cache.hpp"
 #include "runtime/service.hpp"
 #include "runtime/solver.hpp"
 #include "util/status.hpp"
@@ -52,6 +56,9 @@ constexpr int kExitResourceExhausted = 7;
 /// The --retries budget was spent on transient failures; distinct from 7 so
 /// scripts can tell "rejected up front" from "kept failing transiently".
 constexpr int kExitRetriesExhausted = 8;
+/// A snapshot file failed integrity checking (kDataLoss): re-reading the
+/// same bytes cannot help, so scripts should fall back to a cold solve.
+constexpr int kExitDataLoss = 9;
 
 int exit_code_for(hgp::StatusCode code) {
   switch (code) {
@@ -69,6 +76,8 @@ int exit_code_for(hgp::StatusCode code) {
       return kExitInternal;
     case hgp::StatusCode::kResourceExhausted:
       return kExitResourceExhausted;
+    case hgp::StatusCode::kDataLoss:
+      return kExitDataLoss;
   }
   return kExitInternal;
 }
@@ -80,6 +89,7 @@ void print_usage(std::FILE* to, const char* argv0) {
       "          [--algo hgp|greedy|multilevel|rb|random] [--trees N]\n"
       "          [--units U | --epsilon E] [--seed S] [--out FILE]\n"
       "          [--timeout-ms MS] [--fallback chain|none] [--retries N]\n"
+      "          [--save-snapshot FILE] [--load-snapshot FILE]\n"
       "          [--trace FILE] [--metrics FILE] [--report] [--help]\n"
       "\n"
       "  --graph FILE     METIS task graph (vertex weights = demands/1000)\n"
@@ -99,6 +109,12 @@ void print_usage(std::FILE* to, const char* argv0) {
       "  --retries N      retry transient failures up to N times with\n"
       "                   exponential backoff (service-layer semantics;\n"
       "                   exit 8 when the budget is spent, default 0)\n"
+      "  --save-snapshot FILE\n"
+      "                   after an hgp solve, write the sampled forest (with\n"
+      "                   its graph) as a durable binary snapshot\n"
+      "  --load-snapshot FILE\n"
+      "                   warm the forest cache from a snapshot before\n"
+      "                   solving; a corrupt/stale file exits 9 (data loss)\n"
       "  --trace FILE     record trace spans, write Chrome trace-event JSON\n"
       "                   (open in chrome://tracing or ui.perfetto.dev)\n"
       "  --metrics FILE   write the metrics registry as JSON\n"
@@ -171,6 +187,7 @@ int main(int argc, char** argv) {
   using namespace hgp;
   std::string graph_path, out_path, algo = "hgp";
   std::string trace_path, metrics_path;
+  std::string save_snapshot_path, load_snapshot_path;
   bool report = false;
   std::string deg_spec, cm_spec;
   int trees = 4;
@@ -230,6 +247,10 @@ int main(int argc, char** argv) {
       } else {
         usage_error(argv[0], "unknown --fallback mode '%s'", mode.c_str());
       }
+    } else if (!std::strcmp(argv[i], "--save-snapshot")) {
+      save_snapshot_path = need("--save-snapshot");
+    } else if (!std::strcmp(argv[i], "--load-snapshot")) {
+      load_snapshot_path = need("--load-snapshot");
     } else if (!std::strcmp(argv[i], "--out")) {
       out_path = need("--out");
     } else if (!std::strcmp(argv[i], "--trace")) {
@@ -244,6 +265,10 @@ int main(int argc, char** argv) {
   }
   if (graph_path.empty() || deg_spec.empty() || cm_spec.empty()) {
     usage_error(argv[0], "--graph, --deg and --cm are required%s", "");
+  }
+  if ((!save_snapshot_path.empty() || !load_snapshot_path.empty()) &&
+      algo != "hgp") {
+    usage_error(argv[0], "--save/--load-snapshot require --algo hgp%s", "");
   }
 
   // Tracing must be live before the solve starts; it is off by default so
@@ -278,6 +303,22 @@ int main(int argc, char** argv) {
     std::printf("graph: %d tasks, %d edges, total demand %.2f\n",
                 g.vertex_count(), g.edge_count(), g.total_demand());
     std::printf("machine: %s\n", h.to_string().c_str());
+
+    // Warm the forest cache from a prior snapshot before the solve: a
+    // matching (fingerprint, seed, trees, cutter) key turns the forest
+    // build into a cache hit.  Integrity failures are terminal here —
+    // the user explicitly pointed us at the file, so silently cold-solving
+    // would hide the corruption (scripts catch exit 9 and fall back).
+    if (!load_snapshot_path.empty()) {
+      const Status s =
+          ForestCache::global().warm_load_file(load_snapshot_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: --load-snapshot %s: %s\n",
+                     load_snapshot_path.c_str(), s.to_string().c_str());
+        return exit_code_for(s.code);
+      }
+      std::printf("snapshot loaded: %s\n", load_snapshot_path.c_str());
+    }
 
     Placement p;
     Status status;
@@ -355,6 +396,22 @@ int main(int argc, char** argv) {
       p = random_placement(g, h, rng);
     } else {
       usage_error(argv[0], "unknown --algo '%s'", algo.c_str());
+    }
+
+    // Persist the sampled forest under the exact key the solver cached it
+    // with.  A miss (forest cache disabled, or the retry ladder degraded
+    // the tree count) is a warning, not a failure: the solve itself stands.
+    if (!save_snapshot_path.empty()) {
+      const ForestCacheKey key{graph_fingerprint(g), seed, trees,
+                               FmCutter().name()};
+      const Status s =
+          ForestCache::global().save_entry(key, g, save_snapshot_path);
+      if (s.ok()) {
+        std::printf("snapshot written to %s\n", save_snapshot_path.c_str());
+      } else {
+        std::fprintf(stderr, "warning: --save-snapshot %s: %s\n",
+                     save_snapshot_path.c_str(), s.to_string().c_str());
+      }
     }
 
     const double cost = placement_cost(g, h, p);
