@@ -80,14 +80,14 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const WriterLock lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const WriterLock lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -95,7 +95,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const WriterLock lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(upper_bounds));
@@ -104,20 +104,22 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const ReaderLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 void MetricsRegistry::reset_values() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  // Shared hold: only the map structure is guarded — the instrument
+  // values being zeroed are atomics.
+  const ReaderLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const ReaderLock lock(mutex_);
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {

@@ -21,9 +21,10 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace hgp::obs {
 
@@ -133,10 +134,16 @@ class MetricsRegistry {
   void write_json(std::ostream& os) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Reader/writer split: get-or-create takes the writer side; lookups and
+  /// exports take the reader side (instrument values are atomics, so a
+  /// shared hold is enough to read them).  A leaf lock.
+  mutable SharedMutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      HGP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      HGP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      HGP_GUARDED_BY(mutex_);
 };
 
 }  // namespace hgp::obs

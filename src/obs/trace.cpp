@@ -50,21 +50,21 @@ TraceBuffer& TraceBuffer::global() {
 
 void TraceBuffer::clear() {
   for (Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     shard.events.clear();
   }
 }
 
 void TraceBuffer::record(const TraceEvent& event) {
   Shard& shard = shards_[event.tid % kShards];
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   shard.events.push_back(event);
 }
 
 std::size_t TraceBuffer::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     total += shard.events.size();
   }
   return total;
@@ -73,7 +73,7 @@ std::size_t TraceBuffer::size() const {
 std::vector<TraceEvent> TraceBuffer::snapshot() const {
   std::vector<TraceEvent> events;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     events.insert(events.end(), shard.events.begin(), shard.events.end());
   }
   // Start-time order with longer (enclosing) spans first on ties, so a

@@ -24,9 +24,9 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
-#include <mutex>
 #include <vector>
 
+#include "util/sync.hpp"
 #include "util/table.hpp"
 
 namespace hgp::obs {
@@ -93,8 +93,9 @@ class TraceBuffer {
   static constexpr std::size_t kShards = 16;
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::vector<TraceEvent> events;
+    /// Leaf locks; snapshot() takes them one at a time, never two at once.
+    mutable Mutex mutex;
+    std::vector<TraceEvent> events HGP_GUARDED_BY(mutex);
   };
 
   std::atomic<bool> enabled_{false};

@@ -56,7 +56,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -92,7 +92,7 @@ void ThreadPool::run_job(const std::function<void()>& fn) {
 bool ThreadPool::is_worker_thread() const { return t_worker_pool == this; }
 
 std::size_t ThreadPool::pending() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -101,8 +101,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stop_ must be true
       job = std::move(queue_.front());
       queue_.pop_front();

@@ -17,17 +17,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "util/sync.hpp"
 
 namespace hgp {
 
@@ -65,9 +64,11 @@ class ThreadPool {
     }
     note_submit(/*queued=*/true);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       queue_.emplace_back(make_job([task] { (*task)(); }));
     }
+    // Notify outside the lock: the job was enqueued (the predicate the
+    // workers wait on) while it was held, so the wakeup cannot be lost.
     cv_.notify_one();
     return fut;
   }
@@ -93,17 +94,17 @@ class ThreadPool {
 
   static Job make_job(std::function<void()> fn);
 
-  void worker_loop();
+  void worker_loop() HGP_EXCLUDES(mutex_);
   /// Metrics bookkeeping around one submit (counter + queue-depth gauge).
   void note_submit(bool queued);
   /// Runs `fn`, timing it into the task-latency histograms.
   void run_job(const std::function<void()>& fn);
 
   std::vector<std::thread> workers_;
-  std::deque<Job> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<Job> queue_ HGP_GUARDED_BY(mutex_);
+  bool stop_ HGP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hgp

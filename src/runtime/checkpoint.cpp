@@ -9,7 +9,7 @@
 namespace hgp {
 
 void SolveCheckpoint::bind(const CheckpointKey& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (bound_ && key == key_) return;
   trees_.clear();
   key_ = key;
@@ -17,7 +17,7 @@ void SolveCheckpoint::bind(const CheckpointKey& key) {
 }
 
 bool SolveCheckpoint::lookup(int index, CheckpointedTree* out) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = trees_.find(index);
   if (it == trees_.end()) return false;
   *out = it->second;
@@ -25,28 +25,28 @@ bool SolveCheckpoint::lookup(int index, CheckpointedTree* out) const {
 }
 
 void SolveCheckpoint::record(int index, CheckpointedTree tree) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   trees_[index] = std::move(tree);
 }
 
 std::size_t SolveCheckpoint::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return trees_.size();
 }
 
 void SolveCheckpoint::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   trees_.clear();
   bound_ = false;
 }
 
 bool SolveCheckpoint::bound() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return bound_;
 }
 
 CheckpointKey SolveCheckpoint::key() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return key_;
 }
 
@@ -59,7 +59,7 @@ CheckpointKey SolveCheckpoint::key() const {
 Status SolveCheckpoint::save(const std::string& path) const {
   io::SnapshotWriter w;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     io::CheckpointHeaderRecord header;
     header.graph_fingerprint = key_.graph_fingerprint;
     header.seed = key_.seed;
@@ -136,12 +136,12 @@ Status SolveCheckpoint::load(const std::string& path) {
     }
     if (c.index != r.section_count()) reject("unexpected trailing sections");
   } catch (const SolveError& e) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     trees_.clear();
     bound_ = false;
     return e.status();
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   key_ = key;
   bound_ = was_bound;
   trees_ = std::move(trees);

@@ -21,12 +21,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "core/tree_dp.hpp"
 #include "hierarchy/placement.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace hgp {
 
@@ -93,10 +93,12 @@ class SolveCheckpoint {
   Status load(const std::string& path);
 
  private:
-  mutable std::mutex mutex_;
-  CheckpointKey key_;
-  bool bound_ = false;
-  std::map<int, CheckpointedTree> trees_;
+  /// A leaf lock: save() serializes under it but performs file I/O after
+  /// releasing; nothing else is acquired while it is held.
+  mutable Mutex mutex_;
+  CheckpointKey key_ HGP_GUARDED_BY(mutex_);
+  bool bound_ HGP_GUARDED_BY(mutex_) = false;
+  std::map<int, CheckpointedTree> trees_ HGP_GUARDED_BY(mutex_);
 };
 
 }  // namespace hgp

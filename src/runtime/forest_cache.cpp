@@ -36,7 +36,7 @@ ForestCache& ForestCache::global() {
 
 CachedForest ForestCache::find(const ForestCacheKey& key) {
   if (!enabled()) return nullptr;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     if (it->key == key) {
       lru_.splice(lru_.begin(), lru_, it);
@@ -51,7 +51,7 @@ CachedForest ForestCache::find(const ForestCacheKey& key) {
 void ForestCache::insert(const ForestCacheKey& key, CachedForest forest) {
   if (!enabled() || forest == nullptr) return;
   const std::size_t bytes = estimate_forest_bytes(*forest);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     if (it->key == key) {
       MemoryBudget::global().release(it->charged_bytes);
@@ -81,12 +81,12 @@ void ForestCache::insert(const ForestCacheKey& key, CachedForest forest) {
 }
 
 std::size_t ForestCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return lru_.size();
 }
 
 void ForestCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const Entry& e : lru_) MemoryBudget::global().release(e.charged_bytes);
   lru_.clear();
 }

@@ -17,7 +17,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +24,7 @@
 #include "graph/fingerprint.hpp"
 #include "graph/graph.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace hgp {
 
@@ -94,8 +94,9 @@ class ForestCache {
   };
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recently used
+  /// A leaf lock: nothing else is acquired while it is held.
+  mutable Mutex mutex_;
+  std::list<Entry> lru_ HGP_GUARDED_BY(mutex_);  // front = most recently used
 };
 
 }  // namespace hgp

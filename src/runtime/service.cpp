@@ -154,29 +154,42 @@ RetrySolveReport solve_with_retry(const Graph& g, const Hierarchy& h,
 // ServiceRequest
 
 const RetrySolveReport& ServiceRequest::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return done_; });
+  MutexLock lock(mutex_);
+  while (!done_) cv_.wait(mutex_);
+  // Safe to hand out once done_: finish() was the last writer of report_.
   return report_;
 }
 
 void ServiceRequest::cancel() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  caller_cancelled_.store(true, std::memory_order_release);
-  if (attempt_token_) attempt_token_->request_cancel();
-  cv_.notify_all();  // interrupt a backoff sleep
+  std::shared_ptr<CancelToken> token;
+  {
+    const MutexLock lock(mutex_);
+    // The store stays under mutex_ even though the flag is atomic: it is
+    // the predicate of wait()'s and backoff_wait's cv loops, and only the
+    // mutex closes their check-then-block window (util/sync.hpp).
+    caller_cancelled_.store(true, std::memory_order_release);
+    token = attempt_token_;
+  }
+  // Cancel the attempt and wake any backoff sleep outside the lock.
+  if (token) token->request_cancel();
+  cv_.notify_all();
 }
 
 bool ServiceRequest::done() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return done_;
 }
 
 void ServiceRequest::finish(RetrySolveReport report) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  report_ = std::move(report);
-  done_ = true;
-  running_ = false;
-  attempt_token_.reset();
+  {
+    const MutexLock lock(mutex_);
+    report_ = std::move(report);
+    done_ = true;
+    running_ = false;
+    attempt_token_.reset();
+  }
+  // done_ (the waiters' predicate) was set under the lock above, so this
+  // notify cannot be lost.
   cv_.notify_all();
 }
 
@@ -203,7 +216,7 @@ SolverService::SolverService(ServiceOptions opt) : opt_(std::move(opt)) {
 SolverService::~SolverService() {
   drain();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -228,7 +241,7 @@ std::shared_ptr<ServiceRequest> SolverService::submit(const Graph& g,
   HGP_COUNTER_ADD("service.submitted", 1);
   std::shared_ptr<ServiceRequest> req;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     req.reset(new ServiceRequest(next_id_++, g, h, std::move(opt)));
     if (draining_ || stopping_) {
       stats_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
@@ -255,13 +268,13 @@ std::shared_ptr<ServiceRequest> SolverService::submit(const Graph& g,
 }
 
 void SolverService::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   draining_ = true;
-  idle_cv_.wait(lock, [&] { return queue_.empty() && inflight_.empty(); });
+  while (!queue_.empty() || !inflight_.empty()) idle_cv_.wait(mutex_);
 }
 
 std::size_t SolverService::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -330,7 +343,7 @@ void SolverService::recover_spills() {
       std::filesystem::remove(entry.path(), rm);
       continue;
     }
-    const std::lock_guard<std::mutex> lock(spill_mutex_);
+    const MutexLock lock(spill_mutex_);
     recovered_spills_.emplace_back(probe.key(), path);
   }
 }
@@ -354,7 +367,7 @@ void SolverService::spill_checkpoint(ServiceRequest& req) {
 void SolverService::try_recover(ServiceRequest& req,
                                 const SolverOptions& opt) {
   {
-    const std::lock_guard<std::mutex> lock(spill_mutex_);
+    const MutexLock lock(spill_mutex_);
     if (recovered_spills_.empty()) return;
   }
   // The fingerprint costs O(m); it is only paid while unconsumed spills
@@ -367,7 +380,7 @@ void SolverService::try_recover(ServiceRequest& req,
   key.units_override = opt.units_override;
   std::string path;
   {
-    const std::lock_guard<std::mutex> lock(spill_mutex_);
+    const MutexLock lock(spill_mutex_);
     const auto it = std::find_if(
         recovered_spills_.begin(), recovered_spills_.end(),
         [&key](const auto& e) { return e.first == key; });
@@ -398,8 +411,8 @@ void SolverService::worker_loop() {
   for (;;) {
     std::shared_ptr<ServiceRequest> req;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(mutex_);
       // Even when stopping, finish what was admitted: the destructor
       // drains before it sets stopping_, so this only matters for queued
       // work racing a shutdown.
@@ -412,20 +425,22 @@ void SolverService::worker_loop() {
     }
     run_request(req);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), req),
                       inflight_.end());
       stats_.completed.fetch_add(1, std::memory_order_relaxed);
       HGP_GAUGE_SET("service.inflight", inflight_.size());
     }
     HGP_COUNTER_ADD("service.completed", 1);
+    // drain()'s predicate (queue_/inflight_ empty) changed under the lock
+    // above; notifying after unlock avoids waking drain into a held mutex.
     idle_cv_.notify_all();
   }
 }
 
 void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
   {
-    const std::lock_guard<std::mutex> lock(req->mutex_);
+    const MutexLock lock(req->mutex_);
     req->running_ = true;
   }
   SolverOptions opt = req->opt_;
@@ -442,7 +457,7 @@ void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
   hooks.before_attempt = [this, &req](SolverOptions& o) {
     auto token = std::make_shared<CancelToken>();
     {
-      const std::lock_guard<std::mutex> lock(req->mutex_);
+      const MutexLock lock(req->mutex_);
       req->watchdog_cancelled_.store(false, std::memory_order_release);
       req->attempt_token_ = token;
       req->attempt_start_ = std::chrono::steady_clock::now();
@@ -460,12 +475,17 @@ void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
            !req->caller_cancelled_.load(std::memory_order_acquire);
   };
   hooks.backoff_wait = [&req](double ms) {
-    std::unique_lock<std::mutex> lock(req->mutex_);
-    req->cv_.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
-                      [&] {
-                        return req->caller_cancelled_.load(
-                            std::memory_order_acquire);
-                      });
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(ms);
+    MutexLock lock(req->mutex_);
+    while (!req->caller_cancelled_.load(std::memory_order_acquire)) {
+      const double left_ms = std::chrono::duration<double, std::milli>(
+                                 deadline - std::chrono::steady_clock::now())
+                                 .count();
+      if (left_ms <= 0) break;
+      req->cv_.wait_for_ms(req->mutex_, left_ms);
+    }
     return !req->caller_cancelled_.load(std::memory_order_acquire);
   };
   hooks.on_retry = [this] {
@@ -501,16 +521,17 @@ void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
 }
 
 void SolverService::watchdog_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (!stopping_) {
-    watchdog_cv_.wait_for(
-        lock, std::chrono::duration<double, std::milli>(opt_.watchdog_poll_ms));
+    watchdog_cv_.wait_for_ms(mutex_, opt_.watchdog_poll_ms);
     if (stopping_) return;
     const auto now = std::chrono::steady_clock::now();
     for (const std::shared_ptr<ServiceRequest>& req : inflight_) {
       std::shared_ptr<CancelToken> token;
       {
-        const std::lock_guard<std::mutex> rlock(req->mutex_);
+        // Nests inside mutex_ — the one place the service → request lock
+        // order is exercised with both held.
+        const MutexLock rlock(req->mutex_);
         if (!req->running_ || req->attempt_token_ == nullptr) continue;
         const double elapsed_ms =
             std::chrono::duration<double, std::milli>(now - req->attempt_start_)
@@ -523,6 +544,8 @@ void SolverService::watchdog_loop() {
         req->watchdog_cancelled_.store(true, std::memory_order_release);
         token = req->attempt_token_;
       }
+      // Poke the token outside req->mutex_ — no lock held across the
+      // cancel propagation.
       token->request_cancel();
       stats_.watchdog_cancels.fetch_add(1, std::memory_order_relaxed);
       HGP_COUNTER_ADD("service.watchdog_cancels", 1);

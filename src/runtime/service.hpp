@@ -35,16 +35,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "runtime/solver.hpp"
 #include "util/memory_budget.hpp"
+#include "util/sync.hpp"
 
 namespace hgp {
 
@@ -125,14 +124,14 @@ struct ServiceOptions {
 class ServiceRequest {
  public:
   /// Blocks until the request reaches a terminal state.
-  const RetrySolveReport& wait();
+  const RetrySolveReport& wait() HGP_EXCLUDES(mutex_);
 
   /// Requests cancellation: the current attempt is cancelled cooperatively
   /// and no further attempts start.  Terminal status becomes kCancelled
   /// unless the request already finished.
-  void cancel();
+  void cancel() HGP_EXCLUDES(mutex_);
 
-  bool done() const;
+  bool done() const HGP_EXCLUDES(mutex_);
 
   /// Identifier assigned at submit (dense, starting at 0).
   std::uint64_t id() const { return id_; }
@@ -144,7 +143,7 @@ class ServiceRequest {
                  SolverOptions opt)
       : id_(id), graph_(&g), hierarchy_(&h), opt_(std::move(opt)) {}
 
-  void finish(RetrySolveReport report);
+  void finish(RetrySolveReport report) HGP_EXCLUDES(mutex_);
 
   const std::uint64_t id_;
   const Graph* graph_;
@@ -152,20 +151,26 @@ class ServiceRequest {
   SolverOptions opt_;
   SolveCheckpoint checkpoint_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  bool running_ = false;
-  RetrySolveReport report_;
+  /// Acquired after SolverService::mutex_ (submit-reject and watchdog-scan
+  /// paths nest it inside the service lock); never the other way around.
+  mutable Mutex mutex_;
+  CondVar cv_;
+  bool done_ HGP_GUARDED_BY(mutex_) = false;
+  bool running_ HGP_GUARDED_BY(mutex_) = false;
+  RetrySolveReport report_ HGP_GUARDED_BY(mutex_);
 
-  /// Caller-initiated cancellation (sticky across attempts).
+  /// Caller-initiated cancellation (sticky across attempts).  Atomic so
+  /// the retry loop can poll it lock-free, but the cancel() store happens
+  /// under mutex_ — it is the predicate of wait()'s cv loop, and the
+  /// lost-wakeup rule (util/sync.hpp) applies to atomics too.
   std::atomic<bool> caller_cancelled_{false};
   /// The watchdog cancelled the *current* attempt (reset per attempt).
   std::atomic<bool> watchdog_cancelled_{false};
   /// Token observed by the current attempt, swapped fresh per attempt so a
-  /// stale watchdog cancel cannot kill the retry (guarded by mutex_).
-  std::shared_ptr<CancelToken> attempt_token_;
-  std::chrono::steady_clock::time_point attempt_start_{};
+  /// stale watchdog cancel cannot kill the retry.
+  std::shared_ptr<CancelToken> attempt_token_ HGP_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point attempt_start_
+      HGP_GUARDED_BY(mutex_){};
 };
 
 class SolverService {
@@ -182,14 +187,15 @@ class SolverService {
   /// budget pressure, draining) returns a handle that is already terminal
   /// with status kResourceExhausted.
   std::shared_ptr<ServiceRequest> submit(const Graph& g, const Hierarchy& h,
-                                         SolverOptions opt = {});
+                                         SolverOptions opt = {})
+      HGP_EXCLUDES(mutex_);
 
   /// Stops admitting, waits until every queued and in-flight request is
   /// terminal.  Idempotent; the service stays drained afterwards.
-  void drain();
+  void drain() HGP_EXCLUDES(mutex_);
 
   /// Queued requests right now (in-flight excluded).
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const HGP_EXCLUDES(mutex_);
 
   /// Plain-atomic counters mirrored into the obs metrics registry (the
   /// struct works under HGP_OBS=OFF; the registry copy feeds --metrics
@@ -220,39 +226,44 @@ class SolverService {
   Stats stats() const;
 
  private:
-  void worker_loop();
-  void watchdog_loop();
-  void run_request(const std::shared_ptr<ServiceRequest>& req);
+  void worker_loop() HGP_EXCLUDES(mutex_);
+  void watchdog_loop() HGP_EXCLUDES(mutex_);
+  void run_request(const std::shared_ptr<ServiceRequest>& req)
+      HGP_EXCLUDES(mutex_);
   std::shared_ptr<ServiceRequest> reject(std::shared_ptr<ServiceRequest> req,
                                          const char* why);
   /// Construction-time scan of spill_dir: index readable spills by key,
   /// delete unreadable ones (their bytes are gone for good).
-  void recover_spills();
+  void recover_spills() HGP_EXCLUDES(spill_mutex_);
   /// Deterministic spill file path for a checkpoint key.
   std::string spill_path(const CheckpointKey& key) const;
   /// Best-effort durable spill of the request's checkpoint.
   void spill_checkpoint(ServiceRequest& req);
   /// Loads a recovered spill matching the request's key, if any.
-  void try_recover(ServiceRequest& req, const SolverOptions& opt);
+  void try_recover(ServiceRequest& req, const SolverOptions& opt)
+      HGP_EXCLUDES(spill_mutex_);
 
   ServiceOptions opt_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers wait for queue/stop
-  std::condition_variable idle_cv_;   // drain waits for quiescence
-  std::deque<std::shared_ptr<ServiceRequest>> queue_;
-  std::vector<std::shared_ptr<ServiceRequest>> inflight_;
-  bool draining_ = false;
-  bool stopping_ = false;
-  std::uint64_t next_id_ = 0;
+  /// The service-wide lock; ServiceRequest::mutex_ nests inside it.
+  mutable Mutex mutex_;
+  CondVar work_cv_;   // workers wait for queue/stop
+  CondVar idle_cv_;   // drain waits for quiescence
+  std::deque<std::shared_ptr<ServiceRequest>> queue_ HGP_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<ServiceRequest>> inflight_
+      HGP_GUARDED_BY(mutex_);
+  bool draining_ HGP_GUARDED_BY(mutex_) = false;
+  bool stopping_ HGP_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_id_ HGP_GUARDED_BY(mutex_) = 0;
 
-  std::condition_variable watchdog_cv_;
+  CondVar watchdog_cv_;
 
   /// Spills found at construction, consumed (erased) as requests with
-  /// matching keys arrive.  Own mutex: touched from run_request, which
-  /// never holds mutex_.
-  std::mutex spill_mutex_;
-  std::vector<std::pair<CheckpointKey, std::string>> recovered_spills_;
+  /// matching keys arrive.  Own mutex, a leaf: touched from run_request,
+  /// which never holds mutex_.
+  Mutex spill_mutex_;
+  std::vector<std::pair<CheckpointKey, std::string>> recovered_spills_
+      HGP_GUARDED_BY(spill_mutex_);
 
   struct AtomicStats {
     std::atomic<std::uint64_t> submitted{0};

@@ -6,6 +6,14 @@
 // gone.  Deadline reads the clock, so hot loops go through PeriodicCheck,
 // which amortizes the clock read over a stride of iterations while still
 // noticing cancellation on every tick.
+//
+// Concurrency: nothing here blocks or locks — Deadline is immutable after
+// construction and CancelToken is a single release/acquire atomic — so
+// this header sits outside the capability layer of util/sync.hpp.  One
+// caveat the analysis cannot see: when a CancelToken's flag is the
+// predicate of a condition-variable wait (the service's backoff sleep),
+// the *store* must still happen under the waiter's mutex; see the
+// lost-wakeup rule in util/sync.hpp.
 #pragma once
 
 #include <atomic>

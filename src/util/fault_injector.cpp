@@ -2,12 +2,12 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "util/prng.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace hgp {
 
@@ -26,8 +26,10 @@ struct Armed {
 // atomic fast path says something is armed, so the lock never appears on
 // an un-instrumented run.
 struct ArmedTable {
-  std::mutex mu;
-  std::map<std::pair<std::string, int>, Armed> faults;
+  /// A leaf lock; draw() copies the fault out and acts on it (throw,
+  /// stall) only after release.
+  Mutex mu;
+  std::map<std::pair<std::string, int>, Armed> faults HGP_GUARDED_BY(mu);
 };
 
 ArmedTable& table() {
@@ -44,7 +46,7 @@ FaultInjector& FaultInjector::instance() {
 
 void FaultInjector::arm(const std::string& site, int index, Fault fault) {
   ArmedTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
+  const MutexLock lock(t.mu);
   t.faults.insert_or_assign({site, index}, Armed{fault, SplitMix64(fault.seed)});
   armed_count_.store(static_cast<int>(t.faults.size()),
                      std::memory_order_release);
@@ -52,7 +54,7 @@ void FaultInjector::arm(const std::string& site, int index, Fault fault) {
 
 void FaultInjector::disarm(const std::string& site, int index) {
   ArmedTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
+  const MutexLock lock(t.mu);
   t.faults.erase({site, index});
   armed_count_.store(static_cast<int>(t.faults.size()),
                      std::memory_order_release);
@@ -60,7 +62,7 @@ void FaultInjector::disarm(const std::string& site, int index) {
 
 void FaultInjector::disarm_all() {
   ArmedTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
+  const MutexLock lock(t.mu);
   t.faults.clear();
   armed_count_.store(0, std::memory_order_release);
 }
@@ -98,7 +100,7 @@ FaultInjector::Action FaultInjector::poll_io(const char* site, int index) {
 
 FaultInjector::Fault FaultInjector::draw(const char* site, int index) {
   ArmedTable& t = table();
-  const std::lock_guard<std::mutex> lock(t.mu);
+  const MutexLock lock(t.mu);
   auto it = t.faults.find({site, index});
   if (it == t.faults.end()) it = t.faults.find({site, kEveryIndex});
   if (it == t.faults.end()) return Fault{};

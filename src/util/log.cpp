@@ -4,15 +4,17 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
 
+#include "util/sync.hpp"
 #include "util/thread_id.hpp"
 
 namespace hgp {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
-std::mutex g_emit_mutex;
+/// A leaf lock serializing line emission only — log_emit never calls out
+/// while holding it.
+Mutex g_emit_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -54,7 +56,7 @@ namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
   char stamp[32];
   format_iso8601(stamp, sizeof stamp);
-  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  const MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[%s hgp %s t%u] %s\n", stamp, level_tag(level),
                this_thread_id(), message.c_str());
 }

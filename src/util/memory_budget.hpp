@@ -16,6 +16,12 @@
 // Tests and the service layer may also construct private budgets or adjust
 // the global limit at runtime (set_limit is atomic; in-flight reservations
 // are unaffected).
+//
+// Concurrency: lock-free by design — two relaxed atomics and no blocking,
+// so the budget sits outside the capability layer of util/sync.hpp (there
+// is no mutex for the thread-safety analysis to track).  The cost is that
+// try_reserve admits small transient overshoots when reservations race;
+// admission control needs the order of magnitude, not an exact census.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,233 @@
+// Annotated synchronization primitives: the library's only mutexes.
+//
+// Every lock in src/ goes through these wrappers instead of <mutex> /
+// <shared_mutex> / <condition_variable> directly (lint rule `raw-mutex`
+// bans the std types everywhere else).  The wrappers carry Clang Thread
+// Safety Analysis capability attributes, so the locking discipline that
+// docs/STATIC_ANALYSIS.md used to state in prose — which mutex guards
+// which fields, which helpers require a lock held — is machine-checked at
+// compile time under `-DHGP_THREAD_SAFETY=ON` (Clang only; the macros
+// compile to nothing on every other compiler, and the wrappers are
+// zero-overhead shims over the std types either way).
+//
+// Usage pattern:
+//
+//   class Queue {
+//    public:
+//     void push(int v) {
+//       { const MutexLock lock(mutex_); items_.push_back(v); }
+//       cv_.notify_one();   // predicate was updated under the lock above
+//     }
+//     int pop() {
+//       MutexLock lock(mutex_);
+//       while (items_.empty()) cv_.wait(mutex_);
+//       ...
+//     }
+//    private:
+//     Mutex mutex_;
+//     CondVar cv_;
+//     std::vector<int> items_ HGP_GUARDED_BY(mutex_);
+//   };
+//
+// CondVar deliberately has no predicate-lambda overloads: the analysis
+// checks a lambda body as a separate function that does not know the
+// caller holds the mutex, so `cv.wait(lock, [&]{ return guarded_; })`
+// would warn on every guarded read inside the predicate.  Write the
+// standard `while (!predicate) cv.wait(mutex);` loop instead — the loop
+// body is analyzed inline, where the capability is visibly held.
+//
+// Lost-wakeup discipline (the hazard class TSan cannot see): a thread
+// that changes a condition-variable predicate MUST do so while holding
+// the mutex the waiter holds — the waiter's check-then-block window is
+// only closed by that mutex.  The notify itself may (and should) happen
+// after unlock; it is the predicate store that must be inside.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Capability-attribute macros (Clang Thread Safety Analysis).
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html — these
+// follow the canonical mutex.h spelling, HGP-prefixed.  All of them expand
+// to nothing on non-Clang compilers.
+
+#if defined(__clang__)
+#define HGP_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define HGP_THREAD_ANNOTATION__(x)
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define HGP_CAPABILITY(x) HGP_THREAD_ANNOTATION__(capability(x))
+/// Marks an RAII class that acquires in its ctor and releases in its dtor.
+#define HGP_SCOPED_CAPABILITY HGP_THREAD_ANNOTATION__(scoped_lockable)
+/// Field may only be touched while `x` is held (exclusively for writes,
+/// at least shared for reads).
+#define HGP_GUARDED_BY(x) HGP_THREAD_ANNOTATION__(guarded_by(x))
+/// Pointee (not the pointer) is protected by `x`.
+#define HGP_PT_GUARDED_BY(x) HGP_THREAD_ANNOTATION__(pt_guarded_by(x))
+/// Static lock-ordering declarations between capabilities.
+#define HGP_ACQUIRED_BEFORE(...) \
+  HGP_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define HGP_ACQUIRED_AFTER(...) \
+  HGP_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+/// Caller must hold the capability (exclusively / at least shared).
+#define HGP_REQUIRES(...) \
+  HGP_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define HGP_REQUIRES_SHARED(...) \
+  HGP_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+/// Function acquires / releases the capability and holds it on return.
+#define HGP_ACQUIRE(...) \
+  HGP_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define HGP_ACQUIRE_SHARED(...) \
+  HGP_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define HGP_RELEASE(...) \
+  HGP_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define HGP_RELEASE_SHARED(...) \
+  HGP_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `true`.
+#define HGP_TRY_ACQUIRE(...) \
+  HGP_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define HGP_TRY_ACQUIRE_SHARED(...) \
+  HGP_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (the function acquires it itself,
+/// or waits on it — either way, holding it on entry deadlocks).
+#define HGP_EXCLUDES(...) HGP_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held (no acquire/release).
+#define HGP_ASSERT_CAPABILITY(x) HGP_THREAD_ANNOTATION__(assert_capability(x))
+/// Function returns a reference to the named capability.
+#define HGP_RETURN_CAPABILITY(x) HGP_THREAD_ANNOTATION__(lock_returned(x))
+/// Escape hatch — document WHY at every use.
+#define HGP_NO_THREAD_SAFETY_ANALYSIS \
+  HGP_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace hgp {
+
+class CondVar;
+
+/// std::mutex carrying the "mutex" capability.  Prefer MutexLock over
+/// calling lock()/unlock() manually — manual pairs are exactly the
+/// exception-unsafety the RAII types exist to prevent.
+class HGP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HGP_ACQUIRE() { mu_.lock(); }
+  void unlock() HGP_RELEASE() { mu_.unlock(); }
+  bool try_lock() HGP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex carrying the capability: exclusive for writers,
+/// shared for readers.  Pair with WriterLock / ReaderLock.
+class HGP_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() HGP_ACQUIRE() { mu_.lock(); }
+  void unlock() HGP_RELEASE() { mu_.unlock(); }
+  bool try_lock() HGP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() HGP_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() HGP_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() HGP_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex (the project's std::lock_guard).
+class HGP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HGP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() HGP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock on a SharedMutex (writer side).
+class HGP_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) HGP_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() HGP_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock on a SharedMutex (reader side).
+class HGP_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) HGP_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() HGP_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to hgp::Mutex.  Waits take the Mutex (not the
+/// scoped lock) so the analysis can check `HGP_REQUIRES(mu)` against the
+/// capability the enclosing MutexLock holds.  Implemented on the native
+/// std::condition_variable via the adopt/release idiom — no
+/// condition_variable_any overhead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// Always use inside a `while (!predicate)` loop — see the header
+  /// comment for why there is no predicate overload.
+  void wait(Mutex& mu) HGP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+  /// wait() with a timeout; returns false when the wait timed out without
+  /// a notification.  The mutex is held again on return either way — the
+  /// caller's predicate loop decides what a timeout means.
+  bool wait_for_ms(Mutex& mu, double ms) HGP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(adopted, std::chrono::duration<double, std::milli>(ms));
+    adopted.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hgp

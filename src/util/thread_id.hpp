@@ -3,6 +3,10 @@
 // std::this_thread::get_id() is opaque and hashes to 64-bit noise; logs and
 // Chrome trace lanes want small stable integers instead.  Ids are assigned
 // 0, 1, 2, … in first-use order and never reused within a process.
+//
+// Concurrency: one relaxed fetch_add per thread's first call, then a
+// thread_local read — lock-free, outside the capability layer of
+// util/sync.hpp.  The trace buffer keys its lock shards by this id.
 #pragma once
 
 #include <atomic>

@@ -460,5 +460,88 @@ TEST(Race, ServiceBudgetAccountingUnderParallelDp) {
   EXPECT_EQ(budget.used(), used0);
 }
 
+// Submit / drain / watchdog wakeups hammered from every direction at once.
+// The storm drives all three service condition variables (work_cv_,
+// idle_cv_, watchdog_cv_) plus every per-request cv_ concurrently.  TSan
+// cannot see a lost wakeup — a predicate stored outside the waiter's mutex
+// races nothing it tracks — so the failure mode this case targets is a
+// hang: a wait() or drain() that never returns because its notify landed
+// in the check-then-block window.
+TEST(Race, ServiceWakeupStormSubmitDrainWatchdog) {
+  const Graph g = demand_graph(77, 16);
+  const Hierarchy& h = hier();
+
+  for (int round = 0; round < 3; ++round) {
+    ServiceOptions sopt;
+    sopt.workers = 3;
+    sopt.max_queue = 256;
+    sopt.retry.max_retries = 1;
+    sopt.retry.backoff_base_ms = 0.1;
+    sopt.stuck_after_ms = 2000;  // watchdog polls, nothing actually sticks
+    sopt.watchdog_poll_ms = 1;
+    SolverService service(sopt);
+
+    constexpr int kSubmitters = 4;
+    constexpr int kPerThread = 8;
+    std::vector<std::vector<std::shared_ptr<ServiceRequest>>> handles(
+        kSubmitters);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        auto& mine = handles[static_cast<std::size_t>(t)];
+        for (int i = 0; i < kPerThread; ++i) {
+          SolverOptions opt;
+          opt.num_trees = 1;
+          opt.seed = static_cast<std::uint64_t>(t * 100 + i);
+          mine.push_back(service.submit(g, h, opt));
+          if (i % 3 == 0) std::this_thread::yield();
+        }
+        // A cancel racing the retry/backoff machinery: exercises the
+        // store-under-lock + notify-after-unlock path in cancel() against
+        // a concurrent wait().
+        mine.front()->cancel();
+        for (auto& r : mine) r->wait();
+      });
+    }
+    for (auto& t : submitters) t.join();
+    // Drain races the tail of the last completions; it must observe
+    // quiescence via idle_cv_, not by luck.
+    service.drain();
+    for (auto& per : handles) {
+      for (auto& r : per) EXPECT_TRUE(r->done());
+    }
+  }
+}
+
+// The thread pool's two wakeup paths — submit's notify_one and the
+// destructor's stop broadcast — churned in a tight loop.  Each round ends
+// with idle workers blocked on the queue cv; a stop_ store that escaped
+// the mutex (or a dropped broadcast) would leave a worker blocked forever
+// and hang the join in ~ThreadPool.
+TEST(Race, ThreadPoolWakeupChurnSubmitVsShutdown) {
+  std::atomic<long> ran{0};
+  constexpr int kRounds = 25;
+  constexpr int kSubmitters = 3;
+  constexpr int kJobs = 40;
+  for (int round = 0; round < kRounds; ++round) {
+    ThreadPool pool(3);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&] {
+        std::vector<std::future<void>> futures;
+        futures.reserve(kJobs);
+        for (int i = 0; i < kJobs; ++i) {
+          futures.push_back(pool.submit(
+              [&] { ran.fetch_add(1, std::memory_order_relaxed); }));
+        }
+        for (auto& f : futures) f.get();
+      });
+    }
+    for (auto& t : submitters) t.join();
+  }
+  EXPECT_EQ(ran.load(std::memory_order_relaxed),
+            static_cast<long>(kRounds) * kSubmitters * kJobs);
+}
+
 }  // namespace
 }  // namespace hgp

@@ -29,6 +29,13 @@ Rules (library scope = src/** unless noted):
                   (src/io/snapshot.hpp, docs/FORMATS.md); ad-hoc struct
                   dumps have no version field, no CRC, and no reader
                   that can reject corruption as kDataLoss.
+  raw-mutex       The std synchronization primitives (std::mutex,
+                  std::shared_mutex, std::lock_guard, std::unique_lock,
+                  std::condition_variable, ...) appear only inside
+                  src/util/sync.hpp.  Everywhere else uses the annotated
+                  hgp::Mutex / MutexLock / CondVar wrappers, so Clang
+                  Thread Safety Analysis (-DHGP_THREAD_SAFETY=ON) sees
+                  every lock in the tree.
 
 Suppression: append `// hgp-lint: allow(<rule>)` to the offending line, or
 put it alone on the previous line.
@@ -90,6 +97,18 @@ RAW_IO_RE = re.compile(
     r"|reinterpret_cast\s*<\s*(?:const\s+)?char\s*\*\s*>"
 )
 RAW_IO_ALLOWED_SUBDIR = os.path.join("src", "io")
+
+# The std sync primitives the annotated layer wraps.  std::atomic and
+# std::call_once are fine — the ban covers blocking primitives the thread
+# safety analysis would otherwise not see.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+)
+RAW_MUTEX_EXEMPT_FILES = {
+    os.path.join("src", "util", "sync.hpp"),
+}
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
@@ -298,6 +317,28 @@ def check_raw_binary_io(root: str) -> list[Finding]:
     return findings
 
 
+def check_raw_mutex(root: str) -> list[Finding]:
+    findings = []
+    for path in iter_files(root, LIB_DIR, SOURCE_EXTS):
+        rel = relpath(root, path)
+        if rel in RAW_MUTEX_EXEMPT_FILES:
+            continue
+        lines = open(path, encoding="utf-8").read().splitlines()
+        in_block_comment = False
+        for i, raw in enumerate(lines):
+            line, in_block_comment = strip_block_comments(raw, in_block_comment)
+            code = strip_code_line(line)
+            if RAW_MUTEX_RE.search(code):
+                if "raw-mutex" in suppressions(lines, i):
+                    continue
+                findings.append(
+                    Finding(rel, i + 1, "raw-mutex",
+                            "std sync primitive outside src/util/sync.hpp; "
+                            "use the annotated hgp::Mutex / MutexLock / "
+                            "CondVar wrappers"))
+    return findings
+
+
 def strip_block_comments(line: str, in_block: bool) -> tuple[str, bool]:
     """Removes /* ... */ content, tracking state across lines."""
     out = []
@@ -327,6 +368,7 @@ RULES = [
     check_header_hygiene,
     check_naked_thread,
     check_raw_binary_io,
+    check_raw_mutex,
 ]
 
 
@@ -423,6 +465,25 @@ FIXTURES = {
         'void w(FILE* f, const char* p, long n) { fwrite(p, 1, n, f); }\n',
         set(),
     ),
+    "src/bad/locks.cpp": (
+        '// raw sync primitives outside the annotated layer\n'
+        '#include <mutex>\n'
+        'std::mutex m;\n'
+        'std::shared_mutex sm;\n'
+        'void f() { const std::lock_guard<std::mutex> l(m); }\n'
+        'std::condition_variable cv;\n'
+        'std::unique_lock<std::mutex> u(m);  // hgp-lint: allow(raw-mutex)\n'
+        '// std::mutex in a comment must not fire\n'
+        'void fine(hgp::Mutex& mu) { const hgp::MutexLock lock(mu); }\n',
+        {"raw-mutex"},
+    ),
+    "src/util/sync.hpp": (
+        '// annotated sync layer — the one home of the std primitives\n'
+        '#pragma once\n'
+        '#include <mutex>\n'
+        'namespace hgp { class Mutex { std::mutex mu_; }; }\n',
+        set(),
+    ),
     "src/good/clean.hpp": (
         '// a perfectly fine header\n'
         '#pragma once\n'
@@ -477,6 +538,12 @@ def self_test() -> int:
         if sorted(f.line for f in stdout_hits) != [4, 5, 6]:
             print("SELF-TEST MISS: no-stdout should fire exactly on lines "
                   f"4, 5 and 6, got {sorted(f.line for f in stdout_hits)}")
+            failures += 1
+        mutex_hits = [f for f in findings
+                      if f.rule == "raw-mutex" and "locks.cpp" in f.path]
+        if sorted(f.line for f in mutex_hits) != [3, 4, 5, 6]:
+            print("SELF-TEST MISS: raw-mutex should fire exactly on lines "
+                  f"3, 4, 5 and 6, got {sorted(f.line for f in mutex_hits)}")
             failures += 1
     if failures:
         print(f"hgp_lint self-test: {failures} failure(s)")
