@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Promtool-style validator for Prometheus text exposition (version 0.0.4).
+
+Checks the /metrics scrape of the introspection endpoint the way
+`promtool check metrics` would, without requiring promtool in the image:
+
+  * every line is a `# HELP`, a `# TYPE`, a sample, or blank;
+  * metric and label names match the Prometheus charsets;
+  * sample values parse as float / +Inf / -Inf / NaN;
+  * each family declares `# TYPE` at most once, before its samples;
+  * histogram families carry `_bucket` series with `le` labels ending in
+    `le="+Inf"`, cumulative bucket counts are non-decreasing, and `_sum`
+    and `_count` are present;
+  * counter and histogram-count values are non-negative.
+
+Usage:
+  check_prometheus.py FILE [--require NAME ...]
+  ... | check_prometheus.py - --require hgp_service_submitted
+
+--require asserts that a sample of the given family exists (the smoke test
+lists the series the chaos storm must have produced).  Exit 0 when clean,
+1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(counter|gauge|histogram|summary|untyped)$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # name
+    r"(?:\{([^}]*)\})? "                     # optional {labels}
+    r"(-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\+Inf|-Inf|NaN)"
+    r"(?: -?\d+)?$")                         # optional timestamp
+LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def base_family(name: str) -> str:
+    """Strips the histogram/summary sample suffixes back to the family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text: str, required: list[str]) -> list[str]:
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    seen_samples: set[str] = set()
+    # family -> list of (le, cumulative count) in exposition order
+    buckets: dict[str, list[tuple[str, float]]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if HELP_RE.match(line):
+                continue
+            m = TYPE_RE.match(line)
+            if not m:
+                errors.append(f"line {lineno}: malformed comment line: {line}")
+                continue
+            name, kind = m.group(1), m.group(2)
+            if name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            if name in seen_samples or base_family(name) in seen_samples:
+                errors.append(
+                    f"line {lineno}: TYPE for {name} after its samples")
+            types[name] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: malformed sample line: {line}")
+            continue
+        name, labels, value_text = m.group(1), m.group(2), m.group(3)
+        family = base_family(name)
+        seen_samples.add(family)
+        seen_samples.add(name)
+        if labels:
+            for pair in labels.split(","):
+                if not LABEL_RE.match(pair.strip()):
+                    errors.append(
+                        f"line {lineno}: malformed label pair: {pair}")
+        value = float(value_text.replace("Inf", "inf").replace("NaN", "nan"))
+        kind = types.get(family) or types.get(name)
+        if kind is None:
+            errors.append(f"line {lineno}: sample {name} has no # TYPE")
+            continue
+        if kind == "counter" and not value >= 0:
+            errors.append(f"line {lineno}: counter {name} is negative")
+        if kind == "histogram":
+            if name.endswith("_bucket"):
+                le = None
+                for pair in (labels or "").split(","):
+                    key, _, raw = pair.strip().partition("=")
+                    if key == "le":
+                        le = raw.strip('"')
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label")
+                else:
+                    buckets.setdefault(family, []).append((le, value))
+            elif not (name.endswith("_sum") or name.endswith("_count")):
+                errors.append(
+                    f"line {lineno}: stray histogram sample {name}")
+
+    for family, series in sorted(buckets.items()):
+        if not series or series[-1][0] != "+Inf":
+            errors.append(f"histogram {family}: buckets do not end in +Inf")
+        counts = [count for _, count in series]
+        if counts != sorted(counts):
+            errors.append(f"histogram {family}: bucket counts not cumulative")
+        for suffix in ("_sum", "_count"):
+            if family + suffix not in seen_samples:
+                errors.append(f"histogram {family}: missing {family}{suffix}")
+
+    for name in required:
+        if name not in seen_samples:
+            errors.append(f"required series missing from exposition: {name}")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="exposition file, or - for stdin")
+    parser.add_argument("--require", nargs="*", default=[],
+                        metavar="NAME",
+                        help="series that must be present")
+    args = parser.parse_args()
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, encoding="utf-8") as f:
+            text = f.read()
+    errors = validate(text, args.require)
+    for e in errors:
+        print(f"check_prometheus: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    families = len({base_family(n) for n in (
+        line.split(" ")[2] for line in text.splitlines()
+        if line.startswith("# TYPE "))})
+    print(f"check_prometheus: OK ({families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Introspection-endpoint smoke test (CI: the obs-endpoint job).
+#
+# Boots `hgp_chaos` with the unix-socket endpoint enabled and scrapes it
+# WHILE the storm runs: /metrics must be valid Prometheus text exposition
+# (scripts/check_prometheus.py, a promtool-style validator) carrying the
+# service.* series, /requests must be valid JSON, /flightrecorder must
+# return an on-demand dump, and tools/hgp_top --once must render against
+# the live socket.  After the storm, the watchdog-cancel phase must have
+# left a flight-recorder dump that is valid JSON and names the retry /
+# degrade / spill steps of the cancelled request (the harness itself
+# asserts the per-request event sequence; this script re-checks the file
+# from the outside).
+#
+# Usage: scripts/obs_endpoint_smoke.sh [build-dir] [requests] [seed]
+#   scripts/obs_endpoint_smoke.sh build          # CI: release build
+set -eu
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+REQUESTS="${2:-60}"
+SEED="${3:-1}"
+CHAOS="$BUILD/tools/hgp_chaos"
+TOP="$BUILD/tools/hgp_top"
+[ -x "$CHAOS" ] || { echo "missing $CHAOS (build hgp_chaos first)"; exit 1; }
+[ -x "$TOP" ] || { echo "missing $TOP (build hgp_top first)"; exit 1; }
+
+WORK="$(mktemp -d)"
+SOCKET="$WORK/hgp-obs.sock"
+DUMP="$WORK/flight.json"
+CHAOS_PID=
+cleanup() {
+  [ -n "$CHAOS_PID" ] && kill "$CHAOS_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# The hold-open keeps the endpoint alive briefly after the phases finish,
+# so a scrape that starts near the end never races the teardown.
+"$CHAOS" --requests "$REQUESTS" --seed "$SEED" \
+  --obs-socket "$SOCKET" --flight-dump "$DUMP" --hold-open-ms 3000 \
+  --metrics "$WORK/metrics.json" &
+CHAOS_PID=$!
+
+# Wait for the storm service to bind the socket.
+for _ in $(seq 1 200); do
+  [ -S "$SOCKET" ] && break
+  kill -0 "$CHAOS_PID" 2>/dev/null || { echo "chaos died before binding"; exit 1; }
+  sleep 0.05
+done
+[ -S "$SOCKET" ] || { echo "endpoint socket never appeared"; exit 1; }
+
+# --- scrape mid-storm ------------------------------------------------------
+"$TOP" --socket "$SOCKET" --once > "$WORK/top.txt"
+grep -q "service: submitted" "$WORK/top.txt" \
+  || { echo "hgp_top rendered no service summary"; cat "$WORK/top.txt"; exit 1; }
+
+# hgp_top exercised /metrics and /requests; grab raw bodies for validation
+# through a python AF_UNIX client (curl --unix-socket is not in the image).
+scrape() {
+  python3 - "$SOCKET" "$1" <<'EOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.settimeout(10)
+s.connect(sys.argv[1])
+s.sendall(f"GET {sys.argv[2]} HTTP/1.0\r\n\r\n".encode())
+data = b""
+while chunk := s.recv(65536):
+    data += chunk
+head, _, body = data.partition(b"\r\n\r\n")
+status = head.split(b"\r\n")[0].decode()
+if " 200 " not in status:
+    sys.exit(f"scrape {sys.argv[2]}: {status}")
+sys.stdout.write(body.decode())
+EOF
+}
+
+scrape /metrics > "$WORK/metrics.prom"
+python3 scripts/check_prometheus.py "$WORK/metrics.prom" \
+  --require hgp_service_submitted hgp_service_admitted \
+            hgp_service_completed hgp_service_retries \
+            hgp_service_queue_depth
+
+scrape /requests > "$WORK/requests.json"
+python3 -m json.tool "$WORK/requests.json" > /dev/null
+grep -q '"queue_depth"' "$WORK/requests.json" \
+  || { echo "/requests missing queue_depth"; exit 1; }
+
+scrape /flightrecorder > "$WORK/ondemand.json"
+python3 -m json.tool "$WORK/ondemand.json" > /dev/null
+grep -q '"reason": "on-demand scrape"' "$WORK/ondemand.json" \
+  || { echo "/flightrecorder dump malformed"; exit 1; }
+
+# --- let the storm finish (its own invariants gate the exit code) ----------
+wait "$CHAOS_PID"
+CHAOS_PID=
+
+# Phase 4's injected watchdog cancel must have dumped the flight recorder,
+# and the dump must name the causal steps of the stuck request.
+[ -s "$DUMP" ] || { echo "missing watchdog flight dump $DUMP"; exit 1; }
+python3 -m json.tool "$DUMP" > /dev/null
+for kind in watchdog_cancel retry backoff degrade checkpoint_spill \
+            attempt_start attempt_end; do
+  grep -q "\"kind\": \"$kind\"" "$DUMP" \
+    || { echo "flight dump missing event kind $kind"; exit 1; }
+done
+
+python3 -m json.tool "$WORK/metrics.json" > /dev/null
+echo "obs endpoint smoke OK ($REQUESTS requests, seed $SEED)"

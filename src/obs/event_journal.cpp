@@ -1,0 +1,207 @@
+#include "obs/event_journal.hpp"
+
+#include <algorithm>
+
+#include "util/thread_id.hpp"
+
+namespace hgp::obs {
+
+namespace {
+
+thread_local std::uint64_t t_request_id = 0;
+thread_local std::uint32_t t_attempt = 0;
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSubmit: return "submit";
+    case EventKind::kAdmit: return "admit";
+    case EventKind::kReject: return "reject";
+    case EventKind::kAttemptStart: return "attempt_start";
+    case EventKind::kAttemptEnd: return "attempt_end";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kBackoff: return "backoff";
+    case EventKind::kDegrade: return "degrade";
+    case EventKind::kCheckpointSpill: return "checkpoint_spill";
+    case EventKind::kCheckpointRecover: return "checkpoint_recover";
+    case EventKind::kCheckpointRecord: return "checkpoint_record";
+    case EventKind::kWatchdogCancel: return "watchdog_cancel";
+    case EventKind::kCallerCancel: return "caller_cancel";
+    case EventKind::kFallbackStage: return "fallback_stage";
+    case EventKind::kCount: break;
+  }
+  return "unknown";
+}
+
+EventJournal::EventJournal() : epoch_(std::chrono::steady_clock::now()) {
+  for (std::atomic<Ring*>& slot : rings_) {
+    slot.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+EventJournal::~EventJournal() {
+  for (std::atomic<Ring*>& slot : rings_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+EventJournal& EventJournal::global() {
+  static EventJournal* journal = new EventJournal();  // never destroyed:
+  // the signal-safe dump path may run during exit, after static
+  // destructors would have torn a by-value singleton down.
+  return *journal;
+}
+
+std::int64_t EventJournal::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+EventJournal::Ring* EventJournal::ring_for_thread() {
+  const std::size_t idx = this_thread_id() % kRings;
+  Ring* ring = rings_[idx].load(std::memory_order_acquire);
+  if (ring != nullptr) return ring;
+  auto* fresh = new Ring();
+  Ring* expected = nullptr;
+  if (rings_[idx].compare_exchange_strong(expected, fresh,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete fresh;  // another thread with the same hash won the install
+  return expected;
+}
+
+void EventJournal::record(EventKind kind, std::uint64_t request_id,
+                          std::uint32_t attempt, std::int64_t arg,
+                          std::uint8_t status) {
+  Ring* ring = ring_for_thread();
+  // Claim-then-publish: the fetch_add reserves a slot (unique per writer
+  // even when threads share a ring); the stamp release-store afterwards is
+  // what makes the event visible to readers.  A reader that catches the
+  // window between them simply skips the slot.
+  const std::uint64_t seq =
+      ring->head.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = ring->slots[seq % kRingCapacity];
+  slot.w0.store(static_cast<std::uint64_t>(now_us()),
+                std::memory_order_relaxed);
+  slot.w1.store(request_id, std::memory_order_relaxed);
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(attempt) << 32) |
+      (static_cast<std::uint64_t>(this_thread_id() & 0xffffu) << 16) |
+      (static_cast<std::uint64_t>(static_cast<std::uint8_t>(kind)) << 8) |
+      static_cast<std::uint64_t>(status);
+  slot.w2.store(packed, std::memory_order_relaxed);
+  slot.w3.store(static_cast<std::uint64_t>(arg), std::memory_order_relaxed);
+  slot.stamp.store(seq + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t EventJournal::read_ring(const Ring& ring, JournalEvent* out,
+                                    std::size_t max) {
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t n = std::min<std::uint64_t>(head, kRingCapacity);
+  std::size_t written = 0;
+  for (std::uint64_t seq = head - n; seq < head && written < max; ++seq) {
+    const Slot& slot = ring.slots[seq % kRingCapacity];
+    if (slot.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    JournalEvent e;
+    e.ts_us =
+        static_cast<std::int64_t>(slot.w0.load(std::memory_order_relaxed));
+    e.request_id = slot.w1.load(std::memory_order_relaxed);
+    const std::uint64_t packed = slot.w2.load(std::memory_order_relaxed);
+    e.attempt = static_cast<std::uint32_t>(packed >> 32);
+    e.tid = static_cast<std::uint32_t>((packed >> 16) & 0xffffu);
+    e.kind = static_cast<EventKind>((packed >> 8) & 0xff);
+    e.status = static_cast<std::uint8_t>(packed & 0xff);
+    e.arg =
+        static_cast<std::int64_t>(slot.w3.load(std::memory_order_relaxed));
+    // Two overwrite guards.  Stamp re-check: a lapping writer republishes
+    // the slot only after rewriting the fields, so a changed stamp proves
+    // the copy raced.  Head re-check: a lapping writer *claims* seq +
+    // kRingCapacity before its first field store, so a head that has moved
+    // past seq + kRingCapacity says the fields were possibly mid-rewrite
+    // even though the new stamp is not yet visible.
+    if (slot.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    if (ring.head.load(std::memory_order_acquire) > seq + kRingCapacity) {
+      continue;
+    }
+    if (static_cast<std::uint8_t>(e.kind) >=
+        static_cast<std::uint8_t>(EventKind::kCount)) {
+      continue;  // torn beyond recognition; drop rather than mislabel
+    }
+    out[written] = e;
+    ++written;
+  }
+  return written;
+}
+
+std::vector<JournalEvent> EventJournal::snapshot() const {
+  std::vector<JournalEvent> events;
+  std::vector<JournalEvent> scratch(kRingCapacity);
+  for (std::size_t i = 0; i < kRings; ++i) {
+    const Ring* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::size_t n = read_ring(*ring, scratch.data(), scratch.size());
+    events.insert(events.end(), scratch.begin(),
+                  scratch.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const JournalEvent& a, const JournalEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.request_id != b.request_id) {
+                return a.request_id < b.request_id;
+              }
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return events;
+}
+
+std::size_t EventJournal::copy_events_signal_safe(JournalEvent* out,
+                                                  std::size_t max) const {
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < kRings && written < max; ++i) {
+    const Ring* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    written += read_ring(*ring, out + written, max - written);
+  }
+  return written;
+}
+
+void EventJournal::clear() {
+  for (std::size_t i = 0; i < kRings; ++i) {
+    Ring* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    // Stamps first: a zero stamp can never equal any seq+1, so residual
+    // slot contents are unreachable even before head resets.
+    for (Slot& slot : ring->slots) {
+      slot.stamp.store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+RequestScope::RequestScope(std::uint64_t request_id, std::uint32_t attempt)
+    : saved_request_id_(t_request_id), saved_attempt_(t_attempt) {
+  t_request_id = request_id;
+  t_attempt = attempt;
+}
+
+RequestScope::~RequestScope() {
+  t_request_id = saved_request_id_;
+  t_attempt = saved_attempt_;
+}
+
+std::uint64_t RequestScope::current_request_id() { return t_request_id; }
+std::uint32_t RequestScope::current_attempt() { return t_attempt; }
+
+std::uint64_t next_library_request_id() {
+  // Service request ids are dense from 0; the library range starts far
+  // above so journals mixing both stay unambiguous.
+  static std::atomic<std::uint64_t> next{1ull << 32};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hgp::obs

@@ -1,0 +1,149 @@
+#include "obs/flight_recorder.hpp"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "obs/event_journal.hpp"
+#include "obs/json_escape.hpp"
+#include "obs/metrics.hpp"
+#include "util/crash_dump.hpp"
+
+namespace hgp::obs {
+
+namespace {
+
+void write_event_json(std::ostream& os, const JournalEvent& e) {
+  os << "{\"ts_us\": " << e.ts_us << ", \"request\": " << e.request_id
+     << ", \"attempt\": " << e.attempt << ", \"tid\": " << e.tid
+     << ", \"kind\": \"" << event_kind_name(e.kind) << "\", \"status\": \""
+     << status_code_name(static_cast<StatusCode>(e.status))
+     << "\", \"arg\": " << e.arg << "}";
+}
+
+// --- async-signal-safe formatting helpers (no streams, no allocation) ---
+
+// hgp-lint: allow(raw-binary-io) — a signal handler has no snapshot
+// container; the raw fd write is the entire point of this path.
+void ss_write(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    // hgp-lint: allow(raw-binary-io)
+    const ::ssize_t w = ::write(fd, data + off, n - off);
+    if (w <= 0) return;  // nothing useful to do about a failing dump fd
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+void ss_write_str(int fd, const char* s) {
+  std::size_t n = 0;
+  while (s[n] != '\0') ++n;
+  ss_write(fd, s, n);
+}
+
+void ss_write_int(int fd, std::int64_t v) {
+  char buf[24];
+  std::size_t i = sizeof buf;
+  const bool neg = v < 0;
+  std::uint64_t u =
+      neg ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  do {
+    buf[--i] = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0 && i > 1);
+  if (neg) buf[--i] = '-';
+  ss_write(fd, buf + i, sizeof buf - i);
+}
+
+void ss_write_uint(int fd, std::uint64_t u) {
+  char buf[24];
+  std::size_t i = sizeof buf;
+  do {
+    buf[--i] = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0 && i > 0);
+  ss_write(fd, buf + i, sizeof buf - i);
+}
+
+/// Events the signal dump can carry; a static buffer because the signal
+/// stack cannot hold the journal tail.  Ring-order, first-N — a fatal
+/// dump favors completeness-of-format over completeness-of-content.
+constexpr std::size_t kSignalDumpEvents = 16384;
+JournalEvent g_signal_events[kSignalDumpEvents];
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::write_json(std::ostream& os,
+                                const std::string& reason) const {
+  const EventJournal& journal = EventJournal::global();
+  os << "{\n  \"reason\": \"";
+  write_json_escaped(os, reason);
+  os << "\",\n  \"captured_ts_us\": " << journal.now_us()
+     << ",\n  \"events_recorded\": " << journal.recorded()
+     << ",\n  \"events\": [";
+  bool first = true;
+  for (const JournalEvent& e : journal.snapshot()) {
+    os << (first ? "\n    " : ",\n    ");
+    write_event_json(os, e);
+    first = false;
+  }
+  os << "\n  ],\n  \"metrics\": ";
+  MetricsRegistry::global().write_json(os);
+  os << "}\n";
+}
+
+Status FlightRecorder::dump_to_file(const std::string& path,
+                                    const std::string& reason) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    return Status(StatusCode::kDataLoss,
+                  "flight recorder: cannot open dump file " + path);
+  }
+  write_json(os, reason);
+  os.flush();
+  if (!os) {
+    return Status(StatusCode::kDataLoss,
+                  "flight recorder: short write to dump file " + path);
+  }
+  return Status();
+}
+
+void FlightRecorder::write_signal_safe(int fd) {
+  const EventJournal& journal = EventJournal::global();
+  const std::size_t n =
+      journal.copy_events_signal_safe(g_signal_events, kSignalDumpEvents);
+  ss_write_str(fd, "{\"reason\": \"fatal_signal\",\n\"events\": [");
+  for (std::size_t i = 0; i < n; ++i) {
+    const JournalEvent& e = g_signal_events[i];
+    ss_write_str(fd, i == 0 ? "\n" : ",\n");
+    ss_write_str(fd, "{\"ts_us\": ");
+    ss_write_int(fd, e.ts_us);
+    ss_write_str(fd, ", \"request\": ");
+    ss_write_uint(fd, e.request_id);
+    ss_write_str(fd, ", \"attempt\": ");
+    ss_write_uint(fd, e.attempt);
+    ss_write_str(fd, ", \"tid\": ");
+    ss_write_uint(fd, e.tid);
+    ss_write_str(fd, ", \"kind\": \"");
+    ss_write_str(fd, event_kind_name(e.kind));
+    ss_write_str(fd, "\", \"status\": ");
+    ss_write_uint(fd, e.status);
+    ss_write_str(fd, ", \"arg\": ");
+    ss_write_int(fd, e.arg);
+    ss_write_str(fd, "}");
+  }
+  ss_write_str(fd, "\n]}\n");
+}
+
+void FlightRecorder::install_signal_dump(const std::string& path) {
+  install_crash_dump(path.c_str(), &FlightRecorder::write_signal_safe);
+}
+
+}  // namespace hgp::obs

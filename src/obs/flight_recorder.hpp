@@ -1,0 +1,57 @@
+// Flight recorder: snapshots the event journal tail plus the metrics
+// registry to a JSON document when something goes wrong.
+//
+// The journal answers "what was request 17 doing"; the flight recorder is
+// the delivery mechanism — one self-contained dump captured at the moment
+// of interest:
+//
+//   * on demand (the introspection endpoint's /flightrecorder, tests),
+//   * on watchdog cancel / terminal kInternal (the service layer dumps to
+//     ServiceOptions::flight_dump_path),
+//   * on chaos-harness assertion failures,
+//   * on fatal signals, via the async-signal-safe journal-only writer
+//     registered through util/crash_dump.hpp.
+//
+// Dump shape (docs/OBSERVABILITY.md documents the schema):
+//   {"reason": "...", "captured_ts_us": N, "events": [...],
+//    "metrics": {...}}
+// The fatal-signal path omits "metrics" — the registry lock is not
+// async-signal-safe — and writes events in ring order; every other path
+// emits time-ordered events and the full registry.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace hgp::obs {
+
+class FlightRecorder {
+ public:
+  /// Recorder over the global journal + registry (the only state a
+  /// recorder has; the class exists to give the dump paths a home).
+  static FlightRecorder& global();
+
+  /// Writes the full JSON dump (journal tail, time-ordered, plus the
+  /// metrics registry).  `reason` lands in the document verbatim
+  /// (escaped).
+  void write_json(std::ostream& os, const std::string& reason) const;
+
+  /// write_json to `path` (truncating).  Returns a non-ok status when the
+  /// file cannot be written; dumping is best-effort everywhere it is
+  /// wired, so callers log-and-continue.
+  Status dump_to_file(const std::string& path,
+                      const std::string& reason) const;
+
+  /// Registers the async-signal-safe journal dump (events only) for
+  /// fatal signals, writing to `path`.  See util/crash_dump.hpp for the
+  /// signal-context contract.
+  static void install_signal_dump(const std::string& path);
+
+  /// The writer install_signal_dump registers; exposed so tests can run
+  /// it against an ordinary fd without raising a signal.
+  static void write_signal_safe(int fd);
+};
+
+}  // namespace hgp::obs

@@ -1,0 +1,234 @@
+#include "obs/introspect.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace hgp::obs {
+
+namespace {
+
+/// Blocking send loop (the socket has a send timeout so a dead client
+/// cannot wedge the server thread forever).  MSG_NOSIGNAL: a client that
+/// hung up turns into EPIPE, not SIGPIPE.
+bool send_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t sent = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+void set_io_timeouts(int fd) {
+  struct timeval tv;
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw SolveError(StatusCode::kInternal,
+                   "introspection endpoint: " + what + ": " +
+                       std::strerror(errno));
+}
+
+}  // namespace
+
+IntrospectionServer::IntrospectionServer(IntrospectOptions opt)
+    : opt_(std::move(opt)) {
+  if (opt_.poll_interval_ms <= 0) opt_.poll_interval_ms = 50;
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.empty() ||
+      opt_.socket_path.size() >= sizeof addr.sun_path) {
+    throw SolveError(StatusCode::kInternal,
+                     "introspection endpoint: socket path empty or too long "
+                     "for sockaddr_un: " +
+                         opt_.socket_path);
+  }
+  std::memcpy(addr.sun_path, opt_.socket_path.c_str(),
+              opt_.socket_path.size() + 1);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) fail("socket()");
+  // A leftover socket file from a dead process would make bind fail with
+  // EADDRINUSE forever; unlinking first is the standard AF_UNIX idiom.
+  ::unlink(opt_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    fail("bind(" + opt_.socket_path + ")");
+  }
+  if (::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opt_.socket_path.c_str());
+    fail("listen()");
+  }
+  register_handler("/metrics", [](std::ostream& os) {
+    MetricsRegistry::global().write_prometheus(os);
+  });
+  register_handler("/flightrecorder", [](std::ostream& os) {
+    FlightRecorder::global().write_json(os, "on-demand scrape");
+  });
+  // hgp-lint: allow(naked-thread) — see the member declaration.
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+IntrospectionServer::~IntrospectionServer() {
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();  // hgp-lint: allow(naked-thread)
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(opt_.socket_path.c_str());
+}
+
+void IntrospectionServer::register_handler(const std::string& path,
+                                           IntrospectHandler handler) {
+  const MutexLock lock(mutex_);
+  handlers_[path] = std::move(handler);
+}
+
+void IntrospectionServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(opt_.poll_interval_ms));
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) continue;
+    set_io_timeouts(client);
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+void IntrospectionServer::handle_client(int client_fd) {
+  // One recv is enough: requests are a single short GET line and AF_UNIX
+  // delivers it in one chunk from any sane client; a split request is
+  // answered 400 and the client retries.
+  char buf[1024];
+  const ssize_t got = ::recv(client_fd, buf, sizeof buf - 1, 0);
+  if (got <= 0) return;
+  buf[got] = '\0';
+  std::string target;
+  const char* space = std::strchr(buf, ' ');
+  const bool is_get = std::strncmp(buf, "GET ", 4) == 0;
+  if (is_get && space != nullptr) {
+    const char* end = std::strchr(space + 1, ' ');
+    if (end == nullptr) end = std::strchr(space + 1, '\r');
+    if (end == nullptr) end = buf + got;
+    target.assign(space + 1, end);
+  }
+
+  IntrospectHandler handler;
+  {
+    const MutexLock lock(mutex_);
+    const auto it = handlers_.find(target);
+    if (it != handlers_.end()) handler = it->second;
+  }
+
+  std::ostringstream body;
+  const char* status_line;
+  const char* content_type;
+  if (!is_get) {
+    status_line = "HTTP/1.0 400 Bad Request\r\n";
+    content_type = "text/plain; charset=utf-8";
+    body << "only GET is supported\n";
+  } else if (handler == nullptr) {
+    status_line = "HTTP/1.0 404 Not Found\r\n";
+    content_type = "text/plain; charset=utf-8";
+    body << "no such endpoint: " << target
+         << "\nknown: /metrics /requests /flightrecorder\n";
+  } else {
+    status_line = "HTTP/1.0 200 OK\r\n";
+    content_type = target == "/metrics"
+                       ? "text/plain; version=0.0.4; charset=utf-8"
+                       : "application/json; charset=utf-8";
+    handler(body);
+  }
+  const std::string payload = body.str();
+  std::ostringstream head;
+  head << status_line << "Content-Type: " << content_type
+       << "\r\nContent-Length: " << payload.size()
+       << "\r\nConnection: close\r\n\r\n";
+  const std::string header = head.str();
+  if (send_all(client_fd, header.data(), header.size())) {
+    send_all(client_fd, payload.data(), payload.size());
+  }
+}
+
+Status introspect_fetch(const std::string& socket_path,
+                        const std::string& target, std::string* body) {
+  body->clear();
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path) {
+    return Status(StatusCode::kInvalidInput,
+                  "introspect_fetch: bad socket path: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kInternal, "introspect_fetch: socket() failed");
+  }
+  set_io_timeouts(fd);
+  if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kResourceExhausted,
+                  "introspect_fetch: cannot connect to " + socket_path + ": " +
+                      std::strerror(errno));
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  if (!send_all(fd, request.data(), request.size())) {
+    ::close(fd);
+    return Status(StatusCode::kInternal,
+                  "introspect_fetch: request send failed");
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  const std::size_t split = response.find("\r\n\r\n");
+  if (split == std::string::npos) {
+    return Status(StatusCode::kInternal,
+                  "introspect_fetch: malformed response (no header "
+                  "terminator)");
+  }
+  *body = response.substr(split + 4);
+  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+      response.rfind("HTTP/1.1 200", 0) != 0) {
+    const std::size_t eol = response.find("\r\n");
+    return Status(StatusCode::kInvalidInput,
+                  "introspect_fetch: server answered: " +
+                      response.substr(0, eol));
+  }
+  return Status();
+}
+
+}  // namespace hgp::obs

@@ -1,0 +1,97 @@
+// Introspection endpoint: live scrapes of a running solver process over a
+// unix-domain socket.
+//
+// A minimal poll-based HTTP/1.0 server on one dedicated thread, serving
+// GET requests:
+//
+//   /metrics         Prometheus text exposition of MetricsRegistry
+//   /flightrecorder  on-demand flight-recorder JSON dump
+//   /requests        JSON view of in-flight service requests (registered
+//                    by SolverService when ServiceOptions::obs_socket or
+//                    HGP_OBS_SOCKET enables the endpoint)
+//
+// Scrape with `curl --unix-socket /path/to.sock http://hgp/metrics`, any
+// HTTP client that speaks AF_UNIX, or tools/hgp_top (a live table client
+// over the same two endpoints).  One client is served at a time — scrapes
+// are rare, tiny and read-only, so a connection backlog beats connection
+// concurrency — and every handler runs on the server thread against
+// thread-safe state (registry snapshots, journal snapshots, a service
+// callback that takes its own lock).
+//
+// The server is plumbing, not instrumentation: it builds in both HGP_OBS
+// modes, but the service layer only starts it when HGP_OBS_ENABLED is 1,
+// keeping the OFF build's no-op contract.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "util/status.hpp"
+#include "util/sync.hpp"
+
+namespace hgp::obs {
+
+struct IntrospectOptions {
+  /// Filesystem path of the unix-domain socket.  A stale socket file at
+  /// the path is unlinked before binding (the previous owner is dead; a
+  /// *live* previous owner loses its listener, so give each service its
+  /// own path).
+  std::string socket_path;
+  /// Accept-loop poll period; also bounds shutdown latency.
+  double poll_interval_ms = 50;
+};
+
+/// Handler for one endpoint path: writes the response body.  Runs on the
+/// server thread; must be thread-safe against the process it observes.
+using IntrospectHandler = std::function<void(std::ostream&)>;
+
+class IntrospectionServer {
+ public:
+  /// Binds and starts serving.  Throws SolveError(kInternal) when the
+  /// socket cannot be created/bound/listened (path too long for sockaddr_un
+  /// included); callers that treat the endpoint as optional catch and log.
+  explicit IntrospectionServer(IntrospectOptions opt);
+  /// Stops the server thread, closes and unlinks the socket.
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  /// Adds (or replaces) the handler for `path` (e.g. "/requests").
+  /// Callable any time; scrapes racing the registration see either state.
+  void register_handler(const std::string& path, IntrospectHandler handler)
+      HGP_EXCLUDES(mutex_);
+
+  const std::string& socket_path() const { return opt_.socket_path; }
+
+ private:
+  void serve_loop();
+  void handle_client(int client_fd) HGP_EXCLUDES(mutex_);
+
+  IntrospectOptions opt_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  /// Guards the handler table only; a leaf lock.
+  mutable Mutex mutex_;
+  std::map<std::string, IntrospectHandler> handlers_ HGP_GUARDED_BY(mutex_);
+
+  // A dedicated thread, not a pool task: it blocks in poll() for the
+  // server's lifetime and must keep serving while every pool worker is
+  // busy — the endpoint exists to observe exactly those moments.
+  // hgp-lint: allow(naked-thread)
+  std::thread thread_;
+};
+
+/// Minimal scrape client for tools and tests: GETs `target` (e.g.
+/// "/metrics") from the server at `socket_path`, stores the response body
+/// in `*body`.  Non-ok when the socket is unreachable, the response is
+/// malformed, or the server answered with a non-200 status.
+Status introspect_fetch(const std::string& socket_path,
+                        const std::string& target, std::string* body);
+
+}  // namespace hgp::obs

@@ -1,0 +1,37 @@
+#include "obs/json_escape.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace hgp::obs {
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default: {
+        const unsigned u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          os << "\\u00" << kHex[u >> 4] << kHex[u & 0xf];
+        } else {
+          os << c;
+        }
+      }
+    }
+  }
+}
+
+std::string json_escaped(std::string_view s) {
+  std::ostringstream os;
+  write_json_escaped(os, s);
+  return os.str();
+}
+
+}  // namespace hgp::obs

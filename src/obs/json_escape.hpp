@@ -1,0 +1,27 @@
+// Shared JSON string escaping for every obs exporter.
+//
+// Metric, span and event names are dotted C identifiers in practice, but
+// the exporters (Chrome trace JSON, metrics JSON, Prometheus HELP lines,
+// flight-recorder dumps, the introspection endpoint) must emit valid JSON
+// for *any* name a caller registers — quotes, backslashes and control
+// characters included.  One helper, one escaping policy, instead of a
+// per-exporter copy that drifts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace hgp::obs {
+
+/// Writes `s` with JSON string escaping (no surrounding quotes): `"` and
+/// `\` are backslash-escaped, \n \r \t \b \f use their short forms, and
+/// the remaining control characters below 0x20 become \u00XX.  Bytes
+/// >= 0x20 pass through untouched (UTF-8 sequences survive verbatim).
+void write_json_escaped(std::ostream& os, std::string_view s);
+
+/// The same escaping as a returned string, for callers composing small
+/// documents without a stream.
+std::string json_escaped(std::string_view s);
+
+}  // namespace hgp::obs

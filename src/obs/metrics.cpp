@@ -1,34 +1,38 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
+#include "obs/json_escape.hpp"
 #include "util/check.hpp"
 
 namespace hgp::obs {
 
 namespace {
 
-/// Same minimal escaping as the trace exporter; metric names are plain
-/// dotted identifiers, but emitted JSON must be valid regardless.
-void write_json_escaped(std::ostream& os, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default: {
-        const unsigned u = static_cast<unsigned char>(c);
-        if (u < 0x20) {
-          os << "\\u00" << "0123456789abcdef"[u >> 4]
-             << "0123456789abcdef"[u & 0xf];
-        } else {
-          os << c;
-        }
-      }
-    }
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; the project's
+/// dotted names map onto that by replacing every other byte with '_'.
+/// Distinct hostile names may collide after sanitization — the HELP line
+/// carries the exact original (JSON-escaped) so scrapes stay attributable.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "hgp_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Prometheus sample values: plain decimal, `+Inf`/`-Inf`/`NaN` specials.
+void write_prometheus_value(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    os << v;
   }
 }
 
@@ -160,6 +164,109 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     first = false;
   }
   os << "\n  }\n}\n";
+}
+
+std::vector<CounterSnapshot> MetricsRegistry::counter_snapshots() const {
+  const ReaderLock lock(mutex_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, c->value()});
+  }
+  return out;
+}
+
+std::vector<GaugeSnapshot> MetricsRegistry::gauge_snapshots() const {
+  const ReaderLock lock(mutex_);
+  std::vector<GaugeSnapshot> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, g->value(), g->max_value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::histogram_snapshots() const {
+  const ReaderLock lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.upper_bounds = h->upper_bounds();
+    snap.buckets = h->bucket_counts();
+    snap.count = h->count();
+    snap.sum = h->sum();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : h.buckets) total += b;
+  if (total == 0) return std::nan("");
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target observation, 1-based; q=0 maps to the first.
+  const double rank = std::max(q * static_cast<double>(total), 1.0);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const std::uint64_t in_bucket = h.buckets[i];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= h.upper_bounds.size()) {
+      // Overflow bucket: unbounded above, so report its lower edge (the
+      // largest finite boundary) rather than inventing a width.
+      return h.upper_bounds.empty() ? std::nan("") : h.upper_bounds.back();
+    }
+    const double hi = h.upper_bounds[i];
+    const double lo = i == 0 ? 0.0 : h.upper_bounds[i - 1];
+    const double frac = (rank - before) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::min(std::max(frac, 0.0), 1.0);
+  }
+  return h.upper_bounds.empty() ? std::nan("") : h.upper_bounds.back();
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  // Snapshots, not a registry hold, so the exposition's own formatting
+  // cost never extends the reader lock.
+  for (const CounterSnapshot& c : counter_snapshots()) {
+    const std::string pn = prometheus_name(c.name);
+    os << "# HELP " << pn << " counter \"" << json_escaped(c.name) << "\"\n";
+    os << "# TYPE " << pn << " counter\n";
+    os << pn << " " << c.value << "\n";
+  }
+  for (const GaugeSnapshot& g : gauge_snapshots()) {
+    const std::string pn = prometheus_name(g.name);
+    os << "# HELP " << pn << " gauge \"" << json_escaped(g.name) << "\"\n";
+    os << "# TYPE " << pn << " gauge\n";
+    os << pn << " " << g.value << "\n";
+    os << "# HELP " << pn << "_max high-water mark of \""
+       << json_escaped(g.name) << "\"\n";
+    os << "# TYPE " << pn << "_max gauge\n";
+    os << pn << "_max " << g.max_value << "\n";
+  }
+  for (const HistogramSnapshot& h : histogram_snapshots()) {
+    const std::string pn = prometheus_name(h.name);
+    os << "# HELP " << pn << " histogram \"" << json_escaped(h.name) << "\"\n";
+    os << "# TYPE " << pn << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << pn << "_bucket{le=\"";
+      if (i < h.upper_bounds.size()) {
+        write_prometheus_value(os, h.upper_bounds[i]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << pn << "_sum ";
+    write_prometheus_value(os, h.sum);
+    os << "\n" << pn << "_count " << h.count << "\n";
+  }
 }
 
 }  // namespace hgp::obs

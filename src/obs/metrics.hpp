@@ -103,6 +103,34 @@ class Histogram {
   std::atomic<double> sum_{0};
 };
 
+/// Point-in-time copies of one instrument, for exporters and percentile
+/// math that must not hold registry references across their own I/O.
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t max_value = 0;
+};
+struct HistogramSnapshot {
+  std::string name;
+  /// Inclusive bucket upper bounds; `buckets` has one extra trailing
+  /// overflow (+inf) entry.
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+/// Quantile estimate (q in [0, 1]) from a histogram snapshot: finds the
+/// bucket holding the q-th observation and interpolates linearly inside it
+/// (the overflow bucket reports its lower bound — the largest finite
+/// boundary — since its width is unknown).  Returns NaN for an empty
+/// histogram.
+double histogram_quantile(const HistogramSnapshot& h, double q);
+
 /// Name → instrument map.  Names are dot-separated lowercase paths
 /// ("dp.merge_operations", "pool.queue_depth" — scheme in
 /// docs/OBSERVABILITY.md); counters, gauges and histograms live in
@@ -132,6 +160,19 @@ class MetricsRegistry {
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
   void write_json(std::ostream& os) const;
+
+  /// Name-sorted point-in-time copies (values are relaxed atomic reads;
+  /// concurrent updates may straddle the copy).
+  std::vector<CounterSnapshot> counter_snapshots() const;
+  std::vector<GaugeSnapshot> gauge_snapshots() const;
+  std::vector<HistogramSnapshot> histogram_snapshots() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters as `counter`,
+  /// gauges as two `gauge` series (value and `_max` high-water), histograms
+  /// as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.  Names
+  /// are sanitized to the Prometheus charset with an `hgp_` prefix; the
+  /// `# HELP` line carries the exact registered name.
+  void write_prometheus(std::ostream& os) const;
 
  private:
   /// Reader/writer split: get-or-create takes the writer side; lookups and

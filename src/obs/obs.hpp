@@ -8,6 +8,10 @@
 //   HGP_COUNTER_ADD("dp.merge_operations", n);
 //   HGP_GAUGE_ADD("pool.queue_depth", +1);
 //   HGP_GAUGE_SET("pool.workers", n);
+//   HGP_JOURNAL(kRetry, request_id, attempt, arg, status);  // event journal
+//   HGP_JOURNAL_SCOPED(kFallbackStage, arg, status);  // ids from the
+//                                                     // ambient RequestScope
+//   HGP_REQUEST_SCOPE(request_id, attempt);  // RAII thread-local id scope
 //
 // The CMake option HGP_OBS (default ON) defines HGP_OBS_ENABLED=1|0 for
 // every target.  With HGP_OBS=OFF the macros collapse to no-ops — no
@@ -30,6 +34,7 @@
 
 #include <cstdint>
 
+#include "obs/event_journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -67,6 +72,28 @@
         .set(static_cast<std::int64_t>(value));                         \
   } while (0)
 
+/// Journals one typed event into the global EventJournal.  `kind` is a
+/// bare EventKind enumerator name (kRetry, kBackoff, ...).
+#define HGP_JOURNAL(kind, request_id, attempt, arg, status)             \
+  ::hgp::obs::EventJournal::global().record(                            \
+      ::hgp::obs::EventKind::kind,                                      \
+      static_cast<std::uint64_t>(request_id),                           \
+      static_cast<std::uint32_t>(attempt),                              \
+      static_cast<std::int64_t>(arg), static_cast<std::uint8_t>(status))
+
+/// Journals under the calling thread's ambient RequestScope ids — for
+/// emit sites deep in the solver that are not handed ids explicitly.
+#define HGP_JOURNAL_SCOPED(kind, arg, status)                           \
+  HGP_JOURNAL(kind, ::hgp::obs::RequestScope::current_request_id(),     \
+              ::hgp::obs::RequestScope::current_attempt(), arg, status)
+
+/// Installs the RAII thread-local request/attempt scope for the rest of
+/// the enclosing block.
+#define HGP_REQUEST_SCOPE(request_id, attempt)                          \
+  ::hgp::obs::RequestScope HGP_OBS_CONCAT(hgp_obs_scope_, __LINE__)(    \
+      static_cast<std::uint64_t>(request_id),                           \
+      static_cast<std::uint32_t>(attempt))
+
 #else  // !HGP_OBS_ENABLED — every site collapses to a no-op statement.
 // The (void)sizeof keeps macro arguments "used" without evaluating them.
 
@@ -80,5 +107,14 @@
   do { (void)sizeof(name); (void)sizeof(delta); } while (0)
 #define HGP_GAUGE_SET(name, value) \
   do { (void)sizeof(name); (void)sizeof(value); } while (0)
+#define HGP_JOURNAL(kind, request_id, attempt, arg, status)            \
+  do {                                                                 \
+    (void)sizeof(request_id); (void)sizeof(attempt);                   \
+    (void)sizeof(arg); (void)sizeof(status);                           \
+  } while (0)
+#define HGP_JOURNAL_SCOPED(kind, arg, status) \
+  do { (void)sizeof(arg); (void)sizeof(status); } while (0)
+#define HGP_REQUEST_SCOPE(request_id, attempt) \
+  do { (void)sizeof(request_id); (void)sizeof(attempt); } while (0)
 
 #endif  // HGP_OBS_ENABLED

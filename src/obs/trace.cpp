@@ -1,11 +1,11 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <map>
 #include <ostream>
 #include <string>
 
+#include "obs/json_escape.hpp"
 #include "util/thread_id.hpp"
 
 namespace hgp::obs {
@@ -16,30 +16,6 @@ namespace {
 /// spans on distinct buffers almost never interleave on one thread, and
 /// depth is a rendering hint, not a correctness invariant.
 thread_local std::uint32_t t_span_depth = 0;
-
-/// Minimal JSON string escaping; span names are C identifiers-with-dots in
-/// practice, but the exporter must never emit invalid JSON regardless.
-void write_json_escaped(std::ostream& os, const char* s) {
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-}
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "io/snapshot.hpp"
+#include "obs/obs.hpp"
 
 namespace hgp {
 
@@ -25,8 +26,19 @@ bool SolveCheckpoint::lookup(int index, CheckpointedTree* out) const {
 }
 
 void SolveCheckpoint::record(int index, CheckpointedTree tree) {
+  // Ids come from the parked context, not RequestScope: per-tree solves
+  // run on pool threads that never entered the request's scope.
+  HGP_JOURNAL(kCheckpointRecord,
+              journal_request_id_.load(std::memory_order_relaxed),
+              journal_attempt_.load(std::memory_order_relaxed), index, 0);
   const MutexLock lock(mutex_);
   trees_[index] = std::move(tree);
+}
+
+void SolveCheckpoint::set_request_context(std::uint64_t request_id,
+                                          std::uint32_t attempt) {
+  journal_request_id_.store(request_id, std::memory_order_relaxed);
+  journal_attempt_.store(attempt, std::memory_order_relaxed);
 }
 
 std::size_t SolveCheckpoint::size() const {

@@ -19,6 +19,7 @@
 // process can resume a long solve's surviving trees.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -72,6 +73,13 @@ class SolveCheckpoint {
   /// determinism).
   void record(int index, CheckpointedTree tree);
 
+  /// Tags the checkpoint with the journal ids of the attempt feeding it.
+  /// record() runs on pool threads that have no ambient RequestScope, so
+  /// the retry loop parks the ids here and record() stamps its
+  /// kCheckpointRecord events from them.  Plain atomics: an event stamped
+  /// with the previous attempt during the handover is harmless.
+  void set_request_context(std::uint64_t request_id, std::uint32_t attempt);
+
   std::size_t size() const;
   void clear();
 
@@ -99,6 +107,11 @@ class SolveCheckpoint {
   CheckpointKey key_ HGP_GUARDED_BY(mutex_);
   bool bound_ HGP_GUARDED_BY(mutex_) = false;
   std::map<int, CheckpointedTree> trees_ HGP_GUARDED_BY(mutex_);
+
+  /// Journal ids of the attempt currently feeding the checkpoint (see
+  /// set_request_context).
+  std::atomic<std::uint64_t> journal_request_id_{0};
+  std::atomic<std::uint32_t> journal_attempt_{0};
 };
 
 }  // namespace hgp

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <filesystem>
 #include <functional>
+#include <ostream>
 #include <sstream>
 #include <utility>
 
 #include "graph/fingerprint.hpp"
+#include "obs/event_journal.hpp"  // next_library_request_id under HGP_OBS=OFF
+#include "obs/flight_recorder.hpp"
+#include "obs/introspect.hpp"
 #include "obs/obs.hpp"
 #include "util/log.hpp"
 #include "util/prng.hpp"
@@ -36,6 +41,13 @@ struct RetryHooks {
   /// service spills the checkpoint here so a killed process can resume
   /// completed trees after restart.
   std::function<void(const Status&)> on_attempt_failed;
+  /// Called once when an attempt unwound because the watchdog cancelled
+  /// it (the service attaches a flight-recorder dump).
+  std::function<void()> on_watchdog_cancel;
+  /// Called with the terminal status just before a non-ok return (the
+  /// service dumps the flight recorder on kInternal — a contract failure
+  /// worth a post-mortem even though the process survives).
+  std::function<void(const Status&)> on_terminal_failure;
 };
 
 double backoff_for_retry(const RetryOptions& ro, int retry_number,
@@ -54,24 +66,38 @@ double backoff_for_retry(const RetryOptions& ro, int retry_number,
 
 RetrySolveReport run_retry_loop(const Graph& g, const Hierarchy& h,
                                 SolverOptions opt, const RetryOptions& ro,
-                                const RetryHooks& hooks) {
+                                const RetryHooks& hooks,
+                                std::uint64_t request_id) {
   RetrySolveReport rep;
   // Attempts of one logical request share a checkpoint, so trees completed
   // by a killed attempt are served, not re-solved, on the retry.
   SolveCheckpoint local_checkpoint;
   if (opt.checkpoint == nullptr) opt.checkpoint = &local_checkpoint;
   Rng jitter(ro.jitter_seed);
+  std::uint32_t attempt_no = 0;
+  const auto fail_terminal = [&hooks](RetrySolveReport& r) {
+    if (hooks.on_terminal_failure) hooks.on_terminal_failure(r.status);
+  };
 
   while (true) {
+    ++attempt_no;
+    // Thread-local id scope: journal emit sites below this frame (fallback
+    // stages, checkpoint records on this thread) inherit the ids without
+    // every signature carrying them.
+    HGP_REQUEST_SCOPE(request_id, attempt_no);
+    opt.checkpoint->set_request_context(request_id, attempt_no);
+    HGP_JOURNAL(kAttemptStart, request_id, attempt_no, opt.num_trees, 0);
     Status failure;
     try {
       if (hooks.before_attempt) hooks.before_attempt(opt);
       HgpResult r = solve_hgp(g, h, opt);
       r.retries_used = rep.retries_used;
+      HGP_JOURNAL(kAttemptEnd, request_id, attempt_no, 0, r.status.code);
       if (!status_is_transient(r.status.code)) {
         rep.status = r.status;
         rep.result = std::move(r);
         rep.has_result = true;
+        if (!rep.status.ok()) fail_terminal(rep);
         return rep;
       }
       // The fallback chain placed the request but for a transient reason
@@ -83,21 +109,26 @@ RetrySolveReport run_retry_loop(const Graph& g, const Hierarchy& h,
       rep.has_result = true;
     } catch (const SolveError& e) {
       failure = e.status();
+      HGP_JOURNAL(kAttemptEnd, request_id, attempt_no, 0, failure.code);
       if (failure.code == StatusCode::kCancelled) {
         const bool transient =
             hooks.cancel_is_transient && hooks.cancel_is_transient();
         if (!transient) {
           rep.status = failure;
+          fail_terminal(rep);
           return rep;
         }
         // Watchdog-initiated: the attempt was stuck, not the request —
         // fall through to the retry path.
+        if (hooks.on_watchdog_cancel) hooks.on_watchdog_cancel();
       } else if (!status_is_transient(failure.code)) {
         rep.status = failure;
+        fail_terminal(rep);
         return rep;
       }
     } catch (...) {
       failure = status_from_current_exception();  // kInternal → transient
+      HGP_JOURNAL(kAttemptEnd, request_id, attempt_no, 0, failure.code);
     }
 
     if (hooks.on_attempt_failed) hooks.on_attempt_failed(failure);
@@ -114,6 +145,8 @@ RetrySolveReport run_retry_loop(const Graph& g, const Hierarchy& h,
         opt.num_trees = std::max(ro.min_trees, opt.num_trees / 2);
       }
       ++rep.degrades;
+      HGP_JOURNAL(kDegrade, request_id, attempt_no, opt.num_trees,
+                  failure.code);
       if (hooks.on_degrade) hooks.on_degrade();
       continue;
     }
@@ -122,16 +155,22 @@ RetrySolveReport run_retry_loop(const Graph& g, const Hierarchy& h,
       rep.retry_budget_exhausted = true;
       rep.status = failure;
       if (rep.has_result) rep.result.retries_used = rep.retries_used;
+      fail_terminal(rep);
       return rep;
     }
     ++rep.retries_used;
+    HGP_JOURNAL(kRetry, request_id, attempt_no, rep.retries_used,
+                failure.code);
     if (hooks.on_retry) hooks.on_retry();
     const double backoff = backoff_for_retry(ro, rep.retries_used, jitter);
     if (backoff > 0) {
+      HGP_JOURNAL(kBackoff, request_id, attempt_no,
+                  static_cast<std::int64_t>(backoff), 0);
       if (hooks.backoff_wait) {
         if (!hooks.backoff_wait(backoff)) {
           rep.status = Status(StatusCode::kCancelled,
                               "cancelled while waiting to retry");
+          fail_terminal(rep);
           return rep;
         }
       } else {
@@ -147,7 +186,10 @@ RetrySolveReport run_retry_loop(const Graph& g, const Hierarchy& h,
 RetrySolveReport solve_with_retry(const Graph& g, const Hierarchy& h,
                                   SolverOptions opt,
                                   const RetryOptions& retry) {
-  return run_retry_loop(g, h, std::move(opt), retry, RetryHooks{});
+  // Library callers get a process-unique journal id from a range disjoint
+  // from service request ids.
+  return run_retry_loop(g, h, std::move(opt), retry, RetryHooks{},
+                        obs::next_library_request_id());
 }
 
 // ---------------------------------------------------------------------------
@@ -161,6 +203,8 @@ const RetrySolveReport& ServiceRequest::wait() {
 }
 
 void ServiceRequest::cancel() {
+  HGP_JOURNAL(kCallerCancel, id_,
+              attempts_started_.load(std::memory_order_relaxed), 0, 0);
   std::shared_ptr<CancelToken> token;
   {
     const MutexLock lock(mutex_);
@@ -211,6 +255,31 @@ SolverService::SolverService(ServiceOptions opt) : opt_(std::move(opt)) {
     // hgp-lint: allow(naked-thread) — see the member declaration.
     watchdog_ = std::thread([this] { watchdog_loop(); });
   }
+#if HGP_OBS_ENABLED
+  if (!opt_.flight_dump_path.empty()) {
+    obs::FlightRecorder::install_signal_dump(opt_.flight_dump_path +
+                                             ".signal");
+  }
+  std::string socket_path = opt_.obs_socket;
+  if (socket_path.empty()) {
+    const char* env = std::getenv("HGP_OBS_SOCKET");
+    if (env != nullptr) socket_path = env;
+  }
+  if (!socket_path.empty()) {
+    try {
+      obs::IntrospectOptions iopt;
+      iopt.socket_path = socket_path;
+      introspect_ = std::make_unique<obs::IntrospectionServer>(iopt);
+      introspect_->register_handler(
+          "/requests", [this](std::ostream& os) { write_requests_json(os); });
+    } catch (const SolveError& e) {
+      // Observability must never take the service down: a stillborn
+      // endpoint (bad path, permissions) is logged and the service runs
+      // without it.
+      HGP_WARN("introspection endpoint disabled: " << e.status().to_string());
+    }
+  }
+#endif  // HGP_OBS_ENABLED
 }
 
 SolverService::~SolverService() {
@@ -226,7 +295,8 @@ SolverService::~SolverService() {
 }
 
 std::shared_ptr<ServiceRequest> SolverService::reject(
-    std::shared_ptr<ServiceRequest> req, const char* why) {
+    std::shared_ptr<ServiceRequest> req, const char* why, int reason_index) {
+  HGP_JOURNAL(kReject, req->id(), 0, reason_index, 0);
   RetrySolveReport rep;
   rep.status = Status(StatusCode::kResourceExhausted, why);
   req->finish(std::move(rep));
@@ -243,23 +313,29 @@ std::shared_ptr<ServiceRequest> SolverService::submit(const Graph& g,
   {
     const MutexLock lock(mutex_);
     req.reset(new ServiceRequest(next_id_++, g, h, std::move(opt)));
+    HGP_JOURNAL(kSubmit, req->id(), 0, 0, 0);
     if (draining_ || stopping_) {
       stats_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
-      return reject(std::move(req), "service is draining; request rejected");
+      return reject(std::move(req), "service is draining; request rejected",
+                    kRejectDraining);
     }
     if (queue_.size() >= opt_.max_queue) {
       stats_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
-      return reject(std::move(req), "admission queue is full");
+      return reject(std::move(req), "admission queue is full",
+                    kRejectQueueFull);
     }
     const MemoryBudget& budget = MemoryBudget::global();
     if (budget.limit() > 0 &&
         budget.utilization() > opt_.admission_max_utilization) {
       stats_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
       return reject(std::move(req),
-                    "memory budget utilization above the admission threshold");
+                    "memory budget utilization above the admission threshold",
+                    kRejectBudget);
     }
     queue_.push_back(req);
     stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+    HGP_JOURNAL(kAdmit, req->id(), 0,
+                static_cast<std::int64_t>(queue_.size()), 0);
     HGP_GAUGE_SET("service.queue_depth", queue_.size());
   }
   work_cv_.notify_one();
@@ -299,6 +375,68 @@ SolverService::Stats SolverService::stats() const {
   s.checkpoint_recovered =
       stats_.checkpoint_recovered.load(std::memory_order_relaxed);
   return s;
+}
+
+void SolverService::write_requests_json(std::ostream& os) const {
+  const MemoryBudget& budget = MemoryBudget::global();
+  const MutexLock lock(mutex_);
+  os << "{\"queue_depth\":" << queue_.size()
+     << ",\"inflight\":" << inflight_.size()
+     << ",\"draining\":" << (draining_ ? "true" : "false")
+     << ",\"budget_limit_bytes\":" << budget.limit()
+     << ",\"budget_used_bytes\":" << budget.used()
+     << ",\"budget_utilization\":" << budget.utilization()
+     << ",\"requests\":[";
+  bool first = true;
+  const auto emit = [&os, &first](const ServiceRequest& req, const char* state,
+                                  std::int64_t queue_position,
+                                  double elapsed_ms) {
+    // One object per line so line-oriented clients (hgp_top) can parse
+    // each entry with string splitting instead of a JSON library.
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"id\":" << req.id() << ",\"state\":\"" << state
+       << "\",\"attempt\":"
+       << req.attempts_started_.load(std::memory_order_relaxed)
+       << ",\"queue_position\":" << queue_position
+       << ",\"elapsed_ms\":" << elapsed_ms << "}";
+  };
+  const auto now = std::chrono::steady_clock::now();
+  for (const std::shared_ptr<ServiceRequest>& req : inflight_) {
+    double elapsed_ms = 0;
+    const char* state = "inflight";
+    {
+      // Nests inside mutex_, same order as the watchdog scan.
+      const MutexLock rlock(req->mutex_);
+      if (req->running_ && req->attempt_token_ != nullptr) {
+        state = "running";
+        elapsed_ms = std::chrono::duration<double, std::milli>(
+                         now - req->attempt_start_)
+                         .count();
+      }
+    }
+    emit(*req, state, -1, elapsed_ms);
+  }
+  std::int64_t position = 0;
+  for (const std::shared_ptr<ServiceRequest>& req : queue_) {
+    emit(*req, "queued", position++, 0);
+  }
+  os << (first ? "]}" : "\n]}") << "\n";
+}
+
+void SolverService::maybe_flight_dump(const char* reason) const {
+#if HGP_OBS_ENABLED
+  if (opt_.flight_dump_path.empty()) return;
+  const Status s =
+      obs::FlightRecorder::global().dump_to_file(opt_.flight_dump_path,
+                                                 reason);
+  if (!s.ok()) {
+    HGP_WARN("flight-recorder dump (" << reason
+                                      << ") failed: " << s.to_string());
+  }
+#else
+  (void)reason;
+#endif
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +491,9 @@ void SolverService::spill_checkpoint(ServiceRequest& req) {
   const Status s = req.checkpoint_.save(spill_path(req.checkpoint_.key()));
   if (s.ok()) {
     stats_.checkpoint_spills.fetch_add(1, std::memory_order_relaxed);
+    HGP_JOURNAL(kCheckpointSpill, req.id(),
+                req.attempts_started_.load(std::memory_order_relaxed),
+                static_cast<std::int64_t>(req.checkpoint_.size()), 0);
     HGP_COUNTER_ADD("service.checkpoint_spills", 1);
   } else {
     // Spilling is strictly best-effort: losing durability must never fail
@@ -391,6 +532,8 @@ void SolverService::try_recover(ServiceRequest& req,
   const Status s = req.checkpoint_.load(path);
   if (s.ok() && req.checkpoint_.bound() && req.checkpoint_.key() == key) {
     stats_.checkpoint_recovered.fetch_add(1, std::memory_order_relaxed);
+    HGP_JOURNAL(kCheckpointRecover, req.id(), 0,
+                static_cast<std::int64_t>(req.checkpoint_.size()), 0);
     HGP_COUNTER_ADD("service.checkpoint_recovered", 1);
     HGP_INFO("request " << req.id() << " resumed "
                         << req.checkpoint_.size()
@@ -456,6 +599,7 @@ void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
   RetryHooks hooks;
   hooks.before_attempt = [this, &req](SolverOptions& o) {
     auto token = std::make_shared<CancelToken>();
+    req->attempts_started_.fetch_add(1, std::memory_order_relaxed);
     {
       const MutexLock lock(req->mutex_);
       req->watchdog_cancelled_.store(false, std::memory_order_release);
@@ -501,10 +645,20 @@ void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
       spill_checkpoint(*req);
     };
   }
+  hooks.on_watchdog_cancel = [this] {
+    maybe_flight_dump("watchdog cancelled a stuck attempt");
+  };
+  hooks.on_terminal_failure = [this](const Status& s) {
+    // kInternal is a broken contract, not an expected outcome — worth a
+    // post-mortem dump even though the process survives.
+    if (s.code == StatusCode::kInternal) {
+      maybe_flight_dump("request terminated with kInternal");
+    }
+  };
 
   RetrySolveReport rep =
       run_retry_loop(*req->graph_, *req->hierarchy_, std::move(opt), retry,
-                     hooks);
+                     hooks, req->id());
   if (!opt_.spill_dir.empty() && rep.status.ok() && req->checkpoint_.bound()) {
     // Terminal success: the durable state served its purpose; remove the
     // spill so the directory only holds work worth resuming.
@@ -548,6 +702,9 @@ void SolverService::watchdog_loop() {
       // cancel propagation.
       token->request_cancel();
       stats_.watchdog_cancels.fetch_add(1, std::memory_order_relaxed);
+      HGP_JOURNAL(kWatchdogCancel, req->id(),
+                  req->attempts_started_.load(std::memory_order_relaxed), 0,
+                  StatusCode::kCancelled);
       HGP_COUNTER_ADD("service.watchdog_cancels", 1);
     }
   }

@@ -37,7 +37,9 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -46,6 +48,10 @@
 #include "util/sync.hpp"
 
 namespace hgp {
+
+namespace obs {
+class IntrospectionServer;
+}  // namespace obs
 
 struct RetryOptions {
   /// Re-attempts allowed beyond the first try (0 = fail fast).
@@ -118,7 +124,26 @@ struct ServiceOptions {
   /// best-effort: any I/O or integrity failure is counted, logged, and
   /// the solve continues in memory.
   std::string spill_dir;
+  /// Unix-domain socket path for the live introspection endpoint
+  /// (obs/introspect.hpp): /metrics, /requests, /flightrecorder.  Empty
+  /// consults the HGP_OBS_SOCKET environment variable; empty both ways
+  /// (or a build with HGP_OBS=OFF) disables the endpoint.  Endpoint
+  /// start-up failure is logged and ignored — observability must never
+  /// take the service down.
+  std::string obs_socket;
+  /// File the service dumps the flight recorder to when a watchdog cancel
+  /// fires or a request terminates with kInternal (overwritten per event;
+  /// empty disables the automatic dumps).  The same path is registered as
+  /// the fatal-signal crash dump (journal-only, see
+  /// obs/flight_recorder.hpp), with ".signal" appended.
+  std::string flight_dump_path;
 };
+
+/// Reject reason indices carried in the journal's kReject arg (and shown
+/// by hgp_top / docs/OBSERVABILITY.md).
+inline constexpr int kRejectDraining = 0;
+inline constexpr int kRejectQueueFull = 1;
+inline constexpr int kRejectBudget = 2;
 
 /// Caller's handle to a submitted request.  Thread-safe.
 class ServiceRequest {
@@ -159,6 +184,9 @@ class ServiceRequest {
   bool running_ HGP_GUARDED_BY(mutex_) = false;
   RetrySolveReport report_ HGP_GUARDED_BY(mutex_);
 
+  /// Attempts started by the retry loop (monotone; the introspection
+  /// /requests view and journal events read it lock-free).
+  std::atomic<std::uint32_t> attempts_started_{0};
   /// Caller-initiated cancellation (sticky across attempts).  Atomic so
   /// the retry loop can poll it lock-free, but the cancel() store happens
   /// under mutex_ — it is the predicate of wait()'s cv loop, and the
@@ -197,6 +225,13 @@ class SolverService {
   /// Queued requests right now (in-flight excluded).
   std::size_t queue_depth() const HGP_EXCLUDES(mutex_);
 
+  /// JSON view of the service's live state for the introspection
+  /// endpoint: queue depth, in-flight requests (id, state, attempt,
+  /// queue position), drain flag and global memory-budget utilization.
+  /// One request object per line, so line-oriented clients (hgp_top) can
+  /// parse without a JSON library.
+  void write_requests_json(std::ostream& os) const HGP_EXCLUDES(mutex_);
+
   /// Plain-atomic counters mirrored into the obs metrics registry (the
   /// struct works under HGP_OBS=OFF; the registry copy feeds --metrics
   /// exports).
@@ -231,7 +266,10 @@ class SolverService {
   void run_request(const std::shared_ptr<ServiceRequest>& req)
       HGP_EXCLUDES(mutex_);
   std::shared_ptr<ServiceRequest> reject(std::shared_ptr<ServiceRequest> req,
-                                         const char* why);
+                                         const char* why, int reason_index);
+  /// Best-effort flight-recorder dump to opt_.flight_dump_path (no-op when
+  /// the path is empty or HGP_OBS is compiled out).
+  void maybe_flight_dump(const char* reason) const;
   /// Construction-time scan of spill_dir: index readable spills by key,
   /// delete unreadable ones (their bytes are gone for good).
   void recover_spills() HGP_EXCLUDES(spill_mutex_);
@@ -290,6 +328,12 @@ class SolverService {
   std::vector<std::thread> workers_;
   // hgp-lint: allow(naked-thread)
   std::thread watchdog_;
+
+  /// Live introspection endpoint (null unless enabled and HGP_OBS=ON).
+  /// Declared last: members destroy in reverse order, so the endpoint
+  /// stops serving before any other member tears down and no scrape can
+  /// observe a half-destroyed service.
+  std::unique_ptr<obs::IntrospectionServer> introspect_;
 };
 
 }  // namespace hgp

@@ -6,6 +6,7 @@
 
 #include "baseline/greedy.hpp"
 #include "baseline/multilevel.hpp"
+#include "obs/event_journal.hpp"  // stage constants under HGP_OBS=OFF
 #include "obs/obs.hpp"
 #include "runtime/forest_cache.hpp"
 #include "parallel/parallel_for.hpp"
@@ -97,6 +98,8 @@ HgpResult run_fallback_chain(const Graph& g, const Hierarchy& h,
   Timer fallback_timer;
   try {
     HGP_COUNTER_ADD("solver.fallback.multilevel", 1);
+    HGP_JOURNAL_SCOPED(kFallbackStage, obs::kFallbackStageMultilevel,
+                       result.status.code);
     HGP_TRACE_SPAN("fallback.multilevel");
     // Stage-boundary fault hook: tests kill the multilevel stage here to
     // drive the chain down to greedy (and beyond, to exhaustion).
@@ -108,6 +111,8 @@ HgpResult run_fallback_chain(const Graph& g, const Hierarchy& h,
     const Status ml = status_from_current_exception();
     try {
       HGP_COUNTER_ADD("solver.fallback.greedy", 1);
+      HGP_JOURNAL_SCOPED(kFallbackStage, obs::kFallbackStageGreedy,
+                         ml.code);
       HGP_TRACE_SPAN("fallback.greedy");
       FaultInjector::instance().on_site("fallback_greedy", 0);
       result.placement = greedy_placement(g, h);

@@ -1,0 +1,71 @@
+#include "util/crash_dump.hpp"
+
+#include <fcntl.h>
+#include <signal.h>  // NOLINT(modernize-deprecated-headers) — sigaction
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+namespace hgp {
+
+namespace {
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+constexpr std::size_t kMaxPath = 1024;
+
+// The handler reads these without synchronization beyond the atomics:
+// installation happens-before any signal that should dump (callers
+// install during startup/configuration, not concurrently with crashing).
+char g_path[kMaxPath];
+std::atomic<CrashDumpWriter> g_writer{nullptr};
+std::atomic<bool> g_installed{false};
+
+bool open_and_dump() {
+  const CrashDumpWriter writer = g_writer.load(std::memory_order_acquire);
+  if (writer == nullptr || g_path[0] == '\0') return false;
+  // O_CLOEXEC keeps the fd out of any child the crash machinery spawns.
+  const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  writer(fd);
+  ::close(fd);
+  return true;
+}
+
+void fatal_signal_handler(int signo) {
+  open_and_dump();
+  // Restore the default disposition and re-raise: the process must still
+  // die the way the kernel expected it to (core dump, wait status).
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+void install_crash_dump(const char* path, CrashDumpWriter writer) {
+  if (path == nullptr || path[0] == '\0' || writer == nullptr) {
+    g_writer.store(nullptr, std::memory_order_release);
+    g_path[0] = '\0';
+    return;
+  }
+  std::strncpy(g_path, path, kMaxPath - 1);
+  g_path[kMaxPath - 1] = '\0';
+  g_writer.store(writer, std::memory_order_release);
+  if (!g_installed.exchange(true, std::memory_order_acq_rel)) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = fatal_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESETHAND: the handler restores SIG_DFL itself, which also
+    // covers a second distinct fatal signal arriving mid-dump.
+    sa.sa_flags = 0;
+    for (const int signo : kFatalSignals) {
+      ::sigaction(signo, &sa, nullptr);
+    }
+  }
+}
+
+bool crash_dump_now() { return open_and_dump(); }
+
+}  // namespace hgp

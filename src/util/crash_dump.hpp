@@ -1,0 +1,37 @@
+// Fatal-signal crash-dump hook: a last chance to persist diagnostic state
+// before the process dies.
+//
+// install_crash_dump(path, writer) registers handlers for the fatal
+// signals (SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT) that open `path` and
+// invoke `writer(fd)`, then restore the default disposition and re-raise
+// so the kernel still records the crash (core dump, wait status).  The
+// writer runs in async-signal context: it must restrict itself to
+// async-signal-safe operations — no allocation, no locks, no C++ streams;
+// raw ::write of pre-formatted or atomically-readable state only.  The
+// obs flight recorder registers its journal dump here (the journal's
+// lock-free rings are readable from a signal handler by design).
+//
+// This is a util-layer hook on purpose: src/util cannot depend on
+// src/obs, so the writer arrives as a plain function pointer and the
+// layering stays acyclic.  Installation is idempotent; the latest
+// (path, writer) pair wins.  crash_dump_now() runs the same dump outside
+// any signal, for tests and on-demand use.
+#pragma once
+
+namespace hgp {
+
+/// Async-signal-safe dump callback: write state to `fd` using only
+/// async-signal-safe calls.
+using CrashDumpWriter = void (*)(int fd);
+
+/// Registers `writer` to run on fatal signals, dumping to `path` (created
+/// or truncated at dump time).  `path` is copied into static storage
+/// (truncated to an internal bound if enormous).  Passing an empty path
+/// or null writer disables the hook.
+void install_crash_dump(const char* path, CrashDumpWriter writer);
+
+/// Runs the registered dump immediately (no signal involved).  Returns
+/// false when no hook is installed or the file cannot be opened.
+bool crash_dump_now();
+
+}  // namespace hgp

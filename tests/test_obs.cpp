@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <future>
 #include <set>
 #include <sstream>
@@ -18,6 +19,8 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "obs/event_journal.hpp"
+#include "obs/json_escape.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -267,6 +270,244 @@ TEST(Metrics, JsonExportContainsEveryInstrument) {
   EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
   EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
 }
+
+// ---------------------------------------------------------------------------
+// JSON escaping (shared by the trace/metrics/flight-recorder exporters)
+
+TEST(JsonEscape, HostileNamesRoundTripSafely) {
+  // Quotes, backslashes, control characters and embedded newlines are the
+  // payloads that break naive exporters; metric/span names are caller
+  // strings, so the escaper must neutralize all of them.
+  EXPECT_EQ(obs::json_escaped("plain.name"), "plain.name");
+  EXPECT_EQ(obs::json_escaped("quote\"inside"), "quote\\\"inside");
+  EXPECT_EQ(obs::json_escaped("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::json_escaped("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(obs::json_escaped("cr\rtab\t"), "cr\\rtab\\t");
+  EXPECT_EQ(obs::json_escaped(std::string("nul\0byte", 8)),
+            "nul\\u0000byte");
+  EXPECT_EQ(obs::json_escaped("\x01\x1f"), "\\u0001\\u001f");
+  EXPECT_EQ(obs::json_escaped("bell\bform\f"), "bell\\bform\\f");
+  // UTF-8 multibyte sequences pass through untouched (bytes >= 0x20).
+  EXPECT_EQ(obs::json_escaped("gr\xc3\xa4ph"), "gr\xc3\xa4ph");
+}
+
+TEST(JsonEscape, StreamAndStringVariantsAgree) {
+  const std::string hostile = "a\"b\\c\nd\x02";
+  std::ostringstream os;
+  obs::write_json_escaped(os, hostile);
+  EXPECT_EQ(os.str(), obs::json_escaped(hostile));
+}
+
+TEST(JsonEscape, MetricsExportEscapesHostileNames) {
+  MetricsRegistry reg;
+  reg.counter("evil\"name\n").add(1);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("evil\\\"name\\n"), std::string::npos);
+  EXPECT_EQ(json.find("evil\"name\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles and the Prometheus exposition
+
+TEST(Metrics, HistogramQuantileInterpolatesWithinBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.quantile", {10.0, 20.0, 40.0});
+  // 100 observations in [0, 10]: p50 lands mid-bucket by interpolation.
+  for (int i = 0; i < 100; ++i) h.observe(5.0);
+  const auto snaps = reg.histogram_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  const obs::HistogramSnapshot& s = snaps[0];
+  EXPECT_EQ(s.name, "test.quantile");
+  EXPECT_EQ(s.count, 100u);
+  // All mass in the first bucket: quantiles interpolate inside [0, 10].
+  EXPECT_NEAR(obs::histogram_quantile(s, 0.5), 5.0, 1e-9);
+  EXPECT_NEAR(obs::histogram_quantile(s, 1.0), 10.0, 1e-9);
+  EXPECT_GT(obs::histogram_quantile(s, 0.1), 0.0);
+}
+
+TEST(Metrics, HistogramQuantileHandlesEmptyAndOverflow) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.overflow", {1.0, 2.0});
+  const auto empty = reg.histogram_snapshots();
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_TRUE(std::isnan(obs::histogram_quantile(empty[0], 0.5)));
+  // All mass beyond the last finite bound: the estimate reports that
+  // bound (the histogram cannot see further).
+  h.observe(100.0);
+  h.observe(200.0);
+  const auto snaps = reg.histogram_snapshots();
+  EXPECT_EQ(obs::histogram_quantile(snaps[0], 0.99), 2.0);
+}
+
+TEST(Metrics, PrometheusExpositionShape) {
+  MetricsRegistry reg;
+  reg.counter("dp.merge_operations").add(7);
+  reg.gauge("service.queue_depth").set(3);
+  reg.histogram("pool.task_run_ms", {1.0, 8.0}).observe(0.5);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  // Counter: sanitized name, TYPE line, value.
+  EXPECT_NE(text.find("# TYPE hgp_dp_merge_operations counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("hgp_dp_merge_operations 7"), std::string::npos);
+  // Gauge: value plus the sticky high-water series.
+  EXPECT_NE(text.find("hgp_service_queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("hgp_service_queue_depth_max 3"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf, sum and count.
+  EXPECT_NE(text.find("hgp_pool_task_run_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("hgp_pool_task_run_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("hgp_pool_task_run_ms_count 1"), std::string::npos);
+  EXPECT_NE(text.find("hgp_pool_task_run_ms_sum 0.5"), std::string::npos);
+  // Every line is either a comment or "name[{labels}] value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+    EXPECT_EQ(line.rfind("hgp_", 0), 0u) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event journal
+
+TEST(EventJournal, RecordsAndSnapshotsTypedEvents) {
+  obs::EventJournal journal;
+  journal.record(obs::EventKind::kSubmit, 42, 0, 0, 0);
+  journal.record(obs::EventKind::kAttemptStart, 42, 1, 8, 0);
+  journal.record(obs::EventKind::kRetry, 42, 1, 1,
+                 static_cast<std::uint8_t>(StatusCode::kInternal));
+  const std::vector<obs::JournalEvent> events = journal.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(journal.recorded(), 3u);
+  // Snapshot is time-ordered; all three came from this thread in order.
+  EXPECT_EQ(events[0].kind, obs::EventKind::kSubmit);
+  EXPECT_EQ(events[0].request_id, 42u);
+  EXPECT_EQ(events[1].kind, obs::EventKind::kAttemptStart);
+  EXPECT_EQ(events[1].arg, 8);
+  EXPECT_EQ(events[1].attempt, 1u);
+  EXPECT_EQ(events[2].status,
+            static_cast<std::uint8_t>(StatusCode::kInternal));
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[1].ts_us, events[2].ts_us);
+}
+
+TEST(EventJournal, RingOverwriteKeepsTheTail) {
+  obs::EventJournal journal;
+  const std::size_t total = obs::EventJournal::kRingCapacity + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    journal.record(obs::EventKind::kCheckpointRecord, 1, 1,
+                   static_cast<std::int64_t>(i), 0);
+  }
+  const std::vector<obs::JournalEvent> events = journal.snapshot();
+  // One thread → one ring: exactly kRingCapacity retained, and they are
+  // the *newest* events.  (Snapshot order ties on equal timestamps, so
+  // compare the retained arg range, not positions.)
+  ASSERT_EQ(events.size(), obs::EventJournal::kRingCapacity);
+  EXPECT_EQ(journal.recorded(), total);
+  std::int64_t min_arg = events.front().arg;
+  std::int64_t max_arg = events.front().arg;
+  for (const obs::JournalEvent& e : events) {
+    min_arg = std::min(min_arg, e.arg);
+    max_arg = std::max(max_arg, e.arg);
+  }
+  EXPECT_EQ(min_arg, static_cast<std::int64_t>(100));
+  EXPECT_EQ(max_arg, static_cast<std::int64_t>(total - 1));
+}
+
+TEST(EventJournal, ClearEmptiesEveryRing) {
+  obs::EventJournal journal;
+  journal.record(obs::EventKind::kSubmit, 1, 0, 0, 0);
+  journal.clear();
+  EXPECT_TRUE(journal.snapshot().empty());
+  journal.record(obs::EventKind::kAdmit, 2, 0, 0, 0);
+  ASSERT_EQ(journal.snapshot().size(), 1u);
+  EXPECT_EQ(journal.snapshot()[0].kind, obs::EventKind::kAdmit);
+}
+
+TEST(EventJournal, SignalSafeCopyMatchesSnapshotContent) {
+  obs::EventJournal journal;
+  for (int i = 0; i < 10; ++i) {
+    journal.record(obs::EventKind::kBackoff, 7, 2, i, 0);
+  }
+  obs::JournalEvent out[16];
+  const std::size_t n = journal.copy_events_signal_safe(out, 16);
+  ASSERT_EQ(n, 10u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].kind, obs::EventKind::kBackoff);
+    EXPECT_EQ(out[i].request_id, 7u);
+  }
+}
+
+TEST(EventJournal, KindNamesAreStable) {
+  EXPECT_STREQ(obs::event_kind_name(obs::EventKind::kSubmit), "submit");
+  EXPECT_STREQ(obs::event_kind_name(obs::EventKind::kAttemptStart),
+               "attempt_start");
+  EXPECT_STREQ(obs::event_kind_name(obs::EventKind::kWatchdogCancel),
+               "watchdog_cancel");
+  EXPECT_STREQ(obs::event_kind_name(obs::EventKind::kFallbackStage),
+               "fallback_stage");
+  // The numeric values are a dump-format contract.
+  EXPECT_EQ(static_cast<int>(obs::EventKind::kSubmit), 0);
+  EXPECT_EQ(static_cast<int>(obs::EventKind::kFallbackStage), 13);
+}
+
+TEST(EventJournal, RequestScopeNestsAndRestores) {
+  EXPECT_EQ(obs::RequestScope::current_request_id(), 0u);
+  {
+    obs::RequestScope outer(5, 1);
+    EXPECT_EQ(obs::RequestScope::current_request_id(), 5u);
+    EXPECT_EQ(obs::RequestScope::current_attempt(), 1u);
+    {
+      obs::RequestScope inner(6, 2);
+      EXPECT_EQ(obs::RequestScope::current_request_id(), 6u);
+    }
+    EXPECT_EQ(obs::RequestScope::current_request_id(), 5u);
+  }
+  EXPECT_EQ(obs::RequestScope::current_request_id(), 0u);
+}
+
+TEST(EventJournal, LibraryRequestIdsAreDisjointFromServiceIds) {
+  const std::uint64_t a = obs::next_library_request_id();
+  const std::uint64_t b = obs::next_library_request_id();
+  EXPECT_NE(a, b);
+  // Service ids are dense from 0; library ids live in a disjoint range.
+  EXPECT_GE(a, std::uint64_t{1} << 32);
+}
+
+#if HGP_OBS_ENABLED
+TEST(EventJournal, JournalMacrosRecordIntoTheGlobalJournal) {
+  obs::EventJournal::global().clear();
+  HGP_JOURNAL(kSubmit, 9, 0, 0, 0);
+  {
+    HGP_REQUEST_SCOPE(9, 3);
+    HGP_JOURNAL_SCOPED(kFallbackStage, obs::kFallbackStageGreedy, 0);
+  }
+  const auto events = obs::EventJournal::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, obs::EventKind::kSubmit);
+  EXPECT_EQ(events[1].kind, obs::EventKind::kFallbackStage);
+  EXPECT_EQ(events[1].request_id, 9u);   // inherited from the scope
+  EXPECT_EQ(events[1].attempt, 3u);
+  EXPECT_EQ(events[1].arg, obs::kFallbackStageGreedy);
+  obs::EventJournal::global().clear();
+}
+#else
+TEST(EventJournal, JournalMacrosCompileOutEntirely) {
+  obs::EventJournal::global().clear();
+  HGP_JOURNAL(kSubmit, 9, 0, 0, 0);
+  HGP_REQUEST_SCOPE(9, 3);
+  HGP_JOURNAL_SCOPED(kFallbackStage, 2, 0);
+  EXPECT_TRUE(obs::EventJournal::global().snapshot().empty());
+  EXPECT_EQ(obs::RequestScope::current_request_id(), 0u);
+}
+#endif
 
 // ---------------------------------------------------------------------------
 // Macro layer and the HGP_OBS knob

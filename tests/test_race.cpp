@@ -8,7 +8,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -16,6 +18,9 @@
 #include "core/tree_solver.hpp"
 #include "decomp/builder.hpp"
 #include "graph/generators.hpp"
+#include "obs/event_journal.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/introspect.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/service.hpp"
@@ -542,6 +547,133 @@ TEST(Race, ThreadPoolWakeupChurnSubmitVsShutdown) {
   EXPECT_EQ(ran.load(std::memory_order_relaxed),
             static_cast<long>(kRounds) * kSubmitters * kJobs);
 }
+
+// --- Observability layer under TSan ----------------------------------------
+
+// Journal writers on every thread racing flight-recorder dumps and both
+// reader paths (the sorting snapshot and the signal-safe ring copy).  The
+// journal's claim is lock-free writes with acquire-published reads; a
+// non-atomic slot field or a missed release on the ring head would race
+// here.  The lap-detection discard makes counts approximate, so the
+// assertions are sanity bounds, not totals.
+TEST(Race, JournalConcurrentWritersVsFlightDump) {
+  obs::EventJournal::global().clear();
+  // Fixed work per writer (not run-until-told-to-stop): the dump loop
+  // below spins until every writer finished, so the readers and writers
+  // overlap regardless of how late the OS schedules the new threads.
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::atomic<int> writers_done{0};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        obs::EventJournal::global().record(
+            obs::EventKind::kCheckpointRecord,
+            static_cast<std::uint64_t>(w) + 1, 1,
+            static_cast<std::int64_t>(i), 0);
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  std::vector<obs::JournalEvent> scratch(
+      obs::EventJournal::kMaxSignalEvents);
+  int rounds = 0;
+  // A few extra rounds after the last writer exits read the quiesced tail.
+  for (int tail = 0; writers_done.load(std::memory_order_acquire) < 4 ||
+                     tail++ < 3;
+       ++rounds) {
+    std::ostringstream os;
+    obs::FlightRecorder::global().write_json(os, "race test");
+    EXPECT_NE(os.str().find("\"events\": ["), std::string::npos);
+    const std::size_t n = obs::EventJournal::global().copy_events_signal_safe(
+        scratch.data(), scratch.size());
+    EXPECT_LE(n, scratch.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(scratch[i].kind, obs::EventKind::kCheckpointRecord);
+      EXPECT_GE(scratch[i].request_id, 1u);
+      EXPECT_LE(scratch[i].request_id, 4u);
+    }
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_GT(rounds, 0);
+  EXPECT_GE(obs::EventJournal::global().recorded(), 4 * kPerWriter);
+  obs::EventJournal::global().clear();
+}
+
+#if HGP_OBS_ENABLED
+// Endpoint scrapes racing a submit/drain/watchdog storm: the server thread
+// walks live service state (write_requests_json nests the request locks
+// under the service lock) while workers mutate it, the watchdog scans it,
+// and submitters grow it.  Scrapes must stay well-formed the whole time —
+// the last scrape runs after drain, against a quiescent service.
+TEST(Race, IntrospectScrapeDuringServiceStorm) {
+  const Graph g = demand_graph(41);
+  const Hierarchy& h = hier();
+  ServiceOptions sopt;
+  sopt.workers = 2;
+  sopt.max_queue = 64;
+  sopt.retry.max_retries = 1;
+  sopt.retry.backoff_base_ms = 0.1;
+  sopt.stuck_after_ms = 1;  // watchdog fires into the storm
+  sopt.watchdog_poll_ms = 1;
+  sopt.obs_socket =
+      (std::filesystem::temp_directory_path() /
+       ("hgp-race-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  SolverService service(sopt);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> scrapes_ok{0};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string metrics;
+      std::string requests;
+      const bool ok =
+          obs::introspect_fetch(sopt.obs_socket, "/metrics", &metrics).ok() &&
+          obs::introspect_fetch(sopt.obs_socket, "/requests", &requests).ok();
+      if (ok) {
+        EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+        EXPECT_NE(requests.find("\"queue_depth\":"), std::string::npos);
+        scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  constexpr int kSubmitters = 3;
+  constexpr int kPerThread = 8;
+  std::vector<std::vector<std::shared_ptr<ServiceRequest>>> handles(
+      kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      auto& mine = handles[static_cast<std::size_t>(t)];
+      for (int i = 0; i < kPerThread; ++i) {
+        SolverOptions opt;
+        opt.num_trees = 1;
+        opt.seed = static_cast<std::uint64_t>(t * 100 + i);
+        mine.push_back(service.submit(g, h, opt));
+      }
+      for (auto& r : mine) r->wait();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  service.drain();
+
+  // One scrape against the drained service must succeed deterministically.
+  std::string final_requests;
+  EXPECT_TRUE(
+      obs::introspect_fetch(sopt.obs_socket, "/requests", &final_requests)
+          .ok());
+  EXPECT_NE(final_requests.find("\"draining\":true"), std::string::npos);
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  for (auto& per : handles) {
+    for (auto& r : per) EXPECT_TRUE(r->done());
+  }
+  SUCCEED() << scrapes_ok.load() << " clean scrapes mid-storm";
+}
+#endif  // HGP_OBS_ENABLED
 
 }  // namespace
 }  // namespace hgp

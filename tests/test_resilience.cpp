@@ -12,6 +12,7 @@
 
 #include "baseline/multilevel.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"  // TraceBuffer directly: obs.hpp omits it under OFF
 #include "decomp/builder.hpp"
 #include "graph/generators.hpp"
 #include "parallel/parallel_for.hpp"

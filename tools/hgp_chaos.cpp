@@ -1,6 +1,7 @@
 // hgp_chaos — chaos harness for the solver service layer.
 //
 //   hgp_chaos [--requests N] [--seed S] [--metrics FILE] [--verbose]
+//             [--obs-socket PATH] [--flight-dump FILE] [--hold-open-ms N]
 //
 // Fires N concurrent requests at a SolverService while seeded probabilistic
 // fault schedules (util/fault_injector.hpp) crash trees, kill solves at the
@@ -19,6 +20,16 @@
 // Exit 0 when every invariant held, 1 otherwise.  Deterministic in --seed
 // up to OS scheduling (fault draws are seeded streams consumed in arrival
 // order).  CI runs this under ASan — see scripts/chaos_smoke.sh.
+//
+// Observability hooks (PR 8): --obs-socket exposes the storm service's
+// live introspection endpoint so CI can scrape /metrics and /requests
+// mid-storm (scripts/obs_endpoint_smoke.sh); --hold-open-ms keeps the
+// endpoint alive that long after the phases finish so a scraper never
+// races the exit; --flight-dump names the flight-recorder file the
+// services dump on watchdog cancels and the harness attaches (as
+// FILE.assert) to every failed CHAOS_EXPECT.  Phase 4 stalls attempts
+// under an aggressive watchdog and asserts the dump names every
+// retry/degrade/spill step of the affected request.
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -29,6 +40,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -37,6 +49,7 @@
 #include "graph/generators.hpp"
 #include "hierarchy/cost.hpp"
 #include "hierarchy/placement.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/service.hpp"
 #include "util/fault_injector.hpp"
@@ -48,6 +61,20 @@ namespace {
 using namespace hgp;
 
 int g_failures = 0;
+std::string g_flight_dump;  // --flight-dump (or a temp default)
+
+/// Every failed expectation gets a flight-recorder dump next to the
+/// configured dump file: the journal tail says what the service was doing
+/// when the invariant broke, which a bare condition string cannot.
+void attach_flight_dump(const char* cond) {
+  if (g_flight_dump.empty()) return;
+  const std::string path = g_flight_dump + ".assert";
+  const Status s = obs::FlightRecorder::global().dump_to_file(
+      path, std::string("chaos assertion failed: ") + cond);
+  if (s.ok()) {
+    std::fprintf(stderr, "  flight recorder attached: %s\n", path.c_str());
+  }
+}
 
 #define CHAOS_EXPECT(cond, ...)              \
   do {                                       \
@@ -56,6 +83,7 @@ int g_failures = 0;
       std::fprintf(stderr, "FAIL: ");        \
       std::fprintf(stderr, __VA_ARGS__);     \
       std::fprintf(stderr, "  [%s]\n", #cond); \
+      attach_flight_dump(#cond);             \
     }                                        \
   } while (0)
 
@@ -93,6 +121,9 @@ int main(int argc, char** argv) {
   int requests = 200;
   std::uint64_t seed = 1;
   std::string metrics_path;
+  std::string obs_socket;
+  std::string flight_dump;
+  long hold_open_ms = 0;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> std::string {
@@ -112,18 +143,32 @@ int main(int argc, char** argv) {
       seed = std::strtoull(need("--seed").c_str(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--metrics")) {
       metrics_path = need("--metrics");
+    } else if (!std::strcmp(argv[i], "--obs-socket")) {
+      obs_socket = need("--obs-socket");
+    } else if (!std::strcmp(argv[i], "--flight-dump")) {
+      flight_dump = need("--flight-dump");
+    } else if (!std::strcmp(argv[i], "--hold-open-ms")) {
+      hold_open_ms = std::strtol(need("--hold-open-ms").c_str(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--verbose")) {
       verbose = true;
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       std::printf(
           "usage: hgp_chaos [--requests N] [--seed S] [--metrics FILE]\n"
-          "                 [--verbose]\n");
+          "                 [--obs-socket PATH] [--flight-dump FILE]\n"
+          "                 [--hold-open-ms N] [--verbose]\n");
       return 0;
     } else {
       std::fprintf(stderr, "hgp_chaos: unknown argument '%s'\n", argv[i]);
       return 2;
     }
   }
+
+  if (flight_dump.empty()) {
+    flight_dump = (std::filesystem::temp_directory_path() /
+                   "hgp-chaos-flight.json")
+                      .string();
+  }
+  g_flight_dump = flight_dump;
 
   Rng master(seed);
   Graph g = gen::planted_partition(32, 4, 0.7, 0.08, master,
@@ -178,7 +223,14 @@ int main(int argc, char** argv) {
   FaultScope multilevel_faults("fallback_multilevel", 0,
                                prob_throw(0.20, seed * 5 + 1));
 
-  SolverService service(sopt);
+  // The storm service is the one with the live endpoint: it exists for
+  // most of the run and is what a scraper should be watching.  Later
+  // phases leave obs_socket empty — a second bind would steal (and on
+  // destruction unlink) the path out from under this service.
+  ServiceOptions storm_opt = sopt;
+  storm_opt.obs_socket = obs_socket;
+  storm_opt.flight_dump_path = flight_dump;
+  SolverService service(storm_opt);
   std::vector<std::shared_ptr<ServiceRequest>> handles;
   handles.reserve(static_cast<std::size_t>(requests));
 
@@ -432,6 +484,128 @@ int main(int argc, char** argv) {
       std::error_code ec;
       std::filesystem::remove_all(spill_dir, ec);
     }
+  }
+
+  // ---- Phase 4: watchdog-cancel storm with the flight recorder attached.
+  // Deterministic, not probabilistic: (a) a budget-squeezed request walks
+  // the degradation ladder; (b) a request whose second tree always stalls
+  // far past an aggressive stuck-threshold is watchdog-cancelled on every
+  // attempt, spilling its one completed tree at each retry boundary.  The
+  // service dumps the flight recorder on each watchdog cancel, so after
+  // the storm the dump file must name every retry/degrade/spill step.
+  {
+    // Mask the storm's probabilistic schedules (re-arming overwrites);
+    // the stall below is armed at exact index 1, which outranks the
+    // every-index quiet entry only for tree 1.
+    FaultScope quiet_trees("solve_one_tree", FaultInjector::kEveryIndex, {});
+    FaultScope quiet_fin("solve_finalize", 0, {});
+    FaultScope quiet_ml("fallback_multilevel", 0, {});
+
+    std::string wd_spill_dir = [] {
+      std::string templ = (std::filesystem::temp_directory_path() /
+                           "hgp-chaos-wd-XXXXXX")
+                              .string();
+      return ::mkdtemp(templ.data()) != nullptr ? templ : std::string();
+    }();
+    CHAOS_EXPECT(!wd_spill_dir.empty(),
+                 "mkdtemp failed for the watchdog spill dir\n");
+    if (!wd_spill_dir.empty()) {
+      ServiceOptions wopt = sopt;
+      wopt.workers = 1;
+      wopt.retry.max_retries = 1;
+      wopt.retry.backoff_base_ms = 1;
+      wopt.retry.backoff_max_ms = 2;
+      wopt.stuck_after_ms = 40;
+      wopt.watchdog_poll_ms = 5;
+      wopt.spill_dir = wd_spill_dir;
+      wopt.flight_dump_path = flight_dump;
+      // The squeeze targets the solve, not admission.
+      wopt.admission_max_utilization = 2.0;
+      SolverService wd(wopt);
+
+      // (a) leave the solve less headroom than one arena chunk, so every
+      // attempt throws kResourceExhausted and the ladder steps (forced
+      // pruning, then halved trees) before burning retries.
+      const std::size_t limit = MemoryBudget::global().limit();
+      const std::size_t used = MemoryBudget::global().used();
+      const std::size_t squeeze =
+          limit > used + (4u << 10) ? limit - used - (4u << 10) : 0;
+      if (squeeze > 0 && MemoryBudget::global().try_reserve(squeeze)) {
+        SolverOptions sqopt = base;
+        sqopt.seed = seed + 5000;
+        auto squeezed = wd.submit(g, h, sqopt);
+        const RetrySolveReport& rep = squeezed->wait();
+        MemoryBudget::global().release(squeeze);
+        CHAOS_EXPECT(rep.degrades >= 1,
+                     "budget squeeze produced no degradation steps\n");
+      } else {
+        CHAOS_EXPECT(false, "budget squeeze reservation failed\n");
+      }
+
+      // (b) the stall: tree 1 sleeps 400 ms at its injection site against
+      // a 40 ms stuck-threshold.  Tree 0 completes and is checkpointed,
+      // so each watchdog cancel is followed by a non-empty spill.
+      FaultInjector::Fault stall;
+      stall.action = FaultInjector::Action::kStall;
+      stall.probability = 1.0;
+      stall.stall_ms = 400;
+      FaultScope stall_tree1("solve_one_tree", 1, stall);
+      SolverOptions stopt = base;
+      stopt.seed = seed + 6000;
+      auto stuck = wd.submit(g, h, stopt);
+      const RetrySolveReport& srep = stuck->wait();
+      CHAOS_EXPECT(srep.status.code == StatusCode::kCancelled,
+                   "stalled request ended %s, expected CANCELLED\n",
+                   status_code_name(srep.status.code));
+      CHAOS_EXPECT(srep.retry_budget_exhausted,
+                   "stalled request did not exhaust its retry budget\n");
+      const SolverService::Stats wstats = wd.stats();
+      CHAOS_EXPECT(wstats.watchdog_cancels >= 2,
+                   "watchdog cancelled %llu attempts, expected >= 2\n",
+                   static_cast<unsigned long long>(wstats.watchdog_cancels));
+      CHAOS_EXPECT(wstats.checkpoint_spills >= 1,
+                   "watchdog storm spilled %llu checkpoints, expected >= 1\n",
+                   static_cast<unsigned long long>(wstats.checkpoint_spills));
+
+#if HGP_OBS_ENABLED
+      // The dump written at the second watchdog cancel must carry the
+      // affected request's whole causal chain so far.  (Under HGP_OBS=OFF
+      // the journal and the dump hook compile out — the storm's behavioral
+      // assertions above still ran; there is just no file to inspect.)
+      std::ifstream dump_in(flight_dump);
+      std::string dump((std::istreambuf_iterator<char>(dump_in)),
+                       std::istreambuf_iterator<char>());
+      CHAOS_EXPECT(!dump.empty(), "no flight-recorder dump at %s\n",
+                   flight_dump.c_str());
+      for (const char* kind :
+           {"watchdog_cancel", "retry", "backoff", "checkpoint_spill",
+            "checkpoint_record", "degrade", "attempt_start", "attempt_end"}) {
+        const std::string needle = "\"kind\": \"" + std::string(kind) + "\"";
+        CHAOS_EXPECT(dump.find(needle) != std::string::npos,
+                     "flight dump missing %s events\n", kind);
+      }
+      const std::string stuck_id =
+          "\"request\": " + std::to_string(stuck->id());
+      CHAOS_EXPECT(dump.find(stuck_id) != std::string::npos,
+                   "flight dump never names the stalled request %llu\n",
+                   static_cast<unsigned long long>(stuck->id()));
+      std::printf(
+          "phase 4: watchdog storm dumped the flight recorder (%zu bytes, "
+          "%llu cancels)\n",
+          dump.size(), static_cast<unsigned long long>(wstats.watchdog_cancels));
+#endif  // HGP_OBS_ENABLED
+      std::error_code ec;
+      std::filesystem::remove_all(wd_spill_dir, ec);
+    }
+  }
+
+  // Give a scraper racing the storm a grace window before the endpoint
+  // (owned by the storm service, still alive here) disappears.
+  if (hold_open_ms > 0) {
+    std::printf("holding introspection endpoint open for %ld ms\n",
+                hold_open_ms);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(hold_open_ms));
   }
 
   if (!metrics_path.empty()) {

@@ -474,6 +474,22 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(tm.dp_merges_rejected),
                      static_cast<unsigned long long>(tm.dp_states_pruned));
       }
+      const auto histograms =
+          obs::MetricsRegistry::global().histogram_snapshots();
+      if (!histograms.empty()) {
+        std::fprintf(stderr, "\nhistogram percentiles:\n");
+        Table pct({"histogram", "count", "p50", "p90", "p99"});
+        for (const obs::HistogramSnapshot& hs : histograms) {
+          if (hs.count == 0) continue;
+          pct.row()
+              .add(hs.name)
+              .add(static_cast<std::int64_t>(hs.count))
+              .add(obs::histogram_quantile(hs, 0.50), 3)
+              .add(obs::histogram_quantile(hs, 0.90), 3)
+              .add(obs::histogram_quantile(hs, 0.99), 3);
+        }
+        pct.print(std::cerr);
+      }
       if (obs::TraceBuffer::global().size() > 0) {
         std::fprintf(stderr, "\nspan summary:\n");
         obs::TraceBuffer::global().summary().print(std::cerr);

@@ -1,0 +1,180 @@
+// hgp_top: live terminal view of a running SolverService, in the spirit
+// of top(1).
+//
+// Connects to the unix-domain introspection socket a service exposes via
+// ServiceOptions::obs_socket (or HGP_OBS_SOCKET), scrapes /metrics and
+// /requests, and renders a refreshing table: service throughput counters,
+// memory-budget utilization, and one row per queued / in-flight request
+// with its state, attempt number, queue position and attempt elapsed
+// time.  Pure client — links only the obs library and touches nothing in
+// the serving process beyond the scrape handlers.
+//
+//   hgp_top --socket /tmp/hgp.sock [--interval-ms 500] [--once]
+//
+// --once prints a single snapshot without the ANSI clear (scriptable);
+// the default loops until interrupted.  Exit codes: 0 on success, 2 on
+// usage errors, 3 when the socket cannot be scraped.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/introspect.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using hgp::Status;
+using hgp::Table;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--interval-ms N] [--once]\n"
+               "  --socket PATH     introspection socket of the service\n"
+               "                    (defaults to $HGP_OBS_SOCKET)\n"
+               "  --interval-ms N   refresh period (default 500)\n"
+               "  --once            one snapshot, no screen clearing\n",
+               argv0);
+  return 2;
+}
+
+/// Parses Prometheus text exposition into name{labels} -> value.  Only
+/// the series hgp_top displays are consulted, so unknown lines are
+/// skipped, not errors.
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    const std::string value_text = line.substr(space + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str()) continue;
+    out[line.substr(0, space)] = value;
+  }
+  return out;
+}
+
+double series(const std::map<std::string, double>& m, const char* name) {
+  const auto it = m.find(name);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+/// Pulls `"key":<value>` out of a flat JSON object line.  The /requests
+/// document deliberately emits one object per line with unnested numeric
+/// and short string fields, so this string-level parse is exact for it.
+std::string json_field(const std::string& object, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = object.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t begin = at + needle.size();
+  if (begin >= object.size()) return "";
+  if (object[begin] == '"') {
+    const std::size_t close = object.find('"', begin + 1);
+    if (close == std::string::npos) return "";
+    return object.substr(begin + 1, close - begin - 1);
+  }
+  std::size_t end = begin;
+  while (end < object.size() && object[end] != ',' && object[end] != '}') {
+    ++end;
+  }
+  return object.substr(begin, end - begin);
+}
+
+int render_once(const std::string& socket_path, bool clear_screen) {
+  std::string metrics_text;
+  std::string requests_text;
+  Status s = hgp::obs::introspect_fetch(socket_path, "/metrics",
+                                        &metrics_text);
+  if (s.ok()) {
+    s = hgp::obs::introspect_fetch(socket_path, "/requests", &requests_text);
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "hgp_top: %s\n", s.to_string().c_str());
+    return 3;
+  }
+  const std::map<std::string, double> m = parse_prometheus(metrics_text);
+
+  std::ostringstream screen;
+  if (clear_screen) screen << "\x1b[2J\x1b[H";  // clear + home
+  screen << "hgp_top — " << socket_path << "\n\n";
+  screen << "service: submitted " << series(m, "hgp_service_submitted")
+         << "  admitted " << series(m, "hgp_service_admitted")
+         << "  completed " << series(m, "hgp_service_completed")
+         << "  rejects " << series(m, "hgp_service_admission_rejects")
+         << "\nretries " << series(m, "hgp_service_retries") << "  degrades "
+         << series(m, "hgp_service_degrades") << "  watchdog cancels "
+         << series(m, "hgp_service_watchdog_cancels") << "  spills "
+         << series(m, "hgp_service_checkpoint_spills") << "  recovered "
+         << series(m, "hgp_service_checkpoint_recovered") << "\n";
+
+  const std::string utilization = json_field(requests_text,
+                                             "budget_utilization");
+  const std::string draining = json_field(requests_text, "draining");
+  screen << "queue depth " << json_field(requests_text, "queue_depth")
+         << "  inflight " << json_field(requests_text, "inflight")
+         << "  budget utilization "
+         << (utilization.empty() ? "?" : utilization) << "  draining "
+         << (draining.empty() ? "?" : draining) << "\n\n";
+
+  // One request object per line by contract (see
+  // SolverService::write_requests_json), so rows split on newlines.
+  Table table({"request", "state", "attempt", "queue pos", "elapsed ms"});
+  std::istringstream rs(requests_text);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(rs, line)) {
+    if (line.rfind("{\"id\":", 0) != 0) continue;
+    table.row()
+        .add(json_field(line, "id"))
+        .add(json_field(line, "state"))
+        .add(json_field(line, "attempt"))
+        .add(json_field(line, "queue_position"))
+        .add(json_field(line, "elapsed_ms"));
+    ++rows;
+  }
+  std::fputs(screen.str().c_str(), stdout);
+  if (rows > 0) {
+    table.print(std::cout);
+  } else {
+    std::puts("(no live requests)");
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  if (const char* env = std::getenv("HGP_OBS_SOCKET")) socket_path = env;
+  long interval_ms = 500;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() || interval_ms <= 0) return usage(argv[0]);
+  if (once) return render_once(socket_path, /*clear_screen=*/false);
+  for (;;) {
+    const int rc = render_once(socket_path, /*clear_screen=*/true);
+    if (rc != 0) return rc;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
