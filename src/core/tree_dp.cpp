@@ -1,9 +1,11 @@
 #include "core/tree_dp.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <future>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -36,6 +38,8 @@ void publish_dp_metrics(const TreeDpStats& stats, const Tree& bt,
   HGP_COUNTER_ADD("dp.merges_rejected", stats.merges_rejected);
   HGP_COUNTER_ADD("dp.states_pruned", stats.states_pruned);
   HGP_COUNTER_ADD("dp.subtree_tasks", stats.subtree_tasks);
+  HGP_COUNTER_ADD("dp.nodes_built", stats.nodes_built);
+  HGP_COUNTER_ADD("dp.nodes_reused", stats.nodes_reused);
 #if HGP_OBS_ENABLED
   static obs::Histogram& units_hist =
       obs::MetricsRegistry::global().histogram(
@@ -57,14 +61,11 @@ void publish_dp_metrics(const TreeDpStats& stats, const Tree& bt,
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr std::uint32_t kNoSig = 0xffffffffu;
+constexpr std::uint32_t kNoSig = kDpNoSig;
 
-struct Back {
-  std::uint32_t sig1 = kNoSig;
-  std::uint32_t sig2 = kNoSig;
-  std::int8_t j1 = -1;
-  std::int8_t j2 = -1;
-};
+/// Back-pointers are stored in reuse entries verbatim, so the internal
+/// alias is the public type.
+using Back = DpBack;
 
 /// Recycled dense DP scratch.  Every node needs a |Sig|-sized cost array
 /// (read by its parent's merge) and a parallel back-pointer array (read by
@@ -207,6 +208,178 @@ void relax(NodeTable& table, std::size_t sig, double cost, const Back& back) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Clean-subtree reuse (incremental re-solve).
+//
+// A node's DP table is a pure function of its binarized subtree's content
+// (rounded leaf demands, edge weights, uncuttable flags, shape) plus the
+// signature-space parameters.  We hash that content bottom-up (SplitMix64
+// finalizer mixing); a node whose hash — and every descendant's — is found
+// in a compatible DpReuseStore is *rehydrated*: its compacted table is
+// copied in and its dense cost span is materialized only when the parent's
+// merge (or the root selection) will read it.  Everything else builds
+// normally, so the sweep stays a single children-before-parents pass and
+// the parallel subtree phase needs no changes beyond dispatching through
+// process() instead of build_node().
+//
+// Bit-identity: stored entries were compacted+pruned exactly as a fresh
+// build would compact+prune them (the store pins the effective prune flag
+// and units_per_capacity).  When the demand *total* differs between solves
+// the signature spaces differ only in their per-level bounds; stored ids
+// are translated by decoding against the capturing space and re-interning
+// (translation is monotone in the lex enumeration, so sorted feasible
+// arrays stay sorted, and clean-subtree demands — bounded by the unchanged
+// subtree demand sum ≤ both totals — always re-intern successfully; an
+// npos can only mean a hash collision and demotes the node to a rebuild).
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t x) {
+  return mix64(h ^ (x + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2)));
+}
+
+/// Content hash of every binarized subtree, children-before-parents.
+std::vector<std::uint64_t> subtree_hashes(const Tree& bt,
+                                          const ScaledDemands& sd) {
+  const auto n = static_cast<std::size_t>(bt.node_count());
+  std::vector<std::uint64_t> hash(n, 0);
+  const std::vector<Vertex>& pre = bt.preorder();
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+    const Vertex v = *it;
+    const auto vi = static_cast<std::size_t>(v);
+    const auto kids = bt.children(v);
+    if (kids.empty()) {
+      hash[vi] = hash_combine(
+          0x6c656166ull,  // leaf tag
+          static_cast<std::uint64_t>(sd.units[vi]));
+      continue;
+    }
+    std::uint64_t h = hash_combine(0x696e6e6572ull,  // internal tag
+                                   static_cast<std::uint64_t>(kids.size()));
+    for (const Vertex c : kids) {
+      const auto ci = static_cast<std::size_t>(c);
+      const bool inf = bt.parent_edge_infinite(c);
+      h = hash_combine(h, hash[ci]);
+      h = hash_combine(h, inf ? 1u : 0u);
+      h = hash_combine(
+          h, inf ? 0 : std::bit_cast<std::uint64_t>(bt.parent_weight(c)));
+    }
+    hash[vi] = h;
+  }
+  return hash;
+}
+
+/// Per-node rehydrate/build decisions for one solve.  `entry[v]` non-null
+/// means v rehydrates from that table (already in the *current* space);
+/// `needs_dense[v]` means v's dense cost span will be read (by a built
+/// parent or the root selection) and must be materialized.
+struct ReusePlan {
+  std::vector<std::uint64_t> hash;
+  std::vector<const DpSubtreeEntry*> entry;
+  std::vector<char> needs_dense;
+  /// Owns tables translated from the store's space into the current one
+  /// (empty feasible = cached translation failure).  Node-based map:
+  /// pointers into it stay valid across inserts.
+  std::unordered_map<std::uint64_t, DpSubtreeEntry> translated;
+};
+
+ReusePlan make_reuse_plan(const Tree& bt, const ScaledDemands& sd,
+                          const SignatureSpace& space, int height,
+                          bool prune, const DpReuseStore* store) {
+  const auto n = static_cast<std::size_t>(bt.node_count());
+  ReusePlan plan;
+  plan.hash = subtree_hashes(bt, sd);
+  plan.entry.assign(n, nullptr);
+  plan.needs_dense.assign(n, 1);
+  const bool usable = store != nullptr && !store->entries.empty() &&
+                      store->height == height && store->prune == prune &&
+                      store->units_per_capacity == sd.units_per_capacity &&
+                      store->capacity == sd.capacity;
+  if (!usable) return plan;
+
+  const bool identity = store->total == sd.total;
+  std::optional<SignatureSpace> old_space;
+  std::unordered_map<std::size_t, std::size_t> id_map;
+  if (!identity) {
+    ScaledDemands old_sd;
+    old_sd.units_per_capacity = store->units_per_capacity;
+    old_sd.total = store->total;
+    old_sd.capacity = store->capacity;
+    old_space.emplace(old_sd, height);
+  }
+  auto translate_id = [&](std::uint32_t old_id) -> std::size_t {
+    if (old_id >= old_space->size()) return SignatureSpace::npos;
+    const auto it = id_map.find(old_id);
+    if (it != id_map.end()) return it->second;
+    Signature d(static_cast<std::size_t>(height));
+    for (int j = 1; j <= height; ++j) {
+      d[static_cast<std::size_t>(j - 1)] = old_space->level(old_id, j);
+    }
+    const std::size_t nid = space.id_of(d, old_space->present(old_id));
+    id_map.emplace(old_id, nid);
+    return nid;
+  };
+  auto resolve = [&](std::uint64_t h) -> const DpSubtreeEntry* {
+    const auto sit = store->entries.find(h);
+    if (sit == store->entries.end()) return nullptr;
+    if (identity) return &sit->second;
+    const auto [tit, fresh] = plan.translated.try_emplace(h);
+    if (!fresh) {
+      return tit->second.feasible.empty() ? nullptr : &tit->second;
+    }
+    const DpSubtreeEntry& e = sit->second;
+    DpSubtreeEntry& out = tit->second;
+    out.feasible.reserve(e.feasible.size());
+    out.cost = e.cost;
+    out.back.reserve(e.back.size());
+    for (std::size_t i = 0; i < e.feasible.size(); ++i) {
+      const std::size_t f = translate_id(e.feasible[i]);
+      Back b = e.back[i];
+      bool ok = f != SignatureSpace::npos;
+      if (ok && b.sig1 != kNoSig) {
+        const std::size_t t = translate_id(b.sig1);
+        ok = t != SignatureSpace::npos;
+        if (ok) b.sig1 = narrow<std::uint32_t>(t);
+      }
+      if (ok && b.sig2 != kNoSig) {
+        const std::size_t t = translate_id(b.sig2);
+        ok = t != SignatureSpace::npos;
+        if (ok) b.sig2 = narrow<std::uint32_t>(t);
+      }
+      if (!ok) {
+        out = DpSubtreeEntry{};
+        return nullptr;
+      }
+      out.feasible.push_back(narrow<std::uint32_t>(f));
+      out.back.push_back(b);
+    }
+    return &out;
+  };
+
+  const std::vector<Vertex>& pre = bt.preorder();
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+    const Vertex v = *it;
+    const auto vi = static_cast<std::size_t>(v);
+    bool kids_hit = true;
+    for (const Vertex c : bt.children(v)) {
+      kids_hit = kids_hit && plan.entry[static_cast<std::size_t>(c)] != nullptr;
+    }
+    if (kids_hit) plan.entry[vi] = resolve(plan.hash[vi]);
+  }
+  for (Vertex v = 0; v < bt.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    plan.needs_dense[vi] =
+        v == bt.root() ||
+        plan.entry[static_cast<std::size_t>(bt.parent(v))] == nullptr;
+  }
+  return plan;
+}
+
 // Cost accounting.  The solution's mirror regions partition (a subset of)
 // the tree nodes into disjoint connected regions per level, nested across
 // levels; the objective Σ_S w(δ(N(S))) · Δ_k/2 charges every edge Δ_k/2
@@ -237,6 +410,56 @@ struct DpEngine {
   const std::vector<double>& ps;
   bool prune;
   std::vector<NodeTable>& tables;
+  /// Rehydrate/build decisions; nullptr = build everything.
+  const ReusePlan* plan = nullptr;
+  /// Per-node capture slots for TreeDpOptions::reuse_out (indexed writes,
+  /// so the parallel subtree phase needs no synchronization); nullptr =
+  /// no capture.
+  std::vector<DpSubtreeEntry>* capture = nullptr;
+
+  /// Node dispatch: rehydrate a clean subtree's table or build it by
+  /// merging.  Bit-identical either way.
+  void process(Vertex v, DenseTablePool& pool, TreeDpStats& stats,
+               PeriodicCheck& guard) const {
+    const auto vi = static_cast<std::size_t>(v);
+    const DpSubtreeEntry* e = plan == nullptr ? nullptr : plan->entry[vi];
+    if (e != nullptr) {
+      rehydrate(v, *e, pool, stats, guard);
+      return;
+    }
+    build_node(v, pool, stats, guard);
+    ++stats.nodes_built;
+    if (capture != nullptr) {
+      // The dense cost span is still alive here (released only by the
+      // parent's merge), so gather the compacted costs now.
+      const NodeTable& table = tables[vi];
+      DpSubtreeEntry& slot = (*capture)[vi];
+      slot.feasible = table.feasible;
+      slot.back = table.back_compact;
+      slot.cost.resize(table.feasible.size());
+      for (std::size_t i = 0; i < table.feasible.size(); ++i) {
+        slot.cost[i] = table.cost[table.feasible[i]];
+      }
+    }
+  }
+
+  void rehydrate(Vertex v, const DpSubtreeEntry& e, DenseTablePool& pool,
+                 TreeDpStats& stats, PeriodicCheck& guard) const {
+    guard.tick();
+    const auto vi = static_cast<std::size_t>(v);
+    NodeTable& table = tables[vi];
+    table.feasible = e.feasible;
+    table.back_compact = e.back;
+    if (plan->needs_dense[vi] != 0) {
+      table.cost = pool.acquire_cost();
+      for (std::size_t i = 0; i < e.feasible.size(); ++i) {
+        table.cost[e.feasible[i]] = e.cost[i];
+      }
+    }
+    stats.feasible_states += e.feasible.size();
+    ++stats.nodes_reused;
+    if (capture != nullptr) (*capture)[vi] = e;
+  }
 
   void build_node(Vertex v, DenseTablePool& pool, TreeDpStats& stats,
                   PeriodicCheck& guard) const {
@@ -477,7 +700,20 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
   std::vector<NodeTable> tables(static_cast<std::size_t>(bt.node_count()));
   const bool prune =
       opt.force_prune || (opt.prune_dominated && dp_prune_env_enabled());
-  const DpEngine engine{bt, space, sd, ps, prune, tables};
+  std::optional<ReusePlan> reuse_plan;
+  std::vector<DpSubtreeEntry> capture_slots;
+  if (opt.reuse_in != nullptr || opt.reuse_out != nullptr) {
+    reuse_plan.emplace(
+        make_reuse_plan(bt, sd, space, height, prune, opt.reuse_in));
+  }
+  if (opt.reuse_out != nullptr) {
+    capture_slots.resize(static_cast<std::size_t>(bt.node_count()));
+  }
+  const DpEngine engine{bt,     space,
+                        sd,     ps,
+                        prune,  tables,
+                        reuse_plan.has_value() ? &*reuse_plan : nullptr,
+                        opt.reuse_out != nullptr ? &capture_slots : nullptr};
   std::vector<std::unique_ptr<DenseTablePool>> pools;
   pools.push_back(std::make_unique<DenseTablePool>(space.size()));
   DenseTablePool& main_pool = *pools.front();
@@ -503,8 +739,8 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
             [&engine, &bt, &task_pool, &stats, lo, hi, exec = opt.exec] {
               PeriodicCheck task_guard(exec, "tree DP subtree task", 4096);
               for (std::size_t idx = hi; idx-- > lo;) {
-                engine.build_node(bt.preorder()[idx], task_pool, stats,
-                                  task_guard);
+                engine.process(bt.preorder()[idx], task_pool, stats,
+                               task_guard);
               }
             }));
       }
@@ -522,19 +758,21 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
         result.stats.merge_operations += s.merge_operations;
         result.stats.merges_rejected += s.merges_rejected;
         result.stats.states_pruned += s.states_pruned;
+        result.stats.nodes_built += s.nodes_built;
+        result.stats.nodes_reused += s.nodes_reused;
       }
       // Finish the ancestors of the subtree roots, children-first.
       for (auto it = bt.preorder().rbegin(); it != bt.preorder().rend();
            ++it) {
         if (plan.is_top[static_cast<std::size_t>(*it)] != 0) {
-          engine.build_node(*it, main_pool, result.stats, guard);
+          engine.process(*it, main_pool, result.stats, guard);
         }
       }
     }
   }
   if (!parallel) {
     for (auto it = bt.preorder().rbegin(); it != bt.preorder().rend(); ++it) {
-      engine.build_node(*it, main_pool, result.stats, guard);
+      engine.process(*it, main_pool, result.stats, guard);
     }
   }
   for (const auto& pool : pools) {
@@ -641,6 +879,24 @@ TreeDpResult solve_rhgpt(const Tree& t, const Hierarchy& h,
     if (orig != kInvalidVertex && bt.is_leaf(b)) {
       result.scaled.units[static_cast<std::size_t>(orig)] =
           sd.units[static_cast<std::size_t>(b)];
+    }
+  }
+
+  // 6. Hand this solve's subtree tables to the caller so the next
+  //    incremental solve can skip clean subtrees.  Only successful solves
+  //    populate the store (the assembly sits after the feasibility throw).
+  if (opt.reuse_out != nullptr) {
+    DpReuseStore& store = *opt.reuse_out;
+    store.height = height;
+    store.prune = prune;
+    store.units_per_capacity = sd.units_per_capacity;
+    store.total = sd.total;
+    store.capacity = sd.capacity;
+    store.entries.clear();
+    store.entries.reserve(capture_slots.size());
+    for (Vertex v = 0; v < bt.node_count(); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      store.entries[reuse_plan->hash[vi]] = std::move(capture_slots[vi]);
     }
   }
   publish_dp_metrics(result.stats, bt, sd);

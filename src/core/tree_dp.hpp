@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/binarize.hpp"
@@ -34,6 +35,51 @@
 namespace hgp {
 
 class ThreadPool;
+
+/// One DP back-pointer (children's signature ids + cut levels), exposed so
+/// clean-subtree tables can be carried across solves via DpReuseStore.
+constexpr std::uint32_t kDpNoSig = 0xffffffffu;
+struct DpBack {
+  std::uint32_t sig1 = kDpNoSig;
+  std::uint32_t sig2 = kDpNoSig;
+  std::int8_t j1 = -1;
+  std::int8_t j2 = -1;
+};
+
+/// Compacted DP table of one (binarized) subtree root: feasible signature
+/// ids (sorted), their costs, and their back-pointers, all in the space of
+/// the solve that captured them.
+struct DpSubtreeEntry {
+  std::vector<std::uint32_t> feasible;
+  std::vector<double> cost;
+  std::vector<DpBack> back;
+};
+
+/// Cross-solve cache of per-subtree DP tables, keyed by a content hash of
+/// the binarized subtree (rounded leaf demands, edge weights, uncuttable
+/// flags, shape).  A node's table is a pure function of that content given
+/// the signature-space parameters, so a later solve over a mutated tree
+/// can rehydrate the tables of every untouched ("clean") subtree instead
+/// of re-merging it — the structural locality the incremental re-solve
+/// path (src/runtime/incremental.hpp) is built on.
+///
+/// The capturing solve's space parameters are recorded so a consuming
+/// solve can check compatibility: height, effective pruning flag and
+/// units_per_capacity must match exactly (otherwise the store is ignored);
+/// a different demand *total* only shifts the per-level signature bounds,
+/// which solve_rhgpt handles by translating stored ids between spaces —
+/// clean-subtree signatures always survive translation because their
+/// demands are bounded by the (unchanged) subtree demand sum.
+struct DpReuseStore {
+  int height = 0;
+  bool prune = false;
+  DemandUnits units_per_capacity = 0;
+  DemandUnits total = 0;
+  std::vector<DemandUnits> capacity;
+  std::unordered_map<std::uint64_t, DpSubtreeEntry> entries;
+
+  bool empty() const { return entries.empty(); }
+};
 
 struct TreeDpOptions {
   /// Demand rounding accuracy; U = ⌈n/ε⌉ units per leaf capacity.
@@ -63,6 +109,15 @@ struct TreeDpOptions {
   /// Cooperative deadline/cancellation; checked every few thousand merge
   /// relaxations.  nullptr = unconstrained.  Must outlive the call.
   const ExecContext* exec = nullptr;
+  /// Clean-subtree tables from a previous solve.  Subtrees whose content
+  /// hash (and every descendant's) is found here are rehydrated instead of
+  /// rebuilt; results are bit-identical to a from-scratch solve either
+  /// way.  Ignored when incompatible (see DpReuseStore).  Must outlive the
+  /// call.
+  const DpReuseStore* reuse_in = nullptr;
+  /// When non-null, receives this solve's per-subtree tables (parameters +
+  /// entries are overwritten) for the *next* incremental solve to consume.
+  DpReuseStore* reuse_out = nullptr;
 };
 
 // Per-solve DP work counters.  Collected as plain local increments inside
@@ -77,6 +132,8 @@ struct TreeDpStats {
   std::size_t states_pruned = 0;     ///< dominance-pruned DP entries
   std::size_t subtree_tasks = 0;     ///< parallel subtree DP tasks (0 = seq)
   std::size_t arena_bytes = 0;       ///< workspace arena high-water, bytes
+  std::size_t nodes_built = 0;       ///< node tables computed by merging
+  std::size_t nodes_reused = 0;      ///< node tables rehydrated from reuse_in
 };
 
 struct TreeDpResult {

@@ -25,6 +25,8 @@ TreeHgpSolution solve_hgpt(const Tree& t, const Hierarchy& h,
   dp_opt.pool = opt.pool;
   dp_opt.exec = opt.exec;
   dp_opt.force_prune = opt.force_prune;
+  dp_opt.reuse_in = opt.reuse_in;
+  dp_opt.reuse_out = opt.reuse_out;
   TreeDpResult dp = solve_rhgpt(t, h, dp_opt);
 
   // Theorem 3: the DP's relaxed optimum is a *nice* solution (BS = 0) and

@@ -21,6 +21,10 @@ struct TreeSolverOptions {
   const ExecContext* exec = nullptr;
   /// Forwarded to TreeDpOptions::force_prune (memory-pressure degrade).
   bool force_prune = false;
+  /// Clean-subtree reuse across solves, forwarded to
+  /// TreeDpOptions::reuse_in / reuse_out (incremental re-solve path).
+  const DpReuseStore* reuse_in = nullptr;
+  DpReuseStore* reuse_out = nullptr;
 };
 
 struct TreeHgpSolution {

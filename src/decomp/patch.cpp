@@ -1,0 +1,308 @@
+#include "decomp/patch.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/check.hpp"
+
+namespace hgp {
+namespace {
+
+/// Mutable node-array view of a tree under surgery.  Node ids are stable
+/// while patching; dead ids are compacted away at rebuild time.
+struct Workspace {
+  std::vector<Vertex> parent;
+  std::vector<Weight> weight;  // parent-edge weight, indexed by child
+  std::vector<char> dead;
+  /// Stable id of the vertex mapped to a leaf node (kInvalidVertex for
+  /// internal nodes).
+  std::vector<Vertex> leaf_stable;
+  std::vector<std::vector<Vertex>> kids;
+  Vertex root = kInvalidVertex;
+
+  Vertex new_node(Vertex p, Weight w, Vertex stable) {
+    const Vertex id = narrow<Vertex>(parent.size());
+    parent.push_back(p);
+    weight.push_back(w);
+    dead.push_back(0);
+    leaf_stable.push_back(stable);
+    kids.emplace_back();
+    return id;
+  }
+
+  void replace_child(Vertex p, Vertex was, Vertex now) {
+    auto& c = kids[static_cast<std::size_t>(p)];
+    auto it = std::find(c.begin(), c.end(), was);
+    HGP_ASSERT(it != c.end());
+    *it = now;
+  }
+};
+
+Workspace load(const DecompTree& dt) {
+  const Tree& t = dt.tree();
+  const Vertex n = t.node_count();
+  Workspace ws;
+  ws.parent.resize(static_cast<std::size_t>(n));
+  ws.weight.resize(static_cast<std::size_t>(n));
+  ws.dead.assign(static_cast<std::size_t>(n), 0);
+  ws.leaf_stable.assign(static_cast<std::size_t>(n), kInvalidVertex);
+  ws.kids.resize(static_cast<std::size_t>(n));
+  ws.root = t.root();
+  for (Vertex v = 0; v < n; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    ws.parent[i] = t.parent(v);
+    ws.weight[i] = v == t.root() ? 0 : t.parent_weight(v);
+    HGP_CHECK_MSG(v == t.root() || !t.parent_edge_infinite(v),
+                  "patch_decomp_tree: uncuttable edges unsupported");
+    const auto c = t.children(v);
+    ws.kids[i].assign(c.begin(), c.end());
+    if (t.is_leaf(v)) ws.leaf_stable[i] = dt.vertex_of_leaf(v);
+  }
+  return ws;
+}
+
+/// Adds `delta` to every parent-edge weight strictly below `stop` on the
+/// path from `v` to `stop` (an ancestor of v).
+std::uint64_t bump_to(Workspace& ws, Vertex v, Vertex stop, Weight delta) {
+  std::uint64_t edits = 0;
+  while (v != stop) {
+    HGP_ASSERT(v != kInvalidVertex);
+    ws.weight[static_cast<std::size_t>(v)] += delta;
+    ++edits;
+    v = ws.parent[static_cast<std::size_t>(v)];
+  }
+  return edits;
+}
+
+}  // namespace
+
+DecompTree patch_decomp_tree(const DecompTree& old_tree,
+                             const MutationLog& log,
+                             const MutationLog::Materialized& mat,
+                             PatchStats* stats) {
+  const Graph& base = log.base();
+  const Vertex base_n = base.vertex_count();
+  HGP_CHECK_MSG(old_tree.graph_vertex_count() == base_n,
+                "patch_decomp_tree: tree does not cover log.base()");
+
+  Workspace ws = load(old_tree);
+  const std::vector<MutationLog::EdgeDelta> deltas = log.edge_deltas();
+  PatchStats local;
+
+  // Phase A: deltas between base vertices, applied on the old structure
+  // (removed vertices still have their leaves; their edge removals must be
+  // charged to the boundaries before the leaf disappears).
+  for (const auto& d : deltas) {
+    if (d.u >= base_n || d.v >= base_n) continue;
+    const Weight delta = (d.new_present ? d.new_weight : Weight{0}) -
+                         (d.old_present ? d.old_weight : Weight{0});
+    const Vertex lu = old_tree.leaf_of_vertex(d.u);
+    const Vertex lv = old_tree.leaf_of_vertex(d.v);
+    const Vertex l = old_tree.tree().lca(lu, lv);
+    local.weight_edits += bump_to(ws, lu, l, delta);
+    local.weight_edits += bump_to(ws, lv, l, delta);
+  }
+
+  // Phase B: drop leaves of removed vertices; contract unary parents.  The
+  // surviving child keeps its own parent-edge weight: after phase A its
+  // boundary already reflects the final edge set, and the contracted
+  // parent's cluster now equals the child's.
+  for (Vertex s = 0; s < base_n; ++s) {
+    if (log.alive(s)) continue;
+    const Vertex x = old_tree.leaf_of_vertex(s);
+    const Vertex p = ws.parent[static_cast<std::size_t>(x)];
+    HGP_CHECK_MSG(p != kInvalidVertex,
+                  "patch_decomp_tree: cannot remove the only leaf");
+    ws.dead[static_cast<std::size_t>(x)] = 1;
+    auto& pc = ws.kids[static_cast<std::size_t>(p)];
+    pc.erase(std::find(pc.begin(), pc.end(), x));
+    ++local.removed_leaves;
+    if (pc.size() == 1) {
+      const Vertex c = pc.front();
+      const Vertex gp = ws.parent[static_cast<std::size_t>(p)];
+      ws.dead[static_cast<std::size_t>(p)] = 1;
+      pc.clear();
+      ws.parent[static_cast<std::size_t>(c)] = gp;
+      if (gp == kInvalidVertex) {
+        ws.root = c;
+        ws.weight[static_cast<std::size_t>(c)] = 0;
+      } else {
+        ws.replace_child(gp, p, c);
+      }
+    }
+  }
+
+  // Phase C: insert added vertices (stable-id order) as new leaves.  Anchor
+  // = heaviest already-present neighbour in the final graph (ties: smallest
+  // stable id); the new leaf splits the anchor leaf into a sibling pair so
+  // clusters stay laminar.  Isolated vertices hang off the root with
+  // boundary 0.  Edge weights toward added vertices are applied in phase D,
+  // so every new parent edge starts at the anchor's current weight.
+  std::vector<Vertex> leaf_node(
+      static_cast<std::size_t>(log.stable_id_count()), kInvalidVertex);
+  for (Vertex s = 0; s < base_n; ++s) {
+    if (log.alive(s)) leaf_node[static_cast<std::size_t>(s)] =
+        old_tree.leaf_of_vertex(s);
+  }
+  for (Vertex s = base_n; s < log.stable_id_count(); ++s) {
+    if (!log.alive(s)) continue;
+    const Vertex xc = mat.compact_of[static_cast<std::size_t>(s)];
+    Vertex anchor_stable = kInvalidVertex;
+    Weight anchor_w = 0;
+    for (const HalfEdge& h : mat.graph.neighbors(xc)) {
+      const Vertex ns = mat.stable_of[static_cast<std::size_t>(h.to)];
+      if (leaf_node[static_cast<std::size_t>(ns)] == kInvalidVertex) continue;
+      if (anchor_stable == kInvalidVertex || h.weight > anchor_w ||
+          (h.weight == anchor_w && ns < anchor_stable)) {
+        anchor_stable = ns;
+        anchor_w = h.weight;
+      }
+    }
+    Vertex x;
+    if (anchor_stable != kInvalidVertex) {
+      const Vertex leaf = leaf_node[static_cast<std::size_t>(anchor_stable)];
+      const auto li = static_cast<std::size_t>(leaf);
+      Vertex p;
+      if (leaf == ws.root) {
+        // The anchor leaf was the whole tree; the new internal node becomes
+        // the root and the old leaf's boundary (the full vertex set minus
+        // the isolated-so-far newcomer) is 0.
+        p = ws.new_node(kInvalidVertex, 0, kInvalidVertex);
+        ws.root = p;
+        ws.weight[li] = 0;
+      } else {
+        const Vertex gp = ws.parent[li];
+        p = ws.new_node(gp, ws.weight[li], kInvalidVertex);
+        ws.replace_child(gp, leaf, p);
+      }
+      ws.parent[li] = p;
+      ws.kids[static_cast<std::size_t>(p)].push_back(leaf);
+      x = ws.new_node(p, 0, s);
+      ws.kids[static_cast<std::size_t>(p)].push_back(x);
+    } else if (ws.kids[static_cast<std::size_t>(ws.root)].empty()) {
+      // Single-leaf tree gaining an isolated vertex: new root over both.
+      const Vertex old_root = ws.root;
+      const Vertex p = ws.new_node(kInvalidVertex, 0, kInvalidVertex);
+      ws.root = p;
+      ws.parent[static_cast<std::size_t>(old_root)] = p;
+      ws.weight[static_cast<std::size_t>(old_root)] = 0;
+      ws.kids[static_cast<std::size_t>(p)].push_back(old_root);
+      x = ws.new_node(p, 0, s);
+      ws.kids[static_cast<std::size_t>(p)].push_back(x);
+    } else {
+      x = ws.new_node(ws.root, 0, s);
+      ws.kids[static_cast<std::size_t>(ws.root)].push_back(x);
+    }
+    leaf_node[static_cast<std::size_t>(s)] = x;
+    ++local.added_leaves;
+  }
+
+  // Phase D: deltas involving added vertices, applied on the new structure
+  // (depths recomputed; parent-walk LCA).
+  bool has_new_deltas = false;
+  for (const auto& d : deltas) {
+    if (d.u >= base_n || d.v >= base_n) {
+      has_new_deltas = true;
+      break;
+    }
+  }
+  if (has_new_deltas) {
+    std::vector<int> depth(ws.parent.size(), -1);
+    std::vector<Vertex> stack{ws.root};
+    depth[static_cast<std::size_t>(ws.root)] = 0;
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Vertex c : ws.kids[static_cast<std::size_t>(v)]) {
+        depth[static_cast<std::size_t>(c)] =
+            depth[static_cast<std::size_t>(v)] + 1;
+        stack.push_back(c);
+      }
+    }
+    for (const auto& d : deltas) {
+      if (d.u < base_n && d.v < base_n) continue;
+      // An endpoint is an added vertex, so the edge cannot exist in the
+      // base graph and both endpoints must still be alive.
+      HGP_ASSERT(!d.old_present && d.new_present);
+      const Weight delta = d.new_weight;
+      Vertex a = leaf_node[static_cast<std::size_t>(d.u)];
+      Vertex b = leaf_node[static_cast<std::size_t>(d.v)];
+      HGP_ASSERT(a != kInvalidVertex && b != kInvalidVertex);
+      while (depth[static_cast<std::size_t>(a)] >
+             depth[static_cast<std::size_t>(b)]) {
+        ws.weight[static_cast<std::size_t>(a)] += delta;
+        ++local.weight_edits;
+        a = ws.parent[static_cast<std::size_t>(a)];
+      }
+      while (depth[static_cast<std::size_t>(b)] >
+             depth[static_cast<std::size_t>(a)]) {
+        ws.weight[static_cast<std::size_t>(b)] += delta;
+        ++local.weight_edits;
+        b = ws.parent[static_cast<std::size_t>(b)];
+      }
+      while (a != b) {
+        ws.weight[static_cast<std::size_t>(a)] += delta;
+        ws.weight[static_cast<std::size_t>(b)] += delta;
+        local.weight_edits += 2;
+        a = ws.parent[static_cast<std::size_t>(a)];
+        b = ws.parent[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+
+  // Rebuild: compact live nodes preserving relative id order (survivors
+  // keep their order, new nodes follow), so repeated patching of the same
+  // (tree, log) pair is bit-identical.
+  const std::size_t total = ws.parent.size();
+  std::vector<Vertex> new_id(total, kInvalidVertex);
+  Vertex live = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!ws.dead[i]) new_id[i] = live++;
+  }
+  std::vector<Vertex> parent2(static_cast<std::size_t>(live));
+  std::vector<Weight> weight2(static_cast<std::size_t>(live));
+  std::vector<Vertex> leaf_vertex(static_cast<std::size_t>(live),
+                                  kInvalidVertex);
+  for (std::size_t i = 0; i < total; ++i) {
+    if (ws.dead[i]) continue;
+    const auto ni = static_cast<std::size_t>(new_id[i]);
+    parent2[ni] = ws.parent[i] == kInvalidVertex
+                      ? kInvalidVertex
+                      : new_id[static_cast<std::size_t>(ws.parent[i])];
+    weight2[ni] = ws.weight[i];
+    if (ws.leaf_stable[i] != kInvalidVertex) {
+      leaf_vertex[ni] =
+          mat.compact_of[static_cast<std::size_t>(ws.leaf_stable[i])];
+    }
+  }
+  Tree tree = Tree::from_parents(std::move(parent2), std::move(weight2));
+  std::vector<double> demand(static_cast<std::size_t>(tree.node_count()), 0);
+  for (Vertex t = 0; t < tree.node_count(); ++t) {
+    if (leaf_vertex[static_cast<std::size_t>(t)] != kInvalidVertex) {
+      demand[static_cast<std::size_t>(t)] =
+          mat.graph.demand(leaf_vertex[static_cast<std::size_t>(t)]);
+    }
+  }
+  tree.set_demands(std::move(demand));
+
+  if (stats != nullptr) {
+    stats->removed_leaves += local.removed_leaves;
+    stats->added_leaves += local.added_leaves;
+    stats->weight_edits += local.weight_edits;
+  }
+  return DecompTree(std::move(tree), std::move(leaf_vertex), mat.graph);
+}
+
+ForestPatch patch_forest(const std::vector<DecompTree>& forest,
+                         const MutationLog& log,
+                         const MutationLog::Materialized& mat) {
+  ForestPatch out;
+  out.stats.dirty_vertices = narrow<Vertex>(log.touched().size());
+  out.forest.reserve(forest.size());
+  for (const DecompTree& dt : forest) {
+    out.forest.push_back(patch_decomp_tree(dt, log, mat, &out.stats));
+  }
+  return out;
+}
+
+}  // namespace hgp

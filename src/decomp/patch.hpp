@@ -1,0 +1,69 @@
+// Incremental patching of decomposition trees under a MutationLog.
+//
+// A DecompTree built for the base graph stays structurally valid for most
+// of a churn batch: a mutation only affects the tree nodes whose clusters
+// contain a touched vertex.  patch_decomp_tree() edits the existing tree
+// in four deterministic phases instead of re-running the cut recursion:
+//
+//   A. Edge deltas between base vertices adjust boundary weights along the
+//      two leaf→LCA paths (strictly below the LCA) in the *old* structure.
+//   B. Removed vertices drop their leaves; unary parents are contracted
+//      keeping the surviving child's parent-edge weight (the removed
+//      sibling's cluster no longer separates the child from the rest).
+//   C. Added vertices are inserted in stable-id order as new leaves: the
+//      anchor is the heaviest already-present neighbour in the materialized
+//      graph (ties → smallest stable id) and the new leaf splits the
+//      anchor leaf into a sibling pair; isolated vertices attach under the
+//      root with weight 0.
+//   D. Edge deltas involving added vertices adjust weights along leaf→LCA
+//      paths in the *new* structure.
+//
+// The patched tree is exactly what the from-scratch differential arm in
+// tests/test_churn_differential.cpp solves on, so incremental vs scratch
+// comparisons are bit-identical by construction: same forest, same DP.
+// Quality drift versus a cold re-decomposition is a separate question
+// measured by the E12 churn experiment.
+//
+// Determinism contract: deltas are processed in (u,v) order, additions in
+// stable-id order, and surviving node ids keep their relative order (new
+// nodes appended), so two runs over the same (tree, log) produce
+// bit-identical patched trees — which the DP reuse-store hashing relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decomp/decomp_tree.hpp"
+#include "graph/mutation_log.hpp"
+
+namespace hgp {
+
+struct PatchStats {
+  /// Live stable ids whose incident edges or demand changed (plus adds).
+  Vertex dirty_vertices = 0;
+  /// Leaves removed / inserted per tree, summed over the forest.
+  Vertex removed_leaves = 0;
+  Vertex added_leaves = 0;
+  /// Parent-edge weight increments applied while walking leaf→LCA paths.
+  std::uint64_t weight_edits = 0;
+};
+
+/// Patches one decomposition tree (built over `log.base()`) so it covers
+/// `mat.graph` (== log.materialize()).  `stats`, when non-null, is
+/// accumulated into.
+DecompTree patch_decomp_tree(const DecompTree& old_tree,
+                             const MutationLog& log,
+                             const MutationLog::Materialized& mat,
+                             PatchStats* stats = nullptr);
+
+struct ForestPatch {
+  std::vector<DecompTree> forest;
+  PatchStats stats;
+};
+
+/// Patches every tree of a forest; `mat` must be `log.materialize()`.
+ForestPatch patch_forest(const std::vector<DecompTree>& forest,
+                         const MutationLog& log,
+                         const MutationLog::Materialized& mat);
+
+}  // namespace hgp

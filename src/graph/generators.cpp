@@ -241,4 +241,132 @@ void set_kbgp_demands(Graph& g, int vertices_per_leaf) {
   set_uniform_demands(g, 1.0 / vertices_per_leaf);
 }
 
+namespace {
+
+std::vector<Vertex> live_vertices(const MutationLog& log) {
+  std::vector<Vertex> out;
+  out.reserve(static_cast<std::size_t>(log.live_vertex_count()));
+  for (Vertex s = 0; s < log.stable_id_count(); ++s) {
+    if (log.alive(s)) out.push_back(s);
+  }
+  return out;
+}
+
+/// Every live edge (stable ids): base edges still present, then overlay
+/// additions.  Deterministic order (CSR edge order, then sorted deltas).
+std::vector<std::pair<Vertex, Vertex>> live_edges(const MutationLog& log) {
+  std::vector<std::pair<Vertex, Vertex>> out;
+  for (const Edge& e : log.base().edges()) {
+    if (log.alive(e.u) && log.alive(e.v) && log.has_edge(e.u, e.v)) {
+      out.emplace_back(e.u, e.v);
+    }
+  }
+  for (const MutationLog::EdgeDelta& d : log.edge_deltas()) {
+    if (!d.old_present && d.new_present) out.emplace_back(d.u, d.v);
+  }
+  return out;
+}
+
+}  // namespace
+
+void churn(MutationLog& log, const ChurnOptions& opt, Rng& rng) {
+  HGP_CHECK(opt.ops >= 0);
+  HGP_CHECK(opt.demand_lo > 0.0 && opt.demand_hi <= 1.0 &&
+            opt.demand_lo <= opt.demand_hi);
+  HGP_CHECK(opt.attach_lo >= 0 && opt.attach_lo <= opt.attach_hi);
+  const auto demand = [&] {
+    return rng.next_double(opt.demand_lo, opt.demand_hi);
+  };
+  const auto weight = [&] {
+    return opt.weight.lo == opt.weight.hi
+               ? opt.weight.lo
+               : rng.next_double(opt.weight.lo, opt.weight.hi);
+  };
+  for (int i = 0; i < opt.ops; ++i) {
+    const std::vector<Vertex> live = live_vertices(log);
+    const std::vector<std::pair<Vertex, Vertex>> edges = live_edges(log);
+
+    // Weighted draw over the kinds whose precondition currently holds.
+    struct Choice {
+      MutationKind kind;
+      double w;
+    };
+    Choice choices[6];
+    int nc = 0;
+    choices[nc++] = {MutationKind::kAddVertex, opt.w_add_vertex};
+    if (log.live_vertex_count() > opt.min_live) {
+      choices[nc++] = {MutationKind::kRemoveVertex, opt.w_remove_vertex};
+    }
+    if (live.size() >= 2) {
+      choices[nc++] = {MutationKind::kAddEdge, opt.w_add_edge};
+    }
+    if (!edges.empty()) {
+      choices[nc++] = {MutationKind::kRemoveEdge, opt.w_remove_edge};
+      choices[nc++] = {MutationKind::kReweightEdge, opt.w_reweight_edge};
+    }
+    if (!live.empty()) {
+      choices[nc++] = {MutationKind::kSetDemand, opt.w_set_demand};
+    }
+    double total = 0;
+    for (int c = 0; c < nc; ++c) total += choices[c].w;
+    if (total <= 0) break;
+    double r = rng.next_double(0.0, total);
+    MutationKind kind = choices[nc - 1].kind;
+    for (int c = 0; c < nc; ++c) {
+      if (r < choices[c].w) {
+        kind = choices[c].kind;
+        break;
+      }
+      r -= choices[c].w;
+    }
+
+    switch (kind) {
+      case MutationKind::kAddVertex: {
+        const Vertex nv = log.add_vertex(demand());
+        const int attach = static_cast<int>(
+            rng.next_int(opt.attach_lo, opt.attach_hi));
+        // Wire to distinct pre-existing live vertices (bounded retries keep
+        // the draw deterministic without risking a spin on dense graphs).
+        for (int a = 0; a < attach && !live.empty(); ++a) {
+          for (int tries = 0; tries < 8; ++tries) {
+            const Vertex t = live[rng.next_below(live.size())];
+            if (!log.has_edge(nv, t)) {
+              log.add_edge(nv, t, weight());
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case MutationKind::kRemoveVertex:
+        log.remove_vertex(live[rng.next_below(live.size())]);
+        break;
+      case MutationKind::kAddEdge: {
+        for (int tries = 0; tries < 16; ++tries) {
+          const Vertex u = live[rng.next_below(live.size())];
+          const Vertex v = live[rng.next_below(live.size())];
+          if (u != v && !log.has_edge(u, v)) {
+            log.add_edge(u, v, weight());
+            break;
+          }
+        }
+        break;
+      }
+      case MutationKind::kRemoveEdge: {
+        const auto [u, v] = edges[rng.next_below(edges.size())];
+        log.remove_edge(u, v);
+        break;
+      }
+      case MutationKind::kReweightEdge: {
+        const auto [u, v] = edges[rng.next_below(edges.size())];
+        log.reweight_edge(u, v, weight());
+        break;
+      }
+      case MutationKind::kSetDemand:
+        log.set_demand(live[rng.next_below(live.size())], demand());
+        break;
+    }
+  }
+}
+
 }  // namespace hgp::gen

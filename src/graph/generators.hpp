@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/mutation_log.hpp"
 #include "util/prng.hpp"
 
 namespace hgp::gen {
@@ -77,5 +78,38 @@ void set_random_demands(Graph& g, Rng& rng, double lo, double hi);
 /// Demands n/k-style used by the k-BGP reduction: every vertex gets 1/cap
 /// so exactly `cap` vertices fit on a leaf.
 void set_kbgp_demands(Graph& g, int vertices_per_leaf);
+
+/// Parameters of the seeded churn-schedule generator: a mixed stream of
+/// mutations (vertices joining and leaving, channels appearing, volume and
+/// demand drift) drawn against a MutationLog's live state.
+struct ChurnOptions {
+  /// Mutation draws.  A draw that cannot apply (e.g. kAddEdge on a clique,
+  /// kRemoveVertex at the min_live floor) is skipped, so the log may end
+  /// up shorter than `ops`.
+  int ops = 32;
+  /// Relative odds of each kind (need not sum to 1; kinds whose
+  /// precondition fails are excluded from that draw).
+  double w_add_vertex = 1.0;
+  double w_remove_vertex = 1.0;
+  double w_add_edge = 2.0;
+  double w_remove_edge = 2.0;
+  double w_reweight_edge = 3.0;
+  double w_set_demand = 3.0;
+  /// Weights of added/reweighted edges.
+  WeightRange weight = {1.0, 8.0};
+  /// Demands of added vertices and kSetDemand targets.
+  double demand_lo = 0.05, demand_hi = 0.35;
+  /// Edges wired from each added vertex to random live vertices (each is
+  /// its own kAddEdge op; 0 leaves the vertex isolated).
+  int attach_lo = 1, attach_hi = 3;
+  /// kRemoveVertex never drops the live count below this.
+  Vertex min_live = 2;
+};
+
+/// Appends a churn schedule to `log`.  Deterministic in (log state, opt,
+/// rng state): identical seeds replay identical op sequences, which the
+/// differential churn suite (tests/test_churn_differential.cpp) relies on
+/// to reproduce failures from a single printed seed.
+void churn(MutationLog& log, const ChurnOptions& opt, Rng& rng);
 
 }  // namespace hgp::gen

@@ -1,0 +1,308 @@
+#include "graph/mutation_log.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace hgp {
+
+MutationLog::MutationLog(const Graph& base)
+    : base_(&base), base_n_(base.vertex_count()) {
+  HGP_CHECK_MSG(base.has_demands(),
+                "MutationLog requires a base graph with vertex demands");
+  alive_.assign(static_cast<std::size_t>(base_n_), 1);
+  demand_ = base.demands();
+  live_count_ = base_n_;
+}
+
+std::uint64_t MutationLog::edge_key(Vertex u, Vertex v) {
+  const auto a = static_cast<std::uint64_t>(std::min(u, v));
+  const auto b = static_cast<std::uint64_t>(std::max(u, v));
+  return (a << 32) | b;
+}
+
+void MutationLog::check_live(Vertex v, const char* who) const {
+  HGP_CHECK_MSG(v >= 0 && v < stable_id_count(), who);
+  HGP_CHECK_MSG(alive(v), who);
+}
+
+bool MutationLog::base_edge(Vertex u, Vertex v, Weight* w) const {
+  if (u >= base_n_ || v >= base_n_) return false;
+  for (const HalfEdge& h : base_->neighbors(u)) {
+    if (h.to == v) {
+      if (w != nullptr) *w = h.weight;
+      return true;
+    }
+  }
+  return false;
+}
+
+double MutationLog::demand_of(Vertex stable_id) const {
+  check_live(stable_id, "demand_of requires a live vertex");
+  return demand_[static_cast<std::size_t>(stable_id)];
+}
+
+bool MutationLog::has_edge(Vertex u, Vertex v) const {
+  if (u == v) return false;
+  const auto it = edges_.find(edge_key(u, v));
+  if (it != edges_.end()) return it->second.present;
+  return base_edge(u, v, nullptr);
+}
+
+Weight MutationLog::edge_weight(Vertex u, Vertex v) const {
+  const auto it = edges_.find(edge_key(u, v));
+  if (it != edges_.end()) {
+    HGP_CHECK_MSG(it->second.present, "edge_weight on a removed edge");
+    return it->second.weight;
+  }
+  Weight w = 0;
+  HGP_CHECK_MSG(base_edge(u, v, &w), "edge_weight on a missing edge");
+  return w;
+}
+
+Vertex MutationLog::add_vertex(double demand) {
+  HGP_CHECK_MSG(demand > 0 && demand <= 1.0,
+                "vertex demand must be in (0, 1]");
+  const Vertex id = stable_id_count();
+  alive_.push_back(1);
+  demand_.push_back(demand);
+  ++live_count_;
+  ops_.push_back(Mutation{MutationKind::kAddVertex, id, kInvalidVertex,
+                          demand, 0});
+  return id;
+}
+
+void MutationLog::revive_vertex(Vertex v, double demand) {
+  HGP_CHECK_MSG(v >= 0 && v < stable_id_count() && !alive(v),
+                "revive_vertex requires a retired stable id");
+  alive_[static_cast<std::size_t>(v)] = 1;
+  demand_[static_cast<std::size_t>(v)] = demand;
+  ++live_count_;
+  ops_.push_back(Mutation{MutationKind::kAddVertex, v, kInvalidVertex,
+                          demand, 0});
+}
+
+void MutationLog::remove_vertex(Vertex v) {
+  check_live(v, "remove_vertex requires a live vertex");
+  HGP_CHECK_MSG(live_count_ > 1, "cannot remove the last live vertex");
+  // Remove incident edges first: overlay edges touching v, then base edges
+  // not already shadowed by an overlay entry.  Each removal is its own op,
+  // so the undo path restores them edge by edge.
+  std::vector<std::pair<Vertex, Vertex>> incident;
+  for (const auto& [key, state] : edges_) {
+    if (!state.present) continue;
+    const auto a = static_cast<Vertex>(key >> 32);
+    const auto b = static_cast<Vertex>(key & 0xffffffffu);
+    if (a == v || b == v) incident.emplace_back(a, b);
+  }
+  if (v < base_n_) {
+    for (const HalfEdge& h : base_->neighbors(v)) {
+      if (edges_.find(edge_key(v, h.to)) == edges_.end()) {
+        incident.emplace_back(std::min(v, h.to), std::max(v, h.to));
+      }
+    }
+  }
+  std::sort(incident.begin(), incident.end());
+  for (const auto& [a, b] : incident) remove_edge(a, b);
+
+  alive_[static_cast<std::size_t>(v)] = 0;
+  --live_count_;
+  ops_.push_back(Mutation{MutationKind::kRemoveVertex, v, kInvalidVertex, 0,
+                          demand_[static_cast<std::size_t>(v)]});
+}
+
+void MutationLog::add_edge(Vertex u, Vertex v, Weight weight) {
+  check_live(u, "add_edge requires live endpoints");
+  check_live(v, "add_edge requires live endpoints");
+  HGP_CHECK_MSG(u != v, "self-loops are not allowed");
+  HGP_CHECK_MSG(weight > 0, "edge weight must be positive");
+  HGP_CHECK_MSG(!has_edge(u, v), "add_edge on an existing edge");
+  edges_[edge_key(u, v)] = EdgeState{true, weight};
+  ops_.push_back(Mutation{MutationKind::kAddEdge, std::min(u, v),
+                          std::max(u, v), weight, 0});
+}
+
+void MutationLog::remove_edge(Vertex u, Vertex v) {
+  check_live(u, "remove_edge requires live endpoints");
+  check_live(v, "remove_edge requires live endpoints");
+  HGP_CHECK_MSG(has_edge(u, v), "remove_edge on a missing edge");
+  const Weight prev = edge_weight(u, v);
+  edges_[edge_key(u, v)] = EdgeState{false, 0};
+  ops_.push_back(Mutation{MutationKind::kRemoveEdge, std::min(u, v),
+                          std::max(u, v), 0, prev});
+}
+
+void MutationLog::reweight_edge(Vertex u, Vertex v, Weight weight) {
+  check_live(u, "reweight_edge requires live endpoints");
+  check_live(v, "reweight_edge requires live endpoints");
+  HGP_CHECK_MSG(weight > 0, "edge weight must be positive");
+  HGP_CHECK_MSG(has_edge(u, v), "reweight_edge on a missing edge");
+  const Weight prev = edge_weight(u, v);
+  edges_[edge_key(u, v)] = EdgeState{true, weight};
+  ops_.push_back(Mutation{MutationKind::kReweightEdge, std::min(u, v),
+                          std::max(u, v), weight, prev});
+}
+
+void MutationLog::set_demand(Vertex v, double demand) {
+  check_live(v, "set_demand requires a live vertex");
+  HGP_CHECK_MSG(demand > 0 && demand <= 1.0,
+                "vertex demand must be in (0, 1]");
+  const double prev = demand_[static_cast<std::size_t>(v)];
+  demand_[static_cast<std::size_t>(v)] = demand;
+  ops_.push_back(Mutation{MutationKind::kSetDemand, v, kInvalidVertex,
+                          demand, prev});
+}
+
+MutationLog::Materialized MutationLog::materialize() const {
+  HGP_CHECK_MSG(live_count_ >= 1, "cannot materialize an empty graph");
+  Materialized out;
+  out.compact_of.assign(static_cast<std::size_t>(stable_id_count()),
+                        kInvalidVertex);
+  out.stable_of.reserve(static_cast<std::size_t>(live_count_));
+  for (Vertex s = 0; s < stable_id_count(); ++s) {
+    if (!alive(s)) continue;
+    out.compact_of[static_cast<std::size_t>(s)] =
+        narrow<Vertex>(out.stable_of.size());
+    out.stable_of.push_back(s);
+  }
+
+  GraphBuilder builder(live_count_);
+  // Base edges not shadowed by the overlay; a base edge incident to a dead
+  // vertex always has a present=false overlay entry (remove_vertex emits
+  // it), so the alive() check is belt-and-braces.
+  for (const Edge& e : base_->edges()) {
+    if (!alive(e.u) || !alive(e.v)) continue;
+    if (edges_.find(edge_key(e.u, e.v)) != edges_.end()) continue;
+    builder.add_edge(out.compact_of[static_cast<std::size_t>(e.u)],
+                     out.compact_of[static_cast<std::size_t>(e.v)], e.weight);
+  }
+  for (const auto& [key, state] : edges_) {
+    if (!state.present) continue;
+    const auto a = static_cast<Vertex>(key >> 32);
+    const auto b = static_cast<Vertex>(key & 0xffffffffu);
+    builder.add_edge(out.compact_of[static_cast<std::size_t>(a)],
+                     out.compact_of[static_cast<std::size_t>(b)],
+                     state.weight);
+  }
+  for (Vertex s = 0; s < stable_id_count(); ++s) {
+    if (alive(s)) {
+      builder.set_demand(out.compact_of[static_cast<std::size_t>(s)],
+                         demand_[static_cast<std::size_t>(s)]);
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+std::vector<MutationLog::EdgeDelta> MutationLog::edge_deltas() const {
+  std::vector<EdgeDelta> deltas;
+  deltas.reserve(edges_.size());
+  for (const auto& [key, state] : edges_) {
+    EdgeDelta d;
+    d.u = static_cast<Vertex>(key >> 32);
+    d.v = static_cast<Vertex>(key & 0xffffffffu);
+    d.old_present = base_edge(d.u, d.v, &d.old_weight);
+    d.new_present = state.present;
+    d.new_weight = state.weight;
+    if (d.old_present == d.new_present &&
+        (!d.old_present || d.old_weight == d.new_weight)) {
+      continue;  // the overlay entry cancelled back to the base state
+    }
+    deltas.push_back(d);
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const EdgeDelta& a, const EdgeDelta& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  return deltas;
+}
+
+std::vector<Vertex> MutationLog::touched() const {
+  std::vector<Vertex> out;
+  for (const EdgeDelta& d : edge_deltas()) {
+    if (alive(d.u)) out.push_back(d.u);
+    if (alive(d.v)) out.push_back(d.v);
+  }
+  for (Vertex s = 0; s < base_n_; ++s) {
+    if (alive(s) &&
+        demand_[static_cast<std::size_t>(s)] !=
+            base_->demand(s)) {
+      out.push_back(s);
+    }
+  }
+  for (Vertex s = base_n_; s < stable_id_count(); ++s) {
+    if (alive(s)) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void MutationLog::append_undo_all() {
+  const std::vector<Mutation> forward = ops_;
+  for (auto it = forward.rbegin(); it != forward.rend(); ++it) {
+    switch (it->kind) {
+      case MutationKind::kAddVertex:
+        // By reverse order the vertex is already isolated again.
+        remove_vertex(it->u);
+        break;
+      case MutationKind::kRemoveVertex:
+        revive_vertex(it->u, it->prev);
+        break;
+      case MutationKind::kAddEdge:
+        remove_edge(it->u, it->v);
+        break;
+      case MutationKind::kRemoveEdge:
+        add_edge(it->u, it->v, it->prev);
+        break;
+      case MutationKind::kReweightEdge:
+        reweight_edge(it->u, it->v, it->prev);
+        break;
+      case MutationKind::kSetDemand:
+        set_demand(it->u, it->prev);
+        break;
+    }
+  }
+}
+
+MutationLog MutationLog::compacted() const {
+  MutationLog out(*base_);
+  // Demand drift on surviving base vertices.
+  for (Vertex s = 0; s < base_n_; ++s) {
+    if (alive(s) &&
+        demand_[static_cast<std::size_t>(s)] != base_->demand(s)) {
+      out.set_demand(s, demand_[static_cast<std::size_t>(s)]);
+    }
+  }
+  // Removals first: remove_vertex re-emits the incident base-edge
+  // removals, so the per-edge deltas below only need live endpoints.
+  for (Vertex s = 0; s < base_n_; ++s) {
+    if (!alive(s)) out.remove_vertex(s);
+  }
+  // Surviving added vertices, densely renumbered in stable-id order.
+  std::vector<Vertex> renumber(static_cast<std::size_t>(stable_id_count()),
+                               kInvalidVertex);
+  for (Vertex s = 0; s < base_n_; ++s) renumber[static_cast<std::size_t>(s)] = s;
+  for (Vertex s = base_n_; s < stable_id_count(); ++s) {
+    if (alive(s)) {
+      renumber[static_cast<std::size_t>(s)] =
+          out.add_vertex(demand_[static_cast<std::size_t>(s)]);
+    }
+  }
+  for (const EdgeDelta& d : edge_deltas()) {
+    if (!alive(d.u) || !alive(d.v)) continue;  // handled by remove_vertex
+    const Vertex u = renumber[static_cast<std::size_t>(d.u)];
+    const Vertex v = renumber[static_cast<std::size_t>(d.v)];
+    if (d.old_present && !d.new_present) {
+      out.remove_edge(u, v);
+    } else if (!d.old_present && d.new_present) {
+      out.add_edge(u, v, d.new_weight);
+    } else if (d.old_weight != d.new_weight) {
+      out.reweight_edge(u, v, d.new_weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace hgp

@@ -1,0 +1,154 @@
+// Mutation log over an immutable Graph (the op-log idiom).
+//
+// Graph is CSR and frozen after build; production churn (vertices joining
+// and leaving, demand drift, channels appearing or changing volume) is
+// therefore expressed as a MutationLog: an append-only sequence of typed
+// ops recorded against a fixed *base* graph.  The log maintains a live
+// overlay view (alive flags, demand values, an edge-state overlay) so ops
+// are validated when appended, and materialize() compacts the live state
+// into a fresh canonical Graph plus the stable-id ↔ compact-id maps the
+// incremental solver needs to carry a placement across the mutation.
+//
+// Stable ids: base vertices keep their compact ids 0..n-1 for the log's
+// lifetime; add_vertex() appends ids n, n+1, … .  Removing a vertex
+// retires its stable id (never reused), and materialize() renumbers the
+// survivors densely in stable-id order — so the relative order of
+// surviving vertices is preserved, which downstream code (forest patching,
+// decomp-tree leaf maps) relies on.
+//
+// Every op records enough of the prior state (`prev`) that
+// append_undo_all() can rewind the log to the base state *including* the
+// stable-id assignment — the metamorphic fingerprint test in
+// tests/test_mutation_log.cpp pins that property.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hgp {
+
+enum class MutationKind : std::uint8_t {
+  kAddVertex = 0,    ///< u = new stable id, value = demand
+  kRemoveVertex = 1, ///< u = stable id, prev = demand at removal
+  kAddEdge = 2,      ///< (u,v), value = weight
+  kRemoveEdge = 3,   ///< (u,v), prev = weight at removal
+  kReweightEdge = 4, ///< (u,v), value = new weight, prev = old weight
+  kSetDemand = 5,    ///< u, value = new demand, prev = old demand
+};
+
+struct Mutation {
+  MutationKind kind = MutationKind::kAddVertex;
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  double value = 0;
+  double prev = 0;
+};
+
+class MutationLog {
+ public:
+  /// `base` must outlive the log.
+  explicit MutationLog(const Graph& base);
+
+  const Graph& base() const { return *base_; }
+
+  // --- mutators (validated against the live state; violations throw) ----
+
+  /// Returns the new vertex's stable id.  demand ∈ (0,1].
+  Vertex add_vertex(double demand);
+  /// Removes a live vertex; its incident edges are removed first (each
+  /// recorded as its own kRemoveEdge op, so undo restores them).
+  void remove_vertex(Vertex v);
+  /// Adds an edge between distinct live vertices; must not already exist.
+  void add_edge(Vertex u, Vertex v, Weight weight);
+  void remove_edge(Vertex u, Vertex v);
+  void reweight_edge(Vertex u, Vertex v, Weight weight);
+  /// demand ∈ (0,1].
+  void set_demand(Vertex v, double demand);
+
+  // --- log inspection ---------------------------------------------------
+
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+  const std::vector<Mutation>& ops() const { return ops_; }
+
+  // --- live-state queries (stable ids) ----------------------------------
+
+  /// Stable ids ever allocated (base n + adds); dead ids stay in range.
+  Vertex stable_id_count() const { return narrow<Vertex>(alive_.size()); }
+  Vertex live_vertex_count() const { return live_count_; }
+  bool alive(Vertex stable_id) const {
+    return alive_[static_cast<std::size_t>(stable_id)] != 0;
+  }
+  double demand_of(Vertex stable_id) const;
+  bool has_edge(Vertex u, Vertex v) const;
+  /// Weight of a live edge (has_edge must hold).
+  Weight edge_weight(Vertex u, Vertex v) const;
+
+  // --- derived views ----------------------------------------------------
+
+  struct Materialized {
+    Graph graph;
+    /// stable id → compact id in `graph` (kInvalidVertex for dead ids).
+    std::vector<Vertex> compact_of;
+    /// compact id in `graph` → stable id.
+    std::vector<Vertex> stable_of;
+  };
+  /// Compacts the live state into a canonical Graph.  Requires ≥ 1 live
+  /// vertex.
+  Materialized materialize() const;
+
+  /// One net edge-state change vs the base graph (no-op overlay entries are
+  /// filtered out).  Stable ids, u < v; sorted by (u,v).
+  struct EdgeDelta {
+    Vertex u = kInvalidVertex;
+    Vertex v = kInvalidVertex;
+    bool old_present = false;
+    Weight old_weight = 0;
+    bool new_present = false;
+    Weight new_weight = 0;
+  };
+  std::vector<EdgeDelta> edge_deltas() const;
+
+  /// Live stable ids whose incident edges or demand differ from base,
+  /// plus every added vertex.  Sorted, unique.
+  std::vector<Vertex> touched() const;
+
+  /// Appends the inverse of every op logged so far (newest first).  The
+  /// live state afterwards equals the base state — same vertices on the
+  /// same stable ids, same edges, same demands — so materialize() returns
+  /// a graph with the base graph's fingerprint.
+  void append_undo_all();
+
+  /// Minimal log over the same base with the same final state: cancelled
+  /// add+remove pairs disappear and surviving added vertices are densely
+  /// renumbered.  Deterministic (ops ordered by stable id / edge key).
+  MutationLog compacted() const;
+
+ private:
+  struct EdgeState {
+    bool present = false;
+    Weight weight = 0;
+  };
+
+  static std::uint64_t edge_key(Vertex u, Vertex v);
+  void check_live(Vertex v, const char* who) const;
+  /// Base-graph edge lookup by adjacency scan (stable ids < base n).
+  bool base_edge(Vertex u, Vertex v, Weight* w) const;
+  /// Re-inserts a removed vertex on its original stable id (undo path).
+  void revive_vertex(Vertex v, double demand);
+
+  const Graph* base_;
+  Vertex base_n_;
+  std::vector<Mutation> ops_;
+  std::vector<char> alive_;
+  std::vector<double> demand_;
+  Vertex live_count_ = 0;
+  /// Edge-state overlay: entries shadow the base graph; ids absent here
+  /// have their base state.
+  std::unordered_map<std::uint64_t, EdgeState> edges_;
+};
+
+}  // namespace hgp

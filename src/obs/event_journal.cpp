@@ -29,6 +29,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kWatchdogCancel: return "watchdog_cancel";
     case EventKind::kCallerCancel: return "caller_cancel";
     case EventKind::kFallbackStage: return "fallback_stage";
+    case EventKind::kResolveStart: return "resolve_start";
+    case EventKind::kResolveEnd: return "resolve_end";
     case EventKind::kCount: break;
   }
   return "unknown";

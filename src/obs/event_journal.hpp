@@ -52,6 +52,9 @@ enum class EventKind : std::uint8_t {
   kWatchdogCancel = 11,   ///< watchdog cancelled a stuck attempt
   kCallerCancel = 12,     ///< caller cancelled the request
   kFallbackStage = 13,    ///< fallback-chain stage entered (arg: stage)
+  kResolveStart = 14,     ///< incremental re-solve began (arg: mutation count)
+  kResolveEnd = 15,       ///< incremental re-solve finished (arg: DP nodes
+                          ///< reused; status: outcome code)
   kCount                  // number of kinds; keep last
 };
 

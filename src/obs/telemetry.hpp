@@ -40,6 +40,11 @@ struct SolveTelemetry {
   std::uint64_t dp_merge_operations = 0;
   std::uint64_t dp_merges_rejected = 0;
   std::uint64_t dp_states_pruned = 0;
+  /// DP node tables computed by merging vs rehydrated from a clean-subtree
+  /// reuse store (runtime/incremental.hpp).  reused ≫ built is the
+  /// incremental-resolve win; a from-scratch solve has dp_nodes_reused == 0.
+  std::uint64_t dp_nodes_built = 0;
+  std::uint64_t dp_nodes_reused = 0;
 };
 
 }  // namespace hgp

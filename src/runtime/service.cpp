@@ -64,10 +64,13 @@ double backoff_for_retry(const RetryOptions& ro, int retry_number,
   return backoff > 0 ? backoff : 0;
 }
 
-RetrySolveReport run_retry_loop(const Graph& g, const Hierarchy& h,
-                                SolverOptions opt, const RetryOptions& ro,
-                                const RetryHooks& hooks,
-                                std::uint64_t request_id) {
+/// The loop is generic over what an "attempt" does: a full solve_hgp for
+/// plain requests, a session resolve for incremental ones.  Retry,
+/// degradation, backoff and journaling behave identically for both.
+RetrySolveReport run_retry_loop(
+    const std::function<HgpResult(const SolverOptions&)>& solve,
+    SolverOptions opt, const RetryOptions& ro, const RetryHooks& hooks,
+    std::uint64_t request_id) {
   RetrySolveReport rep;
   // Attempts of one logical request share a checkpoint, so trees completed
   // by a killed attempt are served, not re-solved, on the retry.
@@ -90,7 +93,7 @@ RetrySolveReport run_retry_loop(const Graph& g, const Hierarchy& h,
     Status failure;
     try {
       if (hooks.before_attempt) hooks.before_attempt(opt);
-      HgpResult r = solve_hgp(g, h, opt);
+      HgpResult r = solve(opt);
       r.retries_used = rep.retries_used;
       HGP_JOURNAL(kAttemptEnd, request_id, attempt_no, 0, r.status.code);
       if (!status_is_transient(r.status.code)) {
@@ -188,12 +191,62 @@ RetrySolveReport solve_with_retry(const Graph& g, const Hierarchy& h,
                                   const RetryOptions& retry) {
   // Library callers get a process-unique journal id from a range disjoint
   // from service request ids.
-  return run_retry_loop(g, h, std::move(opt), retry, RetryHooks{},
-                        obs::next_library_request_id());
+  return run_retry_loop(
+      [&g, &h](const SolverOptions& o) { return solve_hgp(g, h, o); },
+      std::move(opt), retry, RetryHooks{}, obs::next_library_request_id());
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalSession
+
+IncrementalSession::IncrementalSession(
+    std::unique_ptr<IncrementalSolver> solver)
+    : hierarchy_(&solver->hierarchy()), solver_(std::move(solver)) {}
+
+std::shared_ptr<const Graph> IncrementalSession::graph() const {
+  const MutexLock lock(mutex_);
+  return solver_->graph();
+}
+
+std::shared_ptr<MutationLog> IncrementalSession::begin_batch() const {
+  const MutexLock lock(mutex_);
+  return solver_->begin_batch();
+}
+
+HgpResult IncrementalSession::last() const {
+  const MutexLock lock(mutex_);
+  return solver_->last();
+}
+
+HgpResult IncrementalSession::run_attempt(const MutationLog& log,
+                                          const SolverOptions& opt) {
+  // Serializes resolves across workers: a concurrent batch blocks here and
+  // then re-checks staleness against whatever its predecessor committed.
+  const MutexLock lock(mutex_);
+  ResolveOptions ro;
+  ro.timeout_ms = opt.timeout_ms;
+  ro.cancel = opt.cancel;
+  ro.checkpoint = opt.checkpoint;
+  // Of the degradation ladder only the force_prune rung applies to a
+  // resolve — the forest is fixed, so the tree-halving rung (num_trees) is
+  // deliberately ignored.
+  ro.force_prune = opt.force_prune;
+  return solver_->resolve(log, ro);
 }
 
 // ---------------------------------------------------------------------------
 // ServiceRequest
+
+ServiceRequest::ServiceRequest(std::uint64_t id,
+                               std::shared_ptr<IncrementalSession> session,
+                               std::shared_ptr<const MutationLog> log,
+                               SolverOptions opt)
+    : id_(id),
+      graph_(&log->base()),
+      hierarchy_(&session->hierarchy()),
+      opt_(std::move(opt)),
+      session_(std::move(session)),
+      log_(std::move(log)) {}
 
 const RetrySolveReport& ServiceRequest::wait() {
   MutexLock lock(mutex_);
@@ -343,6 +396,63 @@ std::shared_ptr<ServiceRequest> SolverService::submit(const Graph& g,
   return req;
 }
 
+std::shared_ptr<IncrementalSession> SolverService::open_incremental(
+    std::shared_ptr<const Graph> base, const Hierarchy& h,
+    IncrementalOptions opt) {
+  if (opt.pool == nullptr) opt.pool = opt_.solve_pool;
+  auto solver =
+      std::make_unique<IncrementalSolver>(std::move(base), h, std::move(opt));
+  // Private constructor — no make_shared.
+  return std::shared_ptr<IncrementalSession>(
+      new IncrementalSession(std::move(solver)));
+}
+
+std::shared_ptr<ServiceRequest> SolverService::submit_resolve(
+    std::shared_ptr<IncrementalSession> session,
+    std::shared_ptr<const MutationLog> log, SolverOptions opt) {
+  if (session == nullptr || log == nullptr) {
+    throw SolveError(StatusCode::kInvalidInput,
+                     "submit_resolve requires a session and a mutation log");
+  }
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  HGP_COUNTER_ADD("service.submitted", 1);
+  std::shared_ptr<ServiceRequest> req;
+  {
+    const MutexLock lock(mutex_);
+    req.reset(new ServiceRequest(next_id_++, std::move(session),
+                                 std::move(log), std::move(opt)));
+    HGP_JOURNAL(kSubmit, req->id(), 0, 0, 0);
+    if (draining_ || stopping_) {
+      stats_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+      return reject(std::move(req), "service is draining; request rejected",
+                    kRejectDraining);
+    }
+    if (queue_.size() >= opt_.max_queue) {
+      stats_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+      return reject(std::move(req), "admission queue is full",
+                    kRejectQueueFull);
+    }
+    const MemoryBudget& budget = MemoryBudget::global();
+    if (budget.limit() > 0 &&
+        budget.utilization() > opt_.admission_max_utilization) {
+      stats_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
+      return reject(std::move(req),
+                    "memory budget utilization above the admission threshold",
+                    kRejectBudget);
+    }
+    queue_.push_back(req);
+    stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+    stats_.resolves.fetch_add(1, std::memory_order_relaxed);
+    HGP_JOURNAL(kAdmit, req->id(), 0,
+                static_cast<std::int64_t>(queue_.size()), 0);
+    HGP_GAUGE_SET("service.queue_depth", queue_.size());
+  }
+  work_cv_.notify_one();
+  HGP_COUNTER_ADD("service.admitted", 1);
+  HGP_COUNTER_ADD("service.resolves", 1);
+  return req;
+}
+
 void SolverService::drain() {
   MutexLock lock(mutex_);
   draining_ = true;
@@ -374,6 +484,7 @@ SolverService::Stats SolverService::stats() const {
       stats_.checkpoint_spill_failures.load(std::memory_order_relaxed);
   s.checkpoint_recovered =
       stats_.checkpoint_recovered.load(std::memory_order_relaxed);
+  s.resolves = stats_.resolves.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -586,10 +697,16 @@ void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
     const MutexLock lock(req->mutex_);
     req->running_ = true;
   }
+  const bool is_resolve = req->session_ != nullptr;
   SolverOptions opt = req->opt_;
   opt.checkpoint = &req->checkpoint_;
   if (opt.pool == nullptr) opt.pool = opt_.solve_pool;
-  if (!opt_.spill_dir.empty()) try_recover(*req, opt);
+  // Spill recovery keys on the submitted graph; a resolve's checkpoint is
+  // bound to the *mutated* graph only once the attempt materializes it, so
+  // resolves skip the recovery probe (their warm start is the session's
+  // reuse stores; the checkpoint still carries completed trees across the
+  // retries of this request, and still spills on failure).
+  if (!opt_.spill_dir.empty() && !is_resolve) try_recover(*req, opt);
 
   RetryOptions retry = opt_.retry;
   // Decorrelate jitter across requests while staying deterministic in
@@ -656,9 +773,12 @@ void SolverService::run_request(const std::shared_ptr<ServiceRequest>& req) {
     }
   };
 
+  const auto solve = [&req, is_resolve](const SolverOptions& o) -> HgpResult {
+    if (is_resolve) return req->session_->run_attempt(*req->log_, o);
+    return solve_hgp(*req->graph_, *req->hierarchy_, o);
+  };
   RetrySolveReport rep =
-      run_retry_loop(*req->graph_, *req->hierarchy_, std::move(opt), retry,
-                     hooks, req->id());
+      run_retry_loop(solve, std::move(opt), retry, hooks, req->id());
   if (!opt_.spill_dir.empty() && rep.status.ok() && req->checkpoint_.bound()) {
     // Terminal success: the durable state served its purpose; remove the
     // spill so the directory only holds work worth resuming.

@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/incremental.hpp"
 #include "runtime/solver.hpp"
 #include "util/memory_budget.hpp"
 #include "util/sync.hpp"
@@ -145,6 +146,8 @@ inline constexpr int kRejectDraining = 0;
 inline constexpr int kRejectQueueFull = 1;
 inline constexpr int kRejectBudget = 2;
 
+class IncrementalSession;
+
 /// Caller's handle to a submitted request.  Thread-safe.
 class ServiceRequest {
  public:
@@ -168,12 +171,24 @@ class ServiceRequest {
                  SolverOptions opt)
       : id_(id), graph_(&g), hierarchy_(&h), opt_(std::move(opt)) {}
 
+  /// Incremental re-solve request: applies `log` to `session` (defined in
+  /// service.cpp, where IncrementalSession is complete).
+  ServiceRequest(std::uint64_t id, std::shared_ptr<IncrementalSession> session,
+                 std::shared_ptr<const MutationLog> log, SolverOptions opt);
+
   void finish(RetrySolveReport report) HGP_EXCLUDES(mutex_);
 
   const std::uint64_t id_;
   const Graph* graph_;
   const Hierarchy* hierarchy_;
   SolverOptions opt_;
+  /// Non-null for resolve requests (submit_resolve): the session whose
+  /// state the request advances, and the mutation log it applies.  The log
+  /// handle co-owns its base graph snapshot (IncrementalSolver::
+  /// begin_batch), so graph_ stays valid even after the session commits
+  /// past it.
+  std::shared_ptr<IncrementalSession> session_;
+  std::shared_ptr<const MutationLog> log_;
   SolveCheckpoint checkpoint_;
 
   /// Acquired after SolverService::mutex_ (submit-reject and watchdog-scan
@@ -201,6 +216,43 @@ class ServiceRequest {
       HGP_GUARDED_BY(mutex_){};
 };
 
+/// A live incremental instance inside the service: the committed
+/// (graph, forest, reuse-store, placement) state that submit_resolve
+/// requests advance.  Thread-safe; an internal mutex serializes resolves,
+/// so concurrent batches against one session execute one at a time and
+/// each re-checks staleness against whatever its predecessor committed.
+class IncrementalSession {
+ public:
+  /// Current committed graph snapshot (advances after every successful
+  /// resolve).
+  std::shared_ptr<const Graph> graph() const HGP_EXCLUDES(mutex_);
+  /// A fresh MutationLog over graph() that co-owns the snapshot — the only
+  /// supported way to author a resolve batch.
+  std::shared_ptr<MutationLog> begin_batch() const HGP_EXCLUDES(mutex_);
+  /// Last committed result (the base solve, then each successful resolve).
+  HgpResult last() const HGP_EXCLUDES(mutex_);
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+
+ private:
+  friend class SolverService;
+  friend class ServiceRequest;
+
+  explicit IncrementalSession(std::unique_ptr<IncrementalSolver> solver);
+
+  /// One retry-loop attempt of one resolve request; called by the worker
+  /// through the solve callable.  Throws like IncrementalSolver::resolve
+  /// (a stale log is terminal kInvalidInput).
+  HgpResult run_attempt(const MutationLog& log, const SolverOptions& opt)
+      HGP_EXCLUDES(mutex_);
+
+  const Hierarchy* hierarchy_;
+  /// Serializes resolves and guards the solver state.  Leaf with respect
+  /// to the service locks (workers hold no service mutex while solving);
+  /// the checkpoint's internal mutex nests inside it.
+  mutable Mutex mutex_;
+  std::unique_ptr<IncrementalSolver> solver_ HGP_GUARDED_BY(mutex_);
+};
+
 class SolverService {
  public:
   explicit SolverService(ServiceOptions opt = {});
@@ -216,6 +268,29 @@ class SolverService {
   /// with status kResourceExhausted.
   std::shared_ptr<ServiceRequest> submit(const Graph& g, const Hierarchy& h,
                                          SolverOptions opt = {})
+      HGP_EXCLUDES(mutex_);
+
+  /// Opens an incremental session: builds the forest and runs the base
+  /// solve synchronously on the calling thread (resolves, not the base
+  /// solve, go through the queue).  `h` must outlive the session; `base`
+  /// is shared into it.  Throws the base solve's SolveError on failure.
+  std::shared_ptr<IncrementalSession> open_incremental(
+      std::shared_ptr<const Graph> base, const Hierarchy& h,
+      IncrementalOptions opt = {});
+
+  /// Submits an incremental re-solve applying `log` (authored via
+  /// session->begin_batch()) to the session.  Admission-controlled like
+  /// submit() and run by the same retry/watchdog machinery; `opt` supplies
+  /// the per-request knobs (timeout, retries via ServiceOptions, cancel,
+  /// force_prune) — its structural fields (num_trees, epsilon, seed) are
+  /// ignored, the session pins them.  A log whose base graph is no longer
+  /// the session's current snapshot fails terminally with kInvalidInput
+  /// when it runs (optimistic concurrency: losers of a commit race rebase
+  /// and resubmit).  Throws SolveError(kInvalidInput) only for null
+  /// session/log.
+  std::shared_ptr<ServiceRequest> submit_resolve(
+      std::shared_ptr<IncrementalSession> session,
+      std::shared_ptr<const MutationLog> log, SolverOptions opt = {})
       HGP_EXCLUDES(mutex_);
 
   /// Stops admitting, waits until every queued and in-flight request is
@@ -253,6 +328,8 @@ class SolverService {
     std::uint64_t checkpoint_spill_failures = 0;
     /// Requests that resumed from a spill recovered at construction.
     std::uint64_t checkpoint_recovered = 0;
+    /// Incremental re-solve requests admitted (subset of admitted).
+    std::uint64_t resolves = 0;
 
     std::uint64_t rejected() const {
       return rejected_queue_full + rejected_budget + rejected_draining;
@@ -317,6 +394,7 @@ class SolverService {
     std::atomic<std::uint64_t> checkpoint_spills{0};
     std::atomic<std::uint64_t> checkpoint_spill_failures{0};
     std::atomic<std::uint64_t> checkpoint_recovered{0};
+    std::atomic<std::uint64_t> resolves{0};
   };
   AtomicStats stats_;
 

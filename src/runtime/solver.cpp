@@ -348,6 +348,8 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
       result.telemetry.dp_merge_operations += s.merge_operations;
       result.telemetry.dp_merges_rejected += s.merges_rejected;
       result.telemetry.dp_states_pruned += s.states_pruned;
+      result.telemetry.dp_nodes_built += s.nodes_built;
+      result.telemetry.dp_nodes_reused += s.nodes_reused;
     } else {
       HGP_COUNTER_ADD("solver.tree_failures", 1);
     }

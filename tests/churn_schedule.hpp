@@ -1,0 +1,109 @@
+// Seeded churn schedules over the stream_dag workload — the shared
+// instance generator of the incremental-repartitioning suite.
+//
+// One seed deterministically derives everything: the base stream DAG, the
+// hierarchy, the solver parameters (trees, rounding units) and the churn
+// schedule (a gen::ChurnOptions mix plus the RNG seed that draws it).  A
+// failing seed printed by tests/test_churn_differential.cpp therefore
+// replays the exact instance AND the exact mutation sequence in isolation
+// — the same replayability contract test_dp_differential.cpp pins for the
+// DP configurations.  bench/bench_e12_churn.cpp reuses the generator so
+// the E12 measurements cover the same distribution the tests pin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "graph/mutation_log.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "runtime/incremental.hpp"
+#include "util/prng.hpp"
+
+namespace hgp::testchurn {
+
+struct ChurnInstance {
+  std::shared_ptr<const Graph> graph;
+  Hierarchy hierarchy;
+  /// Structural solve parameters (num_trees, epsilon, units_override,
+  /// seed) the incremental session pins for its lifetime.
+  IncrementalOptions opt;
+  gen::ChurnOptions churn;
+  /// Seed of the RNG stream that draws the schedule (distinct from the
+  /// instance seed so replaying the schedule is independent of how much
+  /// randomness instance construction consumed).
+  std::uint64_t churn_seed = 0;
+};
+
+/// Deterministically derives one churn instance from `seed`.  Sizes are
+/// kept small enough that the 200-seed differential sweep (each seed
+/// solving every tree twice: incremental + from-scratch) stays in
+/// test-suite time; capacities leave ~4x slack over the worst-case total
+/// demand so schedules cannot drift into infeasibility.
+inline ChurnInstance make_churn_instance(std::uint64_t seed) {
+  Rng rng(seed * 6364136223846793005ull + 1442695040888963407ull);
+
+  gen::StreamDagOptions sopt;
+  sopt.sources = static_cast<int>(rng.next_int(2, 3));
+  sopt.sinks = static_cast<int>(rng.next_int(1, 2));
+  sopt.stages = static_cast<int>(rng.next_int(1, 2));
+  sopt.stage_width = static_cast<int>(rng.next_int(3, 5));
+  sopt.max_fanout = static_cast<int>(rng.next_int(1, 3));
+  sopt.heavy_fraction = rng.next_double(0.1, 0.3);
+  sopt.demand_lo = 0.03;
+  sopt.demand_hi = 0.18;
+  auto g = std::make_shared<const Graph>(gen::stream_dag(sopt, rng));
+
+  // Alternate flat and two-level hierarchies; leaf counts stay well above
+  // the total demand the schedule can reach.
+  const bool flat = (seed % 2) == 0;
+  const int height = flat ? 1 : 2;
+  const int deg = flat ? static_cast<int>(rng.next_int(6, 10))
+                       : static_cast<int>(rng.next_int(3, 4));
+  std::vector<double> cm(static_cast<std::size_t>(height) + 1, 0.0);
+  double acc = 0.0;
+  for (int j = height - 1; j >= 0; --j) {
+    acc += rng.next_double(0.5, 3.0);
+    cm[static_cast<std::size_t>(j)] = acc;
+  }
+  Hierarchy h = Hierarchy::uniform(height, deg, std::move(cm));
+
+  IncrementalOptions iopt;
+  iopt.num_trees = static_cast<int>(rng.next_int(2, 3));
+  iopt.epsilon = 0.25;
+  // Coarse fixed rounding: the signature space, not the graph, is the DP
+  // cost driver (same sizing rationale as test_dp_differential.cpp).
+  iopt.units_override = static_cast<DemandUnits>(rng.next_int(2, height == 2 ? 3 : 5));
+  iopt.seed = seed;
+
+  gen::ChurnOptions copt;
+  // A third of the seeds draw small, locality-friendly schedules (volume
+  // and demand drift only); the rest mix in structural churn.
+  if (seed % 3 == 0) {
+    copt.ops = static_cast<int>(rng.next_int(2, 4));
+    copt.w_add_vertex = 0;
+    copt.w_remove_vertex = 0;
+    copt.w_add_edge = 0;
+    copt.w_remove_edge = 0;
+  } else {
+    copt.ops = static_cast<int>(rng.next_int(6, 20));
+  }
+  copt.demand_lo = 0.03;
+  copt.demand_hi = 0.18;
+  copt.weight = gen::WeightRange{1.0, 8.0};
+  copt.min_live = 4;
+
+  ChurnInstance inst{std::move(g), std::move(h), iopt, copt,
+                     SplitMix64(seed ^ 0x63687572'6e736368ull).next()};
+  return inst;
+}
+
+/// Replays the instance's schedule onto `log` (any log over any graph —
+/// the draws adapt to the log's live state).
+inline void apply_schedule(MutationLog& log, const ChurnInstance& inst) {
+  Rng rng(inst.churn_seed);
+  gen::churn(log, inst.churn, rng);
+}
+
+}  // namespace hgp::testchurn

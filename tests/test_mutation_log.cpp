@@ -1,0 +1,185 @@
+// Property / metamorphic tests of the MutationLog (graph/mutation_log.hpp)
+// and its consumers:
+//
+//   * apply-then-undo is the identity: after append_undo_all() the
+//     materialized graph has the BASE graph's content fingerprint, on the
+//     base stable-id assignment;
+//   * compaction is invisible: log.compacted() materializes to the same
+//     graph fingerprint as the original log;
+//   * churn schedules are replayable: identical seeds draw op-identical
+//     logs (the property the differential suite's "failing seed replays
+//     the schedule" contract rests on);
+//   * the ForestCache keys by content, so a mutated graph can never be
+//     served the pre-mutation forest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "churn_schedule.hpp"
+#include "decomp/builder.hpp"
+#include "decomp/cutter.hpp"
+#include "graph/fingerprint.hpp"
+#include "graph/generators.hpp"
+#include "graph/mutation_log.hpp"
+#include "runtime/forest_cache.hpp"
+#include "util/prng.hpp"
+
+namespace hgp {
+namespace {
+
+Graph make_base(std::uint64_t seed) {
+  Rng rng(seed);
+  gen::StreamDagOptions sopt;
+  sopt.sources = 3;
+  sopt.sinks = 2;
+  sopt.stages = 2;
+  sopt.stage_width = 5;
+  return gen::stream_dag(sopt, rng);
+}
+
+gen::ChurnOptions heavy_churn() {
+  gen::ChurnOptions copt;
+  copt.ops = 24;
+  copt.min_live = 3;
+  return copt;
+}
+
+TEST(MutationLog, ApplyThenUndoRestoresBaseFingerprint) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    const Graph base = make_base(seed);
+    const std::uint64_t base_fp = graph_fingerprint(base);
+
+    MutationLog log(base);
+    Rng rng(SplitMix64(seed ^ 0x756e646full).next());
+    gen::churn(log, heavy_churn(), rng);
+    ASSERT_FALSE(log.empty());
+
+    log.append_undo_all();
+
+    // Live state equals the base state on the base stable ids.
+    ASSERT_EQ(log.live_vertex_count(), base.vertex_count());
+    const MutationLog::Materialized mat = log.materialize();
+    EXPECT_EQ(graph_fingerprint(mat.graph), base_fp);
+    for (Vertex v = 0; v < base.vertex_count(); ++v) {
+      EXPECT_EQ(mat.compact_of[static_cast<std::size_t>(v)], v);
+    }
+    // The net delta vs the base graph is empty.
+    EXPECT_TRUE(log.edge_deltas().empty());
+    EXPECT_TRUE(log.touched().empty());
+    // And compaction of a net no-op log is the empty log.
+    EXPECT_TRUE(log.compacted().empty());
+  }
+}
+
+TEST(MutationLog, CompactionPreservesMaterializedGraph) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    const Graph base = make_base(seed);
+
+    MutationLog log(base);
+    Rng rng(SplitMix64(seed ^ 0x636f6d70ull).next());
+    gen::churn(log, heavy_churn(), rng);
+    ASSERT_FALSE(log.empty());
+
+    const MutationLog compact = log.compacted();
+    EXPECT_LE(compact.size(), log.size());
+    ASSERT_EQ(compact.live_vertex_count(), log.live_vertex_count());
+    EXPECT_EQ(graph_fingerprint(compact.materialize().graph),
+              graph_fingerprint(log.materialize().graph));
+  }
+}
+
+TEST(MutationLog, IdenticalSeedsReplayIdenticalSchedules) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    const testchurn::ChurnInstance inst = testchurn::make_churn_instance(seed);
+
+    MutationLog a(*inst.graph);
+    MutationLog b(*inst.graph);
+    testchurn::apply_schedule(a, inst);
+    testchurn::apply_schedule(b, inst);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const Mutation& ma = a.ops()[i];
+      const Mutation& mb = b.ops()[i];
+      ASSERT_EQ(static_cast<int>(ma.kind), static_cast<int>(mb.kind)) << i;
+      ASSERT_EQ(ma.u, mb.u) << i;
+      ASSERT_EQ(ma.v, mb.v) << i;
+      ASSERT_EQ(ma.value, mb.value) << i;
+      ASSERT_EQ(ma.prev, mb.prev) << i;
+    }
+    EXPECT_EQ(graph_fingerprint(a.materialize().graph),
+              graph_fingerprint(b.materialize().graph));
+  }
+}
+
+TEST(MutationLog, DistinctSeedsDiverge) {
+  // Not a hard guarantee per-seed, but across 10 pairs at least one op
+  // stream must differ — otherwise the generator is ignoring its RNG.
+  const Graph base = make_base(3);
+  int different = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    MutationLog a(base);
+    MutationLog b(base);
+    Rng ra(seed), rb(seed + 1000);
+    gen::churn(a, heavy_churn(), ra);
+    gen::churn(b, heavy_churn(), rb);
+    if (a.size() != b.size()) {
+      ++different;
+      continue;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const Mutation& ma = a.ops()[i];
+      const Mutation& mb = b.ops()[i];
+      if (ma.kind != mb.kind || ma.u != mb.u || ma.v != mb.v ||
+          ma.value != mb.value) {
+        ++different;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(different, 0);
+}
+
+TEST(MutationLog, ForestCacheNeverServesStaleForestAfterMutation) {
+  const Graph base = make_base(11);
+  const FmCutter cutter;
+  auto forest = std::make_shared<const std::vector<DecompTree>>(
+      build_decomposition_forest(base, 2, /*seed=*/5, cutter));
+
+  ForestCache cache(/*capacity=*/4);
+  ForestCacheKey key;
+  key.fingerprint = graph_fingerprint(base);
+  key.seed = 5;
+  key.num_trees = 2;
+  key.cutter = "fm";
+  cache.insert(key, forest);
+  ASSERT_NE(cache.find(key), nullptr);
+
+  // Mutate: the materialized graph has a different fingerprint, so the
+  // same logical lookup misses instead of serving the stale forest.
+  MutationLog log(base);
+  Rng rng(77);
+  gen::churn(log, heavy_churn(), rng);
+  ASSERT_FALSE(log.empty());
+  const MutationLog::Materialized mat = log.materialize();
+  ASSERT_NE(graph_fingerprint(mat.graph), graph_fingerprint(base));
+
+  ForestCacheKey mutated = key;
+  mutated.fingerprint = graph_fingerprint(mat.graph);
+  EXPECT_EQ(cache.find(mutated), nullptr);
+
+  // Undo the churn: content equality (not object identity) is what hits.
+  log.append_undo_all();
+  ForestCacheKey undone = key;
+  undone.fingerprint = graph_fingerprint(log.materialize().graph);
+  EXPECT_EQ(undone.fingerprint, key.fingerprint);
+  EXPECT_NE(cache.find(undone), nullptr);
+}
+
+}  // namespace
+}  // namespace hgp

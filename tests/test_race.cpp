@@ -21,8 +21,10 @@
 #include "obs/event_journal.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/introspect.hpp"
+#include "graph/mutation_log.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "runtime/incremental.hpp"
 #include "runtime/service.hpp"
 #include "runtime/solver.hpp"
 #include "util/deadline.hpp"
@@ -546,6 +548,205 @@ TEST(Race, ThreadPoolWakeupChurnSubmitVsShutdown) {
   }
   EXPECT_EQ(ran.load(std::memory_order_relaxed),
             static_cast<long>(kRounds) * kSubmitters * kJobs);
+}
+
+// --- Incremental churn under TSan ------------------------------------------
+
+/// Session base for the churn races: demands round to one unit each at
+/// units_override=3 (d ≤ 1/3), so drift-only schedules can never push the
+/// rounded instance over hier()'s 4x3-unit capacity — every resolve ends
+/// kOk or, having lost the commit race, kInvalidInput.
+std::shared_ptr<const Graph> churn_base(std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g = gen::planted_partition(10, 4, 0.75, 0.1, rng,
+                                   gen::WeightRange{2.0, 6.0},
+                                   gen::WeightRange{1.0, 2.0});
+  gen::set_uniform_demands(g, 0.25);
+  return std::make_shared<const Graph>(std::move(g));
+}
+
+/// Drift-only churn mix (volume reweights + demand nudges below the 1/3
+/// rounding step) for the service races: keeps the instance size and
+/// feasibility fixed while still invalidating subtrees.
+gen::ChurnOptions race_drift() {
+  gen::ChurnOptions copt;
+  copt.ops = 2;
+  copt.w_add_vertex = 0;
+  copt.w_remove_vertex = 0;
+  copt.w_add_edge = 0;
+  copt.w_remove_edge = 0;
+  copt.demand_lo = 0.05;
+  copt.demand_hi = 0.30;
+  return copt;
+}
+
+// Concurrent mutation submission against one incremental session while its
+// resolves are in flight: submitter threads race begin_batch (snapshot
+// read), the optimistic stale check, and the atomic commit under the
+// session mutex, with plain solves of another instance interleaving on the
+// same workers.  Losing threads must see a terminal kInvalidInput and
+// succeed after rebasing; the committed chain must stay consistent (the
+// session's last placement always matches its current graph).
+TEST(Race, ServiceConcurrentResolveBatchesRebaseOnStale) {
+  const auto base = churn_base(91);
+  const Hierarchy& h = hier();
+  ServiceOptions sopt;
+  sopt.workers = 2;
+  sopt.max_queue = 64;
+  SolverService service(sopt);
+  IncrementalOptions iopt;
+  iopt.num_trees = 2;
+  iopt.units_override = 3;
+  iopt.seed = 17;
+  const auto session = service.open_incremental(base, h, iopt);
+
+  constexpr int kThreads = 3;
+  constexpr int kBatches = 4;
+  std::atomic<int> committed{0};
+  std::atomic<int> stale{0};
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> churners;
+  churners.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    churners.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<std::uint64_t>(t));
+      for (int b = 0; b < kBatches; ++b) {
+        // Rebase loop: each lost commit race re-records the batch against
+        // the newly committed snapshot (bounded — every round commits
+        // someone, so kThreads rounds suffice; 16 is slack).
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const auto log = session->begin_batch();
+          gen::churn(*log, race_drift(), rng);
+          if (log->empty()) break;
+          const auto req = service.submit_resolve(session, log);
+          const RetrySolveReport& rep = req->wait();
+          if (rep.ok()) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          if (rep.status.code == StatusCode::kInvalidInput) {
+            stale.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          unexpected.fetch_add(1, std::memory_order_relaxed);
+          ADD_FAILURE() << "unexpected resolve status: "
+                        << rep.status.to_string();
+          break;
+        }
+      }
+    });
+  }
+  // Plain solves of a different instance share the same worker pool the
+  // whole time, so resolve requests and classic requests interleave.
+  const Graph other = demand_graph(93);
+  std::vector<std::shared_ptr<ServiceRequest>> plain;
+  plain.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    SolverOptions opt;
+    opt.num_trees = 1;
+    opt.seed = static_cast<std::uint64_t>(i);
+    plain.push_back(service.submit(other, h, opt));
+  }
+  for (auto& t : churners) t.join();
+  service.drain();
+
+  EXPECT_EQ(committed.load(), kThreads * kBatches);
+  EXPECT_EQ(unexpected.load(), 0);
+  for (const auto& req : plain) {
+    EXPECT_TRUE(req->wait().ok()) << req->wait().status.to_string();
+  }
+  // The committed chain is self-consistent after the storm.
+  const HgpResult& last = session->last();
+  EXPECT_EQ(last.placement.leaf_of.size(),
+            static_cast<std::size_t>(session->graph()->vertex_count()));
+  EXPECT_GE(service.stats().resolves,
+            static_cast<std::uint64_t>(committed.load()));
+  SUCCEED() << committed.load() << " commits, " << stale.load()
+            << " stale rejections";
+}
+
+// Warm-start checkpoint recovery racing a churn batch: a service restart
+// recovers a durable spill while resolve batches hammer an incremental
+// session on the same workers.  The resumed request must still finish from
+// the recovered trees (not re-solve), the churn batches must all commit,
+// and TSan watches the spill index, the checkpoint store and the session
+// state collide.
+TEST(Race, ServiceSpillRecoveryRacesResolveBatches) {
+  const Graph other = demand_graph(95);
+  const Hierarchy& h = hier();
+  std::string spill_dir;
+  {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "hgp-race-spill-XXXXXX")
+            .string();
+    ASSERT_NE(::mkdtemp(templ.data()), nullptr);
+    spill_dir = templ;
+  }
+
+  ServiceOptions sopt;
+  sopt.workers = 2;
+  sopt.max_queue = 64;
+  sopt.retry.max_retries = 0;  // first failure is terminal → one spill
+  sopt.spill_dir = spill_dir;
+  SolverOptions opt;
+  opt.num_trees = 2;
+  opt.seed = 95;
+  opt.fallback = FallbackPolicy::kNone;
+
+  // "Process" 1: every tree completes, then the finalize boundary dies —
+  // the checkpoint (all trees) spills durably.
+  {
+    FaultInjector::Fault fault;
+    fault.action = FaultInjector::Action::kThrow;
+    const FaultScope finalize("solve_finalize", 0, fault);
+    SolverService crashing(sopt);
+    EXPECT_FALSE(crashing.submit(other, h, opt)->wait().ok());
+    EXPECT_EQ(crashing.stats().checkpoint_spills, 1u);
+  }
+
+  // "Process" 2: the restart indexes the spill; the matching request and a
+  // churn-batch storm run concurrently.
+  {
+    SolverService restarted(sopt);
+    IncrementalOptions iopt;
+    iopt.num_trees = 2;
+    iopt.units_override = 3;
+    iopt.seed = 19;
+    const auto session = restarted.open_incremental(churn_base(97), h, iopt);
+
+    std::atomic<int> committed{0};
+    std::thread churner([&] {
+      Rng rng(7);
+      for (int b = 0; b < 6; ++b) {
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const auto log = session->begin_batch();
+          gen::churn(*log, race_drift(), rng);
+          if (log->empty()) break;
+          const RetrySolveReport& rep =
+              restarted.submit_resolve(session, log)->wait();
+          if (rep.ok()) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          EXPECT_EQ(rep.status.code, StatusCode::kInvalidInput)
+              << rep.status.to_string();
+        }
+      }
+    });
+    const auto resumed = restarted.submit(other, h, opt);
+    const RetrySolveReport& rep = resumed->wait();
+    churner.join();
+    restarted.drain();
+
+    ASSERT_TRUE(rep.ok()) << rep.status.to_string();
+    ASSERT_TRUE(rep.has_result);
+    // Every tree came from the recovered checkpoint (warm start).
+    EXPECT_EQ(rep.result.telemetry.checkpoint_trees, opt.num_trees);
+    EXPECT_EQ(restarted.stats().checkpoint_recovered, 1u);
+    EXPECT_EQ(committed.load(), 6);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir, ec);
 }
 
 // --- Observability layer under TSan ----------------------------------------

@@ -30,6 +30,15 @@
 // FILE.assert) to every failed CHAOS_EXPECT.  Phase 4 stalls attempts
 // under an aggressive watchdog and asserts the dump names every
 // retry/degrade/spill step of the affected request.
+//
+// Churn phase (PR 9): phase 5 opens an incremental session and fires
+// concurrent seeded churn batches at it through submit_resolve while a
+// probabilistic fault schedule crashes trees mid-resolve.  Losers of the
+// optimistic commit race must see the documented kInvalidInput rejection
+// and succeed after rebasing; failed resolves must leave the committed
+// session state untouched (the same batch resubmits verbatim); and the
+// final committed placement must validate against the final committed
+// graph.
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -596,6 +605,137 @@ int main(int argc, char** argv) {
 #endif  // HGP_OBS_ENABLED
       std::error_code ec;
       std::filesystem::remove_all(wd_spill_dir, ec);
+    }
+  }
+
+  // ---- Phase 5: churn.  An incremental session under concurrent seeded
+  // churn batches while trees crash probabilistically mid-resolve.  The
+  // contract: a failed resolve never damages the committed state (the same
+  // batch resubmits and eventually lands), a lost commit race surfaces as
+  // the documented kInvalidInput (rebase and go again), and after the storm
+  // the committed placement is valid for the committed graph.
+  {
+    // The base instance rounds every demand to one unit at units=3
+    // (d <= 1/3), so drift-only churn cannot push the rounded instance
+    // over the hierarchy's 4x3-unit capacity: every resolve ends kOk,
+    // stale, or fault-injected failure — never infeasible.
+    Rng crng(seed ^ 0x636875726eull);
+    Graph churn_g = gen::planted_partition(10, 4, 0.75, 0.1, crng,
+                                           gen::WeightRange{2.0, 6.0},
+                                           gen::WeightRange{1.0, 2.0});
+    gen::set_uniform_demands(churn_g, 0.25);
+    auto churn_base = std::make_shared<const Graph>(std::move(churn_g));
+
+    FaultScope churn_faults("solve_one_tree", FaultInjector::kEveryIndex,
+                            prob_throw(0.25, seed * 7 + 1));
+    ServiceOptions copt = sopt;
+    copt.workers = 2;
+    SolverService churn_service(copt);
+    IncrementalOptions iopt;
+    iopt.num_trees = 2;
+    iopt.units_override = 3;
+    iopt.seed = seed;
+    std::shared_ptr<IncrementalSession> session;
+    try {
+      // The base solve runs under the fault schedule too; a few attempts
+      // ride out an unlucky first draw.
+      for (int attempt = 0;; ++attempt) {
+        try {
+          session = churn_service.open_incremental(churn_base, h, iopt);
+          break;
+        } catch (const SolveError&) {
+          if (attempt >= 16) throw;
+        }
+      }
+    } catch (const SolveError& e) {
+      CHAOS_EXPECT(false, "phase 5 base solve never survived: %s\n", e.what());
+    }
+    if (session != nullptr) {
+      constexpr int kChurners = 3;
+      constexpr int kBatchesPerThread = 3;
+      std::atomic<int> committed{0}, stale_rebases{0}, faulted_retries{0},
+          stuck_batches{0};
+      std::vector<std::thread> churners;
+      churners.reserve(kChurners);
+      for (int t = 0; t < kChurners; ++t) {
+        churners.emplace_back([&, t] {
+          Rng rng(seed * 131 + static_cast<std::uint64_t>(t));
+          for (int b = 0; b < kBatchesPerThread; ++b) {
+            bool landed = false;
+            for (int attempt = 0; attempt < 64 && !landed; ++attempt) {
+              const auto log = session->begin_batch();
+              gen::ChurnOptions churn;
+              churn.ops = 2;
+              churn.w_add_vertex = 0;
+              churn.w_remove_vertex = 0;
+              churn.w_add_edge = 0;
+              churn.w_remove_edge = 0;
+              churn.demand_lo = 0.05;
+              churn.demand_hi = 0.30;
+              gen::churn(*log, churn, rng);
+              if (log->empty()) {
+                landed = true;
+                break;
+              }
+              const RetrySolveReport& rep =
+                  churn_service.submit_resolve(session, log)->wait();
+              if (rep.ok()) {
+                committed.fetch_add(1, std::memory_order_relaxed);
+                landed = true;
+              } else if (rep.status.code == StatusCode::kInvalidInput) {
+                // Lost the commit race: rebase on the new snapshot.
+                stale_rebases.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                // Fault-injected failure: the committed state is untouched,
+                // so the SAME log is still current — resubmit it verbatim.
+                CHAOS_EXPECT(documented_terminal(rep.status.code),
+                             "phase 5 resolve ended in undocumented %s\n",
+                             status_code_name(rep.status.code));
+                faulted_retries.fetch_add(1, std::memory_order_relaxed);
+                for (int again = 0; again < 64 && !landed; ++again) {
+                  const RetrySolveReport& r2 =
+                      churn_service.submit_resolve(session, log)->wait();
+                  if (r2.ok()) {
+                    committed.fetch_add(1, std::memory_order_relaxed);
+                    landed = true;
+                  } else if (r2.status.code == StatusCode::kInvalidInput) {
+                    break;  // someone else committed meanwhile: rebase
+                  }
+                }
+              }
+            }
+            if (!landed) stuck_batches.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      for (auto& t : churners) t.join();
+      churn_service.drain();
+
+      CHAOS_EXPECT(stuck_batches.load() == 0,
+                   "phase 5: %d churn batch(es) never committed\n",
+                   stuck_batches.load());
+      CHAOS_EXPECT(committed.load() == kChurners * kBatchesPerThread,
+                   "phase 5 committed %d batches, expected %d\n",
+                   committed.load(), kChurners * kBatchesPerThread);
+      CHAOS_EXPECT(churn_service.stats().resolves >=
+                       static_cast<std::uint64_t>(committed.load()),
+                   "phase 5 service counted %llu resolves for %d commits\n",
+                   static_cast<unsigned long long>(
+                       churn_service.stats().resolves),
+                   committed.load());
+      // The committed chain survived the storm intact.
+      const HgpResult& last = session->last();
+      try {
+        validate_placement(*session->graph(), h, last.placement);
+      } catch (const std::exception& e) {
+        CHAOS_EXPECT(false, "phase 5 final placement invalid: %s\n", e.what());
+      }
+      CHAOS_EXPECT(std::isfinite(last.cost),
+                   "phase 5 final cost not finite\n");
+      std::printf(
+          "phase 5: %d churn batches committed (%d stale rebases, %d "
+          "fault-retried resolves)\n",
+          committed.load(), stale_rebases.load(), faulted_retries.load());
     }
   }
 
