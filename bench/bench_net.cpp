@@ -1,0 +1,95 @@
+// NET — wire-protocol overhead: what does the framed, CRC-checked channel
+// cost on top of raw memcpy?
+//
+// The sharded solver ships one forest snapshot out and per-tree results
+// back per request (docs/FORMATS.md "Wire protocol"), so the frame codec
+// sits on the request path.  This bench reports encode / decode / verify
+// throughput for a spread of payload sizes plus the end-to-end socketpair
+// round-trip rate, so a regression in the CRC path or an accidental extra
+// copy shows up as a number, not a hunch.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace hgp {
+namespace {
+
+double mib_per_s(std::size_t bytes, double ms) {
+  return (static_cast<double>(bytes) / (1024.0 * 1024.0)) / (ms / 1000.0);
+}
+
+int run() {
+  std::printf("NET — frame codec + channel throughput\n\n");
+  Table table({"payload", "encode MiB/s", "decode MiB/s", "roundtrip msg/s"});
+
+  for (const std::size_t size :
+       {std::size_t{64}, std::size_t{4096}, std::size_t{65536},
+        std::size_t{1u << 20}}) {
+    std::vector<std::byte> payload(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      payload[i] = static_cast<std::byte>(i * 1315423911u);
+    }
+
+    // Scale iteration counts so each cell measures a few hundred ms.
+    const int iters = static_cast<int>(std::max<std::size_t>(
+        8, (std::size_t{64} << 20) / (size + 1)));
+
+    Timer enc_timer;
+    std::vector<std::byte> wire;
+    for (int i = 0; i < iters; ++i) {
+      wire = net::encode_frame(net::kMsgHeartbeat, payload);
+    }
+    const double enc_ms = enc_timer.millis();
+
+    Timer dec_timer;
+    for (int i = 0; i < iters; ++i) {
+      net::Frame f = net::decode_frame(wire);
+      if (f.payload.size() != size) std::abort();
+    }
+    const double dec_ms = dec_timer.millis();
+
+    // End-to-end: one sender thread, one receiver, a socketpair between
+    // them — the exact transport the coordinator and shards speak.
+    const int msgs = std::max(64, iters / 4);
+    auto [a, b] = net::socket_pair();
+    net::FrameChannel tx(std::move(a));
+    net::FrameChannel rx(std::move(b));
+    Timer rt_timer;
+    std::thread sender([&] {  // hgp-lint: allow(naked-thread)
+      for (int i = 0; i < msgs; ++i) {
+        tx.send(net::kMsgHeartbeat, payload, Deadline::never());
+      }
+    });
+    for (int i = 0; i < msgs; ++i) {
+      auto f = rx.recv(Deadline::never());
+      if (!f.has_value() || f->payload.size() != size) std::abort();
+    }
+    sender.join();
+    const double rt_ms = rt_timer.millis();
+
+    const std::size_t total = size * static_cast<std::size_t>(iters);
+    table.row()
+        .add(std::to_string(size) + " B")
+        .add(mib_per_s(total, enc_ms), 1)
+        .add(mib_per_s(total, dec_ms), 1)
+        .add(static_cast<double>(msgs) / (rt_ms / 1000.0), 0);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hgp
+
+int main() { return hgp::run(); }

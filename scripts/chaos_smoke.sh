@@ -10,6 +10,11 @@
 # proves the storm leaks and corrupts nothing.  This script then checks the
 # exported metrics are valid JSON and carry the service.* series.
 #
+# When the build dir contains hgp_shardd, the distributed storm (phase 6)
+# runs too: coordinated solves over real worker processes with seeded
+# SIGKILLs, stalled heartbeats, torn frames and a zombie peer, checked
+# bit-identical against single-process baselines (docs/RESILIENCE.md).
+#
 # Usage: scripts/chaos_smoke.sh [build-dir] [requests] [seed]
 #   scripts/chaos_smoke.sh build-asan            # CI: ASan build, 200 reqs
 #   scripts/chaos_smoke.sh build 500 7           # bigger local storm
@@ -19,12 +24,19 @@ BUILD="${1:-build-asan}"
 REQUESTS="${2:-200}"
 SEED="${3:-1}"
 CHAOS="$BUILD/tools/hgp_chaos"
+SHARDD="$BUILD/tools/hgp_shardd"
 [ -x "$CHAOS" ] || { echo "missing $CHAOS (build hgp_chaos first)"; exit 1; }
+
+SHARD_ARGS=()
+if [ -x "$SHARDD" ]; then
+  SHARD_ARGS=(--shardd "$SHARDD")
+fi
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
-"$CHAOS" --requests "$REQUESTS" --seed "$SEED" --metrics "$WORK/metrics.json"
+"$CHAOS" --requests "$REQUESTS" --seed "$SEED" --metrics "$WORK/metrics.json" \
+  ${SHARD_ARGS[@]+"${SHARD_ARGS[@]}"}
 
 python3 -m json.tool "$WORK/metrics.json" > /dev/null
 
@@ -39,4 +51,17 @@ for metric in '"service.submitted"' '"service.admitted"' \
     || { echo "metrics export missing $metric"; exit 1; }
 done
 
-echo "chaos smoke OK ($REQUESTS requests, seed $SEED)"
+# When the distributed storm ran, the shard supervision counters must have
+# moved: shards came up, at least one was lost, a lease expired, work was
+# reassigned, and a zombie reply was fenced.
+if [ -x "$SHARDD" ]; then
+  for metric in '"shard.up"' '"shard.lost"' '"shard.lease_expiries"' \
+                '"shard.batches_reassigned"' '"shard.zombies_fenced"' \
+                '"shard.trees_from_shards"'; do
+    grep -q "$metric" "$WORK/metrics.json" \
+      || { echo "metrics export missing $metric"; exit 1; }
+  done
+  echo "chaos smoke OK ($REQUESTS requests, seed $SEED, distributed storm on)"
+else
+  echo "chaos smoke OK ($REQUESTS requests, seed $SEED)"
+fi

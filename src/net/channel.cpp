@@ -1,0 +1,109 @@
+#include "net/channel.hpp"
+
+#include "util/fault_injector.hpp"
+
+namespace hgp::net {
+
+void FrameChannel::send(std::uint16_t type, std::span<const std::byte> payload,
+                        const Deadline& deadline) {
+  std::vector<std::byte> wire = encode_frame(type, payload);
+  if (FaultInjector::instance().poll_io("net.frame", 0) ==
+      FaultInjector::Action::kNetTornFrame) {
+    // Corrupt one mid-frame byte before transmission: the receiver's CRC
+    // check must reject the frame (kDataLoss), exactly as bit rot on a
+    // real wire would be caught.
+    wire[wire.size() / 2] ^= std::byte{0x40};
+  }
+  socket_.send_all(wire, deadline);
+}
+
+std::optional<Frame> FrameChannel::recv(const Deadline& deadline) {
+  std::byte header_bytes[kFrameHeaderSize];
+  if (!socket_.recv_exact(header_bytes, kFrameHeaderSize, deadline)) {
+    return std::nullopt;  // clean close between frames
+  }
+  const FrameHeader header =
+      decode_frame_header(std::span<const std::byte>(header_bytes));
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.resize(header.payload_size);  // capped by the header check
+  if (header.payload_size > 0 &&
+      !socket_.recv_exact(frame.payload.data(), frame.payload.size(),
+                          deadline)) {
+    throw SolveError(StatusCode::kDataLoss,
+                     "peer closed between a frame header and its payload");
+  }
+  check_frame_payload(header, frame.payload);
+  return frame;
+}
+
+namespace {
+
+/// The Hello payload carries the protocol version redundantly with the
+/// frame header: a header-level mismatch already fails frame decode, but
+/// the explicit exchange gives the *peer* a chance to report skew in a
+/// frame the old version still understands.
+std::vector<std::byte> hello_payload(std::uint32_t version,
+                                     std::uint32_t role) {
+  WireWriter w;
+  w.u32(version);
+  w.u32(role);
+  return w.take();
+}
+
+}  // namespace
+
+void handshake_client(FrameChannel& ch, std::uint32_t role,
+                      const Deadline& deadline) {
+  ch.send(kMsgHello, hello_payload(kProtocolVersion, role), deadline);
+  std::optional<Frame> ack = ch.recv(deadline);
+  if (!ack.has_value()) {
+    throw SolveError(StatusCode::kUnavailable,
+                     "peer closed during the version handshake");
+  }
+  if (ack->type != kMsgHelloAck) {
+    throw SolveError(StatusCode::kDataLoss,
+                     "handshake expected HelloAck, got frame type " +
+                         std::to_string(ack->type));
+  }
+  WireReader r(ack->payload, "HelloAck");
+  const std::uint32_t peer_version = r.u32();
+  r.expect_exhausted();
+  if (peer_version != kProtocolVersion) {
+    throw SolveError(StatusCode::kDataLoss,
+                     "protocol version mismatch (peer v" +
+                         std::to_string(peer_version) +
+                         ", this build speaks v" +
+                         std::to_string(kProtocolVersion) + ")");
+  }
+}
+
+std::uint32_t handshake_server(FrameChannel& ch, const Deadline& deadline) {
+  std::optional<Frame> hello = ch.recv(deadline);
+  if (!hello.has_value()) {
+    throw SolveError(StatusCode::kUnavailable,
+                     "peer closed during the version handshake");
+  }
+  if (hello->type != kMsgHello) {
+    throw SolveError(StatusCode::kDataLoss,
+                     "handshake expected Hello, got frame type " +
+                         std::to_string(hello->type));
+  }
+  WireReader r(hello->payload, "Hello");
+  const std::uint32_t peer_version = r.u32();
+  const std::uint32_t role = r.u32();
+  r.expect_exhausted();
+  if (peer_version != kProtocolVersion) {
+    throw SolveError(StatusCode::kDataLoss,
+                     "protocol version mismatch (peer v" +
+                         std::to_string(peer_version) +
+                         ", this build speaks v" +
+                         std::to_string(kProtocolVersion) + ")");
+  }
+  WireWriter ack;
+  ack.u32(kProtocolVersion);
+  ch.send(kMsgHelloAck, ack.take(), deadline);
+  return role;
+}
+
+}  // namespace hgp::net

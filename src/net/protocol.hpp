@@ -1,0 +1,112 @@
+// The coordinator↔shard message vocabulary (rides on channel.hpp frames).
+//
+// Conversation, in order:
+//
+//   shard → coord   Hello{version, role}          (channel.hpp handshake)
+//   coord → shard   HelloAck{version}
+//   coord → shard   Job{solve params, snapshot blob}
+//   shard → coord   JobAck{graph fingerprint, num trees}
+//   coord → shard   Assign{epoch, batch, tree indices}     (repeated)
+//   shard → coord   Heartbeat{epoch, batch, progress}      (streamed)
+//   shard → coord   BatchResult{epoch, batch, per-tree results}
+//   coord → shard   Shutdown{}
+//
+// The Job's instance payload is a PR-6 snapshot container blob (graph +
+// hierarchy + forest sections, src/io/snapshot.hpp) embedded whole: the
+// shard re-runs the full snapshot validation stack — CRCs, fingerprint,
+// semantic invariants — before trusting a single byte of the instance.
+// Epochs implement zombie fencing: every Assign carries the batch's
+// current epoch, every result echoes it, and the coordinator discards any
+// result whose epoch is stale (the batch was reassigned after this shard
+// was declared dead).
+//
+// Decode functions throw SolveError{kDataLoss} on any malformed payload,
+// with the WireReader's no-allocation-bomb validation discipline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tree_dp.hpp"
+#include "net/frame.hpp"
+#include "util/status.hpp"
+
+namespace hgp::net {
+
+// Message types (channel.hpp owns 1-2 for the handshake).
+constexpr std::uint16_t kMsgJob = 3;
+constexpr std::uint16_t kMsgJobAck = 4;
+constexpr std::uint16_t kMsgAssign = 5;
+constexpr std::uint16_t kMsgHeartbeat = 6;
+constexpr std::uint16_t kMsgBatchResult = 7;
+constexpr std::uint16_t kMsgShutdown = 8;
+
+/// Everything a shard needs to solve assigned trees bit-identically to the
+/// coordinator's in-process path: the solve parameters plus the instance
+/// snapshot blob (graph + hierarchy + forest container).
+struct JobMsg {
+  double epsilon = 0;
+  std::int64_t units_override = 0;
+  std::uint64_t seed = 0;
+  std::int32_t num_trees = 0;
+  std::uint8_t force_prune = 0;
+  /// Heartbeat cadence the coordinator expects, in ms.
+  double heartbeat_ms = 0;
+  /// Snapshot container: graph sections, hierarchy sections, forest
+  /// sections (src/io/snapshot.hpp codecs, in that order).
+  std::vector<std::byte> snapshot_blob;
+};
+
+struct JobAckMsg {
+  std::uint64_t graph_fingerprint = 0;
+  std::int32_t num_trees = 0;
+};
+
+struct AssignMsg {
+  std::uint64_t epoch = 0;
+  std::uint32_t batch_id = 0;
+  std::vector<std::int32_t> tree_indices;
+};
+
+struct HeartbeatMsg {
+  std::uint64_t epoch = 0;       ///< 0 when idle
+  std::uint32_t batch_id = 0;
+  /// Trees finished within the current batch (progress counter).
+  std::uint64_t trees_done = 0;
+  std::uint8_t idle = 0;
+};
+
+/// One tree's result.  `leaf_of` is present only when status == kOk; the
+/// stats travel so resumed telemetry stays honest (checkpoint.hpp).
+struct TreeResultWire {
+  std::int32_t tree_index = 0;
+  std::uint8_t status = 0;  ///< StatusCode
+  std::string error;
+  double cost = 0;
+  TreeDpStats stats;
+  std::vector<std::int64_t> leaf_of;
+};
+
+struct BatchResultMsg {
+  std::uint64_t epoch = 0;
+  std::uint32_t batch_id = 0;
+  std::vector<TreeResultWire> trees;
+};
+
+std::vector<std::byte> encode_job(const JobMsg& msg);
+JobMsg decode_job(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_job_ack(const JobAckMsg& msg);
+JobAckMsg decode_job_ack(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_assign(const AssignMsg& msg);
+AssignMsg decode_assign(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_heartbeat(const HeartbeatMsg& msg);
+HeartbeatMsg decode_heartbeat(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_batch_result(const BatchResultMsg& msg);
+BatchResultMsg decode_batch_result(std::span<const std::byte> payload);
+
+}  // namespace hgp::net

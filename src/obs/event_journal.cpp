@@ -31,6 +31,11 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kFallbackStage: return "fallback_stage";
     case EventKind::kResolveStart: return "resolve_start";
     case EventKind::kResolveEnd: return "resolve_end";
+    case EventKind::kShardUp: return "shard_up";
+    case EventKind::kShardLost: return "shard_lost";
+    case EventKind::kLeaseExpire: return "lease_expire";
+    case EventKind::kBatchReassign: return "batch_reassign";
+    case EventKind::kZombieFenced: return "zombie_fenced";
     case EventKind::kCount: break;
   }
   return "unknown";

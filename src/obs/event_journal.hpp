@@ -55,6 +55,14 @@ enum class EventKind : std::uint8_t {
   kResolveStart = 14,     ///< incremental re-solve began (arg: mutation count)
   kResolveEnd = 15,       ///< incremental re-solve finished (arg: DP nodes
                           ///< reused; status: outcome code)
+  kShardUp = 16,          ///< shard handshake + job load done (arg: shard id)
+  kShardLost = 17,        ///< shard declared dead — socket error or missed
+                          ///< heartbeats past its lease (arg: shard id)
+  kLeaseExpire = 18,      ///< a leased batch's shard missed heartbeats past
+                          ///< the lease (arg: batch id)
+  kBatchReassign = 19,    ///< batch re-queued under a bumped epoch (arg:
+                          ///< batch id)
+  kZombieFenced = 20,     ///< stale-epoch result discarded (arg: batch id)
   kCount                  // number of kinds; keep last
 };
 

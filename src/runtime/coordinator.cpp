@@ -1,0 +1,680 @@
+#include "runtime/coordinator.hpp"
+
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "decomp/builder.hpp"
+#include "decomp/cutter.hpp"
+#include "graph/fingerprint.hpp"
+#include "io/snapshot.hpp"
+#include "net/channel.hpp"
+#include "net/protocol.hpp"
+#include "obs/obs.hpp"
+#include "runtime/forest_cache.hpp"
+#include "util/prng.hpp"
+#include "util/sync.hpp"
+
+extern char** environ;
+
+namespace hgp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t).count();
+}
+
+std::string default_socket_dir() {
+  const char* tmp = std::getenv("TMPDIR");
+  return (tmp != nullptr && tmp[0] != '\0') ? tmp : "/tmp";
+}
+
+}  // namespace
+
+struct ShardCoordinator::Impl {
+  // ------------------------------------------------------------------ types
+
+  struct Batch {
+    std::uint32_t id = 0;
+    std::vector<std::int32_t> trees;
+    /// Fencing token.  Starts at 1 (Assign decode rejects epoch 0) and is
+    /// bumped on every reassignment; a result echoing an older epoch came
+    /// from a shard that was declared dead after this batch moved on.
+    std::uint64_t epoch = 1;
+    enum class State { kPending, kLeased, kDone } state = State::kPending;
+    int owner = -1;  ///< shard id while leased
+  };
+
+  struct Shard {
+    int id = 0;
+    net::FrameChannel channel;
+    /// Serializes coordinator→shard sends (supervisor Assigns vs the
+    /// teardown Shutdown).  Leaf lock: never held together with mu_.
+    Mutex send_mu;
+    // One dedicated blocking reader per shard: the channel recv must block
+    // on the socket, which the pool's cooperative tasks must never do.
+    // hgp-lint: allow(naked-thread)
+    std::thread reader;
+    // The fields below are guarded by the coordinator's mu_ (they span
+    // shards, so a per-shard capability annotation cannot express it).
+    enum class State { kConnecting, kIdle, kBusy, kDead } state =
+        State::kConnecting;
+    Clock::time_point last_beat = Clock::now();
+    int outstanding = -1;  ///< leased batch id, -1 when idle
+  };
+
+  // ----------------------------------------------------------------- fields
+
+  const Graph& g;
+  const Hierarchy& h;
+  const SolverOptions opt;
+  const CoordinatorOptions copt;
+
+  Mutex mu;
+  CondVar cv;
+  std::vector<std::unique_ptr<Shard>> shards HGP_GUARDED_BY(mu);
+  std::vector<Batch> batches HGP_GUARDED_BY(mu);
+  std::size_t batches_done HGP_GUARDED_BY(mu) = 0;
+  /// Set at teardown: reader exits stop being "shard lost" events.
+  bool stopping HGP_GUARDED_BY(mu) = false;
+  CoordinatorReport report;  // counters mutated under mu until solve() ends
+
+  SolveCheckpoint local_checkpoint;
+  SolveCheckpoint* checkpoint = nullptr;
+  std::vector<net::Socket> adopted;
+  std::vector<std::byte> job_payload;
+  CachedForest forest;  ///< held so the final solve_hgp re-finds it cached
+  std::uint64_t fingerprint = 0;
+  std::uint64_t rid = 0;
+  Deadline deadline;
+  Rng jitter;
+  net::Listener listener;
+  std::vector<pid_t> children;
+  bool solved = false;
+
+  Impl(const Graph& g_in, const Hierarchy& h_in, SolverOptions opt_in,
+       CoordinatorOptions copt_in)
+      : g(g_in),
+        h(h_in),
+        opt(std::move(opt_in)),
+        copt(std::move(copt_in)),
+        jitter(opt.seed ^ 0x5ea5'c0de'5ea5'c0deull) {}
+
+  // ------------------------------------------------------- stage 1: the job
+
+  /// Builds the decomposition forest exactly as solve_hgp's stage 1 does
+  /// (same cache, same key) and serializes the instance into the Job
+  /// payload every shard receives.  Throws on forest failure — the caller
+  /// skips distribution and lets the final solve_hgp reproduce the failure
+  /// (or its fallback chain) so sharded and single-process behaviour stay
+  /// aligned.
+  void build_job() {
+    const FmCutter default_cutter;
+    const Cutter& cutter = opt.cutter != nullptr ? *opt.cutter : default_cutter;
+
+    ForestCache& cache = ForestCache::global();
+    const ForestCacheKey key{fingerprint, opt.seed, opt.num_trees,
+                             cutter.name()};
+    if (cache.enabled()) forest = cache.find(key);
+    if (forest == nullptr) {
+      ExecContext exec;
+      exec.deadline = deadline;
+      exec.cancel = opt.cancel;
+      forest = std::make_shared<const std::vector<DecompTree>>(
+          build_decomposition_forest(g, opt.num_trees, opt.seed, cutter,
+                                     opt.pool, &exec));
+      if (cache.enabled()) cache.insert(key, forest);
+    }
+    if (forest->empty()) {
+      throw SolveError(StatusCode::kInternal, "forest sampling yielded no trees");
+    }
+
+    io::SnapshotWriter w;
+    io::append_graph_sections(w, g);
+    io::append_hierarchy_sections(w, h);
+    io::ForestSnapshotMeta meta;
+    meta.graph_fingerprint = fingerprint;
+    meta.seed = opt.seed;
+    meta.num_trees = opt.num_trees;
+    meta.cutter = cutter.name();
+    io::append_forest_sections(w, meta, *forest);
+
+    net::JobMsg job;
+    job.epsilon = opt.epsilon;
+    job.units_override = opt.units_override;
+    job.seed = opt.seed;
+    job.num_trees = opt.num_trees;
+    job.force_prune = opt.force_prune ? 1 : 0;
+    job.heartbeat_ms = copt.heartbeat_ms;
+    job.snapshot_blob = w.serialize();
+    job_payload = net::encode_job(job);
+
+    const int batch_size = std::max(1, copt.batch_size);
+    const MutexLock lock(mu);
+    for (std::size_t lo = 0; lo < forest->size();
+         lo += static_cast<std::size_t>(batch_size)) {
+      Batch b;
+      b.id = static_cast<std::uint32_t>(batches.size());
+      const std::size_t hi =
+          std::min(forest->size(), lo + static_cast<std::size_t>(batch_size));
+      for (std::size_t i = lo; i < hi; ++i) {
+        b.trees.push_back(static_cast<std::int32_t>(i));
+      }
+      batches.push_back(std::move(b));
+    }
+  }
+
+  // --------------------------------------------------------- shard plumbing
+
+  void add_shard(net::Socket sock) {
+    const MutexLock lock(mu);
+    auto shard = std::make_unique<Shard>();
+    shard->id = static_cast<int>(shards.size());
+    shard->channel = net::FrameChannel(std::move(sock));
+    Shard* raw = shard.get();
+    shards.push_back(std::move(shard));
+    // One reader per shard: it owns the inbound half of the conversation
+    // (handshake, job ack, heartbeats, results) and outlives the shard's
+    // death on purpose — a zombie's late frames must be observed to be
+    // fenced, not silently dropped with a closed socket.
+    // hgp-lint: allow(naked-thread)
+    raw->reader = std::thread([this, raw] { reader_main(raw); });
+  }
+
+  void reader_main(Shard* s) {
+    try {
+      const Deadline hs = Deadline::after_ms(copt.handshake_timeout_ms);
+      net::handshake_client(s->channel, net::kRoleCoordinator, hs);
+      {
+        const MutexLock lock(s->send_mu);
+        s->channel.send(net::kMsgJob, job_payload, hs);
+      }
+      std::optional<net::Frame> ack_frame = s->channel.recv(hs);
+      if (!ack_frame.has_value()) {
+        throw SolveError(StatusCode::kUnavailable,
+                         "shard closed before acking the job");
+      }
+      if (ack_frame->type != net::kMsgJobAck) {
+        throw SolveError(StatusCode::kDataLoss,
+                         "expected JobAck, got frame type " +
+                             std::to_string(ack_frame->type));
+      }
+      const net::JobAckMsg ack = net::decode_job_ack(ack_frame->payload);
+      if (ack.graph_fingerprint != fingerprint ||
+          ack.num_trees != opt.num_trees) {
+        throw SolveError(StatusCode::kDataLoss,
+                         "shard acked a different instance");
+      }
+      {
+        const MutexLock lock(mu);
+        if (s->state == Shard::State::kConnecting) {
+          s->state = Shard::State::kIdle;
+          s->last_beat = Clock::now();
+          ++report.shards_up;
+          HGP_COUNTER_ADD("shard.up", 1);
+          HGP_JOURNAL(kShardUp, rid, 0, s->id, 0);
+          cv.notify_all();
+        }
+      }
+      for (;;) {
+        // No read deadline: supervision is lease-based (a silent shard is
+        // handled by the lease scan, not by this thread) and teardown wakes
+        // the read with shutdown().
+        std::optional<net::Frame> frame = s->channel.recv(Deadline::never());
+        if (!frame.has_value()) break;  // peer departed
+        if (frame->type == net::kMsgHeartbeat) {
+          (void)net::decode_heartbeat(frame->payload);
+          const MutexLock lock(mu);
+          s->last_beat = Clock::now();
+          HGP_COUNTER_ADD("shard.heartbeats", 1);
+        } else if (frame->type == net::kMsgBatchResult) {
+          accept_result(s, net::decode_batch_result(frame->payload));
+        } else {
+          throw SolveError(StatusCode::kDataLoss,
+                           "unexpected frame type " +
+                               std::to_string(frame->type) +
+                               " from shard");
+        }
+      }
+    } catch (...) {
+      // Connection-level death (reset, torn frame, version skew, stall past
+      // a handshake deadline) — the classification already happened in the
+      // net layer; all the reader does with it is declare the shard dead.
+    }
+    const MutexLock lock(mu);
+    if (!stopping && s->state != Shard::State::kDead) {
+      declare_dead_locked(*s);
+    }
+    s->state = Shard::State::kDead;
+    cv.notify_all();
+  }
+
+  /// Exactly-once admission of a shard's batch result.  Anything that is
+  /// not the *currently leased* (batch, epoch, owner) triple is a zombie:
+  /// the shard was declared dead and the batch reassigned (stale epoch), or
+  /// the batch already completed (double delivery).  Fenced results are
+  /// counted and dropped — never recorded.
+  void accept_result(Shard* s, net::BatchResultMsg res) {
+    const MutexLock lock(mu);
+    const bool in_range = res.batch_id < batches.size();
+    Batch* b = in_range ? &batches[res.batch_id] : nullptr;
+    const bool current = b != nullptr && b->state == Batch::State::kLeased &&
+                         b->owner == s->id && b->epoch == res.epoch &&
+                         s->state == Shard::State::kBusy;
+    if (!current) {
+      ++report.zombies_fenced;
+      HGP_COUNTER_ADD("shard.zombies_fenced", 1);
+      HGP_JOURNAL(kZombieFenced, rid, 0, res.batch_id, 0);
+      return;
+    }
+    for (net::TreeResultWire& tree : res.trees) {
+      if (tree.status != static_cast<std::uint8_t>(StatusCode::kOk)) {
+        // The tree failed remotely; leaving it out of the checkpoint makes
+        // the final solve_hgp re-attempt it in-process, which is exactly
+        // what per-tree fault isolation does locally.
+        HGP_COUNTER_ADD("shard.remote_tree_failures", 1);
+        continue;
+      }
+      // Wire results are untrusted until proven shaped like this instance —
+      // the same discipline solve_hgp applies to disk-recovered checkpoints.
+      const bool shaped =
+          tree.tree_index >= 0 &&
+          static_cast<std::size_t>(tree.tree_index) < forest->size() &&
+          tree.leaf_of.size() == static_cast<std::size_t>(g.vertex_count()) &&
+          std::isfinite(tree.cost) &&
+          std::all_of(tree.leaf_of.begin(), tree.leaf_of.end(),
+                      [this](LeafId leaf) {
+                        return leaf >= 0 && leaf < h.leaf_count();
+                      });
+      if (!shaped) {
+        HGP_COUNTER_ADD("shard.malformed_tree_results", 1);
+        continue;
+      }
+      CheckpointedTree ck;
+      ck.placement.leaf_of = std::move(tree.leaf_of);
+      ck.cost = tree.cost;
+      ck.stats = tree.stats;
+      checkpoint->record(tree.tree_index, std::move(ck));
+      ++report.trees_from_shards;
+      HGP_COUNTER_ADD("shard.trees_from_shards", 1);
+    }
+    b->state = Batch::State::kDone;
+    b->owner = -1;
+    ++batches_done;
+    ++report.batches_completed;
+    HGP_COUNTER_ADD("shard.batches_completed", 1);
+    s->outstanding = -1;
+    s->state = Shard::State::kIdle;
+    s->last_beat = Clock::now();
+    cv.notify_all();
+  }
+
+  /// mu held.  Marks the shard dead and re-queues its lease under a bumped
+  /// epoch.  The socket stays OPEN and the reader keeps draining: a zombie
+  /// (declared dead but actually alive) will deliver its stale result into
+  /// accept_result's fence rather than into a closed pipe, which is what
+  /// makes the exactly-once accounting observable.
+  void declare_dead_locked(Shard& s) HGP_REQUIRES(mu) {
+    s.state = Shard::State::kDead;
+    ++report.shards_lost;
+    HGP_COUNTER_ADD("shard.lost", 1);
+    HGP_JOURNAL(kShardLost, rid, 0, s.id, 0);
+    if (s.outstanding >= 0) {
+      Batch& b = batches[static_cast<std::size_t>(s.outstanding)];
+      if (b.state == Batch::State::kLeased && b.owner == s.id) {
+        ++b.epoch;
+        b.state = Batch::State::kPending;
+        b.owner = -1;
+        ++report.batches_reassigned;
+        HGP_COUNTER_ADD("shard.batches_reassigned", 1);
+        HGP_JOURNAL(kBatchReassign, rid, 0, b.id, 0);
+      }
+      s.outstanding = -1;
+    }
+  }
+
+  // ---------------------------------------------------------- spawn-local
+
+  pid_t spawn_worker() {
+    std::vector<std::string> args;
+    args.push_back(copt.shardd_path);
+    args.push_back("--connect");
+    args.push_back(listener.path());
+    args.insert(args.end(), copt.shard_args.begin(), copt.shard_args.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    pid_t pid = -1;
+    const int rc = ::posix_spawn(&pid, copt.shardd_path.c_str(), nullptr,
+                                 nullptr, argv.data(), environ);
+    if (rc != 0) {
+      throw SolveError(StatusCode::kUnavailable,
+                       "failed to spawn shard worker " + copt.shardd_path +
+                           ": " + std::string(std::strerror(rc)));
+    }
+    children.push_back(pid);
+    return pid;
+  }
+
+  void spawn_and_adopt() {
+    spawn_worker();
+    add_shard(listener.accept_connection(
+        Deadline::after_ms(copt.handshake_timeout_ms)));
+  }
+
+  void start_shards() {
+    for (net::Socket& sock : adopted) add_shard(std::move(sock));
+    adopted.clear();
+    if (!copt.shardd_path.empty() && copt.num_shards > 0) {
+      const std::string dir =
+          copt.socket_dir.empty() ? default_socket_dir() : copt.socket_dir;
+      const std::string path = dir + "/hgp-coord-" +
+                               std::to_string(static_cast<long>(::getpid())) +
+                               "-" + std::to_string(rid & 0xffffffu) + ".sock";
+      listener = net::Listener::listen_unix(path);
+      for (int i = 0; i < copt.num_shards; ++i) spawn_and_adopt();
+    }
+  }
+
+  // ------------------------------------------------------------ supervision
+
+  bool cancelled() const {
+    return opt.cancel != nullptr && opt.cancel->cancelled();
+  }
+
+  /// The coordinator's main loop: assign pending batches to idle shards,
+  /// expire leases, respawn within budget, stop when the work is done, the
+  /// deadline passed, or no shard can make progress (the final in-process
+  /// aggregation covers whatever is left).
+  void supervise() {
+    int respawn_attempt = 0;
+    for (;;) {
+      if (cancelled()) {
+        throw SolveError(StatusCode::kCancelled,
+                         "cancelled during sharded solve");
+      }
+      if (deadline.expired()) return;
+
+      struct PendingSend {
+        Shard* shard;
+        net::AssignMsg msg;
+      };
+      std::vector<PendingSend> sends;
+      bool need_respawn = false;
+      {
+        const MutexLock lock(mu);
+        if (batches_done == batches.size()) return;
+
+        // Lease scan: a busy shard silent past the lease is dead and its
+        // batch goes back in the queue under a fresh epoch.
+        for (const std::unique_ptr<Shard>& sp : shards) {
+          Shard& s = *sp;
+          if (s.state != Shard::State::kBusy) continue;
+          if (ms_since(s.last_beat) <= copt.lease_ms) continue;
+          ++report.lease_expiries;
+          HGP_COUNTER_ADD("shard.lease_expiries", 1);
+          HGP_JOURNAL(kLeaseExpire, rid, 0, s.outstanding, 0);
+          declare_dead_locked(s);
+        }
+
+        // Assignment: one outstanding batch per shard keeps reassignment
+        // loss bounded to a single lease per failure.
+        for (const std::unique_ptr<Shard>& sp : shards) {
+          Shard& s = *sp;
+          if (s.state != Shard::State::kIdle) continue;
+          Batch* next = nullptr;
+          for (Batch& b : batches) {
+            if (b.state == Batch::State::kPending) {
+              next = &b;
+              break;
+            }
+          }
+          if (next == nullptr) break;
+          next->state = Batch::State::kLeased;
+          next->owner = s.id;
+          s.state = Shard::State::kBusy;
+          s.outstanding = static_cast<int>(next->id);
+          s.last_beat = Clock::now();  // a fresh lease starts a fresh clock
+          ++report.batches_assigned;
+          HGP_COUNTER_ADD("shard.batches_assigned", 1);
+          net::AssignMsg msg;
+          msg.epoch = next->epoch;
+          msg.batch_id = next->id;
+          msg.tree_indices = next->trees;
+          sends.push_back(PendingSend{&s, std::move(msg)});
+        }
+
+        const bool any_alive =
+            std::any_of(shards.begin(), shards.end(),
+                        [](const std::unique_ptr<Shard>& sp) {
+                          return sp->state != Shard::State::kDead;
+                        });
+        const bool work_left = batches_done < batches.size();
+        if (!any_alive && work_left && sends.empty()) {
+          const bool can_respawn = listener.valid() &&
+                                   report.respawns < copt.respawn_limit;
+          if (!can_respawn) return;  // degrade: finish in-process
+          need_respawn = true;
+        }
+        if (!need_respawn && sends.empty()) {
+          // Nothing actionable: sleep until a heartbeat/result/death pokes
+          // the cv, capped so lease scans stay timely.
+          const double wait_ms =
+              std::max(5.0, std::min(50.0, copt.lease_ms / 4));
+          cv.wait_for_ms(mu, wait_ms);
+        }
+      }
+
+      for (PendingSend& ps : sends) {
+        std::vector<std::byte> wire = net::encode_assign(ps.msg);
+        try {
+          const MutexLock lock(ps.shard->send_mu);
+          ps.shard->channel.send(net::kMsgAssign, wire,
+                                 Deadline::after_ms(10000));
+        } catch (...) {
+          const MutexLock lock(mu);
+          if (ps.shard->state != Shard::State::kDead) {
+            declare_dead_locked(*ps.shard);
+          }
+        }
+      }
+
+      if (need_respawn) {
+        // Replacement workers reuse the retry loop's backoff-with-jitter
+        // schedule so a crash-looping binary cannot hot-spin the spawner.
+        const double sleep_ms =
+            backoff_for_retry(copt.reconnect, respawn_attempt++, jitter);
+        const Deadline until = Deadline::after_ms(sleep_ms);
+        while (!until.expired() && !cancelled() && !deadline.expired()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              static_cast<int>(std::max(1.0, std::min(20.0, until.remaining_ms())))));
+        }
+        if (cancelled() || deadline.expired()) continue;
+        {
+          const MutexLock lock(mu);
+          ++report.respawns;
+        }
+        HGP_COUNTER_ADD("shard.respawns", 1);
+        try {
+          spawn_and_adopt();
+        } catch (...) {
+          // Spawn or accept failed; budget was consumed, loop decides again.
+        }
+      }
+    }
+  }
+
+  // --------------------------------------------------------------- teardown
+
+  /// Idempotent: shuts channels down (waking every reader), joins readers,
+  /// closes the listener and reaps spawned children.  Runs on every exit
+  /// path of solve(), including throws.
+  void cleanup() noexcept {
+    std::vector<Shard*> live;
+    {
+      const MutexLock lock(mu);
+      stopping = true;
+      for (const std::unique_ptr<Shard>& sp : shards) live.push_back(sp.get());
+    }
+    for (Shard* s : live) {
+      try {
+        const MutexLock lock(s->send_mu);
+        s->channel.send(net::kMsgShutdown, {}, Deadline::after_ms(500));
+      } catch (...) {
+        // Best-effort courtesy; the shutdown() below is what ends things.
+      }
+    }
+    for (Shard* s : live) s->channel.shutdown();
+    for (Shard* s : live) {
+      if (s->reader.joinable()) s->reader.join();
+    }
+    for (Shard* s : live) s->channel.close();
+    listener.close();
+    for (const pid_t pid : children) {
+      int status = 0;
+      // Workers exit on Shutdown/EOF; give them a grace window, then make
+      // sure nothing outlives the solve.
+      const Deadline grace = Deadline::after_ms(2000);
+      for (;;) {
+        const pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == pid || (r < 0 && errno == ECHILD)) break;
+        if (grace.expired()) {
+          ::kill(pid, SIGKILL);
+          ::waitpid(pid, &status, 0);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    children.clear();
+  }
+
+  // ------------------------------------------------------------------ solve
+
+  HgpResult solve() {
+    if (solved) {
+      throw SolveError(StatusCode::kInvalidInput,
+                       "ShardCoordinator::solve() may run only once");
+    }
+    solved = true;
+    // Mirror solve_hgp's argument contract up front so a bad request fails
+    // before any process is spawned.
+    if (!g.has_demands()) {
+      throw SolveError(StatusCode::kInvalidInput,
+                       "HGP instances require vertex demands");
+    }
+    if (opt.num_trees < 1) {
+      throw SolveError(StatusCode::kInvalidInput, "num_trees must be >= 1");
+    }
+    if (opt.timeout_ms < 0) {
+      throw SolveError(StatusCode::kInvalidInput, "timeout_ms must be >= 0");
+    }
+    if (opt.epsilon <= 0) {
+      throw SolveError(StatusCode::kInvalidInput, "epsilon must be > 0");
+    }
+    if (copt.lease_ms <= 0) {
+      throw SolveError(StatusCode::kInvalidInput, "lease_ms must be > 0");
+    }
+
+    rid = obs::next_library_request_id();
+    deadline = opt.timeout_ms > 0 ? Deadline::after_ms(opt.timeout_ms)
+                                  : Deadline::never();
+    checkpoint = opt.checkpoint != nullptr ? opt.checkpoint : &local_checkpoint;
+    fingerprint = graph_fingerprint(g);
+    checkpoint->bind(CheckpointKey{fingerprint, opt.seed, opt.num_trees,
+                                   opt.epsilon, opt.units_override});
+    checkpoint->set_request_context(rid, 0);
+
+    bool distributed = true;
+    try {
+      build_job();
+    } catch (const SolveError& e) {
+      if (e.status().code == StatusCode::kCancelled ||
+          e.status().code == StatusCode::kInvalidInput) {
+        throw;
+      }
+      // Forest construction failed: there is nothing to distribute, and the
+      // final solve_hgp below will hit the identical failure and classify /
+      // degrade it exactly as a single-process solve would.
+      distributed = false;
+    }
+
+    if (distributed) {
+      try {
+        start_shards();
+        supervise();
+      } catch (...) {
+        cleanup();
+        throw;
+      }
+    }
+    cleanup();
+
+    {
+      const MutexLock lock(mu);
+      report.degraded_inprocess =
+          checkpoint->size() <
+          (forest != nullptr ? forest->size()
+                             : static_cast<std::size_t>(opt.num_trees));
+    }
+
+    // Final aggregation IS solve_hgp: every shard-delivered tree is served
+    // from the checkpoint without re-running its DP, every missing tree is
+    // solved in-process, and stage 3's arg-min + fallback classification
+    // run unmodified — which is the whole bit-identity argument.
+    SolverOptions final_opt = opt;
+    final_opt.checkpoint = checkpoint;
+    if (opt.timeout_ms > 0) {
+      final_opt.timeout_ms = std::max(deadline.remaining_ms(), 0.001);
+    }
+    return solve_hgp(g, h, final_opt);
+  }
+};
+
+ShardCoordinator::ShardCoordinator(const Graph& g, const Hierarchy& h,
+                                   SolverOptions opt, CoordinatorOptions copt)
+    : impl_(std::make_unique<Impl>(g, h, std::move(opt), std::move(copt))) {}
+
+ShardCoordinator::~ShardCoordinator() { impl_->cleanup(); }
+
+void ShardCoordinator::adopt_shard(net::Socket socket) {
+  impl_->adopted.push_back(std::move(socket));
+}
+
+HgpResult ShardCoordinator::solve() { return impl_->solve(); }
+
+const CoordinatorReport& ShardCoordinator::report() const {
+  return impl_->report;
+}
+
+HgpResult solve_hgp_sharded(const Graph& g, const Hierarchy& h,
+                            const SolverOptions& opt,
+                            const CoordinatorOptions& copt,
+                            CoordinatorReport* report) {
+  ShardCoordinator coordinator(g, h, opt, copt);
+  try {
+    HgpResult result = coordinator.solve();
+    if (report != nullptr) *report = coordinator.report();
+    return result;
+  } catch (...) {
+    if (report != nullptr) *report = coordinator.report();
+    throw;
+  }
+}
+
+}  // namespace hgp

@@ -50,6 +50,8 @@ struct RetryHooks {
   std::function<void(const Status&)> on_terminal_failure;
 };
 
+}  // namespace
+
 double backoff_for_retry(const RetryOptions& ro, int retry_number,
                          Rng& jitter) {
   double backoff = ro.backoff_base_ms;
@@ -63,6 +65,8 @@ double backoff_for_retry(const RetryOptions& ro, int retry_number,
   }
   return backoff > 0 ? backoff : 0;
 }
+
+namespace {
 
 /// The loop is generic over what an "attempt" does: a full solve_hgp for
 /// plain requests, a session resolve for incremental ones.  Retry,

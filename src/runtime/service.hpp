@@ -46,6 +46,7 @@
 #include "runtime/incremental.hpp"
 #include "runtime/solver.hpp"
 #include "util/memory_budget.hpp"
+#include "util/prng.hpp"
 #include "util/sync.hpp"
 
 namespace hgp {
@@ -87,6 +88,15 @@ struct RetrySolveReport {
 
   bool ok() const { return status.ok(); }
 };
+
+/// The backoff-with-jitter schedule of the retry loop, exposed so other
+/// retrying layers (the shard coordinator's reconnect/respawn path) share
+/// the one policy: backoff_base_ms doubling per retry up to
+/// backoff_max_ms, then ±jitter_fraction uniform jitter drawn from
+/// `jitter` (one draw per call — deterministic in the seed and call
+/// ordinal).
+double backoff_for_retry(const RetryOptions& ro, int retry_number,
+                         Rng& jitter);
 
 /// solve_hgp wrapped in the retry/backoff/degradation policy, for callers
 /// that want the service semantics without the queue (hgp_solve --retries

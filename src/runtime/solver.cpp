@@ -16,19 +16,11 @@
 
 namespace hgp {
 
-namespace {
-
-struct TreeOutcome {
-  Placement placement;
-  double cost = std::numeric_limits<double>::infinity();
-  TreeDpStats stats;
-};
-
-TreeOutcome solve_one_tree(const Graph& g, const Hierarchy& h,
-                           const DecompTree& dt,
-                           const TreeSolverOptions& tree_opt) {
+ForestTreeResult solve_forest_tree(const Graph& g, const Hierarchy& h,
+                                   const DecompTree& dt,
+                                   const TreeSolverOptions& tree_opt) {
   const TreeHgpSolution sol = solve_hgpt(dt.tree(), h, tree_opt);
-  TreeOutcome out;
+  ForestTreeResult out;
   HGP_TRACE_SPAN("tree.map_back");
   out.placement.leaf_of.assign(static_cast<std::size_t>(g.vertex_count()), 0);
   for (Vertex v = 0; v < g.vertex_count(); ++v) {
@@ -46,6 +38,10 @@ TreeOutcome solve_one_tree(const Graph& g, const Hierarchy& h,
   if (contracts_enabled()) validate_placement(g, h, out.placement);
   return out;
 }
+
+namespace {
+
+using TreeOutcome = ForestTreeResult;
 
 /// Aggregates a full primary-pipeline failure into the one status the
 /// caller should see: a gone deadline dominates (the trees were killed, not
@@ -285,7 +281,7 @@ HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
         FaultInjector::instance().on_site("solve_one_tree",
                                           static_cast<int>(i));
         exec.check("tree solve start");
-        outcomes[i] = solve_one_tree(g, h, forest[i], tree_opt);
+        outcomes[i] = solve_forest_tree(g, h, forest[i], tree_opt);
         attempt.status = StatusCode::kOk;
         attempt.cost = outcomes[i].cost;
         if (opt.checkpoint != nullptr) {

@@ -135,4 +135,19 @@ struct HgpResult {
 HgpResult solve_hgp(const Graph& g, const Hierarchy& h,
                     const SolverOptions& opt = {});
 
+/// One tree of the forest, solved exactly as solve_hgp's per-tree stage
+/// solves it: HGPT DP on the tree, mapped back to G through the
+/// leaf↔vertex bijection, judged by the true Eq.-1 cost.  Deterministic in
+/// (graph, hierarchy, tree, tree_opt) — the sharded worker runs THIS
+/// function so distributed per-tree results are bit-identical to the
+/// in-process path (src/runtime/shard_server.hpp).
+struct ForestTreeResult {
+  Placement placement;
+  double cost = std::numeric_limits<double>::infinity();
+  TreeDpStats stats;
+};
+ForestTreeResult solve_forest_tree(const Graph& g, const Hierarchy& h,
+                                   const DecompTree& dt,
+                                   const TreeSolverOptions& tree_opt);
+
 }  // namespace hgp

@@ -80,6 +80,9 @@ FaultInjector::Action FaultInjector::poll_io(const char* site, int index) {
     case Action::kIoEnospc:
     case Action::kIoFsyncFail:
     case Action::kIoTornRename:
+    case Action::kNetTornFrame:
+    case Action::kNetConnectRefused:
+    case Action::kKillProcess:
       return fault.action;
     case Action::kNone:
       return Action::kNone;
@@ -136,9 +139,12 @@ void FaultInjector::fire(const char* site, int index) {
     case Action::kIoEnospc:
     case Action::kIoFsyncFail:
     case Action::kIoTornRename:
-      // I/O faults only make sense where the code can act on them; an
-      // on_site() hit just ignores them (arming one here is a test bug,
-      // not a reason to crash production).
+    case Action::kNetTornFrame:
+    case Action::kNetConnectRefused:
+    case Action::kKillProcess:
+      // I/O- and network-class faults only make sense where the code can
+      // act on them; an on_site() hit just ignores them (arming one here
+      // is a test bug, not a reason to crash production).
       return;
   }
 }

@@ -37,6 +37,19 @@ class FaultInjector {
     kIoFsyncFail,
     /// The atomic rename is interrupted, leaving a corrupt final file.
     kIoTornRename,
+    // Network-class faults (src/net/).  Polled like the I/O faults: the
+    // transport asks whether a fault fires and implements the failure
+    // itself, so the peer sees exactly what a real fault produces.
+    /// A frame byte is corrupted before it leaves — the peer's CRC check
+    /// must reject it (torn frame on the wire).
+    kNetTornFrame,
+    /// connect() fails as if nobody is listening (kUnavailable to the
+    /// caller).
+    kNetConnectRefused,
+    /// The polling process SIGKILLs itself at the site — a shard crash
+    /// mid-solve.  Only tools/hgp_shardd implements it; library sites
+    /// ignore it like the other polled actions.
+    kKillProcess,
   };
 
   struct Fault {

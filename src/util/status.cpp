@@ -20,13 +20,16 @@ const char* status_code_name(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
 
 bool status_is_transient(StatusCode code) {
   return code == StatusCode::kInternal ||
-         code == StatusCode::kResourceExhausted;
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kUnavailable;
 }
 
 std::string Status::to_string() const {

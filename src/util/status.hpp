@@ -38,6 +38,12 @@ enum class StatusCode {
   /// bytes cannot help — but never fatal to a solve: recovery paths treat
   /// it as "no durable state" and recompute.
   kDataLoss,
+  /// A peer is unreachable: connect refused, connection reset, or a clean
+  /// close where more frames were expected (see src/net/).  Transient —
+  /// the peer may come back, and the coordinator reassigns its work to
+  /// survivors or retries after a backoff.  Distinct from kDataLoss, which
+  /// says the *bytes* are wrong; kUnavailable says the *peer* is gone.
+  kUnavailable,
 };
 
 /// Stable upper-snake name ("DEADLINE_EXCEEDED"); never nullptr.

@@ -1,0 +1,423 @@
+// Coordinator supervision tests: lease expiry, crash reassignment, zombie
+// fencing, all-shards-lost degradation and caller cancellation, all driven
+// with REAL shard servers on in-process threads plus scripted misbehaving
+// peers (src/runtime/coordinator.hpp, docs/RESILIENCE.md).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <thread>
+
+#include "graph/fingerprint.hpp"
+#include "graph/generators.hpp"
+#include "net/channel.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "obs/event_journal.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/coordinator.hpp"
+#include "runtime/shard_server.hpp"
+#include "util/deadline.hpp"
+#include "util/prng.hpp"
+#include "util/sync.hpp"
+
+namespace hgp {
+namespace {
+
+Graph workload(std::uint64_t seed, Vertex n = 20) {
+  Rng rng(seed);
+  Graph g = gen::planted_partition(n, 4, 0.75, 0.05, rng,
+                                   gen::WeightRange{2.0, 6.0},
+                                   gen::WeightRange{1.0, 2.0});
+  gen::set_uniform_demands(g, 4.0 / static_cast<double>(n));
+  return g;
+}
+
+const Hierarchy& hier() {
+  static const Hierarchy h({2, 2}, {4.0, 1.0, 0.0});
+  return h;
+}
+
+SolverOptions base_options(std::uint64_t seed, int trees = 4) {
+  SolverOptions opt;
+  opt.num_trees = trees;
+  opt.epsilon = 0.5;
+  opt.seed = seed;
+  return opt;
+}
+
+/// The coordinated result must be indistinguishable from the single-process
+/// one at the bit level — costs compared as bit patterns, not with an
+/// epsilon.
+void expect_bit_identical(const HgpResult& got, const HgpResult& want) {
+  EXPECT_EQ(std::memcmp(&got.cost, &want.cost, sizeof got.cost), 0)
+      << got.cost << " vs " << want.cost;
+  EXPECT_EQ(got.placement.leaf_of, want.placement.leaf_of);
+  EXPECT_EQ(got.best_tree, want.best_tree);
+  EXPECT_EQ(got.method, want.method);
+  ASSERT_EQ(got.tree_costs.size(), want.tree_costs.size());
+  for (std::size_t i = 0; i < got.tree_costs.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&got.tree_costs[i], &want.tree_costs[i],
+                          sizeof(double)),
+              0)
+        << "tree " << i;
+  }
+}
+
+/// A real shard server running on an in-process thread; the coordinator
+/// adopts the other end of the socket pair.
+struct ShardThread {
+  std::thread thread;
+  ShardServerReport report;
+
+  ~ShardThread() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+net::Socket start_shard(std::deque<ShardThread>& pool,
+                        ShardServerOptions opt = {}) {
+  auto [mine, theirs] = net::socket_pair();
+  ShardThread& sh = pool.emplace_back();
+  sh.thread = std::thread([&sh, sock = std::move(theirs), opt]() mutable {
+    net::FrameChannel ch(std::move(sock));
+    sh.report = run_shard_server(ch, opt);
+  });
+  return std::move(mine);
+}
+
+/// A scripted peer that completes the handshake + job phase like a real
+/// shard, then runs `script` with the channel — the building block for
+/// crash / hang / zombie behaviours no honest shard exhibits.
+net::Socket start_scripted_shard(
+    std::deque<ShardThread>& pool, const Graph& g,
+    std::function<void(net::FrameChannel&)> script) {
+  auto [mine, theirs] = net::socket_pair();
+  const std::uint64_t fp = graph_fingerprint(g);
+  ShardThread& sh = pool.emplace_back();
+  sh.thread = std::thread(
+      [&sh, sock = std::move(theirs), fp, script = std::move(script)]() mutable {
+        try {
+          net::FrameChannel ch(std::move(sock));
+          const Deadline d = Deadline::after_ms(20000);
+          net::handshake_server(ch, d);
+          auto job_frame = ch.recv(d);
+          ASSERT_TRUE(job_frame.has_value());
+          const net::JobMsg job = net::decode_job(job_frame->payload);
+          net::JobAckMsg ack;
+          ack.graph_fingerprint = fp;
+          ack.num_trees = job.num_trees;
+          ch.send(net::kMsgJobAck, net::encode_job_ack(ack), d);
+          script(ch);
+        } catch (...) {
+          // A scripted peer dying early just looks like one more crash to
+          // the coordinator, which is the behaviour under test anyway.
+        }
+      });
+  return std::move(mine);
+}
+
+TEST(Coordinator, MatchesSingleProcessBitForBit) {
+  const Graph g = workload(11);
+  const HgpResult baseline = solve_hgp(g, hier(), base_options(11));
+
+  std::deque<ShardThread> pool;
+  CoordinatorOptions copt;
+  ShardCoordinator coord(g, hier(), base_options(11), copt);
+  coord.adopt_shard(start_shard(pool));
+  coord.adopt_shard(start_shard(pool));
+  const HgpResult got = coord.solve();
+
+  expect_bit_identical(got, baseline);
+  EXPECT_EQ(coord.report().shards_up, 2);
+  EXPECT_EQ(coord.report().shards_lost, 0);
+  EXPECT_EQ(coord.report().zombies_fenced, 0);
+  EXPECT_EQ(coord.report().trees_from_shards, 4);
+  EXPECT_FALSE(coord.report().degraded_inprocess);
+  EXPECT_EQ(coord.report().batches_completed, 4);
+}
+
+TEST(Coordinator, BatchSizeGroupsTrees) {
+  const Graph g = workload(12);
+  const HgpResult baseline = solve_hgp(g, hier(), base_options(12, 5));
+
+  std::deque<ShardThread> pool;
+  CoordinatorOptions copt;
+  copt.batch_size = 2;  // 5 trees -> batches {0,1},{2,3},{4}
+  ShardCoordinator coord(g, hier(), base_options(12, 5), copt);
+  coord.adopt_shard(start_shard(pool));
+  const HgpResult got = coord.solve();
+
+  expect_bit_identical(got, baseline);
+  EXPECT_EQ(coord.report().batches_completed, 3);
+  EXPECT_EQ(coord.report().trees_from_shards, 5);
+}
+
+TEST(Coordinator, CrashedShardIsDetectedAndWorkReassigned) {
+  const Graph g = workload(13);
+  const HgpResult baseline = solve_hgp(g, hier(), base_options(13));
+
+  std::deque<ShardThread> pool;
+  CoordinatorOptions copt;
+  ShardCoordinator coord(g, hier(), base_options(13), copt);
+  // Shard 0 crashes the moment it receives work — socket gone, no goodbye.
+  coord.adopt_shard(start_scripted_shard(pool, g, [](net::FrameChannel& ch) {
+    (void)ch.recv(Deadline::after_ms(20000));  // the Assign
+    ch.close();
+  }));
+  coord.adopt_shard(start_shard(pool));
+  const HgpResult got = coord.solve();
+
+  expect_bit_identical(got, baseline);
+  EXPECT_EQ(coord.report().shards_lost, 1);
+  EXPECT_GE(coord.report().batches_reassigned, 1);
+  EXPECT_EQ(coord.report().trees_from_shards, 4);
+  EXPECT_FALSE(coord.report().degraded_inprocess);
+}
+
+TEST(Coordinator, HungShardLeaseExpires) {
+  const Graph g = workload(14);
+  const HgpResult baseline = solve_hgp(g, hier(), base_options(14));
+
+  std::deque<ShardThread> pool;
+  Mutex mu;
+  CondVar cv;
+  bool release = false;
+  CoordinatorOptions copt;
+  copt.lease_ms = 150;
+  ShardCoordinator coord(g, hier(), base_options(14), copt);
+  // Shard 0 accepts the batch, then goes silent (no heartbeats, no result,
+  // socket held open) until the test releases it — a hang, not a crash.
+  coord.adopt_shard(start_scripted_shard(pool, g, [&](net::FrameChannel& ch) {
+    (void)ch.recv(Deadline::after_ms(20000));
+    MutexLock lock(mu);
+    while (!release) cv.wait_for_ms(mu, 50);
+  }));
+  coord.adopt_shard(start_shard(pool));
+  const HgpResult got = coord.solve();
+  {
+    MutexLock lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+
+  expect_bit_identical(got, baseline);
+  EXPECT_GE(coord.report().lease_expiries, 1);
+  EXPECT_EQ(coord.report().shards_lost, 1);
+  EXPECT_GE(coord.report().batches_reassigned, 1);
+  EXPECT_EQ(coord.report().trees_from_shards, 4);
+}
+
+TEST(Coordinator, ZombieResultIsFencedExactlyOnce) {
+  const Graph g = workload(15);
+  const HgpResult baseline = solve_hgp(g, hier(), base_options(15));
+  obs::EventJournal::global().clear();
+
+  std::deque<ShardThread> pool;
+  Mutex mu;
+  CondVar cv;
+  bool gate_open = false;
+
+  CoordinatorOptions copt;
+  copt.lease_ms = 150;
+  copt.batch_size = 1;
+  ShardCoordinator coord(g, hier(), base_options(15), copt);
+
+  // Shard 0 (honest, gated): its first tree solve blocks until the test
+  // opens the gate, which keeps the coordinated solve provably alive while
+  // the zombie acts out.  Its heartbeat thread keeps beating throughout, so
+  // ITS lease never expires.
+  ShardServerOptions gated;
+  gated.on_tree_start = [&](int) {
+    MutexLock lock(mu);
+    while (!gate_open) cv.wait_for_ms(mu, 20);
+  };
+  coord.adopt_shard(start_shard(pool, gated));
+
+  // Shard 1 (zombie): takes a batch, goes silent past the lease so the
+  // batch is reassigned under a bumped epoch, then "wakes up" and delivers
+  // the result under the ORIGINAL epoch — which must be fenced, not
+  // double-counted.
+  coord.adopt_shard(start_scripted_shard(pool, g, [&](net::FrameChannel& ch) {
+    auto assign_frame = ch.recv(Deadline::after_ms(20000));
+    ASSERT_TRUE(assign_frame.has_value());
+    const net::AssignMsg assign = net::decode_assign(assign_frame->payload);
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    net::BatchResultMsg stale;
+    stale.epoch = assign.epoch;  // stale by now: the lease expired long ago
+    stale.batch_id = assign.batch_id;
+    for (std::int32_t ti : assign.tree_indices) {
+      net::TreeResultWire tree;
+      tree.tree_index = ti;
+      tree.status = static_cast<std::uint8_t>(StatusCode::kOk);
+      tree.cost = 0.0;  // hostile: would win any arg-min if not fenced
+      tree.leaf_of.assign(static_cast<std::size_t>(20), 0);
+      stale.trees.push_back(std::move(tree));
+    }
+    ch.send(net::kMsgBatchResult, net::encode_batch_result(stale),
+            Deadline::after_ms(20000));
+    {
+      MutexLock lock(mu);
+      while (!gate_open) cv.wait_for_ms(mu, 20);
+    }
+  }));
+
+  // Let the zombie's lease expire and its stale result land, then open the
+  // gate so the honest shard finishes everything.
+  std::thread opener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    MutexLock lock(mu);
+    gate_open = true;
+    cv.notify_all();
+  });
+  const HgpResult got = coord.solve();
+  opener.join();
+
+  expect_bit_identical(got, baseline);
+  EXPECT_GE(coord.report().lease_expiries, 1);
+  EXPECT_GE(coord.report().zombies_fenced, 1);
+  EXPECT_GE(coord.report().batches_reassigned, 1);
+  // Every tree was accounted exactly once despite the double delivery.
+  EXPECT_EQ(coord.report().trees_from_shards, 4);
+  EXPECT_EQ(coord.report().batches_completed, 4);
+
+  bool saw_fence = false, saw_lease = false, saw_reassign = false;
+  for (const obs::JournalEvent& e : obs::EventJournal::global().snapshot()) {
+    saw_fence |= e.kind == obs::EventKind::kZombieFenced;
+    saw_lease |= e.kind == obs::EventKind::kLeaseExpire;
+    saw_reassign |= e.kind == obs::EventKind::kBatchReassign;
+  }
+  EXPECT_TRUE(saw_fence);
+  EXPECT_TRUE(saw_lease);
+  EXPECT_TRUE(saw_reassign);
+}
+
+TEST(Coordinator, AllShardsLostDegradesToInProcess) {
+  const Graph g = workload(16);
+  const HgpResult baseline = solve_hgp(g, hier(), base_options(16));
+
+  std::deque<ShardThread> pool;
+  CoordinatorOptions copt;
+  ShardCoordinator coord(g, hier(), base_options(16), copt);
+  // Every shard crashes on first contact with work.
+  for (int i = 0; i < 2; ++i) {
+    coord.adopt_shard(start_scripted_shard(pool, g, [](net::FrameChannel& ch) {
+      (void)ch.recv(Deadline::after_ms(20000));
+      ch.close();
+    }));
+  }
+  const HgpResult got = coord.solve();
+
+  expect_bit_identical(got, baseline);
+  EXPECT_EQ(coord.report().shards_lost, 2);
+  EXPECT_TRUE(coord.report().degraded_inprocess);
+  EXPECT_EQ(coord.report().trees_from_shards, 0);
+}
+
+TEST(Coordinator, NoShardsAtAllStillSolves) {
+  const Graph g = workload(17);
+  const HgpResult baseline = solve_hgp(g, hier(), base_options(17));
+  CoordinatorOptions copt;
+  ShardCoordinator coord(g, hier(), base_options(17), copt);
+  const HgpResult got = coord.solve();
+  expect_bit_identical(got, baseline);
+  EXPECT_TRUE(coord.report().degraded_inprocess);
+}
+
+TEST(Coordinator, MalformedRemoteResultIsRejectedNotTrusted) {
+  const Graph g = workload(18);
+  const HgpResult baseline = solve_hgp(g, hier(), base_options(18));
+
+  std::deque<ShardThread> pool;
+  CoordinatorOptions copt;
+  ShardCoordinator coord(g, hier(), base_options(18), copt);
+  // A "shard" that answers every assignment instantly with a wrongly-sized
+  // placement and a winning cost: the shape check must throw it away and
+  // the final in-process aggregation must re-solve those trees.
+  coord.adopt_shard(start_scripted_shard(pool, g, [](net::FrameChannel& ch) {
+    for (;;) {
+      auto frame = ch.recv(Deadline::after_ms(20000));
+      if (!frame.has_value() || frame->type != net::kMsgAssign) return;
+      const net::AssignMsg assign = net::decode_assign(frame->payload);
+      net::BatchResultMsg res;
+      res.epoch = assign.epoch;
+      res.batch_id = assign.batch_id;
+      for (std::int32_t ti : assign.tree_indices) {
+        net::TreeResultWire tree;
+        tree.tree_index = ti;
+        tree.status = static_cast<std::uint8_t>(StatusCode::kOk);
+        tree.cost = 0.0;
+        tree.leaf_of = {0};  // wrong size for a 20-vertex instance
+        res.trees.push_back(std::move(tree));
+      }
+      ch.send(net::kMsgBatchResult, net::encode_batch_result(res),
+              Deadline::after_ms(20000));
+    }
+  }));
+  const HgpResult got = coord.solve();
+
+  expect_bit_identical(got, baseline);
+  EXPECT_EQ(coord.report().trees_from_shards, 0);
+  EXPECT_TRUE(coord.report().degraded_inprocess);
+}
+
+TEST(Coordinator, CallerCancelThrowsCancelled) {
+  const Graph g = workload(19);
+  CancelToken cancel;
+  cancel.request_cancel();
+  SolverOptions opt = base_options(19);
+  opt.cancel = &cancel;
+
+  std::deque<ShardThread> pool;
+  CoordinatorOptions copt;
+  ShardCoordinator coord(g, hier(), opt, copt);
+  coord.adopt_shard(start_shard(pool));
+  try {
+    (void)coord.solve();
+    FAIL() << "cancelled solve must throw";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(Coordinator, InvalidOptionsRejectedUpFront) {
+  const Graph g = workload(20);
+  SolverOptions opt = base_options(20);
+  opt.num_trees = 0;
+  CoordinatorOptions copt;
+  ShardCoordinator coord(g, hier(), opt, copt);
+  try {
+    (void)coord.solve();
+    FAIL() << "invalid options must throw";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInvalidInput);
+  }
+}
+
+TEST(Coordinator, SharedCheckpointKeepsShardTrees) {
+  // A caller-supplied checkpoint accumulates the shard-delivered trees, so
+  // a retrying service layer can reuse them like any other checkpoint.
+  const Graph g = workload(21);
+  SolveCheckpoint ck;
+  SolverOptions opt = base_options(21);
+  opt.checkpoint = &ck;
+
+  std::deque<ShardThread> pool;
+  CoordinatorOptions copt;
+  ShardCoordinator coord(g, hier(), opt, copt);
+  coord.adopt_shard(start_shard(pool));
+  const HgpResult got = coord.solve();
+  EXPECT_EQ(ck.size(), 4u);
+
+  // A rerun with the same checkpoint serves every tree from it.
+  const HgpResult resumed = solve_hgp(g, hier(), opt);
+  expect_bit_identical(resumed, got);
+  for (const TreeAttempt& a : resumed.attempts) {
+    EXPECT_TRUE(a.from_checkpoint);
+  }
+}
+
+}  // namespace
+}  // namespace hgp

@@ -8,7 +8,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <deque>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -21,11 +24,17 @@
 #include "obs/event_journal.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/introspect.hpp"
+#include "graph/fingerprint.hpp"
 #include "graph/mutation_log.hpp"
+#include "net/channel.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "runtime/coordinator.hpp"
 #include "runtime/incremental.hpp"
 #include "runtime/service.hpp"
+#include "runtime/shard_server.hpp"
 #include "runtime/solver.hpp"
 #include "util/deadline.hpp"
 #include "util/fault_injector.hpp"
@@ -875,6 +884,124 @@ TEST(Race, IntrospectScrapeDuringServiceStorm) {
   SUCCEED() << scrapes_ok.load() << " clean scrapes mid-storm";
 }
 #endif  // HGP_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Sharded-coordinator bookkeeping under TSan.  The coordinator's mutable
+// state (shard states, batch epochs, lease clocks, the report) is touched by
+// one reader thread per shard, the supervision loop, and the caller — these
+// tests drive all of them at once so any missing lock shows up as a report.
+
+struct RaceShardThread {
+  std::thread thread;
+  ShardServerReport report;
+  ~RaceShardThread() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+net::Socket race_start_shard(std::deque<RaceShardThread>& pool,
+                             ShardServerOptions opt = {}) {
+  auto [mine, theirs] = net::socket_pair();
+  RaceShardThread& sh = pool.emplace_back();
+  sh.thread = std::thread([&sh, sock = std::move(theirs), opt]() mutable {
+    net::FrameChannel ch(std::move(sock));
+    sh.report = run_shard_server(ch, opt);
+  });
+  return std::move(mine);
+}
+
+// Many shards beating fast while batches flow: reader threads update lease
+// clocks and accept results concurrently with the supervision loop's lease
+// scan and assignment pass.
+TEST(Race, CoordinatorConcurrentHeartbeatsAndResults) {
+  const Graph g = demand_graph(31, 20);
+  SolverOptions opt;
+  opt.num_trees = 6;
+  opt.seed = 31;
+
+  std::deque<RaceShardThread> pool;
+  CoordinatorOptions copt;
+  copt.heartbeat_ms = 1;  // heartbeat storm: every shard beats ~1kHz
+  ShardCoordinator coord(g, hier(), opt, copt);
+  ShardServerOptions sopt;
+  sopt.heartbeat_ms = 1;
+  for (int i = 0; i < 4; ++i) coord.adopt_shard(race_start_shard(pool, sopt));
+  const HgpResult got = coord.solve();
+
+  const HgpResult want = solve_hgp(g, hier(), opt);
+  EXPECT_EQ(got.placement.leaf_of, want.placement.leaf_of);
+  EXPECT_EQ(coord.report().trees_from_shards, 6);
+}
+
+// Lease expiry + reassignment racing live result delivery: slow shards
+// (gated trees) with a tiny lease force the supervision loop to declare
+// deaths and bump epochs while reader threads are mid-accept.
+TEST(Race, CoordinatorReassignmentRacesResultDelivery) {
+  const Graph g = demand_graph(32, 20);
+  SolverOptions opt;
+  opt.num_trees = 8;
+  opt.seed = 32;
+
+  std::deque<RaceShardThread> pool;
+  CoordinatorOptions copt;
+  copt.lease_ms = 30;  // tight: honest-but-slow shards WILL lose leases
+  ShardCoordinator coord(g, hier(), opt, copt);
+
+  // Half the fleet heartbeats normally; the other half stalls each tree
+  // past the lease WITHOUT beating (heartbeat thread suppressed by a huge
+  // interval), so their batches are reassigned and their eventual results
+  // arrive as zombies.
+  ShardServerOptions honest;
+  honest.heartbeat_ms = 5;
+  ShardServerOptions laggard;
+  laggard.heartbeat_ms = 60000;
+  laggard.on_tree_start = [](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  };
+  for (int i = 0; i < 2; ++i) coord.adopt_shard(race_start_shard(pool, honest));
+  for (int i = 0; i < 2; ++i)
+    coord.adopt_shard(race_start_shard(pool, laggard));
+  const HgpResult got = coord.solve();
+
+  const HgpResult want = solve_hgp(g, hier(), opt);
+  EXPECT_EQ(got.placement.leaf_of, want.placement.leaf_of);
+  EXPECT_EQ(std::memcmp(&got.cost, &want.cost, sizeof got.cost), 0);
+  EXPECT_EQ(coord.report().batches_completed, 8);
+}
+
+// Caller cancellation from another thread while shards stream results: the
+// cancel path (supervise throws -> cleanup shuts channels -> readers
+// unwind) must not race teardown of the shard table.
+TEST(Race, CoordinatorCancelRacesShardTraffic) {
+  const Graph g = demand_graph(33, 20);
+  CancelToken cancel;
+  SolverOptions opt;
+  opt.num_trees = 8;
+  opt.seed = 33;
+  opt.cancel = &cancel;
+
+  std::deque<RaceShardThread> pool;
+  CoordinatorOptions copt;
+  ShardCoordinator coord(g, hier(), opt, copt);
+  ShardServerOptions sopt;
+  sopt.heartbeat_ms = 1;
+  sopt.on_tree_start = [](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  for (int i = 0; i < 3; ++i) coord.adopt_shard(race_start_shard(pool, sopt));
+
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.request_cancel();
+  });
+  try {
+    (void)coord.solve();
+    // Legal: every batch may have finished before the cancel landed.
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kCancelled);
+  }
+  canceller.join();
+}
 
 }  // namespace
 }  // namespace hgp

@@ -49,17 +49,23 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "graph/fingerprint.hpp"
 #include "graph/generators.hpp"
 #include "hierarchy/cost.hpp"
 #include "hierarchy/placement.hpp"
+#include "net/channel.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/coordinator.hpp"
 #include "runtime/service.hpp"
 #include "util/fault_injector.hpp"
 #include "util/memory_budget.hpp"
@@ -120,6 +126,10 @@ bool documented_terminal(StatusCode code) {
       // Spill/recovery integrity failures degrade to in-memory operation;
       // a request must never surface kDataLoss as its terminal status.
       return false;
+    case StatusCode::kUnavailable:
+      // Shard loss degrades to in-process solving (coordinator.hpp); a
+      // request must never surface kUnavailable as its terminal status.
+      return false;
   }
   return false;
 }
@@ -132,6 +142,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string obs_socket;
   std::string flight_dump;
+  std::string shardd_path;
   long hold_open_ms = 0;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
@@ -156,6 +167,8 @@ int main(int argc, char** argv) {
       obs_socket = need("--obs-socket");
     } else if (!std::strcmp(argv[i], "--flight-dump")) {
       flight_dump = need("--flight-dump");
+    } else if (!std::strcmp(argv[i], "--shardd")) {
+      shardd_path = need("--shardd");
     } else if (!std::strcmp(argv[i], "--hold-open-ms")) {
       hold_open_ms = std::strtol(need("--hold-open-ms").c_str(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--verbose")) {
@@ -164,7 +177,9 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: hgp_chaos [--requests N] [--seed S] [--metrics FILE]\n"
           "                 [--obs-socket PATH] [--flight-dump FILE]\n"
-          "                 [--hold-open-ms N] [--verbose]\n");
+          "                 [--shardd PATH] [--hold-open-ms N] [--verbose]\n"
+          "  --shardd PATH  shard worker binary; enables phase 6, the\n"
+          "                 distributed storm over real worker processes\n");
       return 0;
     } else {
       std::fprintf(stderr, "hgp_chaos: unknown argument '%s'\n", argv[i]);
@@ -737,6 +752,224 @@ int main(int argc, char** argv) {
           "fault-retried resolves)\n",
           committed.load(), stale_rebases.load(), faulted_retries.load());
     }
+  }
+
+  // ---- Phase 6: the distributed storm (enabled by --shardd).  Coordinated
+  // solves over REAL worker processes while the fleet is killed mid-solve
+  // (seeded SIGKILL at a tree boundary), heartbeats stall past the lease,
+  // frames are torn on the wire, and a zombie peer delivers a hostile
+  // stale-epoch result.  Invariants: every request reaches a terminal
+  // state, every placement validates, every coordinated result is
+  // BIT-identical to the single-process baseline, and across the storm at
+  // least one lease expired, one batch was reassigned, and one zombie was
+  // fenced — with zero lost or double-counted trees.
+  if (!shardd_path.empty()) {
+    // Mask the in-process storm schedules: phase 6's baseline and its
+    // final aggregation must fail only where the *distributed* schedule
+    // says, or the differential would diverge for the wrong reason.
+    FaultScope quiet_trees("solve_one_tree", FaultInjector::kEveryIndex, {});
+    FaultScope quiet_fin("solve_finalize", 0, {});
+    FaultScope quiet_ml("fallback_multilevel", 0, {});
+
+    int total_lease_expiries = 0;
+    int total_reassigned = 0;
+    int total_zombies = 0;
+    int total_lost = 0;
+
+    SolverOptions p6;
+    p6.num_trees = 6;
+    p6.epsilon = 0.5;
+
+    // One coordinated request under `copt` (plus optionally an adopted
+    // scripted peer), checked bit-for-bit against the single-process
+    // baseline of the same instance.
+    auto run_distributed = [&](const char* label, std::uint64_t inst_seed,
+                               CoordinatorOptions copt,
+                               std::function<net::Socket(const Graph&)> adopt)
+        -> const CoordinatorReport* {
+      static CoordinatorReport last;
+      Rng prng(inst_seed);
+      Graph pg = gen::planted_partition(24, 4, 0.75, 0.05, prng,
+                                        gen::WeightRange{2.0, 6.0},
+                                        gen::WeightRange{1.0, 2.0});
+      gen::set_uniform_demands(pg, 4.0 / 24.0);
+      SolverOptions opt = p6;
+      opt.seed = inst_seed;
+      const HgpResult want = solve_hgp(pg, h, opt);
+      try {
+        ShardCoordinator coord(pg, h, opt, copt);
+        if (adopt) coord.adopt_shard(adopt(pg));
+        const HgpResult got = coord.solve();
+        CHAOS_EXPECT(std::memcmp(&got.cost, &want.cost, sizeof got.cost) == 0,
+                     "phase 6 [%s]: cost diverged (%.17g vs %.17g)\n", label,
+                     got.cost, want.cost);
+        CHAOS_EXPECT(got.placement.leaf_of == want.placement.leaf_of,
+                     "phase 6 [%s]: placement diverged\n", label);
+        CHAOS_EXPECT(got.best_tree == want.best_tree,
+                     "phase 6 [%s]: best_tree diverged\n", label);
+        try {
+          validate_placement(pg, h, got.placement);
+        } catch (const std::exception& e) {
+          CHAOS_EXPECT(false, "phase 6 [%s]: placement invalid: %s\n", label,
+                       e.what());
+        }
+        const CoordinatorReport& rep = coord.report();
+        // Exactly-once accounting: a batch completes remotely at most once
+        // (trees the fleet lost are re-solved in-process, which does not
+        // count here), so remote completions can never exceed the batch
+        // count — a double-counted batch would push it over.  A hostile or
+        // duplicate result that slipped the fence would also have broken
+        // the bit-identity checked above.
+        CHAOS_EXPECT(rep.batches_completed <= p6.num_trees,
+                     "phase 6 [%s]: %d remote completions for %d batches\n",
+                     label, rep.batches_completed, p6.num_trees);
+        CHAOS_EXPECT(rep.trees_from_shards <= p6.num_trees,
+                     "phase 6 [%s]: %d remote trees for %d sampled\n", label,
+                     rep.trees_from_shards, p6.num_trees);
+        total_lease_expiries += rep.lease_expiries;
+        total_reassigned += rep.batches_reassigned;
+        total_zombies += rep.zombies_fenced;
+        total_lost += rep.shards_lost;
+        if (verbose) {
+          std::printf(
+              "phase 6 [%s]: %d up %d lost %d expiries %d reassigned "
+              "%d zombies %d/%d remote\n",
+              label, rep.shards_up, rep.shards_lost, rep.lease_expiries,
+              rep.batches_reassigned, rep.zombies_fenced,
+              rep.trees_from_shards, p6.num_trees);
+        }
+        last = rep;
+        return &last;
+      } catch (const SolveError& e) {
+        CHAOS_EXPECT(false, "phase 6 [%s]: non-terminal failure %s: %s\n",
+                     label, status_code_name(e.code()), e.what());
+        return nullptr;
+      }
+    };
+
+    auto spawn_opts = [&](int shards) {
+      CoordinatorOptions copt;
+      copt.num_shards = shards;
+      copt.shardd_path = shardd_path;
+      copt.batch_size = 1;
+      return copt;
+    };
+
+    // (a) Clean fleet: everything remote, nothing lost.
+    if (const CoordinatorReport* rep =
+            run_distributed("clean", seed + 600, spawn_opts(3), nullptr)) {
+      CHAOS_EXPECT(rep->shards_lost == 0 && rep->trees_from_shards == 6,
+                   "phase 6 [clean]: %d lost, %d/6 remote\n", rep->shards_lost,
+                   rep->trees_from_shards);
+    }
+
+    // (b) SIGKILL mid-solve: every worker is armed to die the moment it
+    // starts tree 3, so whoever the batch lands on is killed; the respawn
+    // budget burns down and the survivors (or the in-process fallback)
+    // finish.  Seeded and deterministic per worker.
+    {
+      CoordinatorOptions copt = spawn_opts(2);
+      copt.shard_args = {"--fault", "shardd.kill,3,kill"};
+      copt.respawn_limit = 1;
+      if (const CoordinatorReport* rep =
+              run_distributed("sigkill", seed + 601, copt, nullptr)) {
+        CHAOS_EXPECT(rep->shards_lost >= 1,
+                     "phase 6 [sigkill]: no shard was ever lost\n");
+        CHAOS_EXPECT(rep->batches_reassigned >= 1,
+                     "phase 6 [sigkill]: kill forced no reassignment\n");
+      }
+    }
+
+    // (c) Stalled heartbeats: the worker's beater and its first tree solve
+    // both stall far past the lease, so the coordinator must detect the
+    // hang by lease expiry (the socket stays open — nothing else tells).
+    {
+      CoordinatorOptions copt = spawn_opts(2);
+      copt.lease_ms = 200;
+      copt.shard_args = {"--fault", "shardd.heartbeat,0,stall,1500",
+                         "--fault", "shardd.tree,0,stall,1500"};
+      if (const CoordinatorReport* rep =
+              run_distributed("stall", seed + 602, copt, nullptr)) {
+        CHAOS_EXPECT(rep->lease_expiries >= 1,
+                     "phase 6 [stall]: hung shard never lost its lease\n");
+      }
+    }
+
+    // (d) Torn frames: every worker flips one byte in ~15% of its frames;
+    // the per-frame CRC must convert each into a detected kDataLoss (dead
+    // shard) rather than accepted garbage.  Which frames tear is seeded.
+    {
+      CoordinatorOptions copt = spawn_opts(2);
+      copt.respawn_limit = 2;
+      copt.shard_args = {"--fault",
+                         "net.frame,0,torn-frame,0,0.15," +
+                             std::to_string(seed * 11 + 3)};
+      (void)run_distributed("torn", seed + 603, copt, nullptr);
+    }
+
+    // (e) Zombie: an adopted scripted peer answers its first assignment
+    // with a hostile zero-cost result under a WRONG epoch — the fence must
+    // discard it — then crashes so its lease's batch is reassigned to the
+    // one honest spawned worker.
+    {
+      CoordinatorOptions copt = spawn_opts(1);
+      auto zombie = [](const Graph& zg) {
+        auto [mine, theirs] = net::socket_pair();
+        const std::uint64_t fp = graph_fingerprint(zg);
+        const std::size_t n = static_cast<std::size_t>(zg.vertex_count());
+        std::thread([sock = std::move(theirs), fp, n]() mutable {
+          try {
+            net::FrameChannel ch(std::move(sock));
+            const Deadline d = Deadline::after_ms(20000);
+            net::handshake_server(ch, d);
+            auto job = ch.recv(d);
+            if (!job.has_value()) return;
+            net::JobAckMsg ack;
+            ack.graph_fingerprint = fp;
+            ack.num_trees = net::decode_job(job->payload).num_trees;
+            ch.send(net::kMsgJobAck, net::encode_job_ack(ack), d);
+            auto assign = ch.recv(d);
+            if (!assign.has_value() || assign->type != net::kMsgAssign) return;
+            const net::AssignMsg a = net::decode_assign(assign->payload);
+            net::BatchResultMsg stale;
+            stale.epoch = a.epoch + 7;  // a previous life's lease
+            stale.batch_id = a.batch_id;
+            for (std::int32_t ti : a.tree_indices) {
+              net::TreeResultWire tr;
+              tr.tree_index = ti;
+              tr.status = static_cast<std::uint8_t>(StatusCode::kOk);
+              tr.cost = 0.0;  // would win any arg-min if not fenced
+              tr.leaf_of.assign(n, 0);
+              stale.trees.push_back(std::move(tr));
+            }
+            ch.send(net::kMsgBatchResult, net::encode_batch_result(stale), d);
+            ch.close();  // crash: the fenced batch must be reassigned
+          } catch (...) {
+          }
+        }).detach();  // hgp-lint: allow(naked-thread)
+        return std::move(mine);
+      };
+      if (const CoordinatorReport* rep =
+              run_distributed("zombie", seed + 604, copt, zombie)) {
+        CHAOS_EXPECT(rep->zombies_fenced >= 1,
+                     "phase 6 [zombie]: stale-epoch result was not fenced\n");
+        CHAOS_EXPECT(rep->batches_reassigned >= 1,
+                     "phase 6 [zombie]: fenced batch was not reassigned\n");
+      }
+    }
+
+    CHAOS_EXPECT(total_lease_expiries >= 1,
+                 "phase 6: storm produced no lease expiry\n");
+    CHAOS_EXPECT(total_reassigned >= 1,
+                 "phase 6: storm produced no reassignment\n");
+    CHAOS_EXPECT(total_zombies >= 1,
+                 "phase 6: storm produced no zombie fence\n");
+    CHAOS_EXPECT(total_lost >= 1, "phase 6: storm lost no shard at all\n");
+    std::printf(
+        "phase 6: distributed storm done (%d shards lost, %d lease "
+        "expiries, %d reassignments, %d zombies fenced; all results "
+        "bit-identical)\n",
+        total_lost, total_lease_expiries, total_reassigned, total_zombies);
   }
 
   // Give a scraper racing the storm a grace window before the endpoint

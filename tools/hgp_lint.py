@@ -33,6 +33,19 @@ Rules (library scope = src/** unless noted):
                   (src/io/snapshot.hpp, docs/FORMATS.md); ad-hoc struct
                   dumps have no version field, no CRC, and no reader
                   that can reject corruption as kDataLoss.
+  raw-socket      The BSD socket primitives (socket, socketpair, connect,
+                  bind, listen, accept, accept4, send, recv, sendto,
+                  recvfrom, sendmsg, recvmsg) appear only inside src/net.
+                  Everything on a wire goes through the framed channel
+                  (src/net/channel.hpp): per-frame CRC, version handshake,
+                  deadlines, typed kDataLoss/kUnavailable failures — a
+                  naked send() has none of that, and its torn writes are
+                  indistinguishable from success.  Member calls
+                  (channel.send(...)) are not socket calls and do not
+                  fire.  src/obs/introspect.cpp predates the net layer
+                  and keeps its audited raw-socket scrape endpoint via a
+                  per-FILE exemption (same policy as no-stdout: no
+                  directory blankets).
   raw-mutex       The std synchronization primitives (std::mutex,
                   std::shared_mutex, std::lock_guard, std::unique_lock,
                   std::condition_variable, ...) appear only inside
@@ -118,6 +131,29 @@ RAW_MUTEX_RE = re.compile(
 )
 RAW_MUTEX_EXEMPT_FILES = {
     os.path.join("src", "util", "sync.hpp"),
+}
+
+# The BSD socket surface.  The lookbehind rejects member access
+# (`channel.send(`, `log->send(`) and scoped names (`Socket::connect_unix` —
+# also saved by the trailing `_`); the optional `::` prefix still catches the
+# qualified POSIX idiom `::send(fd, ...)` the repo itself uses.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w.:>])(?:::\s*)?"
+    r"(?:socket|socketpair|connect|bind|listen|accept4?"
+    r"|send(?:to|msg)?|recv(?:from|msg)?)\s*\("
+)
+# `void bind(const Key&)` is a method DECLARATION reusing a POSIX name, not
+# a socket call: a match whose prefix ends in a type-ish identifier (and no
+# `::` qualifier) is skipped.  `return send(...)` still fires — `return` is
+# a keyword, not a type.
+RAW_SOCKET_DECL_PREFIX_RE = re.compile(r"([A-Za-z_][\w:<>]*)\s*[&*]*\s*$")
+RAW_SOCKET_NON_TYPE_TOKENS = {
+    "return", "co_return", "co_await", "co_yield", "throw", "goto",
+    "else", "do", "and", "or", "not",
+}
+RAW_SOCKET_ALLOWED_SUBDIR = os.path.join("src", "net")
+RAW_SOCKET_EXEMPT_FILES = {
+    os.path.join("src", "obs", "introspect.cpp"),
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
@@ -327,6 +363,35 @@ def check_raw_binary_io(root: str) -> list[Finding]:
     return findings
 
 
+def check_raw_socket(root: str) -> list[Finding]:
+    findings = []
+    for path in iter_files(root, LIB_DIR, SOURCE_EXTS):
+        rel = relpath(root, path)
+        if rel.startswith(RAW_SOCKET_ALLOWED_SUBDIR + os.sep):
+            continue
+        if rel in RAW_SOCKET_EXEMPT_FILES:
+            continue
+        lines = open(path, encoding="utf-8").read().splitlines()
+        in_block_comment = False
+        for i, raw in enumerate(lines):
+            line, in_block_comment = strip_block_comments(raw, in_block_comment)
+            code = strip_code_line(line)
+            for m in RAW_SOCKET_RE.finditer(code):
+                if "::" not in m.group(0):
+                    decl = RAW_SOCKET_DECL_PREFIX_RE.search(code[:m.start()])
+                    if decl and decl.group(1) not in RAW_SOCKET_NON_TYPE_TOKENS:
+                        continue  # a declaration borrowing a POSIX name
+                if "raw-socket" in suppressions(lines, i):
+                    continue
+                findings.append(
+                    Finding(rel, i + 1, "raw-socket",
+                            "BSD socket call outside src/net; speak the "
+                            "framed, CRC-checked channel "
+                            "(src/net/channel.hpp, docs/FORMATS.md)"))
+                break
+    return findings
+
+
 def check_raw_mutex(root: str) -> list[Finding]:
     findings = []
     for path in iter_files(root, LIB_DIR, SOURCE_EXTS):
@@ -378,6 +443,7 @@ RULES = [
     check_header_hygiene,
     check_naked_thread,
     check_raw_binary_io,
+    check_raw_socket,
     check_raw_mutex,
 ]
 
@@ -475,6 +541,36 @@ FIXTURES = {
         'void w(FILE* f, const char* p, long n) { fwrite(p, 1, n, f); }\n',
         set(),
     ),
+    "src/bad/sockets.cpp": (
+        '// raw socket calls outside src/net\n'
+        '#include <sys/socket.h>\n'
+        'int a() { return socket(AF_UNIX, SOCK_STREAM, 0); }\n'
+        'long b(int fd, const void* p, long n) { return ::send(fd, p, n, 0); }\n'
+        'long c(int fd, void* p, long n) { return recv(fd, p, n, 0); }\n'
+        'int d(int fd) { return ::listen(fd, 8); }\n'
+        'int e(int* fds) { return socketpair(AF_UNIX, SOCK_STREAM, 0, fds); }\n'
+        'void fine(Channel& ch, Frame f) { ch.send(f); }\n'
+        'void fine2(Log* log) { log->send("x"); }\n'
+        'void fine3(Checkpoint& c, const Key& k) { c.bind(k); }\n'
+        'Socket fine4() { return Socket::connect_unix("/s"); }\n'
+        '// a comment saying connect() must not fire\n'
+        'const char* s = "socket(AF_INET)";\n'
+        'int sup(int fd) { return ::accept(fd, 0, 0); }  '
+        '// hgp-lint: allow(raw-socket)\n',
+        {"raw-socket"},
+    ),
+    "src/net/socket.cpp": (
+        '// socket layer home — the one place the BSD surface is spoken\n'
+        '#include <sys/socket.h>\n'
+        'int open_unix() { return ::socket(AF_UNIX, SOCK_STREAM, 0); }\n',
+        set(),
+    ),
+    "src/obs/introspect.cpp": (
+        '// audited per-file exemption: the scrape endpoint predates src/net\n'
+        '#include <sys/socket.h>\n'
+        'long pump(int fd, void* p, long n) { return ::recv(fd, p, n, 0); }\n',
+        set(),
+    ),
     "src/bad/locks.cpp": (
         '// raw sync primitives outside the annotated layer\n'
         '#include <mutex>\n'
@@ -561,6 +657,12 @@ def self_test() -> int:
         if sorted(f.line for f in stdout_hits) != [4, 5, 6]:
             print("SELF-TEST MISS: no-stdout should fire exactly on lines "
                   f"4, 5 and 6, got {sorted(f.line for f in stdout_hits)}")
+            failures += 1
+        socket_hits = [f for f in findings
+                       if f.rule == "raw-socket" and "sockets.cpp" in f.path]
+        if sorted(f.line for f in socket_hits) != [3, 4, 5, 6, 7]:
+            print("SELF-TEST MISS: raw-socket should fire exactly on lines "
+                  f"3-7, got {sorted(f.line for f in socket_hits)}")
             failures += 1
         mutex_hits = [f for f in findings
                       if f.rule == "raw-mutex" and "locks.cpp" in f.path]

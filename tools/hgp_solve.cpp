@@ -16,6 +16,7 @@
 //   7 resource exhausted (memory budget / admission rejected the work)
 //   8 retry budget exhausted (--retries N spent, last failure transient)
 //   9 data loss (--load-snapshot file corrupt / wrong version / truncated)
+//  10 unavailable (--shards workers could not be spawned / reached at all)
 // A degraded run (fallback placement under an expired deadline) still
 // prints and writes its placement but exits with the status's code, so
 // scripts can tell a full-quality solve from a downgraded one.
@@ -41,6 +42,7 @@
 #include "hierarchy/placement_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/coordinator.hpp"
 #include "runtime/forest_cache.hpp"
 #include "runtime/service.hpp"
 #include "runtime/solver.hpp"
@@ -59,6 +61,9 @@ constexpr int kExitRetriesExhausted = 8;
 /// A snapshot file failed integrity checking (kDataLoss): re-reading the
 /// same bytes cannot help, so scripts should fall back to a cold solve.
 constexpr int kExitDataLoss = 9;
+/// Every shard worker was unreachable/lost and the solve could not proceed
+/// (kUnavailable is transient: scripts may retry or drop --shards).
+constexpr int kExitUnavailable = 10;
 
 int exit_code_for(hgp::StatusCode code) {
   switch (code) {
@@ -78,6 +83,8 @@ int exit_code_for(hgp::StatusCode code) {
       return kExitResourceExhausted;
     case hgp::StatusCode::kDataLoss:
       return kExitDataLoss;
+    case hgp::StatusCode::kUnavailable:
+      return kExitUnavailable;
   }
   return kExitInternal;
 }
@@ -90,6 +97,7 @@ void print_usage(std::FILE* to, const char* argv0) {
       "          [--units U | --epsilon E] [--seed S] [--out FILE]\n"
       "          [--timeout-ms MS] [--fallback chain|none] [--retries N]\n"
       "          [--save-snapshot FILE] [--load-snapshot FILE]\n"
+      "          [--shards N] [--shardd PATH]\n"
       "          [--trace FILE] [--metrics FILE] [--report] [--help]\n"
       "\n"
       "  --graph FILE     METIS task graph (vertex weights = demands/1000)\n"
@@ -115,6 +123,12 @@ void print_usage(std::FILE* to, const char* argv0) {
       "  --load-snapshot FILE\n"
       "                   warm the forest cache from a snapshot before\n"
       "                   solving; a corrupt/stale file exits 9 (data loss)\n"
+      "  --shards N       spawn N local hgp_shardd worker processes and\n"
+      "                   distribute the tree solves across them (hgp only;\n"
+      "                   bit-identical to the single-process solve; lost\n"
+      "                   shards degrade back to in-process solving)\n"
+      "  --shardd PATH    shard worker binary (default: hgp_shardd next to\n"
+      "                   this binary, or $HGP_SHARDD)\n"
       "  --trace FILE     record trace spans, write Chrome trace-event JSON\n"
       "                   (open in chrome://tracing or ui.perfetto.dev)\n"
       "  --metrics FILE   write the metrics registry as JSON\n"
@@ -169,6 +183,18 @@ double parse_double(const char* flag, const std::string& value) {
   return parsed;
 }
 
+/// Shard-worker binary for --shards: the explicit flag wins, then
+/// $HGP_SHARDD, then `hgp_shardd` sitting next to this binary (the build
+/// tree and installed layouts both put them side by side).
+std::string resolve_shardd(const char* argv0, const std::string& flag_value) {
+  if (!flag_value.empty()) return flag_value;
+  if (const char* env = std::getenv("HGP_SHARDD"); env && *env) return env;
+  const std::string self = argv0;
+  const std::size_t slash = self.find_last_of('/');
+  if (slash == std::string::npos) return "hgp_shardd";
+  return self.substr(0, slash + 1) + "hgp_shardd";
+}
+
 std::vector<double> parse_list(const char* flag, const std::string& s) {
   std::vector<double> out;
   std::size_t pos = 0;
@@ -188,10 +214,12 @@ int main(int argc, char** argv) {
   std::string graph_path, out_path, algo = "hgp";
   std::string trace_path, metrics_path;
   std::string save_snapshot_path, load_snapshot_path;
+  std::string shardd_path;
   bool report = false;
   std::string deg_spec, cm_spec;
   int trees = 4;
   int retries = 0;
+  int shards = 0;
   double epsilon = 0.5;
   double timeout_ms = 0;
   DemandUnits units = 8;
@@ -247,6 +275,10 @@ int main(int argc, char** argv) {
       } else {
         usage_error(argv[0], "unknown --fallback mode '%s'", mode.c_str());
       }
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      shards = static_cast<int>(parse_int("--shards", need("--shards"), 1, 256));
+    } else if (!std::strcmp(argv[i], "--shardd")) {
+      shardd_path = need("--shardd");
     } else if (!std::strcmp(argv[i], "--save-snapshot")) {
       save_snapshot_path = need("--save-snapshot");
     } else if (!std::strcmp(argv[i], "--load-snapshot")) {
@@ -269,6 +301,12 @@ int main(int argc, char** argv) {
   if ((!save_snapshot_path.empty() || !load_snapshot_path.empty()) &&
       algo != "hgp") {
     usage_error(argv[0], "--save/--load-snapshot require --algo hgp%s", "");
+  }
+  if (shards > 0 && algo != "hgp") {
+    usage_error(argv[0], "--shards requires --algo hgp%s", "");
+  }
+  if (shards > 0 && retries > 0) {
+    usage_error(argv[0], "--shards cannot be combined with --retries%s", "");
   }
 
   // Tracing must be live before the solve starts; it is off by default so
@@ -351,6 +389,19 @@ int main(int argc, char** argv) {
                                    : exit_code_for(rep.status.code);
         }
         hgp_result = std::move(rep.result);
+      } else if (shards > 0) {
+        CoordinatorOptions copt;
+        copt.num_shards = shards;
+        copt.shardd_path = resolve_shardd(argv[0], shardd_path);
+        CoordinatorReport crep;
+        hgp_result = solve_hgp_sharded(g, h, opt, copt, &crep);
+        std::printf(
+            "shards: %d up, %d lost, %d lease expiries, %d reassigned, "
+            "%d zombies fenced, %d/%d trees remote%s\n",
+            crep.shards_up, crep.shards_lost, crep.lease_expiries,
+            crep.batches_reassigned, crep.zombies_fenced,
+            crep.trees_from_shards, trees,
+            crep.degraded_inprocess ? " (degraded to in-process)" : "");
       } else {
         hgp_result = solve_hgp(g, h, opt);
       }
